@@ -1,0 +1,219 @@
+// Package ava assembles complete AvA stacks: automatic virtualization of
+// accelerator APIs by API remoting, after Yu, Peters, Akshintala and
+// Rossbach, "Automatic Virtualization of Accelerators" (HotOS 2019).
+//
+// An AvA stack for an API consists of (Figure 3 of the paper):
+//
+//   - a guest library that intercepts and marshals API calls in a VM
+//     (internal/guest, driven by metadata compiled from the API's CAvA
+//     specification by internal/cava),
+//   - a hypervisor-level router that verifies, rate-limits and schedules
+//     forwarded calls over interposable transport (internal/hv,
+//     internal/transport),
+//   - an API server that executes calls against the accelerator silo under
+//     per-VM isolation (internal/server).
+//
+// This package wires those components together. Given a compiled
+// Descriptor and a silo's handler registry, NewStack builds the router and
+// server; AttachVM connects one guest, returning the guest library an
+// application (or a generated typed binding such as cl.RemoteClient) uses.
+//
+//	desc := cl.Descriptor()
+//	reg := server.NewRegistry(desc)
+//	cl.BindServer(reg, silo)
+//	stack := ava.NewStack(desc, reg, ava.Config{})
+//	lib, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "guest-vm"})
+//	client := cl.NewRemote(lib)
+package ava
+
+import (
+	"fmt"
+	"sync"
+
+	"ava/internal/cava"
+	"ava/internal/clock"
+	"ava/internal/guest"
+	"ava/internal/hv"
+	"ava/internal/server"
+	"ava/internal/spec"
+	"ava/internal/transport"
+)
+
+// Re-exported aliases so stack consumers rarely need the internal paths.
+type (
+	// Descriptor is a compiled API stack descriptor.
+	Descriptor = cava.Descriptor
+	// VMConfig is the per-VM sharing policy.
+	VMConfig = hv.VMConfig
+	// Scheduler orders calls across contending VMs.
+	Scheduler = hv.Scheduler
+	// GuestLib is the descriptor-driven guest stub engine.
+	GuestLib = guest.Lib
+)
+
+// CompileSpec parses and compiles a CAvA specification.
+func CompileSpec(src string) (*Descriptor, error) {
+	api, err := spec.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return cava.Compile(api)
+}
+
+// GenerateStack emits the generated Go source for an API's stack
+// components (typed guest library + server dispatch scaffolding), as the
+// cava command does.
+func GenerateStack(desc *Descriptor, specSrc string) ([]byte, cava.GenStats, error) {
+	return cava.Generate(desc, specSrc, cava.GenOptions{})
+}
+
+// InferSpec generates a preliminary annotated specification from bare
+// declarations (the CAvA workflow of Figure 2) and returns its canonical
+// text plus the inference notes for developer review.
+func InferSpec(src string) (string, []spec.Note, error) {
+	api, err := spec.ParseNoValidate(src)
+	if err != nil {
+		return "", nil, err
+	}
+	notes := spec.Infer(api)
+	return spec.Print(api), notes, nil
+}
+
+// TransportKind selects the remoting transport for a VM attachment.
+type TransportKind int
+
+// Available transports.
+const (
+	// TransportInProc uses channel pairs (hypercall-like, the default).
+	TransportInProc TransportKind = iota
+	// TransportRing uses simulated shared-memory FIFO rings (the SVGA-
+	// style hypervisor-managed queues the paper cites).
+	TransportRing
+)
+
+// Config configures a Stack.
+type Config struct {
+	// Scheduler for cross-VM contention; nil = FIFO.
+	Scheduler hv.Scheduler
+	// Clock for policy timing; nil = wall clock.
+	Clock clock.Clock
+	// Transport selects the guest↔router and router↔server transports.
+	Transport TransportKind
+	// RingBytes sizes each ring when Transport == TransportRing.
+	RingBytes int
+	// GuestOptions apply to every attached guest library (e.g.
+	// guest.WithForceSync() for the paper's unoptimized-spec ablation).
+	GuestOptions []guest.Option
+	// Recording enables the migration record log for attached VMs (§4.3);
+	// off by default because tracking costs time on call-heavy workloads.
+	Recording bool
+}
+
+// Stack is an assembled AvA deployment for one API: one router, one API
+// server, any number of attached VMs.
+type Stack struct {
+	Desc   *cava.Descriptor
+	Router *hv.Router
+	Server *server.Server
+
+	cfg Config
+
+	mu  sync.Mutex
+	vms map[uint32]*attachment
+}
+
+type attachment struct {
+	lib  *guest.Lib
+	eps  []transport.Endpoint
+	done chan struct{}
+}
+
+// NewStack builds the hypervisor and server halves over a silo registry.
+func NewStack(desc *cava.Descriptor, reg *server.Registry, cfg Config) *Stack {
+	return &Stack{
+		Desc:   desc,
+		Router: hv.NewRouter(desc, cfg.Scheduler, cfg.Clock),
+		Server: server.New(reg),
+		cfg:    cfg,
+		vms:    make(map[uint32]*attachment),
+	}
+}
+
+func (s *Stack) pair() (transport.Endpoint, transport.Endpoint) {
+	switch s.cfg.Transport {
+	case TransportRing:
+		n := s.cfg.RingBytes
+		if n <= 0 {
+			n = 1 << 20
+		}
+		return transport.NewRing(n)
+	default:
+		return transport.NewInProc()
+	}
+}
+
+// AttachVM registers a VM with the router, starts its router and server
+// loops, and returns the guest library bound to its transport.
+func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error) {
+	if err := s.Router.RegisterVM(cfg); err != nil {
+		return nil, err
+	}
+	guestEP, routerGuest := s.pair()
+	routerServer, serverEP := s.pair()
+
+	ctx := s.Server.Context(cfg.ID, cfg.Name)
+	ctx.SetRecording(s.cfg.Recording)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Router.Attach(cfg.ID, routerGuest, routerServer)
+	}()
+	go s.Server.ServeVM(ctx, serverEP)
+
+	opts = append(append([]guest.Option(nil), s.cfg.GuestOptions...), opts...)
+	lib := guest.New(s.Desc, guestEP, opts...)
+	s.mu.Lock()
+	s.vms[cfg.ID] = &attachment{
+		lib:  lib,
+		eps:  []transport.Endpoint{guestEP, routerGuest, routerServer, serverEP},
+		done: done,
+	}
+	s.mu.Unlock()
+	return lib, nil
+}
+
+// Context returns the server-side execution context for an attached VM.
+func (s *Stack) Context(id uint32) *server.Context {
+	return s.Server.Context(id, fmt.Sprintf("vm%d", id))
+}
+
+// DetachVM tears down one VM's plumbing.
+func (s *Stack) DetachVM(id uint32) {
+	s.mu.Lock()
+	at := s.vms[id]
+	delete(s.vms, id)
+	s.mu.Unlock()
+	if at == nil {
+		return
+	}
+	at.lib.Close()
+	for _, ep := range at.eps {
+		ep.Close()
+	}
+	<-at.done
+	s.Router.UnregisterVM(id)
+	s.Server.DropContext(id)
+}
+
+// Close tears down every attachment.
+func (s *Stack) Close() {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.vms))
+	for id := range s.vms {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.DetachVM(id)
+	}
+}

@@ -1,0 +1,50 @@
+// Command avabench regenerates the paper's evaluation tables and figures
+// against the simulated accelerators. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	avabench                 # run everything
+//	avabench -exp fig5       # one experiment: fig5, async, fullvirt,
+//	                         # sharing, swap, migrate, effort, transport
+//	avabench -scale 2 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ava/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (default: all)")
+		scale = flag.Int("scale", 1, "workload problem-size multiplier")
+		reps  = flag.Int("reps", 3, "repetitions per measurement (minimum reported)")
+	)
+	flag.Parse()
+	opts := bench.Options{Scale: *scale, Reps: *reps}
+
+	if *exp != "" {
+		tbl, err := bench.ByName(*exp, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl)
+		return
+	}
+	tables, err := bench.All(opts)
+	for _, tbl := range tables {
+		fmt.Println(tbl)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command avad is the standalone AvA API server: an unprivileged process
+// that executes forwarded accelerator API calls over TCP. Pointing a
+// router at a remote avad yields the disaggregated-accelerator
+// configuration of §4.1 (LegoOS-style), with the accelerator on a machine
+// the guest never sees.
+//
+// Usage:
+//
+//	avad -listen 127.0.0.1:7272 -api opencl
+//	avad -listen :7272 -api mvnc -sticks 2
+//
+// Each accepted connection serves one VM; the first 4 bytes of the
+// connection are the VM identifier.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ava/internal/cl"
+	"ava/internal/devsim"
+	"ava/internal/mvnc"
+	"ava/internal/qat"
+	"ava/internal/server"
+	"ava/internal/swap"
+	"ava/internal/transport"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7272", "address to listen on")
+		api      = flag.String("api", "opencl", "API to serve: opencl or mvnc")
+		memMB    = flag.Uint64("mem", 4096, "device memory in MiB (opencl)")
+		cus      = flag.Int("cus", 8, "compute units (opencl)")
+		sticks   = flag.Int("sticks", 1, "device count (mvnc sticks / qat engines)")
+		withSwap = flag.Bool("swap", true, "enable buffer-granularity memory swapping (opencl)")
+	)
+	flag.Parse()
+
+	var reg *server.Registry
+	switch *api {
+	case "opencl":
+		desc := cl.Descriptor()
+		reg = server.NewRegistry(desc)
+		silo := cl.NewSilo(cl.Config{
+			Devices: []devsim.Config{{
+				Name:         "avad-gpu0",
+				MemoryBytes:  *memMB << 20,
+				ComputeUnits: *cus,
+			}},
+		})
+		cl.BindServer(reg, silo)
+		if *withSwap {
+			swap.NewManager(silo).Install(reg)
+		}
+	case "mvnc":
+		desc := mvnc.Descriptor()
+		reg = server.NewRegistry(desc)
+		mvnc.BindServer(reg, mvnc.NewSilo(mvnc.Config{Sticks: *sticks}))
+	case "qat":
+		desc := qat.Descriptor()
+		reg = server.NewRegistry(desc)
+		qat.BindServer(reg, qat.NewSilo(*sticks))
+	default:
+		fmt.Fprintf(os.Stderr, "avad: unknown -api %q (opencl, mvnc, qat)\n", *api)
+		os.Exit(2)
+	}
+
+	srv := server.New(reg)
+	l, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatalf("avad: %v", err)
+	}
+	log.Printf("avad: serving %s on %s", *api, l.Addr())
+	for {
+		ep, err := l.Accept()
+		if err != nil {
+			log.Printf("avad: accept: %v", err)
+			return
+		}
+		go serveConn(srv, ep)
+	}
+}
+
+// serveConn reads the VM-identification preamble and runs the serve loop.
+func serveConn(srv *server.Server, ep transport.Endpoint) {
+	defer ep.Close()
+	hello, err := ep.Recv()
+	if err != nil || len(hello) < 4 {
+		if err != io.EOF {
+			log.Printf("avad: bad hello: %v", err)
+		}
+		return
+	}
+	vm := binary.LittleEndian.Uint32(hello)
+	name := fmt.Sprintf("tcp-vm%d", vm)
+	if len(hello) > 4 {
+		name = string(hello[4:])
+	}
+	ctx := srv.Context(vm, name)
+	log.Printf("avad: VM %d (%s) connected", vm, name)
+	if err := srv.ServeVM(ctx, ep); err != nil {
+		log.Printf("avad: VM %d: %v", vm, err)
+	}
+	log.Printf("avad: VM %d disconnected", vm)
+}

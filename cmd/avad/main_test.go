@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ava/internal/cl"
+	"ava/internal/devsim"
+	"ava/internal/marshal"
+	"ava/internal/server"
+	"ava/internal/transport"
+)
+
+func newServer(t *testing.T) *server.Server {
+	t.Helper()
+	desc := cl.Descriptor()
+	reg := server.NewRegistry(desc)
+	cl.BindServer(reg, cl.NewSilo(cl.Config{
+		Devices: []devsim.Config{{Name: "avad-test-gpu", MemoryBytes: 16 << 20}},
+	}))
+	return server.New(reg)
+}
+
+// hello builds the VM-identification preamble.
+func hello(vm uint32, name string) []byte {
+	b := make([]byte, 4+len(name))
+	binary.LittleEndian.PutUint32(b, vm)
+	copy(b[4:], name)
+	return b
+}
+
+func TestServeConnHelloAndCall(t *testing.T) {
+	srv := newServer(t)
+	client, sv := transport.NewInProc()
+	go serveConn(srv, sv)
+
+	if err := client.Send(hello(7, "tcp-guest")); err != nil {
+		t.Fatal(err)
+	}
+	// One sync call: clGetPlatformIDs count query.
+	desc := cl.Descriptor()
+	fd, _ := desc.Lookup("clGetPlatformIDs")
+	call := marshal.EncodeCall(&marshal.Call{
+		Seq: 1, Func: fd.ID,
+		Args: []marshal.Value{marshal.Uint(0), marshal.Null(), marshal.Len(4)},
+	})
+	if err := client.Send(marshal.EncodeBatch([][]byte{call})); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := marshal.DecodeReply(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != marshal.StatusOK || rep.Outs[1].Uint != 1 {
+		t.Fatalf("reply = %+v", rep)
+	}
+	// The context carries the announced identity.
+	ctx := srv.Context(7, "")
+	if ctx.Name != "tcp-guest" {
+		t.Fatalf("context name = %q", ctx.Name)
+	}
+	client.Close()
+}
+
+func TestServeConnShortHello(t *testing.T) {
+	srv := newServer(t)
+	client, sv := transport.NewInProc()
+	done := make(chan struct{})
+	go func() {
+		serveConn(srv, sv)
+		close(done)
+	}()
+	if err := client.Send([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	<-done // short hello: connection dropped, no panic
+	client.Close()
+}

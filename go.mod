@@ -1,0 +1,3 @@
+module ava
+
+go 1.22

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests: the fast experiments run end to end and produce plausible
+// tables. The heavyweight ones (fig5, sharing) are exercised by avabench
+// and the root-package benchmarks.
+
+func TestEffortTable(t *testing.T) {
+	tbl, err := Effort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	out := tbl.String()
+	for _, want := range []string{"opencl", "mvnc", "qat", "leverage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFullVirtTable(t *testing.T) {
+	tbl, err := FullVirtBaseline(Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The fullvirt column must show a slowdown of at least 10x everywhere
+	// ("orders of magnitude").
+	for _, row := range tbl.Rows {
+		slow := row[len(row)-1]
+		if !strings.HasSuffix(slow, "x") {
+			t.Fatalf("bad slowdown cell %q", slow)
+		}
+	}
+}
+
+func TestSwapTable(t *testing.T) {
+	tbl, err := Swap(Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "all buffers intact" {
+			t.Fatalf("swap corruption: %v", row)
+		}
+	}
+}
+
+func TestMigrationTable(t *testing.T) {
+	tbl, err := Migration(Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("migration unverified: %v", row)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nonsense", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Header: []string{"a", "bee"}}
+	tbl.Add("1", "2")
+	tbl.Note("hello %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"X — t", "bee", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"ava"
+	"ava/internal/bytesconv"
+	"ava/internal/cava"
+	"ava/internal/cl"
+	"ava/internal/guest"
+	"ava/internal/hv"
+	"ava/internal/mvnc"
+	"ava/internal/qat"
+	"ava/internal/server"
+	"ava/internal/swap"
+	"ava/internal/transport"
+)
+
+// clStackSwap assembles an OpenCL stack with a swap manager installed and
+// returns both.
+func clStackSwap(silo *cl.Silo, cfg ava.Config) (*ava.Stack, *swap.Manager) {
+	desc := cl.Descriptor()
+	reg := server.NewRegistry(desc)
+	cl.BindServer(reg, silo)
+	mgr := swap.NewManager(silo)
+	mgr.Install(reg)
+	return ava.NewStack(desc, reg, cfg), mgr
+}
+
+// f32bytes aliases the conversion used throughout the workloads.
+func f32bytes(xs []float32) []byte { return bytesconv.Float32Bytes(xs) }
+
+// tcpVectorAdd runs the vector-add workload against a disaggregated API
+// server: guest → router locally, router → server over a real TCP socket
+// (the LegoOS-style configuration of §4.1).
+func tcpVectorAdd(a, b []float32) error {
+	silo := gpuSilo(0)
+	desc := cl.Descriptor()
+	reg := server.NewRegistry(desc)
+	cl.BindServer(reg, silo)
+	srv := server.New(reg)
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	go func() {
+		ep, err := l.Accept()
+		if err != nil {
+			return
+		}
+		srv.ServeVM(srv.Context(1, "remote-vm"), ep)
+	}()
+
+	router := hv.NewRouter(desc, nil, nil)
+	if err := router.RegisterVM(hv.VMConfig{ID: 1, Name: "remote-vm"}); err != nil {
+		return err
+	}
+	guestEP, routerGuest := transport.NewInProc()
+	routerServer, err := transport.Dial(l.Addr())
+	if err != nil {
+		return err
+	}
+	go router.Attach(1, routerGuest, routerServer)
+	defer guestEP.Close()
+
+	lib := guest.New(desc, guestEP)
+	return vectorAdd(cl.NewRemote(lib), a, b)
+}
+
+// Effort reproduces the paper's developer-effort claim (§1/§5: a single
+// developer virtualizes an API in days; hand-built systems took 25k LoC
+// and person-years). It reports, for each shipped API, the specification
+// size against the volume of stack code CAvA generates from it.
+func Effort() (*Table, error) {
+	t := &Table{
+		ID:     "E7/Effort",
+		Title:  "Developer effort: specification vs generated stack",
+		Header: []string{"api", "functions", "spec-lines", "generated-lines", "leverage"},
+	}
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"opencl (39 fns)", cl.Spec},
+		{"ncsdk/mvnc", mvnc.Spec},
+		{"quickassist/qat", qat.Spec},
+	}
+	for _, cse := range cases {
+		desc := cava.MustCompile(cse.spec)
+		_, st, err := cava.Generate(desc, cse.spec, cava.GenOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cse.name, err)
+		}
+		t.Add(cse.name, fmt.Sprint(st.Functions), fmt.Sprint(st.SpecLines),
+			fmt.Sprint(st.GeneratedLines),
+			fmt.Sprintf("%.1fx", float64(st.GeneratedLines)/float64(max(st.SpecLines, 1))))
+	}
+	t.Note("the spec is the only per-API artifact a developer writes besides silo glue; prior systems (GvirtuS) took ~25k hand-written LoC")
+	return t, nil
+}
+
+// All runs every experiment.
+func All(opts Options) ([]*Table, error) {
+	type exp struct {
+		name string
+		run  func(Options) (*Table, error)
+	}
+	var out []*Table
+	for _, e := range []exp{
+		{"fig5", Figure5},
+		{"async", AsyncAblation},
+		{"fullvirt", FullVirtBaseline},
+		{"sharing", Sharing},
+		{"swap", Swap},
+		{"migrate", Migration},
+		{"effort", func(Options) (*Table, error) { return Effort() }},
+		{"transport", Transports},
+	} {
+		tbl, err := e.run(opts)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.name, err)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// ByName runs one experiment by its short name.
+func ByName(name string, opts Options) (*Table, error) {
+	switch name {
+	case "fig5", "figure5":
+		return Figure5(opts)
+	case "async", "ablation":
+		return AsyncAblation(opts)
+	case "fullvirt", "baseline":
+		return FullVirtBaseline(opts)
+	case "sharing":
+		return Sharing(opts)
+	case "swap":
+		return Swap(opts)
+	case "migrate", "migration":
+		return Migration(opts)
+	case "effort":
+		return Effort()
+	case "transport", "transports":
+		return Transports(opts)
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport)", name)
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"time"
+
+	"ava"
+	"ava/internal/cl"
+	"ava/internal/devsim"
+	"ava/internal/guest"
+	"ava/internal/mvnc"
+	"ava/internal/server"
+	"ava/internal/swap"
+)
+
+// gpuSilo builds the standard benchmark GPU. The hardware model charges
+// realistic discrete-GPU costs — kernel launch latency and PCIe DMA
+// setup/bandwidth — which both the native and the remoted path pay
+// identically, exactly as the paper's GTX 1080 baseline does. Without
+// them the "native" path would be an unrealistically free function call
+// and every remoting ratio would be inflated.
+func gpuSilo(memBytes uint64) *cl.Silo {
+	if memBytes == 0 {
+		memBytes = 2 << 30
+	}
+	return cl.NewSilo(cl.Config{
+		Devices: []devsim.Config{{
+			Name:           "bench-gpu",
+			MemoryBytes:    memBytes,
+			ComputeUnits:   8,
+			KernelOverhead: 8 * time.Microsecond,  // GPU launch latency
+			DMALatency:     10 * time.Microsecond, // PCIe transaction setup
+			DMABandwidth:   12e9,                  // ~PCIe 3.0 x16
+		}},
+	})
+}
+
+// clStack assembles a full OpenCL AvA deployment and returns the stack.
+func clStack(silo *cl.Silo, cfg ava.Config, withSwap bool) *ava.Stack {
+	desc := cl.Descriptor()
+	reg := server.NewRegistry(desc)
+	cl.BindServer(reg, silo)
+	if withSwap {
+		swap.NewManager(silo).Install(reg)
+	}
+	return ava.NewStack(desc, reg, cfg)
+}
+
+// clRemote attaches one VM and returns its remote client.
+func clRemote(stack *ava.Stack, id uint32, opts ...guest.Option) (*cl.RemoteClient, error) {
+	lib, err := stack.AttachVM(ava.VMConfig{ID: id, Name: vmName(id)}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return cl.NewRemote(lib), nil
+}
+
+func vmName(id uint32) string {
+	return "vm" + string(rune('0'+id%10))
+}
+
+// mvncStack assembles an MVNC deployment.
+func mvncStack(cfg ava.Config) (*ava.Stack, *mvnc.Silo) {
+	silo := mvnc.NewSilo(mvnc.Config{Sticks: 1})
+	desc := mvnc.Descriptor()
+	reg := server.NewRegistry(desc)
+	mvnc.BindServer(reg, silo)
+	return ava.NewStack(desc, reg, cfg), silo
+}

@@ -1,0 +1,100 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (and the quantified claims in its
+// motivation and design sections) against the simulated accelerators. Each
+// experiment returns a Table whose rows mirror what the paper reports;
+// cmd/avabench prints them, bench_test.go wraps them as Go benchmarks, and
+// EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	ID     string // experiment id from DESIGN.md (e.g. "E1")
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// timeIt runs f reps times and returns the minimum wall time (the standard
+// way to suppress scheduling noise for end-to-end runtimes).
+func timeIt(reps int, f func() error) (time.Duration, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,364 @@
+// Package cava is the AvA stack generator.
+//
+// CAvA consumes a validated API specification and produces the API-specific
+// components of the remoting stack. It has two outputs:
+//
+//   - A Descriptor: flat, index-addressed runtime metadata that drives the
+//     generic guest stub engine, the hypervisor router's policy checks, and
+//     the API server's dispatcher. This is the form the rest of the runtime
+//     consumes.
+//   - Generated Go source for typed guest bindings and server dispatch
+//     scaffolding (gen.go), the analogue of the C code the paper's CAvA
+//     emits for guest library, driver and API server.
+package cava
+
+import (
+	"fmt"
+
+	"ava/internal/marshal"
+	"ava/internal/spec"
+)
+
+// ParamDesc is the compiled form of a parameter.
+type ParamDesc struct {
+	Name      string
+	TypeName  string        // declared type name, for code generation
+	Kind      spec.BaseKind // scalar kind, or element kind for pointers
+	ElemSize  int           // bytes per element for buffers/elements
+	Dir       spec.Direction
+	IsPointer bool
+	IsBuffer  bool
+	IsElement bool
+	Allocates bool
+	Dealloc   bool
+	SizeExpr  spec.Expr // element count (buffers only)
+}
+
+// In reports whether the parameter carries data guest→server.
+func (p *ParamDesc) In() bool {
+	if !p.IsPointer {
+		return true
+	}
+	return p.Dir == spec.DirIn || p.Dir == spec.DirInOut
+}
+
+// Out reports whether the parameter carries data server→guest.
+func (p *ParamDesc) Out() bool {
+	return p.IsPointer && (p.Dir == spec.DirOut || p.Dir == spec.DirInOut)
+}
+
+// ResourceDesc is a compiled resource estimate.
+type ResourceDesc struct {
+	Resource string
+	Amount   spec.Expr
+}
+
+// FuncDesc is the compiled form of one API function.
+type FuncDesc struct {
+	ID     uint32
+	Name   string
+	Params []ParamDesc
+
+	RetKind    spec.BaseKind
+	HasSuccess bool
+	SuccessVal int64
+
+	Sync         spec.SyncSpec
+	CondParamIdx int // parameter index for conditional synchrony, else -1
+
+	Resources []ResourceDesc
+	Track     spec.TrackAnn
+	TrackIdx  int // parameter index of the tracked object, else -1
+
+	NumOuts int // count of out/inout parameters (Reply.Outs arity)
+}
+
+// AlwaysSync reports whether the call is forwarded synchronously for every
+// argument vector.
+func (f *FuncDesc) AlwaysSync() bool { return f.Sync.Mode == spec.SyncAlways }
+
+// Descriptor is the compiled stack metadata for one API.
+type Descriptor struct {
+	API    *spec.API
+	Name   string
+	Funcs  []*FuncDesc
+	byName map[string]*FuncDesc
+}
+
+// Compile lowers a validated API specification into a Descriptor.
+func Compile(api *spec.API) (*Descriptor, error) {
+	if err := spec.Validate(api); err != nil {
+		return nil, err
+	}
+	d := &Descriptor{
+		API:    api,
+		Name:   api.Name,
+		byName: make(map[string]*FuncDesc, len(api.Funcs)),
+	}
+	for i, fn := range api.Funcs {
+		fd, err := compileFunc(api, fn, uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		d.Funcs = append(d.Funcs, fd)
+		d.byName[fd.Name] = fd
+	}
+	return d, nil
+}
+
+// MustCompile parses and compiles src, panicking on error. For specs
+// shipped inside the binary (the OpenCL and MVNC stacks), where a failure
+// is a build bug.
+func MustCompile(src string) *Descriptor {
+	api, err := spec.Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("cava: shipped spec does not parse: %v", err))
+	}
+	d, err := Compile(api)
+	if err != nil {
+		panic(fmt.Sprintf("cava: shipped spec does not compile: %v", err))
+	}
+	return d
+}
+
+func compileFunc(api *spec.API, fn *spec.Func, id uint32) (*FuncDesc, error) {
+	fd := &FuncDesc{
+		ID:           id,
+		Name:         fn.Name,
+		Sync:         fn.Sync,
+		Track:        fn.Track,
+		CondParamIdx: -1,
+		TrackIdx:     -1,
+	}
+
+	rt, err := api.Resolve(fn.Ret.Name)
+	if err != nil {
+		return nil, fmt.Errorf("cava: %s: %v", fn.Name, err)
+	}
+	fd.RetKind = rt.Kind
+	if v, ok := api.SuccessValue(fn); ok {
+		fd.HasSuccess = true
+		fd.SuccessVal = v
+	}
+
+	for _, prm := range fn.Params {
+		pd, err := compileParam(api, prm)
+		if err != nil {
+			return nil, fmt.Errorf("cava: %s(%s): %v", fn.Name, prm.Name, err)
+		}
+		if pd.Out() {
+			fd.NumOuts++
+		}
+		fd.Params = append(fd.Params, pd)
+	}
+
+	if fn.Sync.Mode == spec.SyncConditional {
+		fd.CondParamIdx = fn.ParamIndex(fn.Sync.CondParam)
+		if fd.CondParamIdx < 0 {
+			return nil, fmt.Errorf("cava: %s: missing sync condition parameter", fn.Name)
+		}
+	}
+	for _, res := range fn.Resources {
+		fd.Resources = append(fd.Resources, ResourceDesc{Resource: res.Resource, Amount: res.Amount})
+	}
+	if fn.Track.Kind != spec.TrackNone && fn.Track.Param != "" {
+		fd.TrackIdx = fn.ParamIndex(fn.Track.Param)
+	}
+	return fd, nil
+}
+
+func compileParam(api *spec.API, prm *spec.Param) (ParamDesc, error) {
+	rt, err := api.Resolve(prm.Type.Name)
+	if err != nil {
+		return ParamDesc{}, err
+	}
+	pd := ParamDesc{
+		Name:      prm.Name,
+		TypeName:  prm.Type.Name,
+		Kind:      rt.Kind,
+		Dir:       prm.Dir,
+		IsPointer: prm.Type.Stars > 0,
+		IsBuffer:  prm.IsBuffer,
+		IsElement: prm.IsElement,
+		Allocates: prm.Allocates,
+		Dealloc:   prm.Deallocates,
+		SizeExpr:  prm.SizeExpr,
+	}
+	if pd.IsPointer {
+		es, err := api.ElemSize(prm.Type.Name)
+		if err != nil {
+			return ParamDesc{}, err
+		}
+		pd.ElemSize = es
+		if pd.Dir == spec.DirDefault {
+			// Validation guarantees pointer params are annotated; const
+			// pointers default to in.
+			pd.Dir = spec.DirIn
+		}
+		// `const char*` without buffer/element is a string value.
+		if rt.Kind == spec.KindString || (prm.Type.Name == "char" && !pd.IsBuffer && !pd.IsElement) {
+			pd.Kind = spec.KindString
+			pd.IsPointer = false
+			pd.IsBuffer = false
+		}
+	} else if rt.Kind == spec.KindString {
+		pd.Kind = spec.KindString
+	}
+	return pd, nil
+}
+
+// Lookup returns the descriptor for a function name.
+func (d *Descriptor) Lookup(name string) (*FuncDesc, bool) {
+	fd, ok := d.byName[name]
+	return fd, ok
+}
+
+// ByID returns the descriptor for a function index.
+func (d *Descriptor) ByID(id uint32) (*FuncDesc, bool) {
+	if int(id) >= len(d.Funcs) {
+		return nil, false
+	}
+	return d.Funcs[id], true
+}
+
+// argScalar reads the scalar value of parameter i from an argument vector
+// without building an environment map (hot path).
+func (f *FuncDesc) argScalar(args []marshal.Value, i int) (int64, bool) {
+	if i < 0 || i >= len(args) || i >= len(f.Params) || f.Params[i].IsPointer {
+		return 0, false
+	}
+	switch v := args[i]; v.Kind {
+	case marshal.KindInt:
+		return v.Int, true
+	case marshal.KindUint, marshal.KindHandle:
+		return int64(v.Uint), true
+	case marshal.KindBool:
+		if v.Bool {
+			return 1, true
+		}
+		return 0, true
+	case marshal.KindFloat:
+		return int64(v.Float), true
+	}
+	return 0, false
+}
+
+// argLookup adapts an argument vector to the expression evaluator's
+// identifier resolver.
+func (f *FuncDesc) argLookup(args []marshal.Value) func(string) (int64, bool) {
+	return func(name string) (int64, bool) {
+		return f.argScalar(args, f.paramIndex(name))
+	}
+}
+
+func (f *FuncDesc) paramIndex(name string) int {
+	for i := range f.Params {
+		if f.Params[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Env builds the expression-evaluation environment from a call's scalar
+// arguments; buffer sizes and resource estimates are expressions over these.
+func (f *FuncDesc) Env(args []marshal.Value) spec.Env {
+	env := make(spec.Env, len(args))
+	for i, pd := range f.Params {
+		if i >= len(args) || pd.IsPointer {
+			continue
+		}
+		v := args[i]
+		switch v.Kind {
+		case marshal.KindInt:
+			env[pd.Name] = v.Int
+		case marshal.KindUint, marshal.KindHandle:
+			env[pd.Name] = int64(v.Uint)
+		case marshal.KindBool:
+			if v.Bool {
+				env[pd.Name] = 1
+			} else {
+				env[pd.Name] = 0
+			}
+		case marshal.KindFloat:
+			env[pd.Name] = int64(v.Float)
+		}
+	}
+	return env
+}
+
+// BufferBytes computes the byte length of the buffer parameter at index i
+// for the given environment.
+func (f *FuncDesc) BufferBytes(i int, api *spec.API, env spec.Env) (int, error) {
+	return f.bufferBytes(i, api, func(name string) (int64, bool) {
+		v, ok := env[name]
+		return v, ok
+	})
+}
+
+// BufferBytesArgs is BufferBytes resolving identifiers directly from the
+// argument vector (hot path; no environment map).
+func (f *FuncDesc) BufferBytesArgs(i int, api *spec.API, args []marshal.Value) (int, error) {
+	return f.bufferBytes(i, api, f.argLookup(args))
+}
+
+func (f *FuncDesc) bufferBytes(i int, api *spec.API, lookup func(string) (int64, bool)) (int, error) {
+	pd := &f.Params[i]
+	if !pd.IsBuffer {
+		if pd.IsElement {
+			return pd.ElemSize, nil
+		}
+		return 0, fmt.Errorf("cava: %s(%s) is not a buffer", f.Name, pd.Name)
+	}
+	n, err := spec.EvalExprWith(pd.SizeExpr, api, lookup)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("cava: %s(%s): negative element count %d", f.Name, pd.Name, n)
+	}
+	return int(n) * pd.ElemSize, nil
+}
+
+// IsSync decides the forwarding mode for a concrete argument vector,
+// implementing Figure 4's `if (blocking_read == CL_TRUE) sync; else async;`.
+func (f *FuncDesc) IsSync(api *spec.API, args []marshal.Value) (bool, error) {
+	switch f.Sync.Mode {
+	case spec.SyncAlways:
+		return true, nil
+	case spec.AsyncAlways:
+		return false, nil
+	}
+	got, ok := f.argScalar(args, f.CondParamIdx)
+	if !ok {
+		return true, fmt.Errorf("cava: %s: malformed sync condition", f.Name)
+	}
+	want, err := spec.EvalExprWith(f.Sync.CondValue, api, f.argLookup(args))
+	if err != nil {
+		return true, err
+	}
+	eq := got == want
+	if f.Sync.Negate {
+		return !eq, nil
+	}
+	return eq, nil
+}
+
+// EstimateResources evaluates every resource annotation for a call.
+// Unknown estimates evaluate to 0 rather than failing the call: scheduling
+// uses approximations (§4.3), and a broken estimate must not break the API.
+func (f *FuncDesc) EstimateResources(api *spec.API, args []marshal.Value) map[string]int64 {
+	if len(f.Resources) == 0 {
+		return nil
+	}
+	lookup := f.argLookup(args)
+	out := make(map[string]int64, len(f.Resources))
+	for _, r := range f.Resources {
+		v, err := spec.EvalExprWith(r.Amount, api, lookup)
+		if err != nil {
+			v = 0
+		}
+		out[r.Resource] += v
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package cava
+
+import (
+	"strings"
+	"testing"
+
+	"ava/internal/marshal"
+	"ava/internal/spec"
+)
+
+const testSpec = `
+api "testapi" version "0.1";
+
+handle dev;
+handle buf;
+
+const OK = 0;
+const TRUE = 1;
+
+type status = int32_t { success(OK); };
+
+status openDevice(uint32_t index, dev *d) {
+  parameter(d) { out; element { allocates; } }
+  track(create, d);
+}
+
+status writeBuf(dev d, buf b, size_t offset, size_t size, const void *data,
+                uint32_t blocking) {
+  if (blocking == TRUE) sync; else async;
+  parameter(data) { in; buffer(size); }
+  resource(bandwidth, size);
+}
+
+status readBuf(dev d, buf b, size_t size, void *out) {
+  parameter(out) { out; buffer(size); }
+  resource(bandwidth, size);
+}
+
+status setName(dev d, const char *name);
+
+status launch(dev d, size_t global, size_t local) {
+  async;
+  resource(device_time, global / local);
+  track(modify, d);
+}
+
+status closeDevice(dev d) {
+  track(destroy, d);
+}
+`
+
+func compileTest(t *testing.T) *Descriptor {
+	t.Helper()
+	api, err := spec.Parse(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compile(api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCompileAssignsSequentialIDs(t *testing.T) {
+	d := compileTest(t)
+	if len(d.Funcs) != 6 {
+		t.Fatalf("funcs = %d", len(d.Funcs))
+	}
+	for i, fd := range d.Funcs {
+		if fd.ID != uint32(i) {
+			t.Errorf("func %s ID = %d, want %d", fd.Name, fd.ID, i)
+		}
+		got, ok := d.ByID(fd.ID)
+		if !ok || got != fd {
+			t.Errorf("ByID(%d) mismatch", fd.ID)
+		}
+		byName, ok := d.Lookup(fd.Name)
+		if !ok || byName != fd {
+			t.Errorf("Lookup(%s) mismatch", fd.Name)
+		}
+	}
+	if _, ok := d.ByID(99); ok {
+		t.Error("ByID(99) found")
+	}
+	if _, ok := d.Lookup("ghost"); ok {
+		t.Error("Lookup(ghost) found")
+	}
+}
+
+func TestCompileParamShapes(t *testing.T) {
+	d := compileTest(t)
+
+	open, _ := d.Lookup("openDevice")
+	dp := open.Params[1]
+	if !dp.IsPointer || !dp.IsElement || !dp.Allocates || dp.Kind != spec.KindHandle || dp.ElemSize != 8 {
+		t.Fatalf("openDevice(d) = %+v", dp)
+	}
+	if open.NumOuts != 1 || open.TrackIdx != 1 || open.Track.Kind != spec.TrackCreate {
+		t.Fatalf("openDevice meta = %+v", open)
+	}
+
+	wr, _ := d.Lookup("writeBuf")
+	data := wr.Params[4]
+	if !data.IsBuffer || data.Dir != spec.DirIn || data.ElemSize != 1 {
+		t.Fatalf("writeBuf(data) = %+v", data)
+	}
+	if wr.NumOuts != 0 {
+		t.Fatalf("writeBuf outs = %d", wr.NumOuts)
+	}
+	if wr.CondParamIdx != 5 {
+		t.Fatalf("writeBuf cond idx = %d", wr.CondParamIdx)
+	}
+
+	sn, _ := d.Lookup("setName")
+	name := sn.Params[1]
+	if name.Kind != spec.KindString || name.IsBuffer || name.IsPointer {
+		t.Fatalf("setName(name) = %+v", name)
+	}
+}
+
+func TestCompileSuccessValues(t *testing.T) {
+	d := compileTest(t)
+	for _, fd := range d.Funcs {
+		if !fd.HasSuccess || fd.SuccessVal != 0 {
+			t.Errorf("%s: success = %t/%d", fd.Name, fd.HasSuccess, fd.SuccessVal)
+		}
+	}
+}
+
+func TestIsSyncConditional(t *testing.T) {
+	d := compileTest(t)
+	wr, _ := d.Lookup("writeBuf")
+	args := []marshal.Value{
+		marshal.HandleVal(1), marshal.HandleVal(2),
+		marshal.Uint(0), marshal.Uint(64), marshal.BytesVal(make([]byte, 64)),
+		marshal.Uint(1), // blocking == TRUE
+	}
+	sync, err := wr.IsSync(d.API, args)
+	if err != nil || !sync {
+		t.Fatalf("blocking write: sync=%t err=%v", sync, err)
+	}
+	args[5] = marshal.Uint(0)
+	sync, err = wr.IsSync(d.API, args)
+	if err != nil || sync {
+		t.Fatalf("non-blocking write: sync=%t err=%v", sync, err)
+	}
+}
+
+func TestIsSyncAlwaysModes(t *testing.T) {
+	d := compileTest(t)
+	rd, _ := d.Lookup("readBuf")
+	if s, _ := rd.IsSync(d.API, nil); !s {
+		t.Fatal("readBuf should be sync")
+	}
+	la, _ := d.Lookup("launch")
+	if s, _ := la.IsSync(d.API, nil); s {
+		t.Fatal("launch should be async")
+	}
+	if la.AlwaysSync() || !rd.AlwaysSync() {
+		t.Fatal("AlwaysSync flags wrong")
+	}
+}
+
+func TestBufferBytes(t *testing.T) {
+	d := compileTest(t)
+	wr, _ := d.Lookup("writeBuf")
+	env := spec.Env{"size": 4096}
+	n, err := wr.BufferBytes(4, d.API, env)
+	if err != nil || n != 4096 {
+		t.Fatalf("buffer bytes = %d, %v", n, err)
+	}
+	// Element parameters report their element size.
+	open, _ := d.Lookup("openDevice")
+	n, err = open.BufferBytes(1, d.API, nil)
+	if err != nil || n != 8 {
+		t.Fatalf("element bytes = %d, %v", n, err)
+	}
+	// Non-buffer parameters are an error.
+	if _, err := wr.BufferBytes(0, d.API, env); err == nil {
+		t.Fatal("scalar BufferBytes succeeded")
+	}
+	// Negative sizes are rejected.
+	if _, err := wr.BufferBytes(4, d.API, spec.Env{"size": -5}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestEnvConversion(t *testing.T) {
+	d := compileTest(t)
+	wr, _ := d.Lookup("writeBuf")
+	args := []marshal.Value{
+		marshal.HandleVal(7), marshal.HandleVal(8),
+		marshal.Uint(16), marshal.Uint(256), marshal.BytesVal(nil),
+		marshal.Bool(true),
+	}
+	env := wr.Env(args)
+	if env["offset"] != 16 || env["size"] != 256 || env["blocking"] != 1 {
+		t.Fatalf("env = %v", env)
+	}
+	if _, ok := env["data"]; ok {
+		t.Fatal("pointer parameter leaked into env")
+	}
+	// Handles are scalars and participate too (d is a handle).
+	if env["d"] != 7 {
+		t.Fatalf("handle env = %v", env)
+	}
+}
+
+func TestEstimateResources(t *testing.T) {
+	d := compileTest(t)
+	wr, _ := d.Lookup("writeBuf")
+	args := []marshal.Value{
+		marshal.HandleVal(1), marshal.HandleVal(2),
+		marshal.Uint(0), marshal.Uint(1 << 20), marshal.BytesVal(nil),
+		marshal.Uint(1),
+	}
+	res := wr.EstimateResources(d.API, args)
+	if res["bandwidth"] != 1<<20 {
+		t.Fatalf("bandwidth = %d", res["bandwidth"])
+	}
+
+	la, _ := d.Lookup("launch")
+	res = la.EstimateResources(d.API, []marshal.Value{
+		marshal.HandleVal(1), marshal.Uint(1024), marshal.Uint(64),
+	})
+	if res["device_time"] != 16 {
+		t.Fatalf("device_time = %d", res["device_time"])
+	}
+
+	rd, _ := d.Lookup("readBuf")
+	// Broken env (missing size): estimate degrades to zero, not an error.
+	res = rd.EstimateResources(d.API, nil)
+	if res["bandwidth"] != 0 {
+		t.Fatalf("degraded estimate = %d", res["bandwidth"])
+	}
+
+	open, _ := d.Lookup("openDevice")
+	if open.EstimateResources(d.API, nil) != nil {
+		t.Fatal("no annotations should return nil")
+	}
+}
+
+func TestCompileRejectsInvalidSpec(t *testing.T) {
+	api := spec.NewAPI("broken")
+	api.Funcs = append(api.Funcs, &spec.Func{
+		Name: "f",
+		Ret:  spec.TypeRef{Name: "mystery"},
+	})
+	if _, err := Compile(api); err == nil {
+		t.Fatal("invalid spec compiled")
+	}
+}
+
+func TestMustCompilePanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustCompile("this is not a spec %%%")
+}
+
+func TestMustCompileGood(t *testing.T) {
+	d := MustCompile(`handle h; void f(h x);`)
+	if _, ok := d.Lookup("f"); !ok {
+		t.Fatal("f missing")
+	}
+}
+
+func TestInOutHelpers(t *testing.T) {
+	d := compileTest(t)
+	wr, _ := d.Lookup("writeBuf")
+	if !wr.Params[0].In() || wr.Params[0].Out() {
+		t.Fatal("scalar should be in-only")
+	}
+	if !wr.Params[4].In() || wr.Params[4].Out() {
+		t.Fatal("in buffer direction wrong")
+	}
+	rd, _ := d.Lookup("readBuf")
+	if rd.Params[3].In() || !rd.Params[3].Out() {
+		t.Fatal("out buffer direction wrong")
+	}
+}
+
+func TestCompiledSpecPrintedFormStillCompiles(t *testing.T) {
+	api, err := spec.Parse(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := spec.Print(api)
+	api2, err := spec.Parse(printed)
+	if err != nil {
+		t.Fatalf("printed spec: %v", err)
+	}
+	d2, err := Compile(api2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Funcs) != 6 {
+		t.Fatalf("round-tripped funcs = %d", len(d2.Funcs))
+	}
+	if !strings.Contains(printed, "track(create, d);") {
+		t.Fatalf("printed spec lost track annotation:\n%s", printed)
+	}
+}

@@ -1,0 +1,31 @@
+package cl
+
+import "fmt"
+
+// MigrationAdapter provides the migration engine's silo-specific state
+// operations for OpenCL objects: buffers carry device memory contents that
+// must be copied out at capture and synthesized back at restore; every
+// other object kind is fully reconstructed by replaying its recorded
+// creation and modification calls.
+type MigrationAdapter struct {
+	Silo *Silo
+}
+
+// SnapshotObject implements migrate.Adapter.
+func (a MigrationAdapter) SnapshotObject(obj any) ([]byte, bool, error) {
+	m, ok := obj.(*Mem)
+	if !ok {
+		return nil, false, nil
+	}
+	b, err := a.Silo.SnapshotBuffer(m)
+	return b, true, err
+}
+
+// RestoreObject implements migrate.Adapter.
+func (a MigrationAdapter) RestoreObject(obj any, state []byte) error {
+	m, ok := obj.(*Mem)
+	if !ok {
+		return fmt.Errorf("cl: state restore for non-buffer object %T", obj)
+	}
+	return a.Silo.RestoreBuffer(m, state)
+}

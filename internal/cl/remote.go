@@ -1,0 +1,359 @@
+package cl
+
+import (
+	"encoding/binary"
+
+	"ava/internal/guest"
+	"ava/internal/marshal"
+)
+
+// RemoteClient is the generated guest library for OpenCL: typed stubs over
+// the descriptor-driven guest engine. An application linked against it
+// observes the 39-function API while every call is marshalled, batched,
+// routed through the hypervisor, and executed by the API server.
+type RemoteClient struct {
+	lib *guest.Lib
+}
+
+// NewRemote wraps an attached guest library (its descriptor must be the
+// OpenCL Spec).
+func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
+
+// Lib exposes the underlying stub engine (stats, flush).
+func (c *RemoteClient) Lib() *guest.Lib { return c.lib }
+
+func rref(h marshal.Handle) Ref { return Ref{h: h} }
+
+func boolArg(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// status interprets a cl_int return value plus stack errors.
+func status(op string, v marshal.Value, err error) error {
+	if err != nil {
+		return err
+	}
+	var st Status
+	switch v.Kind {
+	case marshal.KindInt:
+		st = Status(v.Int)
+	case marshal.KindUint:
+		st = Status(int64(v.Uint))
+	}
+	return clErr(op, st)
+}
+
+func (c *RemoteClient) PlatformIDs() ([]Ref, error) {
+	// Two-phase query, as real OpenCL applications do.
+	var n uint32
+	ret, err := c.lib.Call("clGetPlatformIDs", uint32(0), nil, &n)
+	if err := status("clGetPlatformIDs", ret, err); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, 8*n)
+	ret, err = c.lib.Call("clGetPlatformIDs", n, buf, nil)
+	if err := status("clGetPlatformIDs", ret, err); err != nil {
+		return nil, err
+	}
+	return refsFromBytes(buf), nil
+}
+
+func refsFromBytes(b []byte) []Ref {
+	out := make([]Ref, len(b)/8)
+	for i := range out {
+		out[i] = rref(marshal.Handle(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out
+}
+
+func (c *RemoteClient) info(op string, args func(dst []byte, szr *uint64) []any) ([]byte, error) {
+	var size uint64
+	ret, err := c.lib.Call(op, args(nil, &size)...)
+	if err := status(op, ret, err); err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, size)
+	ret, err = c.lib.Call(op, args(buf, nil)...)
+	if err := status(op, ret, err); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (c *RemoteClient) PlatformInfo(p Ref, param uint32) ([]byte, error) {
+	return c.info("clGetPlatformInfo", func(dst []byte, szr *uint64) []any {
+		if szr != nil {
+			return []any{p.h, param, uint64(0), nil, szr}
+		}
+		return []any{p.h, param, uint64(len(dst)), dst, nil}
+	})
+}
+
+func (c *RemoteClient) DeviceIDs(p Ref, devType uint64) ([]Ref, error) {
+	var n uint32
+	ret, err := c.lib.Call("clGetDeviceIDs", p.h, devType, uint32(0), nil, &n)
+	if err := status("clGetDeviceIDs", ret, err); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, 8*n)
+	ret, err = c.lib.Call("clGetDeviceIDs", p.h, devType, n, buf, nil)
+	if err := status("clGetDeviceIDs", ret, err); err != nil {
+		return nil, err
+	}
+	return refsFromBytes(buf), nil
+}
+
+func (c *RemoteClient) DeviceInfo(d Ref, param uint32) ([]byte, error) {
+	return c.info("clGetDeviceInfo", func(dst []byte, szr *uint64) []any {
+		if szr != nil {
+			return []any{d.h, param, uint64(0), nil, szr}
+		}
+		return []any{d.h, param, uint64(len(dst)), dst, nil}
+	})
+}
+
+func (c *RemoteClient) CreateContext(devs []Ref) (Ref, error) {
+	buf := make([]byte, 8*len(devs))
+	for i, d := range devs {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(d.h))
+	}
+	var errcode int32
+	ret, err := c.lib.Call("clCreateContext", uint32(len(devs)), buf, &errcode)
+	if err != nil {
+		return Ref{}, err
+	}
+	if errcode != int32(Success) {
+		return Ref{}, clErr("clCreateContext", errcode)
+	}
+	return rref(ret.Handle()), nil
+}
+
+func (c *RemoteClient) ReleaseContext(r Ref) error {
+	ret, err := c.lib.Call("clReleaseContext", r.h)
+	return status("clReleaseContext", ret, err)
+}
+
+func (c *RemoteClient) ContextInfo(r Ref, param uint32) ([]byte, error) {
+	return c.info("clGetContextInfo", func(dst []byte, szr *uint64) []any {
+		if szr != nil {
+			return []any{r.h, param, uint64(0), nil, szr}
+		}
+		return []any{r.h, param, uint64(len(dst)), dst, nil}
+	})
+}
+
+func (c *RemoteClient) CreateQueue(cr, dr Ref, properties uint64) (Ref, error) {
+	var errcode int32
+	ret, err := c.lib.Call("clCreateCommandQueue", cr.h, dr.h, properties, &errcode)
+	if err != nil {
+		return Ref{}, err
+	}
+	if errcode != int32(Success) {
+		return Ref{}, clErr("clCreateCommandQueue", errcode)
+	}
+	return rref(ret.Handle()), nil
+}
+
+func (c *RemoteClient) ReleaseQueue(r Ref) error {
+	ret, err := c.lib.Call("clReleaseCommandQueue", r.h)
+	return status("clReleaseCommandQueue", ret, err)
+}
+
+func (c *RemoteClient) CreateBuffer(cr Ref, flags uint64, size uint64) (Ref, error) {
+	var errcode int32
+	ret, err := c.lib.Call("clCreateBuffer", cr.h, flags, size, &errcode)
+	if err != nil {
+		return Ref{}, err
+	}
+	if errcode != int32(Success) {
+		return Ref{}, clErr("clCreateBuffer", errcode)
+	}
+	return rref(ret.Handle()), nil
+}
+
+func (c *RemoteClient) ReleaseBuffer(r Ref) error {
+	ret, err := c.lib.Call("clReleaseMemObject", r.h)
+	return status("clReleaseMemObject", ret, err)
+}
+
+func (c *RemoteClient) CreateProgram(cr Ref, source string) (Ref, error) {
+	var errcode int32
+	ret, err := c.lib.Call("clCreateProgramWithSource", cr.h, source, &errcode)
+	if err != nil {
+		return Ref{}, err
+	}
+	if errcode != int32(Success) {
+		return Ref{}, clErr("clCreateProgramWithSource", errcode)
+	}
+	return rref(ret.Handle()), nil
+}
+
+func (c *RemoteClient) BuildProgram(r Ref, options string) error {
+	ret, err := c.lib.Call("clBuildProgram", r.h, options)
+	return status("clBuildProgram", ret, err)
+}
+
+func (c *RemoteClient) ProgramBuildLog(r Ref) (string, error) {
+	b, err := c.info("clGetProgramBuildInfo", func(dst []byte, szr *uint64) []any {
+		if szr != nil {
+			return []any{r.h, ProgramBuildLog, uint64(0), nil, szr}
+		}
+		return []any{r.h, ProgramBuildLog, uint64(len(dst)), dst, nil}
+	})
+	return string(b), err
+}
+
+func (c *RemoteClient) ReleaseProgram(r Ref) error {
+	ret, err := c.lib.Call("clReleaseProgram", r.h)
+	return status("clReleaseProgram", ret, err)
+}
+
+func (c *RemoteClient) CreateKernel(r Ref, name string) (Ref, error) {
+	var errcode int32
+	ret, err := c.lib.Call("clCreateKernel", r.h, name, &errcode)
+	if err != nil {
+		return Ref{}, err
+	}
+	if errcode != int32(Success) {
+		return Ref{}, clErr("clCreateKernel", errcode)
+	}
+	return rref(ret.Handle()), nil
+}
+
+func (c *RemoteClient) ReleaseKernel(r Ref) error {
+	ret, err := c.lib.Call("clReleaseKernel", r.h)
+	return status("clReleaseKernel", ret, err)
+}
+
+func (c *RemoteClient) SetKernelArgBuffer(kr Ref, index uint32, mr Ref) error {
+	// A cl_mem argument travels as its 8-byte guest handle; the API
+	// server translates it through the per-VM handle table.
+	val := make([]byte, 8)
+	binary.LittleEndian.PutUint64(val, uint64(mr.h))
+	ret, err := c.lib.Call("clSetKernelArg", kr.h, index, uint64(8), val)
+	return status("clSetKernelArg", ret, err)
+}
+
+func (c *RemoteClient) SetKernelArgScalar(kr Ref, index uint32, val []byte) error {
+	ret, err := c.lib.Call("clSetKernelArg", kr.h, index, uint64(len(val)), val)
+	return status("clSetKernelArg", ret, err)
+}
+
+func sizesBytes(sz []uint64) []byte {
+	b := make([]byte, 8*len(sz))
+	for i, v := range sz {
+		binary.LittleEndian.PutUint64(b[8*i:], v)
+	}
+	return b
+}
+
+func (c *RemoteClient) EnqueueNDRange(qr, kr Ref, global, local []uint64) error {
+	ret, err := c.lib.Call("clEnqueueNDRangeKernel",
+		qr.h, kr.h, uint32(len(global)), sizesBytes(global), sizesBytes(local),
+		uint32(0), nil, nil)
+	return status("clEnqueueNDRangeKernel", ret, err)
+}
+
+func (c *RemoteClient) EnqueueNDRangeEvent(qr, kr Ref, global, local []uint64) (Ref, error) {
+	var ev marshal.Handle
+	ret, err := c.lib.Call("clEnqueueNDRangeKernel",
+		qr.h, kr.h, uint32(len(global)), sizesBytes(global), sizesBytes(local),
+		uint32(0), nil, &ev)
+	if err := status("clEnqueueNDRangeKernel", ret, err); err != nil {
+		return Ref{}, err
+	}
+	return rref(ev), nil
+}
+
+func (c *RemoteClient) EnqueueRead(qr, mr Ref, blocking bool, offset uint64, dst []byte) error {
+	ret, err := c.lib.Call("clEnqueueReadBuffer",
+		qr.h, mr.h, boolArg(blocking), offset, uint64(len(dst)), dst,
+		uint32(0), nil, nil)
+	return status("clEnqueueReadBuffer", ret, err)
+}
+
+func (c *RemoteClient) EnqueueWrite(qr, mr Ref, blocking bool, offset uint64, src []byte) error {
+	ret, err := c.lib.Call("clEnqueueWriteBuffer",
+		qr.h, mr.h, boolArg(blocking), offset, uint64(len(src)), src,
+		uint32(0), nil, nil)
+	return status("clEnqueueWriteBuffer", ret, err)
+}
+
+func (c *RemoteClient) EnqueueCopy(qr, sr, dr Ref, srcOff, dstOff, size uint64) error {
+	ret, err := c.lib.Call("clEnqueueCopyBuffer",
+		qr.h, sr.h, dr.h, srcOff, dstOff, size, uint32(0), nil, nil)
+	return status("clEnqueueCopyBuffer", ret, err)
+}
+
+func (c *RemoteClient) EnqueueFill(qr, mr Ref, pattern []byte, offset, size uint64) error {
+	ret, err := c.lib.Call("clEnqueueFillBuffer",
+		qr.h, mr.h, pattern, uint64(len(pattern)), offset, size, uint32(0), nil, nil)
+	return status("clEnqueueFillBuffer", ret, err)
+}
+
+func (c *RemoteClient) EnqueueMarker(qr Ref) (Ref, error) {
+	var ev marshal.Handle
+	ret, err := c.lib.Call("clEnqueueMarker", qr.h, &ev)
+	if err := status("clEnqueueMarker", ret, err); err != nil {
+		return Ref{}, err
+	}
+	return rref(ev), nil
+}
+
+func (c *RemoteClient) EnqueueBarrier(qr Ref) error {
+	ret, err := c.lib.Call("clEnqueueBarrier", qr.h)
+	return status("clEnqueueBarrier", ret, err)
+}
+
+func (c *RemoteClient) Finish(qr Ref) error {
+	ret, err := c.lib.Call("clFinish", qr.h)
+	return status("clFinish", ret, err)
+}
+
+func (c *RemoteClient) Flush(qr Ref) error {
+	ret, err := c.lib.Call("clFlush", qr.h)
+	if err := status("clFlush", ret, err); err != nil {
+		return err
+	}
+	// clFlush guarantees submission: push the async batch out now.
+	return c.lib.Flush()
+}
+
+func (c *RemoteClient) WaitForEvents(events []Ref) error {
+	buf := make([]byte, 8*len(events))
+	for i, e := range events {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(e.h))
+	}
+	ret, err := c.lib.Call("clWaitForEvents", uint32(len(events)), buf)
+	return status("clWaitForEvents", ret, err)
+}
+
+func (c *RemoteClient) EventProfiling(er Ref, param uint32) (uint64, error) {
+	buf := make([]byte, 8)
+	ret, err := c.lib.Call("clGetEventProfilingInfo", er.h, param, uint64(8), buf, nil)
+	if err := status("clGetEventProfilingInfo", ret, err); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf), nil
+}
+
+func (c *RemoteClient) ReleaseEvent(er Ref) error {
+	ret, err := c.lib.Call("clReleaseEvent", er.h)
+	return status("clReleaseEvent", ret, err)
+}
+
+func (c *RemoteClient) DeferredError() error { return c.lib.DeferredError() }
+
+var _ Client = (*RemoteClient)(nil)

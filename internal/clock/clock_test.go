@@ -1,0 +1,97 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Now(); !got.Equal(time.Unix(1_000_000_000, 0)) {
+		t.Fatalf("epoch = %v", got)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	v.Advance(5 * time.Second)
+	if d := v.Since(t0); d != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", d)
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Minute)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("virtual Sleep blocked")
+	}
+	if d := v.Since(t0); d != time.Minute {
+		t.Fatalf("Since = %v, want 1m", d)
+	}
+}
+
+func TestVirtualNegativeAdvanceIgnored(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	v.Advance(-time.Hour)
+	if !v.Now().Equal(t0) {
+		t.Fatal("negative advance moved the clock")
+	}
+}
+
+func TestVirtualSetOnlyForward(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	v.Set(t0.Add(-time.Hour))
+	if !v.Now().Equal(t0) {
+		t.Fatal("Set moved the clock backwards")
+	}
+	v.Set(t0.Add(time.Hour))
+	if d := v.Since(t0); d != time.Hour {
+		t.Fatalf("Since = %v, want 1h", d)
+	}
+}
+
+func TestVirtualAt(t *testing.T) {
+	at := time.Unix(42, 0)
+	v := NewVirtualAt(at)
+	if !v.Now().Equal(at) {
+		t.Fatalf("Now = %v, want %v", v.Now(), at)
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Advance(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if d := v.Since(t0); d != 50*time.Millisecond {
+		t.Fatalf("Since = %v, want 50ms", d)
+	}
+}
+
+func TestRealClockMonotonicEnough(t *testing.T) {
+	r := NewReal()
+	t0 := r.Now()
+	r.Sleep(time.Millisecond)
+	if r.Since(t0) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+}

@@ -1,0 +1,109 @@
+package fullvirt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ava/internal/clock"
+)
+
+func TestVectorAddCorrect(t *testing.T) {
+	d := New(Config{})
+	a := []float32{1, 2, 3, 4}
+	b := []float32{10, 20, 30, 40}
+	out, traps, err := d.GuestVectorAdd(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != a[i]+b[i] {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	// 4+4 uploads, 5 register writes, ≥1 status poll, 4 readbacks.
+	if traps < 18 {
+		t.Fatalf("traps = %d, implausibly low", traps)
+	}
+}
+
+func TestTrapCountScalesWithData(t *testing.T) {
+	d := New(Config{})
+	small := make([]float32, 64)
+	large := make([]float32, 1024)
+	_, t1, err := d.GuestVectorAdd(small, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := d.GuestVectorAdd(large, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-element trap cost: 3 traps per element (2 uploads + 1 readback)
+	// plus constant overhead.
+	if t2 < 15*t1/2 {
+		t.Fatalf("traps do not scale: %d vs %d", t1, t2)
+	}
+}
+
+func TestModeledTrapTime(t *testing.T) {
+	clk := clock.NewVirtual()
+	d := New(Config{TrapCost: time.Microsecond, Clock: clk})
+	t0 := clk.Now()
+	n := make([]float32, 128)
+	if _, traps, err := d.GuestVectorAdd(n, n); err != nil {
+		t.Fatal(err)
+	} else {
+		want := time.Duration(traps) * time.Microsecond
+		if got := clk.Since(t0); got != want {
+			t.Fatalf("virtual time %v, want %v", got, want)
+		}
+		if d.ModeledTrapTime() < want {
+			t.Fatalf("modeled time %v < %v", d.ModeledTrapTime(), want)
+		}
+	}
+}
+
+func TestBadRegister(t *testing.T) {
+	d := New(Config{})
+	if err := d.WriteReg(0xFF0, 1); !errors.Is(err, ErrBadRegister) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.ReadReg(0xFF0); !errors.Is(err, ErrBadRegister) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadCommand(t *testing.T) {
+	d := New(Config{})
+	if err := d.WriteReg(RegControl, 99); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("err = %v", err)
+	}
+	st, _ := d.ReadReg(RegStatus)
+	if st != 2 {
+		t.Fatalf("status = %d, want error state", st)
+	}
+}
+
+func TestBarRoundTrip(t *testing.T) {
+	d := New(Config{})
+	if err := d.WriteBar32(16, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.ReadBar32(16)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("bar = %#x, %v", v, err)
+	}
+}
+
+func TestEveryAccessTraps(t *testing.T) {
+	d := New(Config{})
+	base := d.Traps()
+	d.WriteBar32(0, 1)
+	d.ReadBar32(0)
+	d.WriteReg(RegSize, 1)
+	d.ReadReg(RegStatus)
+	if d.Traps()-base != 4 {
+		t.Fatalf("4 accesses produced %d traps", d.Traps()-base)
+	}
+}

@@ -1,0 +1,203 @@
+package toydev_test
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+
+	"ava"
+	"ava/internal/cava"
+	"ava/internal/gen/toydev"
+	"ava/internal/marshal"
+	"ava/internal/server"
+	"ava/internal/spec"
+	"ava/internal/stacktest"
+)
+
+// silo implements toydev.Implementation: the only hand-written component,
+// exactly as the paper's workflow prescribes (the developer writes the
+// silo glue; CAvA generates everything else).
+type silo struct {
+	mu      sync.Mutex
+	count   uint32
+	devices map[marshal.Handle]*dev
+}
+
+type dev struct {
+	data  []byte
+	scale float64
+}
+
+func newSilo() *silo { return &silo{devices: make(map[marshal.Handle]*dev)} }
+
+func (s *silo) OpenDevice(ctx *server.Context, index uint32, d *marshal.Handle) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := ctx.Handles.Insert(&dev{scale: 1})
+	s.devices[h] = mustDev(ctx, h)
+	s.count++
+	*d = h
+	return 0
+}
+
+func mustDev(ctx *server.Context, h marshal.Handle) *dev {
+	obj, _ := ctx.Handles.Get(h)
+	d, _ := obj.(*dev)
+	return d
+}
+
+func (s *silo) DeviceCount(ctx *server.Context, n *uint32) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	*n = s.count
+	return 0
+}
+
+func (s *silo) Store(ctx *server.Context, d marshal.Handle, size uint64, data []byte, blocking uint32) int32 {
+	dv := mustDev(ctx, d)
+	if dv == nil {
+		return -1
+	}
+	s.mu.Lock()
+	dv.data = append(dv.data[:0], data...)
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *silo) Load(ctx *server.Context, d marshal.Handle, size uint64, out []byte) int32 {
+	dv := mustDev(ctx, d)
+	if dv == nil {
+		return -1
+	}
+	s.mu.Lock()
+	copy(out, dv.data)
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *silo) Scale(ctx *server.Context, d marshal.Handle, factor float64) int32 {
+	dv := mustDev(ctx, d)
+	if dv == nil {
+		return -1
+	}
+	s.mu.Lock()
+	dv.scale *= factor
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *silo) CloseDevice(ctx *server.Context, d marshal.Handle) int32 {
+	if _, ok := ctx.Handles.Remove(d); !ok {
+		return -1
+	}
+	return 0
+}
+
+var _ toydev.Implementation = (*silo)(nil)
+
+func loadDescriptor(t *testing.T) *cava.Descriptor {
+	t.Helper()
+	src, err := os.ReadFile("toydev.ava")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := spec.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cava.Compile(api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeneratedStackEndToEnd(t *testing.T) {
+	desc := loadDescriptor(t)
+	reg := server.NewRegistry(desc)
+	toydev.Register(reg, newSilo())
+	if missing := reg.Unregistered(); len(missing) != 0 {
+		t.Fatalf("generated Register missed: %v", missing)
+	}
+	stack := ava.NewStack(desc, reg, ava.Config{Recording: true})
+	defer stack.Close()
+	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := toydev.NewClient(lib)
+
+	var h marshal.Handle
+	st, err := c.OpenDevice(0, &h)
+	if err != nil || st != 0 || h == 0 {
+		t.Fatalf("open: %d %v %d", st, err, h)
+	}
+	data := []byte("through generated stubs")
+	if st, err := c.Store(h, uint64(len(data)), data, 1); err != nil || st != 0 {
+		t.Fatalf("store: %d %v", st, err)
+	}
+	out := make([]byte, len(data))
+	if st, err := c.Load(h, uint64(len(out)), out); err != nil || st != 0 {
+		t.Fatalf("load: %d %v", st, err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("loaded %q", out)
+	}
+
+	// Async stub returns success immediately and orders before sync calls.
+	if st, err := c.Scale(h, 2.5); err != nil || st != 0 {
+		t.Fatalf("scale: %d %v", st, err)
+	}
+	var n uint32
+	if st, err := c.DeviceCount(&n); err != nil || st != 0 || n != 1 {
+		t.Fatalf("count: %d %v %d", st, err, n)
+	}
+	if st, err := c.CloseDevice(h); err != nil || st != 0 {
+		t.Fatalf("close: %d %v", st, err)
+	}
+	// The record log tracked create+destroy: pruned back to empty.
+	if log := stack.Server.Context(1, "vm").RecordLog(); len(log) != 0 {
+		t.Fatalf("record log = %d entries after destroy", len(log))
+	}
+}
+
+// TestGeneratedFileIsCurrent is the golden test: the committed toydev.go
+// must equal a fresh generation from toydev.ava.
+func TestGeneratedFileIsCurrent(t *testing.T) {
+	src, err := os.ReadFile("toydev.ava")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := spec.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := cava.Compile(api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, st, err := cava.Generate(desc, string(src), cava.GenOptions{Package: "toydev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("toydev.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, committed) {
+		t.Fatal("toydev.go is stale; regenerate with cmd/cava")
+	}
+	if st.Functions != 6 || st.GeneratedLines <= st.SpecLines {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGeneratedDispatchSurvivesAdversary(t *testing.T) {
+	desc := loadDescriptor(t)
+	reg := server.NewRegistry(desc)
+	toydev.Register(reg, newSilo())
+	srv := server.New(reg)
+	stacktest.SweepBogusHandles(t, srv)
+	stacktest.SweepRandomArgs(t, srv, 50)
+}

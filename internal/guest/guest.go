@@ -1,0 +1,517 @@
+// Package guest implements the guest-side AvA library runtime.
+//
+// The generated guest library for an API is a set of thin typed stubs over
+// Lib, the descriptor-driven stub engine in this package. Lib intercepts a
+// call, marshals arguments per the API specification, decides the
+// forwarding mode (sync, async, or conditional on an argument, §4.2),
+// batches asynchronously forwarded calls (the rCUDA-style optimization),
+// transmits over the hypervisor-managed transport, and scatters outputs
+// back into caller memory when the reply arrives.
+//
+// Asynchronously forwarded calls return their declared success value
+// immediately; a failure is delivered through a later synchronous call and
+// surfaced via DeferredError — exactly the fidelity loss the paper
+// describes for transparently asynchronous forwarding.
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ava/internal/cava"
+	"ava/internal/marshal"
+	"ava/internal/spec"
+	"ava/internal/transport"
+)
+
+// Errors returned by the stub engine.
+var (
+	ErrBadArg   = errors.New("guest: argument does not match specification")
+	ErrProtocol = errors.New("guest: protocol violation")
+)
+
+// APIError is a remote API failure surfaced by the stack itself
+// (router denial or server-internal fault), as opposed to an API status
+// code, which flows through the return value.
+type APIError struct {
+	Func   string
+	Status marshal.Status
+	Detail string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("guest: %s: %s: %s", e.Func, e.Status, e.Detail)
+}
+
+// Stats counts guest-side activity.
+type Stats struct {
+	Calls      uint64
+	SyncCalls  uint64
+	AsyncCalls uint64
+	Batches    uint64 // transport frames sent
+	BytesSent  uint64
+	BytesRecv  uint64
+}
+
+// Option configures a Lib.
+type Option func(*Lib)
+
+// WithBatchLimit caps the async queue length before a forced flush.
+func WithBatchLimit(n int) Option {
+	return func(l *Lib) {
+		if n > 0 {
+			l.batchLimit = n
+		}
+	}
+}
+
+// WithForceSync disables asynchronous forwarding and batching; every call
+// is forwarded synchronously. This is the "unoptimized specification"
+// configuration from the paper's §5 ablation.
+func WithForceSync() Option {
+	return func(l *Lib) { l.forceSync = true }
+}
+
+// Lib is the descriptor-driven guest stub engine for one API on one VM.
+type Lib struct {
+	desc *cava.Descriptor
+	ep   transport.Endpoint
+
+	batchLimit int
+	forceSync  bool
+
+	mu         sync.Mutex
+	seq        uint64
+	pendingBuf []byte // batch frame under construction (async calls)
+	pendingN   int    // calls in pendingBuf
+	deferred   error
+	stats      Stats
+}
+
+// New creates a guest library over an established transport endpoint.
+func New(desc *cava.Descriptor, ep transport.Endpoint, opts ...Option) *Lib {
+	l := &Lib{desc: desc, ep: ep, batchLimit: 128}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Descriptor returns the API descriptor this library speaks.
+func (l *Lib) Descriptor() *cava.Descriptor { return l.desc }
+
+// Stats returns a copy of the library's counters.
+func (l *Lib) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// DeferredError returns and clears the stored failure of an earlier
+// asynchronously forwarded call.
+func (l *Lib) DeferredError() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.deferred
+	l.deferred = nil
+	return err
+}
+
+// outBinding scatters one reply output into caller memory.
+type outBinding struct {
+	param int
+	buf   []byte // destination for out/inout buffers
+	dst   any    // pointer destination for out elements
+}
+
+// Call invokes the named API function. Arguments must match the
+// specification positionally:
+//
+//   - integer scalars: int, int32, int64, uint, uint32, uint64
+//   - bool, float32/float64, string scalars as themselves
+//   - handles: marshal.Handle (nil pointer = 0 is not allowed; pass 0)
+//   - in buffers: []byte (nil for an absent optional buffer)
+//   - out / inout buffers: []byte of at least the declared size (nil to omit)
+//   - out elements: *int32, *int64, *uint32, *uint64, *float32, *float64,
+//     *marshal.Handle (nil to omit)
+//
+// The returned Value is the API return value; for asynchronously forwarded
+// calls it is the declared success value.
+func (l *Lib) Call(name string, args ...any) (marshal.Value, error) {
+	fd, ok := l.desc.Lookup(name)
+	if !ok {
+		return marshal.Null(), fmt.Errorf("%w: no function %q", ErrBadArg, name)
+	}
+	return l.call(fd, args)
+}
+
+func (l *Lib) call(fd *cava.FuncDesc, args []any) (marshal.Value, error) {
+	if len(args) != len(fd.Params) {
+		return marshal.Null(), fmt.Errorf("%w: %s: %d args, want %d", ErrBadArg, fd.Name, len(args), len(fd.Params))
+	}
+
+	values := make([]marshal.Value, len(args))
+	var outs []outBinding
+
+	// Scalars first: buffer sizes are expressions over them.
+	for i := range args {
+		pd := &fd.Params[i]
+		if pd.IsPointer {
+			continue
+		}
+		v, err := convertScalar(pd, args[i])
+		if err != nil {
+			return marshal.Null(), fmt.Errorf("%w: %s(%s): %v", ErrBadArg, fd.Name, pd.Name, err)
+		}
+		values[i] = v
+	}
+	for i := range args {
+		pd := &fd.Params[i]
+		if !pd.IsPointer {
+			continue
+		}
+		v, ob, err := l.convertPointer(fd, i, args[i], values)
+		if err != nil {
+			return marshal.Null(), fmt.Errorf("%w: %s(%s): %v", ErrBadArg, fd.Name, pd.Name, err)
+		}
+		values[i] = v
+		if ob != nil {
+			outs = append(outs, *ob)
+		}
+	}
+
+	sync, err := fd.IsSync(l.desc.API, values)
+	if err != nil {
+		return marshal.Null(), err
+	}
+	if l.forceSync {
+		sync = true
+	}
+	if !sync && len(outs) > 0 {
+		// Asynchrony is only transparent for calls with no outputs; the
+		// spec validator enforces this for `async;`, and conditional
+		// synchrony ties outputs to the blocking case (e.g.
+		// clEnqueueReadBuffer). If a caller passes output destinations on
+		// a non-blocking path, forward synchronously to stay faithful.
+		sync = true
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	l.seq++
+	call := &marshal.Call{Seq: l.seq, Func: fd.ID, Args: values}
+	l.stats.Calls++
+
+	if !sync {
+		call.Flags |= marshal.FlagAsync
+		if l.pendingN > 0 {
+			call.Flags |= marshal.FlagBatched
+		}
+		l.appendPending(call)
+		l.stats.AsyncCalls++
+		if l.pendingN >= l.batchLimit {
+			if err := l.flushLocked(); err != nil {
+				return marshal.Null(), err
+			}
+		}
+		if fd.HasSuccess {
+			return marshal.Int(fd.SuccessVal), nil
+		}
+		return marshal.Null(), nil
+	}
+
+	l.stats.SyncCalls++
+	l.appendPending(call)
+	batch := l.takePending()
+
+	l.stats.Batches++
+	l.stats.BytesSent += uint64(len(batch))
+	if err := l.ep.Send(batch); err != nil {
+		return marshal.Null(), err
+	}
+	replyFrame, err := l.ep.Recv()
+	if err != nil {
+		return marshal.Null(), err
+	}
+	l.stats.BytesRecv += uint64(len(replyFrame))
+	reply, err := marshal.DecodeReply(replyFrame)
+	if err != nil {
+		return marshal.Null(), err
+	}
+	if reply.Seq != call.Seq {
+		return marshal.Null(), fmt.Errorf("%w: reply seq %d for call %d", ErrProtocol, reply.Seq, call.Seq)
+	}
+	if reply.Status != marshal.StatusOK {
+		return marshal.Null(), &APIError{Func: fd.Name, Status: reply.Status, Detail: reply.Err}
+	}
+	if reply.Err != "" {
+		l.deferred = fmt.Errorf("guest: %s", reply.Err)
+	}
+	if err := scatter(fd, reply, outs); err != nil {
+		return marshal.Null(), err
+	}
+	return reply.Ret, nil
+}
+
+// appendPending encodes call directly into the batch frame under
+// construction: calls are marshalled exactly once, into the buffer the
+// transport will carry.
+func (l *Lib) appendPending(call *marshal.Call) {
+	if l.pendingN == 0 {
+		l.pendingBuf = append(l.pendingBuf[:0], 0, 0) // count patched at flush
+	}
+	// Length prefix placeholder, then the call body.
+	start := len(l.pendingBuf)
+	l.pendingBuf = append(l.pendingBuf, 0, 0, 0, 0)
+	l.pendingBuf = marshal.AppendCall(l.pendingBuf, call)
+	n := len(l.pendingBuf) - start - 4
+	l.pendingBuf[start] = byte(n)
+	l.pendingBuf[start+1] = byte(n >> 8)
+	l.pendingBuf[start+2] = byte(n >> 16)
+	l.pendingBuf[start+3] = byte(n >> 24)
+	l.pendingN++
+}
+
+// takePending finalizes and detaches the batch frame. The transport takes
+// ownership, so the next batch starts a fresh buffer.
+func (l *Lib) takePending() []byte {
+	b := l.pendingBuf
+	b[0] = byte(l.pendingN)
+	b[1] = byte(l.pendingN >> 8)
+	l.pendingBuf = nil
+	l.pendingN = 0
+	return b
+}
+
+// Flush transmits all queued asynchronous calls without waiting for any
+// execution acknowledgment.
+func (l *Lib) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Lib) flushLocked() error {
+	if l.pendingN == 0 {
+		return nil
+	}
+	batch := l.takePending()
+	l.stats.Batches++
+	l.stats.BytesSent += uint64(len(batch))
+	return l.ep.Send(batch)
+}
+
+// Close flushes pending asynchronous calls and closes the endpoint.
+func (l *Lib) Close() error {
+	if err := l.Flush(); err != nil && !errors.Is(err, transport.ErrClosed) {
+		l.ep.Close()
+		return err
+	}
+	return l.ep.Close()
+}
+
+func convertScalar(pd *cava.ParamDesc, arg any) (marshal.Value, error) {
+	switch pd.Kind {
+	case spec.KindHandle:
+		switch a := arg.(type) {
+		case marshal.Handle:
+			return marshal.HandleVal(a), nil
+		case nil:
+			return marshal.Null(), nil
+		}
+		return marshal.Null(), fmt.Errorf("want marshal.Handle, got %T", arg)
+	case spec.KindString:
+		if s, ok := arg.(string); ok {
+			return marshal.Str(s), nil
+		}
+		return marshal.Null(), fmt.Errorf("want string, got %T", arg)
+	case spec.KindBool:
+		switch a := arg.(type) {
+		case bool:
+			return marshal.Bool(a), nil
+		case int:
+			return marshal.Bool(a != 0), nil
+		}
+		return marshal.Null(), fmt.Errorf("want bool, got %T", arg)
+	case spec.KindFloat:
+		switch a := arg.(type) {
+		case float32:
+			return marshal.Float(float64(a)), nil
+		case float64:
+			return marshal.Float(a), nil
+		}
+		return marshal.Null(), fmt.Errorf("want float, got %T", arg)
+	case spec.KindInt, spec.KindUint:
+		n, err := toInt64(arg)
+		if err != nil {
+			return marshal.Null(), err
+		}
+		if pd.Kind == spec.KindUint {
+			return marshal.Uint(uint64(n)), nil
+		}
+		return marshal.Int(n), nil
+	}
+	return marshal.Null(), fmt.Errorf("unsupported scalar kind %v", pd.Kind)
+}
+
+func toInt64(arg any) (int64, error) {
+	switch a := arg.(type) {
+	case int:
+		return int64(a), nil
+	case int32:
+		return int64(a), nil
+	case int64:
+		return a, nil
+	case uint:
+		return int64(a), nil
+	case uint32:
+		return int64(a), nil
+	case uint64:
+		return int64(a), nil
+	case uintptr:
+		return int64(a), nil
+	}
+	return 0, fmt.Errorf("want integer, got %T", arg)
+}
+
+func (l *Lib) convertPointer(fd *cava.FuncDesc, i int, arg any, values []marshal.Value) (marshal.Value, *outBinding, error) {
+	pd := &fd.Params[i]
+	if arg == nil {
+		return marshal.Null(), nil, nil
+	}
+
+	if pd.IsElement {
+		return convertElement(pd, i, arg)
+	}
+
+	// Buffers travel as bytes; the declared size expression is
+	// authoritative on both sides.
+	want, err := fd.BufferBytesArgs(i, l.desc.API, values)
+	if err != nil {
+		return marshal.Null(), nil, err
+	}
+	buf, ok := arg.([]byte)
+	if !ok {
+		return marshal.Null(), nil, fmt.Errorf("want []byte, got %T", arg)
+	}
+	if buf == nil {
+		return marshal.Null(), nil, nil
+	}
+	if len(buf) < want {
+		return marshal.Null(), nil, fmt.Errorf("buffer is %d bytes, specification requires %d", len(buf), want)
+	}
+	switch pd.Dir {
+	case spec.DirIn:
+		return marshal.BytesVal(buf[:want]), nil, nil
+	case spec.DirOut:
+		return marshal.Len(uint64(want)), &outBinding{param: i, buf: buf[:want]}, nil
+	case spec.DirInOut:
+		return marshal.BytesVal(buf[:want]), &outBinding{param: i, buf: buf[:want]}, nil
+	}
+	return marshal.Null(), nil, fmt.Errorf("buffer parameter with direction %v", pd.Dir)
+}
+
+func convertElement(pd *cava.ParamDesc, i int, arg any) (marshal.Value, *outBinding, error) {
+	// Single-element pointers: out scalars and allocated handles.
+	switch dst := arg.(type) {
+	case *marshal.Handle:
+		if pd.Kind != spec.KindHandle {
+			return marshal.Null(), nil, fmt.Errorf("want %v element, got *marshal.Handle", pd.Kind)
+		}
+		return marshal.Len(uint64(pd.ElemSize)), &outBinding{param: i, dst: dst}, nil
+	case *int32, *int64, *uint32, *uint64, *float32, *float64:
+		return marshal.Len(uint64(pd.ElemSize)), &outBinding{param: i, dst: dst}, nil
+	}
+	return marshal.Null(), nil, fmt.Errorf("want pointer destination for out element, got %T", arg)
+}
+
+// scatter writes reply outputs back into the caller's memory.
+func scatter(fd *cava.FuncDesc, reply *marshal.Reply, outs []outBinding) error {
+	if fd.NumOuts == 0 {
+		return nil
+	}
+	if len(reply.Outs) != fd.NumOuts {
+		return fmt.Errorf("%w: %s: %d outs, want %d", ErrProtocol, fd.Name, len(reply.Outs), fd.NumOuts)
+	}
+	// Map param index -> out slot.
+	slot := make(map[int]int, fd.NumOuts)
+	n := 0
+	for i := range fd.Params {
+		if fd.Params[i].Out() {
+			slot[i] = n
+			n++
+		}
+	}
+	for _, ob := range outs {
+		v := reply.Outs[slot[ob.param]]
+		if v.Kind == marshal.KindNull {
+			continue
+		}
+		if ob.buf != nil {
+			if v.Kind != marshal.KindBytes || len(v.Bytes) != len(ob.buf) {
+				return fmt.Errorf("%w: %s: out buffer %d bytes, want %d", ErrProtocol, fd.Name, len(v.Bytes), len(ob.buf))
+			}
+			copy(ob.buf, v.Bytes)
+			continue
+		}
+		if err := storeElement(ob.dst, v); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrProtocol, fd.Name, err)
+		}
+	}
+	return nil
+}
+
+func storeElement(dst any, v marshal.Value) error {
+	switch d := dst.(type) {
+	case *marshal.Handle:
+		if v.Kind != marshal.KindHandle {
+			return fmt.Errorf("element is %v, want handle", v.Kind)
+		}
+		*d = v.Handle()
+	case *int32:
+		*d = int32(valueInt(v))
+	case *int64:
+		*d = valueInt(v)
+	case *uint32:
+		*d = uint32(valueInt(v))
+	case *uint64:
+		*d = uint64(valueInt(v))
+	case *float32:
+		*d = float32(valueFloat(v))
+	case *float64:
+		*d = valueFloat(v)
+	default:
+		return fmt.Errorf("unsupported element destination %T", dst)
+	}
+	return nil
+}
+
+func valueInt(v marshal.Value) int64 {
+	switch v.Kind {
+	case marshal.KindInt:
+		return v.Int
+	case marshal.KindUint, marshal.KindHandle, marshal.KindLen:
+		return int64(v.Uint)
+	case marshal.KindFloat:
+		return int64(v.Float)
+	case marshal.KindBool:
+		if v.Bool {
+			return 1
+		}
+	}
+	return 0
+}
+
+func valueFloat(v marshal.Value) float64 {
+	switch v.Kind {
+	case marshal.KindFloat:
+		return v.Float
+	case marshal.KindInt:
+		return float64(v.Int)
+	case marshal.KindUint:
+		return float64(v.Uint)
+	}
+	return 0
+}

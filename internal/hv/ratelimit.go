@@ -1,0 +1,92 @@
+// Package hv is the hypervisor-level half of AvA: the VM abstraction and
+// the invocation router.
+//
+// The router is what distinguishes AvA from prior API-remoting systems that
+// forward calls over plain RPC and lose interposition (§2). Every forwarded
+// call crosses the router, where the hypervisor can verify it against the
+// API specification, enforce sharing policy (token-bucket rate limits on
+// call and data rates, §4.3's "command rate-limiting"), schedule it against
+// contending VMs using the specification's resource estimates, and observe
+// it (interceptors) — without understanding the accelerator underneath.
+package hv
+
+import (
+	"sync"
+	"time"
+
+	"ava/internal/clock"
+)
+
+// TokenBucket is a standard token-bucket limiter over an injectable clock.
+// A zero rate means unlimited.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	clk    clock.Clock
+}
+
+// NewTokenBucket creates a bucket that refills at rate tokens/second up to
+// burst. The bucket starts full.
+func NewTokenBucket(rate float64, burst float64, clk clock.Clock) *TokenBucket {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: clk.Now(), clk: clk}
+}
+
+// Unlimited reports whether the bucket imposes no limit.
+func (tb *TokenBucket) Unlimited() bool { return tb == nil || tb.rate <= 0 }
+
+func (tb *TokenBucket) refill(now time.Time) {
+	dt := now.Sub(tb.last).Seconds()
+	if dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+}
+
+// Reserve withdraws n tokens, going negative if necessary, and returns how
+// long the caller must wait before proceeding so the long-run rate holds.
+// Oversized requests (n > burst) are still admitted after a proportional
+// delay — a single huge DMA must not wedge the VM forever.
+func (tb *TokenBucket) Reserve(n float64) time.Duration {
+	if tb.Unlimited() || n <= 0 {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(tb.clk.Now())
+	tb.tokens -= n
+	if tb.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+}
+
+// Wait reserves n tokens and sleeps out the required delay on the bucket's
+// clock.
+func (tb *TokenBucket) Wait(n float64) time.Duration {
+	d := tb.Reserve(n)
+	if d > 0 {
+		tb.clk.Sleep(d)
+	}
+	return d
+}
+
+// Tokens returns the current token count (after refill), for tests and
+// introspection.
+func (tb *TokenBucket) Tokens() float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(tb.clk.Now())
+	return tb.tokens
+}

@@ -1,0 +1,350 @@
+package hv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ava/internal/cava"
+	"ava/internal/clock"
+	"ava/internal/marshal"
+	"ava/internal/transport"
+)
+
+// VMID identifies a guest VM.
+type VMID = uint32
+
+// VMConfig is the per-VM sharing policy, part of the API specification's
+// "resource usage policy and scheduling configuration" (§3).
+type VMConfig struct {
+	ID   VMID
+	Name string
+	// CallsPerSec rate-limits forwarded commands (0 = unlimited).
+	CallsPerSec float64
+	CallBurst   float64
+	// BytesPerSec rate-limits forwarded data (0 = unlimited).
+	BytesPerSec float64
+	ByteBurst   float64
+	// Weight is the VM's fair-share weight (default 1).
+	Weight int64
+	// Quotas caps the VM's cumulative consumption of named resources from
+	// the specification's resource annotations (e.g. "device_memory",
+	// "bandwidth"); a call whose estimate would exceed a quota is denied.
+	// This is §4.3's administration interface: "control how much of each
+	// specified API resource each VM is allotted".
+	Quotas map[string]int64
+}
+
+// VMStats counts router activity for one VM.
+type VMStats struct {
+	Forwarded    uint64
+	Denied       uint64
+	AsyncDropped uint64
+	Bytes        uint64
+	Stall        time.Duration    // time spent rate-limited or unscheduled
+	Resources    map[string]int64 // summed resource estimates
+}
+
+// Interceptor observes (and may veto) every forwarded call — the
+// hypervisor interposition point. Returning a non-nil error denies the
+// call.
+type Interceptor func(vm VMID, fd *cava.FuncDesc, call *marshal.Call) error
+
+// ErrUnknownVM reports routing for a VM that was never registered.
+var ErrUnknownVM = errors.New("hv: unknown VM")
+
+type vmState struct {
+	cfg    VMConfig
+	callTB *TokenBucket
+	byteTB *TokenBucket
+
+	mu    sync.Mutex
+	stats VMStats
+}
+
+// Router verifies, polices, schedules and forwards API calls between guest
+// libraries and the API server.
+type Router struct {
+	desc  *cava.Descriptor
+	clk   clock.Clock
+	sched Scheduler
+
+	mu        sync.Mutex
+	vms       map[VMID]*vmState
+	intercept []Interceptor
+}
+
+// NewRouter creates a router for one API. A nil scheduler selects FIFO;
+// a nil clock selects the wall clock.
+func NewRouter(desc *cava.Descriptor, sched Scheduler, clk clock.Clock) *Router {
+	if sched == nil {
+		sched = NewFIFOScheduler()
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Router{desc: desc, clk: clk, sched: sched, vms: make(map[VMID]*vmState)}
+}
+
+// Scheduler returns the router's scheduler.
+func (r *Router) Scheduler() Scheduler { return r.sched }
+
+// AddInterceptor installs an observation/veto hook, run for every call in
+// installation order.
+func (r *Router) AddInterceptor(ic Interceptor) {
+	r.mu.Lock()
+	r.intercept = append(r.intercept, ic)
+	r.mu.Unlock()
+}
+
+// RegisterVM installs a VM's policy state.
+func (r *Router) RegisterVM(cfg VMConfig) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.vms[cfg.ID]; dup {
+		return fmt.Errorf("hv: VM %d already registered", cfg.ID)
+	}
+	st := &vmState{
+		cfg:    cfg,
+		callTB: NewTokenBucket(cfg.CallsPerSec, cfg.CallBurst, r.clk),
+		byteTB: NewTokenBucket(cfg.BytesPerSec, cfg.ByteBurst, r.clk),
+	}
+	st.stats.Resources = make(map[string]int64)
+	r.vms[cfg.ID] = st
+	if fs, ok := r.sched.(*FairScheduler); ok {
+		fs.SetWeight(cfg.ID, cfg.Weight)
+	}
+	return nil
+}
+
+// UnregisterVM removes a VM.
+func (r *Router) UnregisterVM(id VMID) {
+	r.mu.Lock()
+	delete(r.vms, id)
+	r.mu.Unlock()
+}
+
+// Stats returns a copy of a VM's router statistics.
+func (r *Router) Stats(id VMID) (VMStats, error) {
+	r.mu.Lock()
+	st, ok := r.vms[id]
+	r.mu.Unlock()
+	if !ok {
+		return VMStats{}, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.stats
+	out.Resources = make(map[string]int64, len(st.stats.Resources))
+	for k, v := range st.stats.Resources {
+		out.Resources[k] = v
+	}
+	return out, nil
+}
+
+func (r *Router) vm(id VMID) (*vmState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVM, id)
+	}
+	return st, nil
+}
+
+func (r *Router) interceptors() []Interceptor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Interceptor(nil), r.intercept...)
+}
+
+// Attach runs the forwarding loops for one VM: guestSide carries traffic
+// to/from the guest library, serverSide to/from the API server. Attach
+// blocks until either side closes; it closes both endpoints on return so
+// the peer loops unwind.
+func (r *Router) Attach(id VMID, guestSide, serverSide transport.Endpoint) error {
+	st, err := r.vm(id)
+	if err != nil {
+		return err
+	}
+	defer guestSide.Close()
+	defer serverSide.Close()
+
+	// Downlink: replies flow back unmodified (the router could interpose
+	// here too; stats suffice for now).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer guestSide.Close()
+		for {
+			frame, err := serverSide.Recv()
+			if err != nil {
+				return
+			}
+			if err := guestSide.Send(frame); err != nil {
+				return
+			}
+		}
+	}()
+
+	err = r.uplink(id, st, guestSide, serverSide)
+	serverSide.Close()
+	wg.Wait()
+	if errors.Is(err, transport.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (r *Router) uplink(id VMID, st *vmState, guestSide, serverSide transport.Endpoint) error {
+	for {
+		frame, err := guestSide.Recv()
+		if err != nil {
+			return err
+		}
+		batch, err := marshal.DecodeBatch(frame)
+		if err != nil {
+			return fmt.Errorf("hv: VM %d sent malformed batch: %w", id, err)
+		}
+		ics := r.interceptors()
+		allKept := true
+		forward := make([][]byte, 0, len(batch))
+		for _, cf := range batch {
+			keep, deny := r.police(id, st, ics, cf)
+			if deny != nil {
+				if err := guestSide.Send(marshal.EncodeReply(deny)); err != nil {
+					return err
+				}
+			}
+			if keep {
+				forward = append(forward, cf)
+			} else {
+				allKept = false
+			}
+		}
+		if len(forward) == 0 {
+			continue
+		}
+		// Fast path: nothing was denied, so the original batch frame can
+		// flow onward unmodified (no re-encode copy).
+		if allKept {
+			if err := serverSide.Send(frame); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := serverSide.Send(marshal.EncodeBatch(forward)); err != nil {
+			return err
+		}
+	}
+}
+
+// police verifies and schedules one call. It returns keep=true to forward
+// the frame, or a denial reply for synchronous calls (async denials are
+// dropped and counted — their guests learn through deferred errors on the
+// server path or through stats).
+func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (keep bool, deny *marshal.Reply) {
+	call, err := marshal.DecodeCall(cf)
+	if err != nil {
+		st.note(func(s *VMStats) { s.Denied++ })
+		return false, nil // unparseable: cannot even address a reply
+	}
+	async := call.Flags&marshal.FlagAsync != 0
+	reject := func(format string, args ...any) (bool, *marshal.Reply) {
+		st.note(func(s *VMStats) {
+			s.Denied++
+			if async {
+				s.AsyncDropped++
+			}
+		})
+		if async {
+			return false, nil
+		}
+		return false, &marshal.Reply{
+			Seq:    call.Seq,
+			Status: marshal.StatusDenied,
+			Err:    fmt.Sprintf(format, args...),
+		}
+	}
+
+	call.VM = id // the hypervisor, not the guest, asserts identity
+	fd, ok := r.desc.ByID(call.Func)
+	if !ok {
+		return reject("hv: unknown function #%d", call.Func)
+	}
+	if len(call.Args) != len(fd.Params) {
+		return reject("hv: %s: argument arity %d, want %d", fd.Name, len(call.Args), len(fd.Params))
+	}
+	if async {
+		if sync, err := fd.IsSync(r.desc.API, call.Args); err != nil || sync {
+			return reject("hv: %s: async forwarding violates specification", fd.Name)
+		}
+	}
+	for _, ic := range ics {
+		if err := ic(id, fd, call); err != nil {
+			return reject("hv: %s: %v", fd.Name, err)
+		}
+	}
+
+	// Policy enforcement. Replayed calls (migration restore) bypass rate
+	// limits: they reconstruct state the guest already paid for.
+	est := fd.EstimateResources(r.desc.API, call.Args)
+	if len(st.cfg.Quotas) > 0 && len(est) > 0 {
+		if res, limit, used := st.quotaExceeded(est); res != "" {
+			return reject("hv: %s: %s quota exhausted (%d of %d used)", fd.Name, res, used, limit)
+		}
+	}
+	if call.Flags&marshal.FlagReplay == 0 {
+		var stall time.Duration
+		if !st.callTB.Unlimited() {
+			stall += st.callTB.Wait(1)
+		}
+		if !st.byteTB.Unlimited() {
+			stall += st.byteTB.Wait(float64(len(cf)))
+		}
+		cost := est["device_time"]
+		if cost <= 0 {
+			cost = 1
+		}
+		t0 := r.clk.Now()
+		r.sched.Admit(id, cost)
+		r.sched.Done(id, cost, 0)
+		stall += r.clk.Since(t0)
+		st.note(func(s *VMStats) { s.Stall += stall })
+	}
+
+	st.note(func(s *VMStats) {
+		s.Forwarded++
+		s.Bytes += uint64(len(cf))
+		for k, v := range est {
+			s.Resources[k] += v
+		}
+	})
+	return true, nil
+}
+
+func (st *vmState) note(f func(*VMStats)) {
+	st.mu.Lock()
+	f(&st.stats)
+	st.mu.Unlock()
+}
+
+// quotaExceeded checks whether charging est would push any quota'd
+// resource over its allotment; the accumulated usage lives in
+// stats.Resources, so denied calls are not charged.
+func (st *vmState) quotaExceeded(est map[string]int64) (resource string, limit, used int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for res, amount := range est {
+		lim, ok := st.cfg.Quotas[res]
+		if !ok {
+			continue
+		}
+		if st.stats.Resources[res]+amount > lim {
+			return res, lim, st.stats.Resources[res]
+		}
+	}
+	return "", 0, 0
+}

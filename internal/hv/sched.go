@@ -1,0 +1,165 @@
+package hv
+
+import (
+	"sync"
+	"time"
+)
+
+// Scheduler orders forwarded calls across contending VMs at function-call
+// granularity (§4.3). Admit blocks the forwarding path of a VM until its
+// call may proceed; Done reports the call's cost so the scheduler can
+// account usage. Costs are the specification's resource-usage
+// approximations — e.g. estimated device time for a kernel launch — which
+// the paper conjectures are accurate enough for useful performance
+// isolation.
+type Scheduler interface {
+	// Admit blocks until vm may forward a call with the given estimated
+	// cost (nanoseconds of device time, or an abstract cost unit).
+	Admit(vm VMID, cost int64)
+	// Done reports that the admitted call finished; measured, if positive,
+	// replaces the estimate in the VM's accounting.
+	Done(vm VMID, cost int64, measured int64)
+	// Usage returns the accumulated normalized usage for a VM.
+	Usage(vm VMID) int64
+}
+
+// FIFOScheduler admits every call immediately: the no-policy baseline.
+type FIFOScheduler struct {
+	mu    sync.Mutex
+	usage map[VMID]int64
+}
+
+// NewFIFOScheduler returns the pass-through scheduler.
+func NewFIFOScheduler() *FIFOScheduler {
+	return &FIFOScheduler{usage: make(map[VMID]int64)}
+}
+
+// Admit implements Scheduler.
+func (s *FIFOScheduler) Admit(vm VMID, cost int64) {}
+
+// Done implements Scheduler.
+func (s *FIFOScheduler) Done(vm VMID, cost int64, measured int64) {
+	if measured > 0 {
+		cost = measured
+	}
+	s.mu.Lock()
+	s.usage[vm] += cost
+	s.mu.Unlock()
+}
+
+// Usage implements Scheduler.
+func (s *FIFOScheduler) Usage(vm VMID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[vm]
+}
+
+// FairScheduler implements weighted device-time fair sharing. Each VM
+// accumulates cost normalized by its weight; a VM is blocked while it is
+// more than window ahead of the furthest-behind VM that currently has work
+// waiting. This is start-time fair queuing degenerated to one queue slot
+// per VM, which matches the router's per-VM serial forwarding.
+type FairScheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	weights map[VMID]int64
+	usage   map[VMID]int64 // normalized accumulated cost
+	waiting map[VMID]int   // VMs blocked in or about to pass Admit
+	window  int64
+}
+
+// NewFairScheduler creates a fair scheduler. window is the allowed
+// normalized-usage lead (e.g. 10ms of device time) before a VM is held
+// back; weights default to 1.
+func NewFairScheduler(window time.Duration) *FairScheduler {
+	s := &FairScheduler{
+		weights: make(map[VMID]int64),
+		usage:   make(map[VMID]int64),
+		waiting: make(map[VMID]int),
+		window:  int64(window),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetWeight assigns a VM's share weight (higher = larger share).
+func (s *FairScheduler) SetWeight(vm VMID, w int64) {
+	if w <= 0 {
+		w = 1
+	}
+	s.mu.Lock()
+	s.weights[vm] = w
+	s.mu.Unlock()
+}
+
+func (s *FairScheduler) weight(vm VMID) int64 {
+	if w, ok := s.weights[vm]; ok {
+		return w
+	}
+	return 1
+}
+
+// minWaitingUsage returns the lowest normalized usage among VMs with work
+// pending, excluding self; ok is false if self is the only contender.
+func (s *FairScheduler) minWaitingUsage(self VMID) (int64, bool) {
+	found := false
+	var m int64
+	for vm, n := range s.waiting {
+		if vm == self || n <= 0 {
+			continue
+		}
+		u := s.usage[vm]
+		if !found || u < m {
+			m, found = u, true
+		}
+	}
+	return m, found
+}
+
+// Admit implements Scheduler.
+func (s *FairScheduler) Admit(vm VMID, cost int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waiting[vm]++
+	for {
+		minU, contended := s.minWaitingUsage(vm)
+		if !contended || s.usage[vm] <= minU+s.window {
+			break
+		}
+		s.cond.Wait()
+	}
+	// Charge the estimate up front so concurrent admits see it.
+	s.usage[vm] += cost / s.weight(vm)
+}
+
+// Done implements Scheduler.
+func (s *FairScheduler) Done(vm VMID, cost int64, measured int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if measured > 0 && measured != cost {
+		// Replace the estimate with the measurement.
+		s.usage[vm] += (measured - cost) / s.weight(vm)
+	}
+	s.waiting[vm]--
+	if s.waiting[vm] <= 0 {
+		delete(s.waiting, vm)
+	}
+	s.cond.Broadcast()
+}
+
+// Usage implements Scheduler.
+func (s *FairScheduler) Usage(vm VMID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[vm]
+}
+
+// Reset clears accumulated usage (administrative epoch change).
+func (s *FairScheduler) Reset() {
+	s.mu.Lock()
+	for vm := range s.usage {
+		s.usage[vm] = 0
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -1,0 +1,51 @@
+package marshal
+
+// Batch envelopes group encoded Call frames so the guest library can flush
+// several asynchronously forwarded calls (plus, usually, one trailing
+// synchronous call) in a single transport frame — the "API batching"
+// optimization the paper adopts from rCUDA (§4.2). Every guest→server frame
+// is a batch; replies travel unenveloped in the other direction.
+
+// EncodeBatch wraps already-encoded call frames into one batch frame.
+func EncodeBatch(calls [][]byte) []byte {
+	total := 2
+	for _, c := range calls {
+		total += 4 + len(c)
+	}
+	b := make([]byte, 0, total)
+	b = appendUint16(b, uint16(len(calls)))
+	for _, c := range calls {
+		b = appendUint32(b, uint32(len(c)))
+		b = append(b, c...)
+	}
+	return b
+}
+
+// DecodeBatch splits a batch frame into its call frames. The returned
+// slices alias b.
+func DecodeBatch(b []byte) ([][]byte, error) {
+	r := &reader{b: b}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxValues {
+		return nil, ErrTooLarge
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < int(n); i++ {
+		ln, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		frame, err := r.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame)
+	}
+	if r.off != len(b) {
+		return nil, ErrTruncated
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package marshal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	calls := [][]byte{
+		EncodeCall(&Call{Seq: 1, Func: 2}),
+		EncodeCall(&Call{Seq: 2, Func: 3, Flags: FlagAsync, Args: []Value{Int(9)}}),
+		EncodeCall(&Call{Seq: 3, Func: 4, Args: []Value{BytesVal(make([]byte, 100))}}),
+	}
+	frames, err := DecodeBatch(EncodeBatch(calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for i := range calls {
+		if !bytes.Equal(frames[i], calls[i]) {
+			t.Errorf("frame %d corrupted", i)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	frames, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil || len(frames) != 0 {
+		t.Fatalf("empty batch: %v %v", frames, err)
+	}
+}
+
+func TestBatchTruncated(t *testing.T) {
+	full := EncodeBatch([][]byte{{1, 2, 3}})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeBatch(full[:n]); err == nil {
+			t.Fatalf("truncation at %d not detected", n)
+		}
+	}
+}
+
+func TestBatchTrailingGarbage(t *testing.T) {
+	b := append(EncodeBatch([][]byte{{1}}), 0xFF)
+	if _, err := DecodeBatch(b); err == nil {
+		t.Fatal("trailing garbage not detected")
+	}
+}
+
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		enc := EncodeBatch(payloads)
+		dec, err := DecodeBatch(enc)
+		if err != nil || len(dec) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(dec[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBatchDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		DecodeBatch(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

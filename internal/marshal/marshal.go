@@ -1,0 +1,541 @@
+// Package marshal defines the wire format for forwarded API calls.
+//
+// Every API invocation intercepted by the guest library is encoded as a Call
+// frame, carried over a transport to the router and on to the API server,
+// which answers with a Reply frame. The format is a compact, self-describing
+// little-endian encoding built by hand (no reflection on the hot path): a
+// frame is a header followed by a sequence of tagged values.
+//
+// Buffer arguments are direction-aware. An input buffer travels guest→server
+// in the Call; an output buffer travels server→guest in the Reply; an in/out
+// buffer travels both ways. The direction itself is not on the wire — it is
+// part of the API specification shared by both sides — but the encoding of a
+// buffer records only what that direction requires (an out-buffer in a Call
+// frame is just its length, so the server can allocate backing space).
+package marshal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind identifies the type of a wire value.
+type Kind uint8
+
+// Wire value kinds.
+const (
+	KindNull   Kind = iota // absent pointer / nil buffer
+	KindInt                // signed 64-bit integer
+	KindUint               // unsigned 64-bit integer
+	KindFloat              // IEEE-754 64-bit float
+	KindBool               // boolean
+	KindString             // UTF-8 string
+	KindBytes              // opaque byte buffer (with contents)
+	KindLen                // buffer placeholder: length only, no contents
+	KindHandle             // opaque object handle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindUint:
+		return "uint"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindLen:
+		return "len"
+	case KindHandle:
+		return "handle"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Handle is an opaque reference to a server-side object (a context, buffer,
+// kernel, graph, ...). Zero is never a valid handle.
+type Handle uint64
+
+// Value is one tagged argument or result on the wire.
+type Value struct {
+	Kind  Kind
+	Int   int64   // KindInt
+	Uint  uint64  // KindUint, KindHandle, KindLen (length)
+	Float float64 // KindFloat
+	Bool  bool    // KindBool
+	Str   string  // KindString
+	Bytes []byte  // KindBytes
+}
+
+// Constructors for each value kind.
+
+// Null returns the null value (nil pointer / absent buffer).
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int returns a signed integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Uint returns an unsigned integer value.
+func Uint(v uint64) Value { return Value{Kind: KindUint, Uint: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// BytesVal returns a byte-buffer value carrying contents.
+func BytesVal(v []byte) Value { return Value{Kind: KindBytes, Bytes: v} }
+
+// Len returns a buffer placeholder carrying only a length.
+func Len(n uint64) Value { return Value{Kind: KindLen, Uint: n} }
+
+// HandleVal returns a handle value.
+func HandleVal(h Handle) Value { return Value{Kind: KindHandle, Uint: uint64(h)} }
+
+// Handle extracts the handle from a KindHandle value.
+func (v Value) Handle() Handle { return Handle(v.Uint) }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Equal reports whether two values are identical, comparing buffer contents.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.Int == o.Int
+	case KindUint, KindHandle, KindLen:
+		return v.Uint == o.Uint
+	case KindFloat:
+		return v.Float == o.Float || (math.IsNaN(v.Float) && math.IsNaN(o.Float))
+	case KindBool:
+		return v.Bool == o.Bool
+	case KindString:
+		return v.Str == o.Str
+	case KindBytes:
+		if len(v.Bytes) != len(o.Bytes) {
+			return false
+		}
+		for i := range v.Bytes {
+			if v.Bytes[i] != o.Bytes[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindUint:
+		return fmt.Sprintf("%du", v.Uint)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case KindBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.Bytes))
+	case KindLen:
+		return fmt.Sprintf("len[%d]", v.Uint)
+	case KindHandle:
+		return fmt.Sprintf("h#%d", v.Uint)
+	default:
+		return v.Kind.String()
+	}
+}
+
+// Flags on a Call frame.
+const (
+	// FlagAsync marks a call forwarded asynchronously: the guest does not
+	// wait for the Reply and the server may coalesce error reporting.
+	FlagAsync uint16 = 1 << iota
+	// FlagBatched marks a call delivered as part of a batch flush.
+	FlagBatched
+	// FlagReplay marks a call re-issued by the migration replay engine;
+	// the router must not charge it against rate limits.
+	FlagReplay
+)
+
+// Call is one forwarded API invocation.
+type Call struct {
+	Seq   uint64  // per-VM sequence number, assigned by the guest library
+	VM    uint32  // VM identifier, stamped by the hypervisor endpoint
+	Func  uint32  // function index in the API's StackDescriptor
+	Flags uint16  // FlagAsync etc.
+	Args  []Value // arguments in declaration order
+}
+
+// Status codes in a Reply frame.
+type Status uint8
+
+// Reply statuses.
+const (
+	StatusOK       Status = iota // call executed; Ret/Outs valid
+	StatusAPIError               // call executed; API returned a failure code in Ret
+	StatusDenied                 // router rejected the call (policy/verification)
+	StatusInternal               // stack-internal failure; Err describes it
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusAPIError:
+		return "api-error"
+	case StatusDenied:
+		return "denied"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Reply answers a Call.
+type Reply struct {
+	Seq    uint64
+	Status Status
+	Err    string  // human-readable detail for StatusDenied/StatusInternal
+	Ret    Value   // the API return value
+	Outs   []Value // out / in-out buffer contents, in argument order
+}
+
+// Encoding. Frames are length-prefixed externally by the transport; the
+// encodings here are the frame bodies.
+
+var (
+	// ErrTruncated reports a frame shorter than its own encoding claims.
+	ErrTruncated = errors.New("marshal: truncated frame")
+	// ErrBadKind reports an unknown value kind tag.
+	ErrBadKind = errors.New("marshal: unknown value kind")
+	// ErrTooLarge reports a string/buffer whose declared size is implausible.
+	ErrTooLarge = errors.New("marshal: declared size exceeds frame")
+)
+
+// maxValues bounds the argument vector so a corrupt frame cannot force a
+// giant allocation before ErrTruncated is detected.
+const maxValues = 1 << 16
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendUint16(b []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(b, v)
+}
+
+// AppendValue appends the encoding of v to b and returns the extended slice.
+func AppendValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindInt:
+		b = appendUint64(b, uint64(v.Int))
+	case KindUint, KindHandle, KindLen:
+		b = appendUint64(b, v.Uint)
+	case KindFloat:
+		b = appendUint64(b, math.Float64bits(v.Float))
+	case KindBool:
+		if v.Bool {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case KindString:
+		b = appendUint32(b, uint32(len(v.Str)))
+		b = append(b, v.Str...)
+	case KindBytes:
+		b = appendUint32(b, uint32(len(v.Bytes)))
+		b = append(b, v.Bytes...)
+	}
+	return b
+}
+
+// reader walks an encoded frame.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.off+2 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, ErrTooLarge
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) value() (Value, error) {
+	k, err := r.u8()
+	if err != nil {
+		return Value{}, err
+	}
+	v := Value{Kind: Kind(k)}
+	switch v.Kind {
+	case KindNull:
+	case KindInt:
+		u, err := r.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		v.Int = int64(u)
+	case KindUint, KindHandle, KindLen:
+		u, err := r.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		v.Uint = u
+	case KindFloat:
+		u, err := r.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		v.Float = math.Float64frombits(u)
+	case KindBool:
+		b, err := r.u8()
+		if err != nil {
+			return Value{}, err
+		}
+		v.Bool = b != 0
+	case KindString:
+		n, err := r.u32()
+		if err != nil {
+			return Value{}, err
+		}
+		raw, err := r.bytes(int(n))
+		if err != nil {
+			return Value{}, err
+		}
+		v.Str = string(raw)
+	case KindBytes:
+		n, err := r.u32()
+		if err != nil {
+			return Value{}, err
+		}
+		raw, err := r.bytes(int(n))
+		if err != nil {
+			return Value{}, err
+		}
+		// The decoded value aliases the frame. Transports hand each
+		// received frame to exactly one owner, and every component that
+		// retains buffer contents past the call (the record log, device
+		// memory) copies explicitly, so the hot path pays no extra copy.
+		v.Bytes = raw
+	default:
+		return Value{}, fmt.Errorf("%w: %d", ErrBadKind, k)
+	}
+	return v, nil
+}
+
+// valueSize returns the exact encoded size of v.
+func valueSize(v Value) int {
+	switch v.Kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 2
+	case KindString:
+		return 5 + len(v.Str)
+	case KindBytes:
+		return 5 + len(v.Bytes)
+	default:
+		return 9
+	}
+}
+
+// EncodeCall encodes c as a frame body, sized exactly so large buffer
+// arguments never trigger append growth copies.
+func EncodeCall(c *Call) []byte {
+	n := 20
+	for _, a := range c.Args {
+		n += valueSize(a)
+	}
+	return AppendCall(make([]byte, 0, n), c)
+}
+
+// AppendCall appends the encoding of c to b.
+func AppendCall(b []byte, c *Call) []byte {
+	b = appendUint64(b, c.Seq)
+	b = appendUint32(b, c.VM)
+	b = appendUint32(b, c.Func)
+	b = appendUint16(b, c.Flags)
+	b = appendUint16(b, uint16(len(c.Args)))
+	for _, a := range c.Args {
+		b = AppendValue(b, a)
+	}
+	return b
+}
+
+// DecodeCall decodes a frame body produced by EncodeCall.
+func DecodeCall(b []byte) (*Call, error) {
+	r := &reader{b: b}
+	c := &Call{}
+	var err error
+	if c.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if c.VM, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if c.Func, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if c.Flags, err = r.u16(); err != nil {
+		return nil, err
+	}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxValues {
+		return nil, ErrTooLarge
+	}
+	if n > 0 {
+		c.Args = make([]Value, n)
+		for i := range c.Args {
+			if c.Args[i], err = r.value(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("marshal: %d trailing bytes in call frame", len(b)-r.off)
+	}
+	return c, nil
+}
+
+// EncodeReply encodes rep as a frame body, sized exactly.
+func EncodeReply(rep *Reply) []byte {
+	n := 15 + len(rep.Err) + valueSize(rep.Ret)
+	for _, o := range rep.Outs {
+		n += valueSize(o)
+	}
+	return AppendReply(make([]byte, 0, n), rep)
+}
+
+// AppendReply appends the encoding of rep to b.
+func AppendReply(b []byte, rep *Reply) []byte {
+	b = appendUint64(b, rep.Seq)
+	b = append(b, byte(rep.Status))
+	b = appendUint32(b, uint32(len(rep.Err)))
+	b = append(b, rep.Err...)
+	b = AppendValue(b, rep.Ret)
+	b = appendUint16(b, uint16(len(rep.Outs)))
+	for _, o := range rep.Outs {
+		b = AppendValue(b, o)
+	}
+	return b
+}
+
+// DecodeReply decodes a frame body produced by EncodeReply.
+func DecodeReply(b []byte) (*Reply, error) {
+	r := &reader{b: b}
+	rep := &Reply{}
+	var err error
+	if rep.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	st, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	rep.Status = Status(st)
+	en, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	eraw, err := r.bytes(int(en))
+	if err != nil {
+		return nil, err
+	}
+	rep.Err = string(eraw)
+	if rep.Ret, err = r.value(); err != nil {
+		return nil, err
+	}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxValues {
+		return nil, ErrTooLarge
+	}
+	if n > 0 {
+		rep.Outs = make([]Value, n)
+		for i := range rep.Outs {
+			if rep.Outs[i], err = r.value(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("marshal: %d trailing bytes in reply frame", len(b)-r.off)
+	}
+	return rep, nil
+}

@@ -1,0 +1,333 @@
+package marshal
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleValues() []Value {
+	return []Value{
+		Null(),
+		Int(-42),
+		Int(math.MaxInt64),
+		Uint(7),
+		Uint(math.MaxUint64),
+		Float(3.14159),
+		Float(math.Inf(-1)),
+		Bool(true),
+		Bool(false),
+		Str(""),
+		Str("clEnqueueReadBuffer"),
+		BytesVal(nil),
+		BytesVal([]byte{1, 2, 3, 4, 5}),
+		Len(1 << 20),
+		HandleVal(99),
+	}
+}
+
+func TestValueRoundTripAllKinds(t *testing.T) {
+	for _, v := range sampleValues() {
+		b := AppendValue(nil, v)
+		r := &reader{b: b}
+		got, err := r.value()
+		if err != nil {
+			t.Fatalf("%v: decode: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+		if r.off != len(b) {
+			t.Errorf("%v: %d bytes left over", v, len(b)-r.off)
+		}
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	c := &Call{
+		Seq:   12345,
+		VM:    3,
+		Func:  17,
+		Flags: FlagAsync | FlagBatched,
+		Args:  sampleValues(),
+	}
+	got, err := DecodeCall(EncodeCall(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != c.Seq || got.VM != c.VM || got.Func != c.Func || got.Flags != c.Flags {
+		t.Fatalf("header mismatch: %+v vs %+v", got, c)
+	}
+	if len(got.Args) != len(c.Args) {
+		t.Fatalf("args len %d want %d", len(got.Args), len(c.Args))
+	}
+	for i := range c.Args {
+		if !got.Args[i].Equal(c.Args[i]) {
+			t.Errorf("arg %d: %v want %v", i, got.Args[i], c.Args[i])
+		}
+	}
+}
+
+func TestCallRoundTripNoArgs(t *testing.T) {
+	c := &Call{Seq: 1, VM: 0, Func: 0}
+	got, err := DecodeCall(EncodeCall(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 0 {
+		t.Fatalf("want no args, got %d", len(got.Args))
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	rep := &Reply{
+		Seq:    9,
+		Status: StatusAPIError,
+		Err:    "denied: rate limit",
+		Ret:    Int(-5),
+		Outs:   []Value{BytesVal([]byte("abc")), Null(), HandleVal(4)},
+	}
+	got, err := DecodeReply(EncodeReply(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != rep.Seq || got.Status != rep.Status || got.Err != rep.Err {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.Ret.Equal(rep.Ret) {
+		t.Fatalf("ret %v want %v", got.Ret, rep.Ret)
+	}
+	for i := range rep.Outs {
+		if !got.Outs[i].Equal(rep.Outs[i]) {
+			t.Errorf("out %d: %v want %v", i, got.Outs[i], rep.Outs[i])
+		}
+	}
+}
+
+func TestDecodeCallTruncated(t *testing.T) {
+	full := EncodeCall(&Call{Seq: 1, Args: []Value{Str("hello"), Int(1)}})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeCall(full[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d not detected", n, len(full))
+		}
+	}
+}
+
+func TestDecodeReplyTruncated(t *testing.T) {
+	full := EncodeReply(&Reply{Seq: 1, Err: "x", Ret: Float(2), Outs: []Value{BytesVal([]byte{9})}})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeReply(full[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d not detected", n, len(full))
+		}
+	}
+}
+
+func TestDecodeCallTrailingGarbage(t *testing.T) {
+	b := EncodeCall(&Call{Seq: 1})
+	b = append(b, 0xAA)
+	if _, err := DecodeCall(b); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	b := EncodeCall(&Call{Seq: 1, Args: []Value{Int(5)}})
+	// Arg kind byte is right after the 20-byte header.
+	b[20] = 0xEE
+	if _, err := DecodeCall(b); err == nil {
+		t.Fatal("bad kind not detected")
+	}
+}
+
+func TestDecodeOversizedString(t *testing.T) {
+	c := &Call{Seq: 1, Args: []Value{Str("abcd")}}
+	b := EncodeCall(c)
+	// Inflate the declared string length far beyond the frame.
+	b[21] = 0xFF
+	b[22] = 0xFF
+	b[23] = 0xFF
+	b[24] = 0x7F
+	if _, err := DecodeCall(b); err == nil {
+		t.Fatal("oversized string not detected")
+	}
+}
+
+func TestBytesDecodeAliasesFrame(t *testing.T) {
+	// Zero-copy contract: decoded buffers alias the frame; retainers must
+	// clone explicitly.
+	frame := EncodeCall(&Call{Seq: 1, Args: []Value{BytesVal([]byte{1, 2, 3})}})
+	c, err := DecodeCall(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] = 0xFF
+	if c.Args[0].Bytes[2] != 0xFF {
+		t.Fatal("decode copied; the hot path should alias")
+	}
+}
+
+func TestValueEqualNaN(t *testing.T) {
+	if !Float(math.NaN()).Equal(Float(math.NaN())) {
+		t.Fatal("NaN should compare equal to NaN for round-trip checking")
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	if Int(0).Equal(Uint(0)) {
+		t.Fatal("different kinds must not be equal")
+	}
+}
+
+func TestStatusAndKindStrings(t *testing.T) {
+	for _, s := range []Status{StatusOK, StatusAPIError, StatusDenied, StatusInternal, Status(99)} {
+		if s.String() == "" {
+			t.Errorf("empty Status string for %d", s)
+		}
+	}
+	for k := Kind(0); k < 12; k++ {
+		if k.String() == "" {
+			t.Errorf("empty Kind string for %d", k)
+		}
+	}
+	for _, v := range sampleValues() {
+		if v.String() == "" {
+			t.Errorf("empty Value string for kind %v", v.Kind)
+		}
+	}
+}
+
+// randomValue builds an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(9) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Uint(r.Uint64())
+	case 3:
+		return Float(r.NormFloat64())
+	case 4:
+		return Bool(r.Intn(2) == 0)
+	case 5:
+		return Str(strings.Repeat("x", r.Intn(64)))
+	case 6:
+		buf := make([]byte, r.Intn(256))
+		r.Read(buf)
+		return BytesVal(buf)
+	case 7:
+		return Len(r.Uint64())
+	default:
+		return HandleVal(Handle(r.Uint64()))
+	}
+}
+
+func TestQuickCallRoundTrip(t *testing.T) {
+	f := func(seq uint64, vm, fn uint32, flags uint16, nargs uint8) bool {
+		r := rand.New(rand.NewSource(int64(seq) ^ int64(fn)))
+		c := &Call{Seq: seq, VM: vm, Func: fn, Flags: flags}
+		for i := 0; i < int(nargs%24); i++ {
+			c.Args = append(c.Args, randomValue(r))
+		}
+		got, err := DecodeCall(EncodeCall(c))
+		if err != nil {
+			return false
+		}
+		if got.Seq != c.Seq || got.VM != c.VM || got.Func != c.Func || got.Flags != c.Flags {
+			return false
+		}
+		if len(got.Args) != len(c.Args) {
+			return false
+		}
+		for i := range c.Args {
+			if !got.Args[i].Equal(c.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReplyRoundTrip(t *testing.T) {
+	f := func(seq uint64, status uint8, errmsg string, nouts uint8) bool {
+		r := rand.New(rand.NewSource(int64(seq)))
+		rep := &Reply{Seq: seq, Status: Status(status % 4), Err: errmsg, Ret: randomValue(r)}
+		for i := 0; i < int(nouts%16); i++ {
+			rep.Outs = append(rep.Outs, randomValue(r))
+		}
+		got, err := DecodeReply(EncodeReply(rep))
+		if err != nil {
+			return false
+		}
+		if got.Seq != rep.Seq || got.Status != rep.Status || got.Err != rep.Err {
+			return false
+		}
+		if !got.Ret.Equal(rep.Ret) || len(got.Outs) != len(rep.Outs) {
+			return false
+		}
+		for i := range rep.Outs {
+			if !got.Outs[i].Equal(rep.Outs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz-ish robustness: decoding arbitrary junk must never panic.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		DecodeCall(b)
+		DecodeReply(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendCallReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	c := &Call{Seq: 7, Args: []Value{Int(1)}}
+	out := AppendCall(buf, c)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendCall reallocated despite sufficient capacity")
+	}
+}
+
+func BenchmarkEncodeCallSmall(b *testing.B) {
+	c := &Call{Seq: 1, Func: 12, Args: []Value{HandleVal(3), Uint(0), Uint(8), BytesVal(make([]byte, 8))}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendCall(buf[:0], c)
+	}
+}
+
+func BenchmarkDecodeCallSmall(b *testing.B) {
+	c := &Call{Seq: 1, Func: 12, Args: []Value{HandleVal(3), Uint(0), Uint(8), BytesVal(make([]byte, 8))}}
+	frame := EncodeCall(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCall(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeCall4KBuffer(b *testing.B) {
+	c := &Call{Seq: 1, Func: 12, Args: []Value{HandleVal(3), BytesVal(make([]byte, 4096))}}
+	buf := make([]byte, 0, 8192)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		buf = AppendCall(buf[:0], c)
+	}
+}

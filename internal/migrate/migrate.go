@@ -1,0 +1,193 @@
+// Package migrate implements AvA's VM migration support (§4.3): record and
+// replay of annotated API calls plus synthesized copies of device memory.
+//
+// During normal execution the API server records every call whose
+// specification carries a track annotation — global configuration, object
+// creation and modification — pruning entries when the objects they created
+// are destroyed. To migrate, Capture suspends the VM's context, drains the
+// record log, and synthesizes copies from every extant device buffer to
+// host memory. Any VM migration mechanism can then move the snapshot;
+// Restore replays the recorded calls against the destination API server to
+// reinitialize the device and reallocate all objects, rebinds the recreated
+// objects to the handle values the guest already holds, restores the device
+// buffers, and the application resumes untouched.
+package migrate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"ava/internal/cava"
+	"ava/internal/marshal"
+	"ava/internal/server"
+	"ava/internal/spec"
+)
+
+// Adapter supplies the silo-specific state operations the engine cannot
+// perform generically.
+type Adapter interface {
+	// SnapshotObject serializes an object's device state. stateful=false
+	// means replay alone fully reconstructs the object.
+	SnapshotObject(obj any) (state []byte, stateful bool, err error)
+	// RestoreObject writes captured state back into the re-created object.
+	RestoreObject(obj any, state []byte) error
+}
+
+// Snapshot is a migratable image of one VM's accelerator state.
+type Snapshot struct {
+	VM      uint32
+	Name    string
+	Log     []server.RecordedCall
+	Objects map[marshal.Handle][]byte // stateful object contents by guest handle
+}
+
+// Encode serializes the snapshot for transport.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("migrate: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a snapshot.
+func Decode(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("migrate: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// Capture quiesces the VM's API server context and snapshots its state.
+// The context remains frozen (the source is about to be torn down); call
+// Context.Thaw to abort the migration instead.
+func Capture(ctx *server.Context, ad Adapter) (*Snapshot, error) {
+	ctx.Freeze()
+	snap := &Snapshot{
+		VM:      ctx.VM,
+		Name:    ctx.Name,
+		Log:     ctx.RecordLog(),
+		Objects: make(map[marshal.Handle][]byte),
+	}
+	var err error
+	ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+		if err != nil {
+			return
+		}
+		state, stateful, serr := ad.SnapshotObject(obj)
+		if serr != nil {
+			err = fmt.Errorf("migrate: snapshot handle %d: %w", h, serr)
+			return
+		}
+		if stateful {
+			snap.Objects[h] = state
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Restore replays the snapshot onto a destination server context,
+// rebinding recreated objects to the guest's original handle values and
+// restoring device buffer contents. The destination context must be fresh.
+func Restore(snap *Snapshot, dst *server.Server, ctx *server.Context, ad Adapter) error {
+	desc := dst.Registry().Desc
+	for i, rc := range snap.Log {
+		fd, ok := desc.ByID(rc.Func)
+		if !ok {
+			return fmt.Errorf("migrate: recorded call #%d references unknown function %d", i, rc.Func)
+		}
+		reply := dst.Execute(ctx, &marshal.Call{
+			Seq:   uint64(i + 1),
+			Func:  rc.Func,
+			Flags: marshal.FlagReplay,
+			Args:  rc.Args,
+		})
+		if reply == nil || reply.Status != marshal.StatusOK {
+			detail := "no reply"
+			if reply != nil {
+				detail = reply.Err
+			}
+			return fmt.Errorf("migrate: replay of %s failed: %s", fd.Name, detail)
+		}
+		if err := rebind(ctx, fd, &rc, reply); err != nil {
+			return err
+		}
+	}
+	// Synthesize the reverse copies: restore each stateful object.
+	for h, state := range snap.Objects {
+		obj, ok := ctx.Handles.Get(h)
+		if !ok {
+			return fmt.Errorf("migrate: restored state for unknown handle %d", h)
+		}
+		if err := ad.RestoreObject(obj, state); err != nil {
+			return fmt.Errorf("migrate: restore handle %d: %w", h, err)
+		}
+	}
+	return nil
+}
+
+// rebind moves every handle the replayed call created or returned from its
+// fresh destination value to the value the original call gave the guest,
+// so the guest's handles stay valid after migration. The recorded reply
+// provides the original values; the new reply provides the fresh ones.
+func rebind(ctx *server.Context, fd *cava.FuncDesc, rc *server.RecordedCall, reply *marshal.Reply) error {
+	type pair struct{ old, new marshal.Handle }
+	var pairs []pair
+	add := func(old, new marshal.Handle) {
+		if old != 0 && new != 0 && old != new {
+			pairs = append(pairs, pair{old, new})
+		}
+	}
+
+	if rc.Ret.Kind == marshal.KindHandle && reply.Ret.Kind == marshal.KindHandle {
+		add(rc.Ret.Handle(), reply.Ret.Handle())
+	}
+	if len(rc.Outs) == len(reply.Outs) {
+		slot := 0
+		for i := range fd.Params {
+			pd := &fd.Params[i]
+			if !pd.Out() {
+				continue
+			}
+			oldV, newV := rc.Outs[slot], reply.Outs[slot]
+			slot++
+			switch {
+			case oldV.Kind == marshal.KindHandle && newV.Kind == marshal.KindHandle:
+				add(oldV.Handle(), newV.Handle())
+			case pd.Kind == spec.KindHandle && oldV.Kind == marshal.KindBytes && newV.Kind == marshal.KindBytes:
+				n := min(len(oldV.Bytes), len(newV.Bytes)) / 8
+				for j := 0; j < n; j++ {
+					add(marshal.Handle(binary.LittleEndian.Uint64(oldV.Bytes[8*j:])),
+						marshal.Handle(binary.LittleEndian.Uint64(newV.Bytes[8*j:])))
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	// Two phases so fresh handles that collide with original values within
+	// one reply cannot shadow each other.
+	objs := make([]any, len(pairs))
+	for i, p := range pairs {
+		obj, ok := ctx.Handles.Remove(p.new)
+		if !ok {
+			return fmt.Errorf("migrate: %s: replayed handle %d vanished", fd.Name, p.new)
+		}
+		objs[i] = obj
+	}
+	for i, p := range pairs {
+		if err := ctx.Handles.InsertAt(p.old, objs[i]); err != nil {
+			return fmt.Errorf("migrate: %s: %w", fd.Name, err)
+		}
+		ctx.RemapRecorded(p.new, p.old)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package mvnc
+
+import (
+	"fmt"
+
+	"ava/internal/marshal"
+	"ava/internal/server"
+)
+
+// BindServer registers the MVNC handlers (the generated API-server
+// component for the NCSDK stack).
+func BindServer(reg *server.Registry, silo *Silo) {
+	type inv = server.Invocation
+
+	get := func(v *inv, i int) (any, bool) { return v.Ctx.Handles.Get(v.Handle(i)) }
+
+	reg.MustRegister("mvncGetDeviceCount", func(v *inv) error {
+		if !v.IsNull(0) {
+			v.SetOutUint(0, uint64(silo.DeviceCount()))
+		}
+		v.SetStatus(int64(OK))
+		return nil
+	})
+
+	reg.MustRegister("mvncGetDeviceName", func(v *inv) error {
+		name, st := silo.DeviceName(uint32(v.Uint(0)))
+		if st == OK && !v.IsNull(2) {
+			copy(v.Bytes(2), name)
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("mvncOpenDevice", func(v *inv) error {
+		d, st := silo.OpenDevice(uint32(v.Uint(0)))
+		if st == OK && !v.IsNull(1) {
+			v.SetOutHandle(1, v.Ctx.Handles.Insert(d))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("mvncCloseDevice", func(v *inv) error {
+		obj, ok := get(v, 0)
+		d, okd := obj.(*Device)
+		if !ok || !okd {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		st := silo.CloseDevice(d)
+		if st == OK {
+			v.Ctx.Handles.Remove(v.Handle(0))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("mvncAllocateGraph", func(v *inv) error {
+		obj, ok := get(v, 0)
+		d, okd := obj.(*Device)
+		if !ok || !okd {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		g, st := silo.AllocateGraph(d, v.Str(1), v.Bytes(3))
+		if st == ErrOutOfMemory {
+			return fmt.Errorf("mvncAllocateGraph: %w", server.ErrDeviceOOM)
+		}
+		if st == OK && !v.IsNull(4) {
+			v.SetOutHandle(4, v.Ctx.Handles.Insert(g))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("mvncDeallocateGraph", func(v *inv) error {
+		obj, ok := get(v, 0)
+		g, okg := obj.(*Graph)
+		if !ok || !okg {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		st := silo.DeallocateGraph(g)
+		if st == OK {
+			v.Ctx.Handles.Remove(v.Handle(0))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("mvncLoadTensor", func(v *inv) error {
+		obj, ok := get(v, 0)
+		g, okg := obj.(*Graph)
+		if !ok || !okg {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		v.SetStatus(int64(silo.LoadTensor(g, v.Bytes(2))))
+		return nil
+	})
+
+	reg.MustRegister("mvncGetResult", func(v *inv) error {
+		obj, ok := get(v, 0)
+		g, okg := obj.(*Graph)
+		if !ok || !okg {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		v.SetStatus(int64(silo.GetResult(g, v.Bytes(2))))
+		return nil
+	})
+
+	reg.MustRegister("mvncSetGraphOption", func(v *inv) error {
+		obj, ok := get(v, 0)
+		g, okg := obj.(*Graph)
+		if !ok || !okg {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		v.SetStatus(int64(silo.SetGraphOption(g, uint32(v.Uint(1)), uint32(v.Uint(2)))))
+		return nil
+	})
+
+	reg.MustRegister("mvncGetGraphOption", func(v *inv) error {
+		obj, ok := get(v, 0)
+		g, okg := obj.(*Graph)
+		if !ok || !okg {
+			v.SetStatus(int64(ErrInvalidParams))
+			return nil
+		}
+		val, st := silo.GetGraphOption(g, uint32(v.Uint(1)))
+		if st == OK && !v.IsNull(2) {
+			v.SetOutUint(2, uint64(val))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+}
+
+// Client is the uniform MVNC programming surface; as with cl.Client, the
+// identical application runs natively and fully remoted.
+type Client interface {
+	DeviceCount() (int, error)
+	DeviceName(index uint32) (string, error)
+	OpenDevice(index uint32) (Ref, error)
+	CloseDevice(d Ref) error
+	AllocateGraph(d Ref, name string, blob []byte) (Ref, error)
+	DeallocateGraph(g Ref) error
+	LoadTensor(g Ref, tensor []byte) error
+	GetResult(g Ref, dst []byte) error
+	SetGraphOption(g Ref, option, value uint32) error
+	GetGraphOption(g Ref, option uint32) (uint32, error)
+	DeferredError() error
+}
+
+// Ref is an opaque device/graph reference.
+type Ref struct {
+	obj any
+	h   marshal.Handle
+}
+
+// Error is an MVNC failure status.
+type Error struct {
+	Op     string
+	Status int32
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("mvnc: %s: status %d", e.Op, e.Status) }
+
+func mvErr(op string, st int32) error {
+	if st == OK {
+		return nil
+	}
+	return &Error{Op: op, Status: st}
+}

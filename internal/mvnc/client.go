@@ -1,0 +1,193 @@
+package mvnc
+
+import (
+	"ava/internal/guest"
+	"ava/internal/marshal"
+)
+
+// NativeClient executes MVNC calls directly against the silo.
+type NativeClient struct {
+	silo *Silo
+}
+
+// NewNative binds a client to silo.
+func NewNative(s *Silo) *NativeClient { return &NativeClient{silo: s} }
+
+// DeviceCount implements Client.
+func (c *NativeClient) DeviceCount() (int, error) { return c.silo.DeviceCount(), nil }
+
+// DeviceName implements Client.
+func (c *NativeClient) DeviceName(index uint32) (string, error) {
+	name, st := c.silo.DeviceName(index)
+	return name, mvErr("mvncGetDeviceName", st)
+}
+
+// OpenDevice implements Client.
+func (c *NativeClient) OpenDevice(index uint32) (Ref, error) {
+	d, st := c.silo.OpenDevice(index)
+	return Ref{obj: d}, mvErr("mvncOpenDevice", st)
+}
+
+// CloseDevice implements Client.
+func (c *NativeClient) CloseDevice(r Ref) error {
+	d, _ := r.obj.(*Device)
+	return mvErr("mvncCloseDevice", c.silo.CloseDevice(d))
+}
+
+// AllocateGraph implements Client.
+func (c *NativeClient) AllocateGraph(r Ref, name string, blob []byte) (Ref, error) {
+	d, _ := r.obj.(*Device)
+	g, st := c.silo.AllocateGraph(d, name, blob)
+	return Ref{obj: g}, mvErr("mvncAllocateGraph", st)
+}
+
+// DeallocateGraph implements Client.
+func (c *NativeClient) DeallocateGraph(r Ref) error {
+	g, _ := r.obj.(*Graph)
+	return mvErr("mvncDeallocateGraph", c.silo.DeallocateGraph(g))
+}
+
+// LoadTensor implements Client.
+func (c *NativeClient) LoadTensor(r Ref, tensor []byte) error {
+	g, _ := r.obj.(*Graph)
+	return mvErr("mvncLoadTensor", c.silo.LoadTensor(g, tensor))
+}
+
+// GetResult implements Client.
+func (c *NativeClient) GetResult(r Ref, dst []byte) error {
+	g, _ := r.obj.(*Graph)
+	return mvErr("mvncGetResult", c.silo.GetResult(g, dst))
+}
+
+// SetGraphOption implements Client.
+func (c *NativeClient) SetGraphOption(r Ref, option, value uint32) error {
+	g, _ := r.obj.(*Graph)
+	return mvErr("mvncSetGraphOption", c.silo.SetGraphOption(g, option, value))
+}
+
+// GetGraphOption implements Client.
+func (c *NativeClient) GetGraphOption(r Ref, option uint32) (uint32, error) {
+	g, _ := r.obj.(*Graph)
+	v, st := c.silo.GetGraphOption(g, option)
+	return v, mvErr("mvncGetGraphOption", st)
+}
+
+// DeferredError implements Client.
+func (c *NativeClient) DeferredError() error { return nil }
+
+// RemoteClient is the generated MVNC guest library over the stub engine.
+type RemoteClient struct {
+	lib *guest.Lib
+}
+
+// NewRemote wraps an attached guest library speaking the MVNC Spec.
+func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
+
+// Lib exposes the stub engine.
+func (c *RemoteClient) Lib() *guest.Lib { return c.lib }
+
+func (c *RemoteClient) st(op string, v marshal.Value, err error) error {
+	if err != nil {
+		return err
+	}
+	var code int32
+	switch v.Kind {
+	case marshal.KindInt:
+		code = int32(v.Int)
+	case marshal.KindUint:
+		code = int32(v.Uint)
+	}
+	return mvErr(op, code)
+}
+
+// DeviceCount implements Client.
+func (c *RemoteClient) DeviceCount() (int, error) {
+	var n uint32
+	ret, err := c.lib.Call("mvncGetDeviceCount", &n)
+	if err := c.st("mvncGetDeviceCount", ret, err); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// DeviceName implements Client.
+func (c *RemoteClient) DeviceName(index uint32) (string, error) {
+	buf := make([]byte, 64)
+	ret, err := c.lib.Call("mvncGetDeviceName", index, uint64(len(buf)), buf)
+	if err := c.st("mvncGetDeviceName", ret, err); err != nil {
+		return "", err
+	}
+	n := 0
+	for n < len(buf) && buf[n] != 0 {
+		n++
+	}
+	return string(buf[:n]), nil
+}
+
+// OpenDevice implements Client.
+func (c *RemoteClient) OpenDevice(index uint32) (Ref, error) {
+	var h marshal.Handle
+	ret, err := c.lib.Call("mvncOpenDevice", index, &h)
+	if err := c.st("mvncOpenDevice", ret, err); err != nil {
+		return Ref{}, err
+	}
+	return Ref{h: h}, nil
+}
+
+// CloseDevice implements Client.
+func (c *RemoteClient) CloseDevice(r Ref) error {
+	ret, err := c.lib.Call("mvncCloseDevice", r.h)
+	return c.st("mvncCloseDevice", ret, err)
+}
+
+// AllocateGraph implements Client.
+func (c *RemoteClient) AllocateGraph(r Ref, name string, blob []byte) (Ref, error) {
+	var h marshal.Handle
+	ret, err := c.lib.Call("mvncAllocateGraph", r.h, name, uint64(len(blob)), blob, &h)
+	if err := c.st("mvncAllocateGraph", ret, err); err != nil {
+		return Ref{}, err
+	}
+	return Ref{h: h}, nil
+}
+
+// DeallocateGraph implements Client.
+func (c *RemoteClient) DeallocateGraph(r Ref) error {
+	ret, err := c.lib.Call("mvncDeallocateGraph", r.h)
+	return c.st("mvncDeallocateGraph", ret, err)
+}
+
+// LoadTensor implements Client.
+func (c *RemoteClient) LoadTensor(r Ref, tensor []byte) error {
+	ret, err := c.lib.Call("mvncLoadTensor", r.h, uint64(len(tensor)), tensor)
+	return c.st("mvncLoadTensor", ret, err)
+}
+
+// GetResult implements Client.
+func (c *RemoteClient) GetResult(r Ref, dst []byte) error {
+	ret, err := c.lib.Call("mvncGetResult", r.h, uint64(len(dst)), dst)
+	return c.st("mvncGetResult", ret, err)
+}
+
+// SetGraphOption implements Client.
+func (c *RemoteClient) SetGraphOption(r Ref, option, value uint32) error {
+	ret, err := c.lib.Call("mvncSetGraphOption", r.h, option, value)
+	return c.st("mvncSetGraphOption", ret, err)
+}
+
+// GetGraphOption implements Client.
+func (c *RemoteClient) GetGraphOption(r Ref, option uint32) (uint32, error) {
+	var v uint32
+	ret, err := c.lib.Call("mvncGetGraphOption", r.h, option, &v)
+	if err := c.st("mvncGetGraphOption", ret, err); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// DeferredError implements Client.
+func (c *RemoteClient) DeferredError() error { return c.lib.DeferredError() }
+
+var (
+	_ Client = (*NativeClient)(nil)
+	_ Client = (*RemoteClient)(nil)
+)

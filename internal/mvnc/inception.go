@@ -1,0 +1,51 @@
+package mvnc
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// RunInception executes the paper's NCS workload: allocate the Inception
+// graph on a stick, then a sequence of LoadTensor/GetResult inference
+// pairs. It returns a checksum over all outputs (identical native and
+// remoted). inferences scales run length.
+func RunInception(c Client, inferences int) (float64, error) {
+	const classes = 100
+	dev, err := c.OpenDevice(0)
+	if err != nil {
+		return 0, err
+	}
+	defer c.CloseDevice(dev)
+
+	// 1 MiB blob models the compiled-graph upload.
+	blob := GraphBlob("inception_v3_sim", 42, classes, 1<<20)
+	g, err := c.AllocateGraph(dev, "inception_v3_sim", blob)
+	if err != nil {
+		return 0, err
+	}
+	defer c.DeallocateGraph(g)
+
+	r := rand.New(rand.NewSource(7))
+	img := make([]byte, 3*64*64*4)
+	out := make([]byte, classes*4)
+	var sum float64
+	for i := 0; i < inferences; i++ {
+		for p := 0; p < len(img); p += 4 {
+			binary.LittleEndian.PutUint32(img[p:], math.Float32bits(r.Float32()))
+		}
+		if err := c.LoadTensor(g, img); err != nil {
+			return 0, err
+		}
+		if err := c.GetResult(g, out); err != nil {
+			return 0, err
+		}
+		for p := 0; p < len(out); p += 4 {
+			sum += float64(math.Float32frombits(binary.LittleEndian.Uint32(out[p:])))
+		}
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}

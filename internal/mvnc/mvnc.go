@@ -1,0 +1,393 @@
+// Package mvnc simulates the Intel Movidius Neural Compute Stick and its
+// NCSDK MVNC API, the second accelerator the paper para-virtualizes (§5).
+// A device is a devsim instance with limited onboard memory; a graph is a
+// compiled neural network (internal/nn) resident on the device. The API
+// profile is few, large calls — allocate graph, load input tensor, read
+// result — which is why the paper measured only ~1% remoting overhead for
+// Inception v3 on the NCS.
+package mvnc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ava/internal/cava"
+	"ava/internal/clock"
+	"ava/internal/devsim"
+	"ava/internal/nn"
+)
+
+// Spec is the CAvA specification for the MVNC API subset.
+const Spec = `
+api "ncsdk" version "1.12";
+
+handle ncs_device;
+handle ncs_graph;
+
+const MVNC_OK = 0;
+const MVNC_BUSY = -1;
+const MVNC_ERROR = -2;
+const MVNC_OUT_OF_MEMORY = -3;
+const MVNC_DEVICE_NOT_FOUND = -4;
+const MVNC_INVALID_PARAMETERS = -5;
+const MVNC_NO_DATA = -8;
+const MVNC_GRAPH_OPTION_TIMEOUT = 1;
+
+type mvnc_status = int32_t { success(MVNC_OK); };
+
+mvnc_status mvncGetDeviceCount(uint32_t *count) {
+  parameter(count) { out; element; }
+}
+
+mvnc_status mvncGetDeviceName(uint32_t index, size_t name_size, void *name) {
+  parameter(name) { out; buffer(name_size); }
+}
+
+mvnc_status mvncOpenDevice(uint32_t index, ncs_device *dev) {
+  parameter(dev) { out; element { allocates; } }
+  track(create, dev);
+}
+
+mvnc_status mvncCloseDevice(ncs_device dev) {
+  track(destroy, dev);
+}
+
+mvnc_status mvncAllocateGraph(ncs_device dev, const char *graph_name,
+                              size_t graph_size, const void *graph_data,
+                              ncs_graph *graph) {
+  parameter(graph_data) { in; buffer(graph_size); }
+  parameter(graph) { out; element { allocates; } }
+  resource(device_memory, graph_size);
+  track(create, graph);
+}
+
+mvnc_status mvncDeallocateGraph(ncs_graph graph) {
+  track(destroy, graph);
+}
+
+mvnc_status mvncLoadTensor(ncs_graph graph, size_t tensor_size,
+                           const void *tensor) {
+  async;
+  parameter(tensor) { in; buffer(tensor_size); }
+  resource(bandwidth, tensor_size);
+  resource(device_time, 1);
+}
+
+mvnc_status mvncGetResult(ncs_graph graph, size_t result_size, void *result) {
+  parameter(result) { out; buffer(result_size); }
+  resource(bandwidth, result_size);
+}
+
+mvnc_status mvncSetGraphOption(ncs_graph graph, uint32_t option, uint32_t value) {
+  track(modify, graph);
+}
+
+mvnc_status mvncGetGraphOption(ncs_graph graph, uint32_t option, uint32_t *value) {
+  parameter(value) { out; element; }
+}
+`
+
+// Descriptor compiles the MVNC stack descriptor.
+func Descriptor() *cava.Descriptor { return cava.MustCompile(Spec) }
+
+// Status codes mirroring the spec constants.
+const (
+	OK                int32 = 0
+	ErrBusy           int32 = -1
+	ErrError          int32 = -2
+	ErrOutOfMemory    int32 = -3
+	ErrDeviceNotFound int32 = -4
+	ErrInvalidParams  int32 = -5
+	ErrNoData         int32 = -8
+)
+
+// ModelBuilder constructs a network from a graph blob's options.
+type ModelBuilder func(seed int64, classes int) *nn.Network
+
+// modelRegistry maps model names (referenced by graph blobs) to builders.
+var modelRegistry = map[string]ModelBuilder{
+	"inception_v3_sim": nn.InceptionV3Sim,
+}
+
+// RegisterModel installs a model builder (examples can add their own).
+func RegisterModel(name string, b ModelBuilder) error {
+	if _, dup := modelRegistry[name]; dup {
+		return fmt.Errorf("mvnc: model %q already registered", name)
+	}
+	modelRegistry[name] = b
+	return nil
+}
+
+// GraphBlob serializes a compiled-graph reference: the simulated analogue
+// of the NCSDK's compiled graph file. Format: "model=<name>;seed=<n>;classes=<n>",
+// padded with NULs to the advertised size (real blobs are megabytes of
+// weights; padding preserves the transfer cost).
+func GraphBlob(model string, seed int64, classes, padToBytes int) []byte {
+	s := fmt.Sprintf("model=%s;seed=%d;classes=%d", model, seed, classes)
+	b := make([]byte, max(len(s), padToBytes))
+	copy(b, s)
+	return b
+}
+
+func parseBlob(b []byte) (model string, seed int64, classes int, err error) {
+	s := strings.TrimRight(string(b), "\x00")
+	classes = 100
+	for _, kv := range strings.Split(s, ";") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", 0, 0, fmt.Errorf("mvnc: malformed graph blob field %q", kv)
+		}
+		switch k {
+		case "model":
+			model = v
+		case "seed":
+			seed, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return "", 0, 0, fmt.Errorf("mvnc: bad seed %q", v)
+			}
+		case "classes":
+			classes, err = strconv.Atoi(v)
+			if err != nil {
+				return "", 0, 0, fmt.Errorf("mvnc: bad classes %q", v)
+			}
+		}
+	}
+	if model == "" {
+		return "", 0, 0, fmt.Errorf("mvnc: graph blob names no model")
+	}
+	return model, seed, classes, nil
+}
+
+// Device is one simulated NCS stick.
+type Device struct {
+	index int
+	sim   *devsim.Device
+	open  bool
+}
+
+// Graph is a network allocated on a device.
+type Graph struct {
+	dev     *Device
+	net     *nn.Network
+	classes int
+	addr    devsim.Addr // device memory charged for the graph
+	results [][]float32 // FIFO of pending inference results
+	timeout uint32
+	dead    bool
+}
+
+// Silo is the simulated NCS pool plus the MVNC implementation.
+type Silo struct {
+	mu      sync.Mutex
+	devices []*Device
+	clk     clock.Clock
+}
+
+// Config describes the simulated stick pool.
+type Config struct {
+	// Sticks is the number of NCS devices; default 1.
+	Sticks int
+	// MemoryBytes per stick; default 512 MiB (the NCS has limited DDR).
+	MemoryBytes uint64
+	// Clock; nil = wall clock.
+	Clock clock.Clock
+}
+
+// NewSilo builds the simulated stick pool.
+func NewSilo(cfg Config) *Silo {
+	if cfg.Sticks <= 0 {
+		cfg.Sticks = 1
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 512 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	s := &Silo{clk: cfg.Clock}
+	for i := 0; i < cfg.Sticks; i++ {
+		s.devices = append(s.devices, &Device{
+			index: i,
+			sim: devsim.New(devsim.Config{
+				Name:         fmt.Sprintf("ncs%d", i),
+				MemoryBytes:  cfg.MemoryBytes,
+				ComputeUnits: 1, // the NCS runs one inference at a time
+				Clock:        cfg.Clock,
+			}),
+		})
+	}
+	return s
+}
+
+// DeviceCount returns the number of sticks.
+func (s *Silo) DeviceCount() int { return len(s.devices) }
+
+// DeviceName returns the name of stick index.
+func (s *Silo) DeviceName(index uint32) (string, int32) {
+	if int(index) >= len(s.devices) {
+		return "", ErrDeviceNotFound
+	}
+	return s.devices[index].sim.Name(), OK
+}
+
+// OpenDevice opens stick index.
+func (s *Silo) OpenDevice(index uint32) (*Device, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(index) >= len(s.devices) {
+		return nil, ErrDeviceNotFound
+	}
+	d := s.devices[index]
+	if d.open {
+		return nil, ErrBusy
+	}
+	d.open = true
+	return d, OK
+}
+
+// CloseDevice releases a stick.
+func (s *Silo) CloseDevice(d *Device) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d == nil || !d.open {
+		return ErrInvalidParams
+	}
+	d.open = false
+	return OK
+}
+
+// AllocateGraph compiles a graph blob onto the device.
+func (s *Silo) AllocateGraph(d *Device, name string, blob []byte) (*Graph, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d == nil || !d.open {
+		return nil, ErrInvalidParams
+	}
+	model, seed, classes, err := parseBlob(blob)
+	if err != nil {
+		return nil, ErrInvalidParams
+	}
+	builder, ok := modelRegistry[model]
+	if !ok {
+		return nil, ErrInvalidParams
+	}
+	// Charge the blob footprint against device memory.
+	addr, aerr := d.sim.Alloc(uint64(len(blob)))
+	if aerr != nil {
+		return nil, ErrOutOfMemory
+	}
+	if err := d.sim.CopyIn(addr, 0, blob); err != nil {
+		d.sim.FreeMem(addr)
+		return nil, ErrError
+	}
+	return &Graph{dev: d, net: builder(seed, classes), classes: classes, addr: addr}, OK
+}
+
+// DeallocateGraph frees a graph.
+func (s *Silo) DeallocateGraph(g *Graph) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g == nil || g.dead {
+		return ErrInvalidParams
+	}
+	g.dead = true
+	g.dev.sim.FreeMem(g.addr)
+	g.results = nil
+	return OK
+}
+
+// LoadTensor submits one input image (C×H×W float32, little-endian) for
+// inference; the result queues for GetResult.
+func (s *Silo) LoadTensor(g *Graph, tensor []byte) int32 {
+	s.mu.Lock()
+	if g == nil || g.dead {
+		s.mu.Unlock()
+		return ErrInvalidParams
+	}
+	net := g.net
+	dev := g.dev
+	s.mu.Unlock()
+
+	want := net.InC * net.InHW * net.InHW * 4
+	if len(tensor) != want {
+		return ErrInvalidParams
+	}
+	in := nn.NewTensor(net.InC, net.InHW, net.InHW)
+	for i := range in.Data {
+		in.Data[i] = f32(binary.LittleEndian.Uint32(tensor[4*i:]))
+	}
+	var out *nn.Tensor
+	err := dev.sim.RunKernel(fmt.Sprintf("ncs%d", dev.index), func() {
+		out, _ = net.Forward(in)
+	})
+	if err != nil || out == nil {
+		return ErrError
+	}
+	s.mu.Lock()
+	g.results = append(g.results, out.Data)
+	s.mu.Unlock()
+	return OK
+}
+
+// GetResult pops the oldest inference result into dst (float32 LE).
+func (s *Silo) GetResult(g *Graph, dst []byte) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g == nil || g.dead {
+		return ErrInvalidParams
+	}
+	if len(g.results) == 0 {
+		return ErrNoData
+	}
+	res := g.results[0]
+	g.results = g.results[1:]
+	if len(dst) < 4*len(res) {
+		return ErrInvalidParams
+	}
+	for i, v := range res {
+		binary.LittleEndian.PutUint32(dst[4*i:], f32bits(v))
+	}
+	return OK
+}
+
+// SetGraphOption stores a graph option.
+func (s *Silo) SetGraphOption(g *Graph, option, value uint32) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g == nil || g.dead {
+		return ErrInvalidParams
+	}
+	if option != 1 {
+		return ErrInvalidParams
+	}
+	g.timeout = value
+	return OK
+}
+
+// GetGraphOption reads a graph option.
+func (s *Silo) GetGraphOption(g *Graph, option uint32) (uint32, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g == nil || g.dead {
+		return 0, ErrInvalidParams
+	}
+	if option != 1 {
+		return 0, ErrInvalidParams
+	}
+	return g.timeout, OK
+}
+
+// PendingResults reports queued inference outputs (tests).
+func (s *Silo) PendingResults(g *Graph) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(g.results)
+}
+
+func f32(bits uint32) float32 { return math.Float32frombits(bits) }
+
+func f32bits(v float32) uint32 { return math.Float32bits(v) }

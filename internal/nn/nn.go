@@ -1,0 +1,382 @@
+// Package nn is a small, real convolutional-network executor. It backs the
+// simulated Movidius Neural Compute Stick (internal/mvnc): the paper's
+// NCS experiment runs Inception v3, which no hardware here can run, so the
+// substitute executes an Inception-v3-shaped network (stem convolutions,
+// parallel-branch inception modules, global pooling, a classifier head) at
+// reduced scale — real multiply-accumulate work with the same
+// few-large-calls API profile that produced the paper's ~1% NCS overhead.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a C×H×W feature map.
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(c, h, w int) *Tensor {
+	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns element (c,y,x).
+func (t *Tensor) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set stores element (c,y,x).
+func (t *Tensor) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Layer transforms a tensor.
+type Layer interface {
+	Forward(in *Tensor) *Tensor
+	// Params returns the number of learned parameters (for model stats).
+	Params() int
+	Name() string
+}
+
+// Conv2D is a strided, padded convolution with bias and optional ReLU.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	W                         []float32 // [outc][inc][k][k]
+	B                         []float32
+	Relu                      bool
+}
+
+// NewConv2D builds a convolution with deterministic He-style init.
+func NewConv2D(r *rand.Rand, inC, outC, k, stride, pad int, relu bool) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, Relu: relu}
+	c.W = make([]float32, outC*inC*k*k)
+	c.B = make([]float32, outC)
+	scale := float32(math.Sqrt(2.0 / float64(inC*k*k)))
+	for i := range c.W {
+		c.W[i] = (r.Float32()*2 - 1) * scale
+	}
+	for i := range c.B {
+		c.B[i] = (r.Float32()*2 - 1) * 0.01
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv%dx%d/%d", c.K, c.K, c.Stride) }
+
+// Params implements Layer.
+func (c *Conv2D) Params() int { return len(c.W) + len(c.B) }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Tensor) *Tensor {
+	oh := (in.H+2*c.Pad-c.K)/c.Stride + 1
+	ow := (in.W+2*c.Pad-c.K)/c.Stride + 1
+	out := NewTensor(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := c.B[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							w := c.W[((oc*c.InC+ic)*c.K+ky)*c.K+kx]
+							sum += w * in.At(ic, iy, ix)
+						}
+					}
+				}
+				if c.Relu && sum < 0 {
+					sum = 0
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool is a K×K max pooling with stride.
+type MaxPool struct{ K, Stride int }
+
+// Name implements Layer.
+func (p *MaxPool) Name() string { return fmt.Sprintf("maxpool%d/%d", p.K, p.Stride) }
+
+// Params implements Layer.
+func (p *MaxPool) Params() int { return 0 }
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(in *Tensor) *Tensor {
+	oh := (in.H-p.K)/p.Stride + 1
+	ow := (in.W-p.K)/p.Stride + 1
+	out := NewTensor(in.C, oh, ow)
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				m := float32(math.Inf(-1))
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						v := in.At(c, oy*p.Stride+ky, ox*p.Stride+kx)
+						if v > m {
+							m = v
+						}
+					}
+				}
+				out.Set(c, oy, ox, m)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool reduces H×W to 1×1 per channel.
+type GlobalAvgPool struct{}
+
+// Name implements Layer.
+func (GlobalAvgPool) Name() string { return "gap" }
+
+// Params implements Layer.
+func (GlobalAvgPool) Params() int { return 0 }
+
+// Forward implements Layer.
+func (GlobalAvgPool) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, 1, 1)
+	for c := 0; c < in.C; c++ {
+		var s float32
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				s += in.At(c, y, x)
+			}
+		}
+		out.Set(c, 0, 0, s/float32(in.H*in.W))
+	}
+	return out
+}
+
+// Dense is a fully connected layer over a flattened tensor.
+type Dense struct {
+	In, Out int
+	W, B    []float32
+	Relu    bool
+}
+
+// NewDense builds a dense layer with deterministic init.
+func NewDense(r *rand.Rand, in, out int, relu bool) *Dense {
+	d := &Dense{In: in, Out: out, Relu: relu}
+	d.W = make([]float32, in*out)
+	d.B = make([]float32, out)
+	scale := float32(math.Sqrt(2.0 / float64(in)))
+	for i := range d.W {
+		d.W[i] = (r.Float32()*2 - 1) * scale
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("fc%d", d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() int { return len(d.W) + len(d.B) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(in *Tensor) *Tensor {
+	out := NewTensor(d.Out, 1, 1)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		for i := 0; i < d.In && i < len(in.Data); i++ {
+			sum += d.W[o*d.In+i] * in.Data[i]
+		}
+		if d.Relu && sum < 0 {
+			sum = 0
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Softmax normalizes the flattened input into a distribution.
+type Softmax struct{}
+
+// Name implements Layer.
+func (Softmax) Name() string { return "softmax" }
+
+// Params implements Layer.
+func (Softmax) Params() int { return 0 }
+
+// Forward implements Layer.
+func (Softmax) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, in.H, in.W)
+	m := float32(math.Inf(-1))
+	for _, v := range in.Data {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range in.Data {
+		e := math.Exp(float64(v - m))
+		out.Data[i] = float32(e)
+		_ = i
+		sum += e
+	}
+	for i := range out.Data {
+		out.Data[i] = float32(float64(out.Data[i]) / sum)
+	}
+	return out
+}
+
+// Inception runs parallel branches over the same input and concatenates
+// their channel outputs (branch outputs must share H×W).
+type Inception struct {
+	Branches [][]Layer
+}
+
+// Name implements Layer.
+func (b *Inception) Name() string { return fmt.Sprintf("inception[%d]", len(b.Branches)) }
+
+// Params implements Layer.
+func (b *Inception) Params() int {
+	n := 0
+	for _, br := range b.Branches {
+		for _, l := range br {
+			n += l.Params()
+		}
+	}
+	return n
+}
+
+// Forward implements Layer.
+func (b *Inception) Forward(in *Tensor) *Tensor {
+	var outs []*Tensor
+	totalC := 0
+	for _, br := range b.Branches {
+		t := in
+		for _, l := range br {
+			t = l.Forward(t)
+		}
+		outs = append(outs, t)
+		totalC += t.C
+	}
+	h, w := outs[0].H, outs[0].W
+	out := NewTensor(totalC, h, w)
+	c0 := 0
+	for _, t := range outs {
+		copy(out.Data[c0*h*w:], t.Data)
+		c0 += t.C
+	}
+	return out
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Name   string
+	InC    int
+	InHW   int
+	Layers []Layer
+}
+
+// Forward runs the network on a C×H×W input.
+func (n *Network) Forward(in *Tensor) (*Tensor, error) {
+	if in.C != n.InC || in.H != n.InHW || in.W != n.InHW {
+		return nil, fmt.Errorf("nn: input %dx%dx%d, want %dx%dx%d", in.C, in.H, in.W, n.InC, n.InHW, n.InHW)
+	}
+	t := in
+	for _, l := range n.Layers {
+		t = l.Forward(t)
+	}
+	return t, nil
+}
+
+// Params returns the total learned parameter count.
+func (n *Network) Params() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// InceptionV3Sim builds the reduced-scale Inception-v3-shaped network used
+// by the simulated NCS: stem convolutions with stride-2 downsampling, three
+// inception modules with 1x1 / 3x3 / pooled branches, global average
+// pooling, and a classifier over classes outputs. Weights are
+// deterministic in seed.
+func InceptionV3Sim(seed int64, classes int) *Network {
+	r := rand.New(rand.NewSource(seed))
+	const in = 3
+	const hw = 64
+	mkBranch := func(ls ...Layer) []Layer { return ls }
+	net := &Network{Name: "inception_v3_sim", InC: in, InHW: hw}
+	net.Layers = []Layer{
+		NewConv2D(r, in, 8, 3, 2, 1, true), // 8x32x32 stem
+		NewConv2D(r, 8, 16, 3, 1, 1, true), // 16x32x32
+		&MaxPool{K: 2, Stride: 2},          // 16x16x16
+		&Inception{Branches: [][]Layer{ // -> 40x16x16
+			mkBranch(NewConv2D(r, 16, 8, 1, 1, 0, true)),
+			mkBranch(NewConv2D(r, 16, 8, 1, 1, 0, true), NewConv2D(r, 8, 16, 3, 1, 1, true)),
+			mkBranch(NewConv2D(r, 16, 8, 1, 1, 0, true), NewConv2D(r, 8, 8, 3, 1, 1, true), NewConv2D(r, 8, 8, 3, 1, 1, true)),
+			mkBranch(&MaxPool{K: 3, Stride: 1}, padIdentity{}, NewConv2D(r, 16, 8, 1, 1, 0, true)),
+		}},
+		&MaxPool{K: 2, Stride: 2}, // 40x8x8
+		&Inception{Branches: [][]Layer{ // -> 96x8x8
+			mkBranch(NewConv2D(r, 40, 24, 1, 1, 0, true)),
+			mkBranch(NewConv2D(r, 40, 16, 1, 1, 0, true), NewConv2D(r, 16, 32, 3, 1, 1, true)),
+			mkBranch(NewConv2D(r, 40, 8, 1, 1, 0, true), NewConv2D(r, 8, 16, 3, 1, 1, true), NewConv2D(r, 16, 16, 3, 1, 1, true)),
+			mkBranch(NewConv2D(r, 40, 24, 1, 1, 0, true)),
+		}},
+		&MaxPool{K: 2, Stride: 2}, // 96x4x4
+		&Inception{Branches: [][]Layer{ // -> 128x4x4
+			mkBranch(NewConv2D(r, 96, 64, 1, 1, 0, true)),
+			mkBranch(NewConv2D(r, 96, 32, 1, 1, 0, true), NewConv2D(r, 32, 64, 3, 1, 1, true)),
+		}},
+		GlobalAvgPool{},
+		NewDense(r, 128, classes, false),
+		Softmax{},
+	}
+	return net
+}
+
+// padIdentity restores H×W after the unpadded 3x3/1 max pool in the
+// pooled inception branch (same-size pooling), by edge-padding one pixel.
+type padIdentity struct{}
+
+// Name implements Layer.
+func (padIdentity) Name() string { return "pad1" }
+
+// Params implements Layer.
+func (padIdentity) Params() int { return 0 }
+
+// Forward implements Layer.
+func (padIdentity) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.C, in.H+2, in.W+2)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				iy, ix := y-1, x-1
+				if iy < 0 {
+					iy = 0
+				}
+				if iy >= in.H {
+					iy = in.H - 1
+				}
+				if ix < 0 {
+					ix = 0
+				}
+				if ix >= in.W {
+					ix = in.W - 1
+				}
+				out.Set(c, y, x, in.At(c, iy, ix))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func input(seed int64, c, hw int) *Tensor {
+	r := rand.New(rand.NewSource(seed))
+	t := NewTensor(c, hw, hw)
+	for i := range t.Data {
+		t.Data[i] = r.Float32()
+	}
+	return t
+}
+
+func TestConvShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	c := NewConv2D(r, 3, 8, 3, 2, 1, true)
+	out := c.Forward(input(2, 3, 64))
+	if out.C != 8 || out.H != 32 || out.W != 32 {
+		t.Fatalf("shape = %dx%dx%d", out.C, out.H, out.W)
+	}
+	if c.Params() != 8*3*3*3+8 {
+		t.Fatalf("params = %d", c.Params())
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1x1 input channel, identity-ish kernel: verify arithmetic by hand.
+	c := &Conv2D{InC: 1, OutC: 1, K: 3, Stride: 1, Pad: 1,
+		W: []float32{0, 0, 0, 0, 2, 0, 0, 0, 0}, B: []float32{1}}
+	in := NewTensor(1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out := c.Forward(in)
+	for i := range out.Data {
+		if out.Data[i] != float32(i)*2+1 {
+			t.Fatalf("out[%d] = %v", i, out.Data[i])
+		}
+	}
+}
+
+func TestReluClamps(t *testing.T) {
+	c := &Conv2D{InC: 1, OutC: 1, K: 1, Stride: 1, Pad: 0,
+		W: []float32{-1}, B: []float32{0}, Relu: true}
+	in := NewTensor(1, 2, 2)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	out := c.Forward(in)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("relu failed: %v", v)
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := NewTensor(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out := (&MaxPool{K: 2, Stride: 2}).Forward(in)
+	want := []float32{5, 7, 13, 15}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("pool[%d] = %v want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := NewTensor(2, 2, 2)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out := (GlobalAvgPool{}).Forward(in)
+	if out.Data[0] != 1.5 || out.Data[1] != 5.5 {
+		t.Fatalf("gap = %v", out.Data)
+	}
+}
+
+func TestSoftmaxDistribution(t *testing.T) {
+	in := NewTensor(10, 1, 1)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out := (Softmax{}).Forward(in)
+	var sum float64
+	for i := 1; i < len(out.Data); i++ {
+		if out.Data[i] <= out.Data[i-1] {
+			t.Fatal("softmax not monotone over monotone input")
+		}
+	}
+	for _, v := range out.Data {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+}
+
+func TestDense(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, W: []float32{2, 3}, B: []float32{1}}
+	in := NewTensor(2, 1, 1)
+	in.Data[0], in.Data[1] = 5, 7
+	out := d.Forward(in)
+	if out.Data[0] != 2*5+3*7+1 {
+		t.Fatalf("dense = %v", out.Data[0])
+	}
+}
+
+func TestInceptionConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	b := &Inception{Branches: [][]Layer{
+		{NewConv2D(r, 4, 2, 1, 1, 0, true)},
+		{NewConv2D(r, 4, 3, 1, 1, 0, true)},
+	}}
+	out := b.Forward(input(4, 4, 8))
+	if out.C != 5 || out.H != 8 || out.W != 8 {
+		t.Fatalf("shape = %dx%dx%d", out.C, out.H, out.W)
+	}
+}
+
+func TestInceptionV3SimForward(t *testing.T) {
+	net := InceptionV3Sim(42, 100)
+	out, err := net.Forward(input(7, 3, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 100 {
+		t.Fatalf("classes = %d", out.Len())
+	}
+	var sum float64
+	for _, v := range out.Data {
+		if v < 0 || math.IsNaN(float64(v)) {
+			t.Fatalf("bad probability %v", v)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if net.Params() < 50_000 {
+		t.Fatalf("network suspiciously small: %d params", net.Params())
+	}
+}
+
+func TestInceptionV3SimDeterministic(t *testing.T) {
+	a, _ := InceptionV3Sim(42, 100).Forward(input(7, 3, 64))
+	b, _ := InceptionV3Sim(42, 100).Forward(input(7, 3, 64))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different outputs")
+		}
+	}
+	c, _ := InceptionV3Sim(43, 100).Forward(input(7, 3, 64))
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical outputs")
+	}
+}
+
+func TestForwardShapeMismatch(t *testing.T) {
+	net := InceptionV3Sim(1, 10)
+	if _, err := net.Forward(NewTensor(1, 8, 8)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestLayerNames(t *testing.T) {
+	net := InceptionV3Sim(1, 10)
+	for _, l := range net.Layers {
+		if l.Name() == "" {
+			t.Fatal("unnamed layer")
+		}
+	}
+}
+
+func BenchmarkInceptionV3SimForward(b *testing.B) {
+	net := InceptionV3Sim(42, 100)
+	in := input(7, 3, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Forward(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package qat
+
+import (
+	"fmt"
+
+	"ava/internal/guest"
+	"ava/internal/marshal"
+	"ava/internal/server"
+)
+
+// BindServer registers the QAT handlers (the generated API-server
+// component for the QAT stack).
+func BindServer(reg *server.Registry, silo *Silo) {
+	type inv = server.Invocation
+
+	instOf := func(v *inv, i int) (*Instance, bool) {
+		obj, ok := v.Ctx.Handles.Get(v.Handle(i))
+		if !ok {
+			return nil, false
+		}
+		in, ok := obj.(*Instance)
+		return in, ok
+	}
+	sessOf := func(v *inv, i int) (*Session, bool) {
+		obj, ok := v.Ctx.Handles.Get(v.Handle(i))
+		if !ok {
+			return nil, false
+		}
+		se, ok := obj.(*Session)
+		return se, ok
+	}
+
+	reg.MustRegister("qatGetNumInstances", func(v *inv) error {
+		if !v.IsNull(0) {
+			v.SetOutUint(0, uint64(silo.NumInstances()))
+		}
+		v.SetStatus(int64(OK))
+		return nil
+	})
+
+	reg.MustRegister("qatStartInstance", func(v *inv) error {
+		in, st := silo.StartInstance(uint32(v.Uint(0)))
+		if st == OK && !v.IsNull(1) {
+			v.SetOutHandle(1, v.Ctx.Handles.Insert(in))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("qatStopInstance", func(v *inv) error {
+		in, ok := instOf(v, 0)
+		if !ok {
+			v.SetStatus(int64(ErrInvalid))
+			return nil
+		}
+		st := silo.StopInstance(in)
+		if st == OK {
+			v.Ctx.Handles.Remove(v.Handle(0))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("qatSessionInit", func(v *inv) error {
+		in, ok := instOf(v, 0)
+		if !ok {
+			v.SetStatus(int64(ErrInvalid))
+			return nil
+		}
+		sess, st := silo.SessionInit(in, uint32(v.Uint(1)), uint32(v.Uint(2)))
+		if st == OK && !v.IsNull(3) {
+			v.SetOutHandle(3, v.Ctx.Handles.Insert(sess))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("qatSessionTeardown", func(v *inv) error {
+		sess, ok := sessOf(v, 0)
+		if !ok {
+			v.SetStatus(int64(ErrInvalid))
+			return nil
+		}
+		st := silo.SessionTeardown(sess)
+		if st == OK {
+			v.Ctx.Handles.Remove(v.Handle(0))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("qatCompress", func(v *inv) error {
+		sess, ok := sessOf(v, 0)
+		if !ok {
+			v.SetStatus(int64(ErrInvalid))
+			return nil
+		}
+		n, st := silo.Compress(sess, v.Bytes(2), v.Bytes(4))
+		if !v.IsNull(5) {
+			v.SetOutUint(5, uint64(n))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("qatDecompress", func(v *inv) error {
+		sess, ok := sessOf(v, 0)
+		if !ok {
+			v.SetStatus(int64(ErrInvalid))
+			return nil
+		}
+		n, st := silo.Decompress(sess, v.Bytes(2), v.Bytes(4))
+		if !v.IsNull(5) {
+			v.SetOutUint(5, uint64(n))
+		}
+		v.SetStatus(int64(st))
+		return nil
+	})
+
+	reg.MustRegister("qatHash", func(v *inv) error {
+		in, ok := instOf(v, 0)
+		if !ok {
+			v.SetStatus(int64(ErrInvalid))
+			return nil
+		}
+		v.SetStatus(int64(silo.Hash(in, v.Bytes(2), v.Bytes(3))))
+		return nil
+	})
+}
+
+// Error is a QAT failure status.
+type Error struct {
+	Op     string
+	Status int32
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("qat: %s: status %d", e.Op, e.Status) }
+
+func qErr(op string, st int32) error {
+	if st == OK {
+		return nil
+	}
+	return &Error{Op: op, Status: st}
+}
+
+// Ref is an opaque instance/session reference.
+type Ref struct {
+	obj any
+	h   marshal.Handle
+}
+
+// Client is the uniform QAT programming surface.
+type Client interface {
+	NumInstances() (int, error)
+	StartInstance(index uint32) (Ref, error)
+	StopInstance(inst Ref) error
+	SessionInit(inst Ref, direction, level uint32) (Ref, error)
+	SessionTeardown(sess Ref) error
+	Compress(sess Ref, src, dst []byte) (int, error)
+	Decompress(sess Ref, src, dst []byte) (int, error)
+	Hash(inst Ref, src []byte) ([32]byte, error)
+}
+
+// NativeClient executes directly against the silo.
+type NativeClient struct{ silo *Silo }
+
+// NewNative binds a client to the silo.
+func NewNative(s *Silo) *NativeClient { return &NativeClient{silo: s} }
+
+// NumInstances implements Client.
+func (c *NativeClient) NumInstances() (int, error) { return c.silo.NumInstances(), nil }
+
+// StartInstance implements Client.
+func (c *NativeClient) StartInstance(index uint32) (Ref, error) {
+	in, st := c.silo.StartInstance(index)
+	return Ref{obj: in}, qErr("qatStartInstance", st)
+}
+
+// StopInstance implements Client.
+func (c *NativeClient) StopInstance(r Ref) error {
+	in, _ := r.obj.(*Instance)
+	return qErr("qatStopInstance", c.silo.StopInstance(in))
+}
+
+// SessionInit implements Client.
+func (c *NativeClient) SessionInit(r Ref, direction, level uint32) (Ref, error) {
+	in, _ := r.obj.(*Instance)
+	sess, st := c.silo.SessionInit(in, direction, level)
+	return Ref{obj: sess}, qErr("qatSessionInit", st)
+}
+
+// SessionTeardown implements Client.
+func (c *NativeClient) SessionTeardown(r Ref) error {
+	sess, _ := r.obj.(*Session)
+	return qErr("qatSessionTeardown", c.silo.SessionTeardown(sess))
+}
+
+// Compress implements Client.
+func (c *NativeClient) Compress(r Ref, src, dst []byte) (int, error) {
+	sess, _ := r.obj.(*Session)
+	n, st := c.silo.Compress(sess, src, dst)
+	return int(n), qErr("qatCompress", st)
+}
+
+// Decompress implements Client.
+func (c *NativeClient) Decompress(r Ref, src, dst []byte) (int, error) {
+	sess, _ := r.obj.(*Session)
+	n, st := c.silo.Decompress(sess, src, dst)
+	return int(n), qErr("qatDecompress", st)
+}
+
+// Hash implements Client.
+func (c *NativeClient) Hash(r Ref, src []byte) ([32]byte, error) {
+	in, _ := r.obj.(*Instance)
+	var d [32]byte
+	st := c.silo.Hash(in, src, d[:])
+	return d, qErr("qatHash", st)
+}
+
+// RemoteClient is the generated QAT guest library.
+type RemoteClient struct{ lib *guest.Lib }
+
+// NewRemote wraps an attached guest library speaking the QAT Spec.
+func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
+
+func (c *RemoteClient) st(op string, v marshal.Value, err error) error {
+	if err != nil {
+		return err
+	}
+	return qErr(op, int32(v.Int))
+}
+
+// NumInstances implements Client.
+func (c *RemoteClient) NumInstances() (int, error) {
+	var n uint32
+	ret, err := c.lib.Call("qatGetNumInstances", &n)
+	if err := c.st("qatGetNumInstances", ret, err); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// StartInstance implements Client.
+func (c *RemoteClient) StartInstance(index uint32) (Ref, error) {
+	var h marshal.Handle
+	ret, err := c.lib.Call("qatStartInstance", index, &h)
+	if err := c.st("qatStartInstance", ret, err); err != nil {
+		return Ref{}, err
+	}
+	return Ref{h: h}, nil
+}
+
+// StopInstance implements Client.
+func (c *RemoteClient) StopInstance(r Ref) error {
+	ret, err := c.lib.Call("qatStopInstance", r.h)
+	return c.st("qatStopInstance", ret, err)
+}
+
+// SessionInit implements Client.
+func (c *RemoteClient) SessionInit(r Ref, direction, level uint32) (Ref, error) {
+	var h marshal.Handle
+	ret, err := c.lib.Call("qatSessionInit", r.h, direction, level, &h)
+	if err := c.st("qatSessionInit", ret, err); err != nil {
+		return Ref{}, err
+	}
+	return Ref{h: h}, nil
+}
+
+// SessionTeardown implements Client.
+func (c *RemoteClient) SessionTeardown(r Ref) error {
+	ret, err := c.lib.Call("qatSessionTeardown", r.h)
+	return c.st("qatSessionTeardown", ret, err)
+}
+
+// Compress implements Client.
+func (c *RemoteClient) Compress(r Ref, src, dst []byte) (int, error) {
+	var produced uint32
+	ret, err := c.lib.Call("qatCompress", r.h, uint64(len(src)), src,
+		uint64(len(dst)), dst, &produced)
+	if err := c.st("qatCompress", ret, err); err != nil {
+		return int(produced), err
+	}
+	return int(produced), nil
+}
+
+// Decompress implements Client.
+func (c *RemoteClient) Decompress(r Ref, src, dst []byte) (int, error) {
+	var produced uint32
+	ret, err := c.lib.Call("qatDecompress", r.h, uint64(len(src)), src,
+		uint64(len(dst)), dst, &produced)
+	if err := c.st("qatDecompress", ret, err); err != nil {
+		return int(produced), err
+	}
+	return int(produced), nil
+}
+
+// Hash implements Client.
+func (c *RemoteClient) Hash(r Ref, src []byte) ([32]byte, error) {
+	var d [32]byte
+	buf := make([]byte, 32)
+	ret, err := c.lib.Call("qatHash", r.h, uint64(len(src)), src, buf)
+	if err := c.st("qatHash", ret, err); err != nil {
+		return d, err
+	}
+	copy(d[:], buf)
+	return d, nil
+}
+
+var (
+	_ Client = (*NativeClient)(nil)
+	_ Client = (*RemoteClient)(nil)
+)

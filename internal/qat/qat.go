@@ -1,0 +1,287 @@
+// Package qat simulates an Intel QuickAssist-style lookaside
+// compression/crypto accelerator and its user-mode API — the paper's
+// stated next target ("We plan to use AvA to auto-virtualize other
+// accelerator APIs, including Intel QuickAssist", §5). It demonstrates the
+// push-button property: a third accelerator family joins the AvA stack
+// with nothing but a specification and a page of silo glue.
+//
+// The silo performs real work: DEFLATE compression (compress/flate) and
+// SHA-256 digests executed on a devsim compute unit, so remoted-vs-native
+// comparisons measure genuine offload against genuine API overhead.
+package qat
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+
+	"ava/internal/cava"
+	"ava/internal/devsim"
+)
+
+// Spec is the CAvA specification for the QAT-like API.
+const Spec = `
+api "qat" version "1.7";
+
+handle qat_instance;
+handle qat_session;
+
+const QAT_OK = 0;
+const QAT_FAIL = -1;
+const QAT_INVALID_PARAM = -2;
+const QAT_NO_INSTANCE = -3;
+const QAT_BUFFER_TOO_SMALL = -4;
+const QAT_DIR_COMPRESS = 0;
+const QAT_DIR_DECOMPRESS = 1;
+
+type qat_status = int32_t { success(QAT_OK); };
+
+qat_status qatGetNumInstances(uint32_t *n) {
+  parameter(n) { out; element; }
+}
+
+qat_status qatStartInstance(uint32_t index, qat_instance *inst) {
+  parameter(inst) { out; element { allocates; } }
+  track(create, inst);
+}
+
+qat_status qatStopInstance(qat_instance inst) {
+  track(destroy, inst);
+}
+
+qat_status qatSessionInit(qat_instance inst, uint32_t direction,
+                          uint32_t level, qat_session *sess) {
+  parameter(sess) { out; element { allocates; } }
+  track(create, sess);
+}
+
+qat_status qatSessionTeardown(qat_session sess) {
+  track(destroy, sess);
+}
+
+qat_status qatCompress(qat_session sess, size_t src_size, const void *src,
+                       size_t dst_cap, void *dst, uint32_t *produced) {
+  parameter(src) { in; buffer(src_size); }
+  parameter(dst) { out; buffer(dst_cap); }
+  parameter(produced) { out; element; }
+  resource(bandwidth, src_size);
+  resource(device_time, 1);
+}
+
+qat_status qatDecompress(qat_session sess, size_t src_size, const void *src,
+                         size_t dst_cap, void *dst, uint32_t *produced) {
+  parameter(src) { in; buffer(src_size); }
+  parameter(dst) { out; buffer(dst_cap); }
+  parameter(produced) { out; element; }
+  resource(bandwidth, src_size);
+  resource(device_time, 1);
+}
+
+qat_status qatHash(qat_instance inst, size_t src_size, const void *src,
+                   void *digest) {
+  parameter(src) { in; buffer(src_size); }
+  parameter(digest) { out; buffer(32); }
+  resource(bandwidth, src_size);
+}
+`
+
+// Descriptor compiles the QAT stack descriptor.
+func Descriptor() *cava.Descriptor { return cava.MustCompile(Spec) }
+
+// Status codes mirroring the spec.
+const (
+	OK             int32 = 0
+	ErrFail        int32 = -1
+	ErrInvalid     int32 = -2
+	ErrNoInstance  int32 = -3
+	ErrBufTooSmall int32 = -4
+
+	DirCompress   uint32 = 0
+	DirDecompress uint32 = 1
+)
+
+// Instance is one QAT engine.
+type Instance struct {
+	sim  *devsim.Device
+	open bool
+}
+
+// Session is a compression session bound to an instance.
+type Session struct {
+	inst      *Instance
+	direction uint32
+	level     int
+	dead      bool
+}
+
+// Silo is the QAT engine pool.
+type Silo struct {
+	mu        sync.Mutex
+	instances []*Instance
+}
+
+// NewSilo creates a pool of n engines (default 2).
+func NewSilo(n int) *Silo {
+	if n <= 0 {
+		n = 2
+	}
+	s := &Silo{}
+	for i := 0; i < n; i++ {
+		s.instances = append(s.instances, &Instance{
+			sim: devsim.New(devsim.Config{
+				Name:         fmt.Sprintf("qat%d", i),
+				MemoryBytes:  64 << 20,
+				ComputeUnits: 1,
+			}),
+		})
+	}
+	return s
+}
+
+// NumInstances reports the engine count.
+func (s *Silo) NumInstances() int { return len(s.instances) }
+
+// StartInstance claims engine index.
+func (s *Silo) StartInstance(index uint32) (*Instance, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(index) >= len(s.instances) {
+		return nil, ErrNoInstance
+	}
+	inst := s.instances[index]
+	if inst.open {
+		return nil, ErrNoInstance
+	}
+	inst.open = true
+	return inst, OK
+}
+
+// StopInstance releases an engine.
+func (s *Silo) StopInstance(inst *Instance) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if inst == nil || !inst.open {
+		return ErrInvalid
+	}
+	inst.open = false
+	return OK
+}
+
+// SessionInit creates a session on an engine.
+func (s *Silo) SessionInit(inst *Instance, direction, level uint32) (*Session, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if inst == nil || !inst.open {
+		return nil, ErrInvalid
+	}
+	if direction != DirCompress && direction != DirDecompress {
+		return nil, ErrInvalid
+	}
+	lv := int(level)
+	if lv < 1 || lv > 9 {
+		lv = flate.DefaultCompression
+	}
+	return &Session{inst: inst, direction: direction, level: lv}, OK
+}
+
+// SessionTeardown destroys a session.
+func (s *Silo) SessionTeardown(sess *Session) int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess == nil || sess.dead {
+		return ErrInvalid
+	}
+	sess.dead = true
+	return OK
+}
+
+// Compress deflates src into dst, returning the produced byte count.
+func (s *Silo) Compress(sess *Session, src, dst []byte) (uint32, int32) {
+	s.mu.Lock()
+	if sess == nil || sess.dead || sess.direction != DirCompress {
+		s.mu.Unlock()
+		return 0, ErrInvalid
+	}
+	inst, level := sess.inst, sess.level
+	s.mu.Unlock()
+
+	var out bytes.Buffer
+	st := OK
+	err := inst.sim.RunKernel("qat", func() {
+		w, werr := flate.NewWriter(&out, level)
+		if werr != nil {
+			st = ErrFail
+			return
+		}
+		if _, werr := w.Write(src); werr != nil {
+			st = ErrFail
+			return
+		}
+		if werr := w.Close(); werr != nil {
+			st = ErrFail
+		}
+	})
+	if err != nil || st != OK {
+		return 0, ErrFail
+	}
+	if out.Len() > len(dst) {
+		return uint32(out.Len()), ErrBufTooSmall
+	}
+	copy(dst, out.Bytes())
+	return uint32(out.Len()), OK
+}
+
+// Decompress inflates src into dst, returning the produced byte count.
+func (s *Silo) Decompress(sess *Session, src, dst []byte) (uint32, int32) {
+	s.mu.Lock()
+	if sess == nil || sess.dead || sess.direction != DirDecompress {
+		s.mu.Unlock()
+		return 0, ErrInvalid
+	}
+	inst := sess.inst
+	s.mu.Unlock()
+
+	var out []byte
+	st := OK
+	err := inst.sim.RunKernel("qat", func() {
+		r := flate.NewReader(bytes.NewReader(src))
+		defer r.Close()
+		var rerr error
+		out, rerr = io.ReadAll(io.LimitReader(r, int64(len(dst))+1))
+		if rerr != nil {
+			st = ErrFail
+		}
+	})
+	if err != nil || st != OK {
+		return 0, ErrFail
+	}
+	if len(out) > len(dst) {
+		return uint32(len(out)), ErrBufTooSmall
+	}
+	copy(dst, out)
+	return uint32(len(out)), OK
+}
+
+// Hash computes a SHA-256 digest of src into digest (32 bytes).
+func (s *Silo) Hash(inst *Instance, src, digest []byte) int32 {
+	s.mu.Lock()
+	if inst == nil || !inst.open {
+		s.mu.Unlock()
+		return ErrInvalid
+	}
+	s.mu.Unlock()
+	if len(digest) < sha256.Size {
+		return ErrBufTooSmall
+	}
+	err := inst.sim.RunKernel("qat", func() {
+		sum := sha256.Sum256(src)
+		copy(digest, sum[:])
+	})
+	if err != nil {
+		return ErrFail
+	}
+	return OK
+}

@@ -1,0 +1,173 @@
+package rodinia
+
+import (
+	"math"
+
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// backprop: two-layer neural network training step. The Rodinia pattern is
+// transfer-dominated: large input/weight uploads, two kernel launches
+// (layer-forward partial sums, weight adjustment), and a readback.
+
+const (
+	bpHidden   = 16
+	bpEta      = 0.3
+	bpMomentum = 0.3
+)
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "backprop_layerforward",
+		// input_units, input_weights, hidden_sums | n, hid
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			in := bytesconv.F32(env.Buf(0))
+			w := bytesconv.F32(env.Buf(1))
+			sums := bytesconv.F32(env.Buf(2))
+			n := int(env.U32(3))
+			hid := int(env.U32(4))
+			for j := 0; j < hid; j++ {
+				var s float32
+				for i := 0; i < n; i++ {
+					s += in.At(i) * w.At(i*hid+j)
+				}
+				sums.Set(j, s)
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "backprop_adjust_weights",
+		// delta, ly, w, oldw | n, hid
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			delta := bytesconv.F32(env.Buf(0))
+			ly := bytesconv.F32(env.Buf(1))
+			w := bytesconv.F32(env.Buf(2))
+			oldw := bytesconv.F32(env.Buf(3))
+			n := int(env.U32(4))
+			hid := int(env.U32(5))
+			for i := 0; i < n; i++ {
+				for j := 0; j < hid; j++ {
+					idx := i*hid + j
+					dw := bpEta*delta.At(j)*ly.At(i) + bpMomentum*oldw.At(idx)
+					w.Add(idx, dw)
+					oldw.Set(idx, dw)
+				}
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "backprop",
+		Pattern: "2 large uploads, 2 kernel launches, 2 readbacks (transfer-bound)",
+		Run:     runBackprop,
+	})
+}
+
+func runBackprop(c cl.Client, scale int) (float64, error) {
+	n := 32768 * scale
+	s, err := openSession(c, "backprop_layerforward, backprop_adjust_weights")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(17)
+	input := make([]float32, n)
+	weights := make([]float32, n*bpHidden)
+	oldw := make([]float32, n*bpHidden)
+	for i := range input {
+		input[i] = r.Float32()
+	}
+	for i := range weights {
+		weights[i] = r.Float32() - 0.5
+	}
+
+	bufIn, err := s.buffer(uint64(4 * n))
+	if err != nil {
+		return 0, err
+	}
+	bufW, err := s.buffer(uint64(4 * n * bpHidden))
+	if err != nil {
+		return 0, err
+	}
+	bufSums, err := s.buffer(uint64(4 * bpHidden))
+	if err != nil {
+		return 0, err
+	}
+	bufDelta, err := s.buffer(uint64(4 * bpHidden))
+	if err != nil {
+		return 0, err
+	}
+	bufOldW, err := s.buffer(uint64(4 * n * bpHidden))
+	if err != nil {
+		return 0, err
+	}
+
+	if err := c.EnqueueWrite(s.q, bufIn, false, 0, bytesconv.Float32Bytes(input)); err != nil {
+		return 0, err
+	}
+	if err := c.EnqueueWrite(s.q, bufW, false, 0, bytesconv.Float32Bytes(weights)); err != nil {
+		return 0, err
+	}
+	if err := c.EnqueueWrite(s.q, bufOldW, false, 0, bytesconv.Float32Bytes(oldw)); err != nil {
+		return 0, err
+	}
+
+	kFwd, err := s.kernel("backprop_layerforward")
+	if err != nil {
+		return 0, err
+	}
+	c.SetKernelArgBuffer(kFwd, 0, bufIn)
+	c.SetKernelArgBuffer(kFwd, 1, bufW)
+	c.SetKernelArgBuffer(kFwd, 2, bufSums)
+	c.SetKernelArgScalar(kFwd, 3, cl.ArgU32(uint32(n)))
+	c.SetKernelArgScalar(kFwd, 4, cl.ArgU32(bpHidden))
+	if err := c.EnqueueNDRange(s.q, kFwd, []uint64{uint64(n)}, []uint64{256}); err != nil {
+		return 0, err
+	}
+
+	// Host step: sigmoid over hidden sums, compute output deltas (Rodinia
+	// does the small layers on the CPU).
+	sums := make([]byte, 4*bpHidden)
+	if err := c.EnqueueRead(s.q, bufSums, true, 0, sums); err != nil {
+		return 0, err
+	}
+	hidden := bytesconv.ToFloat32(sums)
+	delta := make([]float32, bpHidden)
+	for j := range hidden {
+		h := float32(1.0 / (1.0 + math.Exp(-float64(hidden[j]/float32(n)))))
+		delta[j] = h * (1 - h) * (0.75 - h)
+	}
+	if err := c.EnqueueWrite(s.q, bufDelta, false, 0, bytesconv.Float32Bytes(delta)); err != nil {
+		return 0, err
+	}
+
+	kAdj, err := s.kernel("backprop_adjust_weights")
+	if err != nil {
+		return 0, err
+	}
+	c.SetKernelArgBuffer(kAdj, 0, bufDelta)
+	c.SetKernelArgBuffer(kAdj, 1, bufIn)
+	c.SetKernelArgBuffer(kAdj, 2, bufW)
+	c.SetKernelArgBuffer(kAdj, 3, bufOldW)
+	c.SetKernelArgScalar(kAdj, 4, cl.ArgU32(uint32(n)))
+	c.SetKernelArgScalar(kAdj, 5, cl.ArgU32(bpHidden))
+	if err := c.EnqueueNDRange(s.q, kAdj, []uint64{uint64(n)}, []uint64{256}); err != nil {
+		return 0, err
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, 4*n*bpHidden)
+	if err := c.EnqueueRead(s.q, bufW, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksum(bytesconv.ToFloat32(out)), nil
+}

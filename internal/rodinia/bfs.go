@@ -1,0 +1,204 @@
+package rodinia
+
+import (
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// bfs: level-synchronous breadth-first search. The Rodinia pattern is
+// synchronization-bound: every frontier expansion is two kernel launches
+// followed by a blocking 4-byte readback of the continuation flag — the
+// worst case for remoting latency, and the benchmark with the highest
+// overhead in Figure 5's cluster of sync-heavy workloads.
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "bfs_kernel1",
+		// nodes(start,count pairs), edges, mask, updating, visited, cost | n
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			nodes := bytesconv.I32(env.Buf(0))
+			edges := bytesconv.I32(env.Buf(1))
+			mask := env.Buf(2)
+			updating := env.Buf(3)
+			visited := env.Buf(4)
+			cost := bytesconv.I32(env.Buf(5))
+			n := int(env.U32(6))
+			for tid := 0; tid < n; tid++ {
+				if mask[tid] == 0 {
+					continue
+				}
+				mask[tid] = 0
+				start := int(nodes.At(2 * tid))
+				cnt := int(nodes.At(2*tid + 1))
+				for e := start; e < start+cnt; e++ {
+					nb := int(edges.At(e))
+					if visited[nb] == 0 {
+						cost.Set(nb, cost.At(tid)+1)
+						updating[nb] = 1
+					}
+				}
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "bfs_kernel2",
+		// mask, updating, visited, stop | n
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			mask := env.Buf(0)
+			updating := env.Buf(1)
+			visited := env.Buf(2)
+			stop := env.Buf(3)
+			n := int(env.U32(4))
+			for tid := 0; tid < n; tid++ {
+				if updating[tid] == 0 {
+					continue
+				}
+				mask[tid] = 1
+				visited[tid] = 1
+				stop[0] = 1
+				updating[tid] = 0
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "bfs",
+		Pattern: "per-level: 2 launches + blocking 4-byte flag readback (sync-bound)",
+		Run:     runBFS,
+	})
+}
+
+func runBFS(c cl.Client, scale int) (float64, error) {
+	n := 65536 * scale
+	const deg = 4
+	s, err := openSession(c, "bfs_kernel1, bfs_kernel2")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	// Random graph with a chain backbone so the frontier takes many levels.
+	r := rng(23)
+	nodes := make([]int32, 2*n)
+	edges := make([]int32, 0, n*deg)
+	for i := 0; i < n; i++ {
+		nodes[2*i] = int32(len(edges))
+		cnt := 0
+		// Backbone edge keeps the graph connected and the level count
+		// meaningful.
+		if i+1 < n {
+			edges = append(edges, int32(i+1))
+			cnt++
+		}
+		for j := 0; j < deg-1; j++ {
+			// Local random edges: forward jumps up to 512 nodes.
+			tgt := i + 1 + r.Intn(2048)
+			if tgt >= n {
+				tgt = r.Intn(n)
+			}
+			edges = append(edges, int32(tgt))
+			cnt++
+		}
+		nodes[2*i+1] = int32(cnt)
+	}
+
+	mask := make([]byte, n)
+	visited := make([]byte, n)
+	cost := make([]int32, n)
+	for i := range cost {
+		cost[i] = -1
+	}
+	mask[0] = 1
+	visited[0] = 1
+	cost[0] = 0
+
+	bNodes, err := s.buffer(uint64(4 * len(nodes)))
+	if err != nil {
+		return 0, err
+	}
+	bEdges, err := s.buffer(uint64(4 * len(edges)))
+	if err != nil {
+		return 0, err
+	}
+	bMask, err := s.buffer(uint64(n))
+	if err != nil {
+		return 0, err
+	}
+	bUpd, err := s.buffer(uint64(n))
+	if err != nil {
+		return 0, err
+	}
+	bVis, err := s.buffer(uint64(n))
+	if err != nil {
+		return 0, err
+	}
+	bCost, err := s.buffer(uint64(4 * n))
+	if err != nil {
+		return 0, err
+	}
+	bStop, err := s.buffer(4)
+	if err != nil {
+		return 0, err
+	}
+
+	c.EnqueueWrite(s.q, bNodes, false, 0, bytesconv.Int32Bytes(nodes))
+	c.EnqueueWrite(s.q, bEdges, false, 0, bytesconv.Int32Bytes(edges))
+	c.EnqueueWrite(s.q, bMask, false, 0, mask)
+	c.EnqueueWrite(s.q, bUpd, false, 0, make([]byte, n))
+	c.EnqueueWrite(s.q, bVis, false, 0, visited)
+	c.EnqueueWrite(s.q, bCost, false, 0, bytesconv.Int32Bytes(cost))
+
+	k1, err := s.kernel("bfs_kernel1")
+	if err != nil {
+		return 0, err
+	}
+	k2, err := s.kernel("bfs_kernel2")
+	if err != nil {
+		return 0, err
+	}
+	c.SetKernelArgBuffer(k1, 0, bNodes)
+	c.SetKernelArgBuffer(k1, 1, bEdges)
+	c.SetKernelArgBuffer(k1, 2, bMask)
+	c.SetKernelArgBuffer(k1, 3, bUpd)
+	c.SetKernelArgBuffer(k1, 4, bVis)
+	c.SetKernelArgBuffer(k1, 5, bCost)
+	c.SetKernelArgScalar(k1, 6, cl.ArgU32(uint32(n)))
+	c.SetKernelArgBuffer(k2, 0, bMask)
+	c.SetKernelArgBuffer(k2, 1, bUpd)
+	c.SetKernelArgBuffer(k2, 2, bVis)
+	c.SetKernelArgBuffer(k2, 3, bStop)
+	c.SetKernelArgScalar(k2, 4, cl.ArgU32(uint32(n)))
+
+	global := []uint64{uint64(n)}
+	local := []uint64{256}
+	stop := make([]byte, 4)
+	for {
+		if err := c.EnqueueFill(s.q, bStop, []byte{0, 0, 0, 0}, 0, 4); err != nil {
+			return 0, err
+		}
+		if err := c.EnqueueNDRange(s.q, k1, global, local); err != nil {
+			return 0, err
+		}
+		if err := c.EnqueueNDRange(s.q, k2, global, local); err != nil {
+			return 0, err
+		}
+		// Blocking read of the continuation flag: the per-level sync.
+		if err := c.EnqueueRead(s.q, bStop, true, 0, stop); err != nil {
+			return 0, err
+		}
+		if stop[0] == 0 {
+			break
+		}
+	}
+
+	out := make([]byte, 4*n)
+	if err := c.EnqueueRead(s.q, bCost, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksumI(bytesconv.ToInt32(out)), nil
+}

@@ -1,0 +1,152 @@
+package rodinia
+
+import (
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// gaussian: Gaussian elimination. The Rodinia pattern is call-intensive:
+// two kernel launches (Fan1 computes the multiplier column, Fan2 updates
+// the trailing submatrix) with fresh clSetKernelArg calls for every one of
+// the N-1 elimination steps, so the API-call rate is high relative to
+// per-kernel work — the regime where AvA's asynchronous forwarding of
+// clSetKernelArg pays off.
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "gaussian_fan1",
+		// m, a | size, t
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			m := bytesconv.F32(env.Buf(0))
+			a := bytesconv.F32(env.Buf(1))
+			size := int(env.U32(2))
+			t := int(env.U32(3))
+			for i := 0; i < size-1-t; i++ {
+				m.Set((i+t+1)*size+t, a.At((i+t+1)*size+t)/a.At(t*size+t))
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "gaussian_fan2",
+		// m, a, b | size, t
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			m := bytesconv.F32(env.Buf(0))
+			a := bytesconv.F32(env.Buf(1))
+			b := bytesconv.F32(env.Buf(2))
+			size := int(env.U32(3))
+			t := int(env.U32(4))
+			for i := 0; i < size-1-t; i++ {
+				mult := m.At((i+t+1)*size + t)
+				for j := 0; j < size-t; j++ {
+					idx := (i+t+1)*size + (j + t)
+					a.Set(idx, a.At(idx)-mult*a.At(t*size+(j+t)))
+				}
+				b.Set(i+t+1, b.At(i+t+1)-mult*b.At(t))
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "gaussian",
+		Pattern: "2 launches + ~9 SetKernelArg per elimination step, ~2N launches (call-intensive)",
+		Run:     runGaussian,
+	})
+}
+
+func runGaussian(c cl.Client, scale int) (float64, error) {
+	size := 320 * scale
+	s, err := openSession(c, "gaussian_fan1, gaussian_fan2")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	// Diagonally dominant system so elimination is stable.
+	r := rng(31)
+	a := make([]float32, size*size)
+	b := make([]float32, size)
+	for i := 0; i < size; i++ {
+		var row float32
+		for j := 0; j < size; j++ {
+			v := r.Float32()
+			a[i*size+j] = v
+			row += v
+		}
+		a[i*size+i] = row + 1
+		b[i] = r.Float32()
+	}
+
+	bufM, err := s.buffer(uint64(4 * size * size))
+	if err != nil {
+		return 0, err
+	}
+	bufA, err := s.buffer(uint64(4 * size * size))
+	if err != nil {
+		return 0, err
+	}
+	bufB, err := s.buffer(uint64(4 * size))
+	if err != nil {
+		return 0, err
+	}
+	c.EnqueueFill(s.q, bufM, []byte{0, 0, 0, 0}, 0, uint64(4*size*size))
+	c.EnqueueWrite(s.q, bufA, false, 0, bytesconv.Float32Bytes(a))
+	c.EnqueueWrite(s.q, bufB, false, 0, bytesconv.Float32Bytes(b))
+
+	fan1, err := s.kernel("gaussian_fan1")
+	if err != nil {
+		return 0, err
+	}
+	fan2, err := s.kernel("gaussian_fan2")
+	if err != nil {
+		return 0, err
+	}
+
+	for t := 0; t < size-1; t++ {
+		// Rodinia re-sets every argument each step.
+		c.SetKernelArgBuffer(fan1, 0, bufM)
+		c.SetKernelArgBuffer(fan1, 1, bufA)
+		c.SetKernelArgScalar(fan1, 2, cl.ArgU32(uint32(size)))
+		c.SetKernelArgScalar(fan1, 3, cl.ArgU32(uint32(t)))
+		if err := c.EnqueueNDRange(s.q, fan1, []uint64{uint64(size)}, []uint64{64}); err != nil {
+			return 0, err
+		}
+		c.SetKernelArgBuffer(fan2, 0, bufM)
+		c.SetKernelArgBuffer(fan2, 1, bufA)
+		c.SetKernelArgBuffer(fan2, 2, bufB)
+		c.SetKernelArgScalar(fan2, 3, cl.ArgU32(uint32(size)))
+		c.SetKernelArgScalar(fan2, 4, cl.ArgU32(uint32(t)))
+		if err := c.EnqueueNDRange(s.q, fan2, []uint64{uint64(size), uint64(size)}, []uint64{16, 16}); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	outA := make([]byte, 4*size*size)
+	outB := make([]byte, 4*size)
+	if err := c.EnqueueRead(s.q, bufA, true, 0, outA); err != nil {
+		return 0, err
+	}
+	if err := c.EnqueueRead(s.q, bufB, true, 0, outB); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+
+	// Back substitution on the host, as Rodinia does.
+	ra := bytesconv.ToFloat32(outA)
+	rb := bytesconv.ToFloat32(outB)
+	x := make([]float32, size)
+	for i := size - 1; i >= 0; i-- {
+		sum := rb[i]
+		for j := i + 1; j < size; j++ {
+			sum -= ra[i*size+j] * x[j]
+		}
+		x[i] = sum / ra[i*size+i]
+	}
+	return checksum(x), nil
+}

@@ -1,0 +1,130 @@
+package rodinia
+
+import (
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// hotspot: thermal stencil simulation. Iterative single-kernel launches
+// over ping-ponged temperature grids with a final readback — moderate call
+// rate, compute-heavy kernels.
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "hotspot_kernel",
+		// power, temp_src, temp_dst | rows, cols, cap, rx, ry, rz, step
+		Args: []cl.ArgKind{
+			cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer,
+			cl.ArgScalar, cl.ArgScalar, cl.ArgScalar, cl.ArgScalar,
+			cl.ArgScalar, cl.ArgScalar, cl.ArgScalar,
+		},
+		Run: func(env *cl.KernelEnv) {
+			power := bytesconv.F32(env.Buf(0))
+			src := bytesconv.F32(env.Buf(1))
+			dst := bytesconv.F32(env.Buf(2))
+			rows := int(env.U32(3))
+			cols := int(env.U32(4))
+			cap := env.F32(5)
+			rx, ry, rz := env.F32(6), env.F32(7), env.F32(8)
+			step := env.F32(9)
+			at := func(r, c int) float32 {
+				if r < 0 {
+					r = 0
+				}
+				if r >= rows {
+					r = rows - 1
+				}
+				if c < 0 {
+					c = 0
+				}
+				if c >= cols {
+					c = cols - 1
+				}
+				return src.At(r*cols + c)
+			}
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					t := src.At(r*cols + c)
+					delta := (step / cap) * (power.At(r*cols+c) +
+						(at(r+1, c)+at(r-1, c)-2*t)/ry +
+						(at(r, c+1)+at(r, c-1)-2*t)/rx +
+						(80.0-t)/rz)
+					dst.Set(r*cols+c, t+delta)
+				}
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "hotspot",
+		Pattern: "per-iteration launch over ping-pong grids, final readback (compute-bound)",
+		Run:     runHotspot,
+	})
+}
+
+func runHotspot(c cl.Client, scale int) (float64, error) {
+	dim := 256 * scale
+	const iters = 16
+	s, err := openSession(c, "hotspot_kernel")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(41)
+	temp := make([]float32, dim*dim)
+	power := make([]float32, dim*dim)
+	for i := range temp {
+		temp[i] = 323 + 2*r.Float32()
+		power[i] = 0.001 * r.Float32()
+	}
+
+	bufP, err := s.buffer(uint64(4 * dim * dim))
+	if err != nil {
+		return 0, err
+	}
+	bufT0, err := s.buffer(uint64(4 * dim * dim))
+	if err != nil {
+		return 0, err
+	}
+	bufT1, err := s.buffer(uint64(4 * dim * dim))
+	if err != nil {
+		return 0, err
+	}
+	c.EnqueueWrite(s.q, bufP, false, 0, bytesconv.Float32Bytes(power))
+	c.EnqueueWrite(s.q, bufT0, false, 0, bytesconv.Float32Bytes(temp))
+
+	k, err := s.kernel("hotspot_kernel")
+	if err != nil {
+		return 0, err
+	}
+	srcBuf, dstBuf := bufT0, bufT1
+	for it := 0; it < iters; it++ {
+		c.SetKernelArgBuffer(k, 0, bufP)
+		c.SetKernelArgBuffer(k, 1, srcBuf)
+		c.SetKernelArgBuffer(k, 2, dstBuf)
+		c.SetKernelArgScalar(k, 3, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k, 4, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k, 5, cl.ArgF32(0.5))
+		c.SetKernelArgScalar(k, 6, cl.ArgF32(1.0))
+		c.SetKernelArgScalar(k, 7, cl.ArgF32(1.0))
+		c.SetKernelArgScalar(k, 8, cl.ArgF32(4.0))
+		c.SetKernelArgScalar(k, 9, cl.ArgF32(0.001))
+		if err := c.EnqueueNDRange(s.q, k, []uint64{uint64(dim), uint64(dim)}, []uint64{16, 16}); err != nil {
+			return 0, err
+		}
+		srcBuf, dstBuf = dstBuf, srcBuf
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, 4*dim*dim)
+	if err := c.EnqueueRead(s.q, srcBuf, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksum(bytesconv.ToFloat32(out)), nil
+}

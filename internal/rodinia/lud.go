@@ -1,0 +1,180 @@
+package rodinia
+
+import (
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// lud: blocked LU decomposition. Three kernel launches (diagonal,
+// perimeter, internal) per block step — a balanced mix of call rate and
+// compute, shrinking work per step as the factorization proceeds.
+
+const ludBlock = 16
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "lud_diagonal",
+		// a | size, offset
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			a := bytesconv.F32(env.Buf(0))
+			size := int(env.U32(1))
+			off := int(env.U32(2))
+			// In-place LU (no pivoting) of the diagonal block.
+			for k := 0; k < ludBlock; k++ {
+				piv := a.At((off+k)*size + off + k)
+				for i := k + 1; i < ludBlock; i++ {
+					l := a.At((off+i)*size+off+k) / piv
+					a.Set((off+i)*size+off+k, l)
+					for j := k + 1; j < ludBlock; j++ {
+						idx := (off+i)*size + off + j
+						a.Set(idx, a.At(idx)-l*a.At((off+k)*size+off+j))
+					}
+				}
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "lud_perimeter",
+		// a | size, offset
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			a := bytesconv.F32(env.Buf(0))
+			size := int(env.U32(1))
+			off := int(env.U32(2))
+			// Row blocks right of the diagonal: forward-solve L*X = A.
+			for jb := off + ludBlock; jb < size; jb += ludBlock {
+				for k := 0; k < ludBlock; k++ {
+					for i := k + 1; i < ludBlock; i++ {
+						l := a.At((off+i)*size + off + k)
+						for j := 0; j < ludBlock; j++ {
+							idx := (off+i)*size + jb + j
+							a.Set(idx, a.At(idx)-l*a.At((off+k)*size+jb+j))
+						}
+					}
+				}
+			}
+			// Column blocks below the diagonal: solve X*U = A.
+			for ib := off + ludBlock; ib < size; ib += ludBlock {
+				for k := 0; k < ludBlock; k++ {
+					piv := a.At((off+k)*size + off + k)
+					for i := 0; i < ludBlock; i++ {
+						idx := (ib+i)*size + off + k
+						v := a.At(idx)
+						for p := 0; p < k; p++ {
+							v -= a.At((ib+i)*size+off+p) * a.At((off+p)*size+off+k)
+						}
+						a.Set(idx, v/piv)
+					}
+				}
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "lud_internal",
+		// a | size, offset
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			a := bytesconv.F32(env.Buf(0))
+			size := int(env.U32(1))
+			off := int(env.U32(2))
+			for ib := off + ludBlock; ib < size; ib += ludBlock {
+				for jb := off + ludBlock; jb < size; jb += ludBlock {
+					for i := 0; i < ludBlock; i++ {
+						for j := 0; j < ludBlock; j++ {
+							var s float32
+							for k := 0; k < ludBlock; k++ {
+								s += a.At((ib+i)*size+off+k) * a.At((off+k)*size+jb+j)
+							}
+							idx := (ib+i)*size + jb + j
+							a.Set(idx, a.At(idx)-s)
+						}
+					}
+				}
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "lud",
+		Pattern: "3 launches per block step over a shrinking trailing matrix",
+		Run:     runLUD,
+	})
+}
+
+func runLUD(c cl.Client, scale int) (float64, error) {
+	size := 192 * scale
+	size -= size % ludBlock
+	s, err := openSession(c, "lud_diagonal, lud_perimeter, lud_internal")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(53)
+	a := make([]float32, size*size)
+	for i := 0; i < size; i++ {
+		var row float32
+		for j := 0; j < size; j++ {
+			v := r.Float32()
+			a[i*size+j] = v
+			row += v
+		}
+		a[i*size+i] = row + float32(size)
+	}
+
+	buf, err := s.buffer(uint64(4 * size * size))
+	if err != nil {
+		return 0, err
+	}
+	c.EnqueueWrite(s.q, buf, false, 0, bytesconv.Float32Bytes(a))
+
+	kd, err := s.kernel("lud_diagonal")
+	if err != nil {
+		return 0, err
+	}
+	kp, err := s.kernel("lud_perimeter")
+	if err != nil {
+		return 0, err
+	}
+	ki, err := s.kernel("lud_internal")
+	if err != nil {
+		return 0, err
+	}
+
+	for off := 0; off < size; off += ludBlock {
+		c.SetKernelArgBuffer(kd, 0, buf)
+		c.SetKernelArgScalar(kd, 1, cl.ArgU32(uint32(size)))
+		c.SetKernelArgScalar(kd, 2, cl.ArgU32(uint32(off)))
+		if err := c.EnqueueNDRange(s.q, kd, []uint64{ludBlock}, []uint64{ludBlock}); err != nil {
+			return 0, err
+		}
+		if off+ludBlock >= size {
+			break
+		}
+		c.SetKernelArgBuffer(kp, 0, buf)
+		c.SetKernelArgScalar(kp, 1, cl.ArgU32(uint32(size)))
+		c.SetKernelArgScalar(kp, 2, cl.ArgU32(uint32(off)))
+		if err := c.EnqueueNDRange(s.q, kp, []uint64{uint64(size - off)}, []uint64{ludBlock}); err != nil {
+			return 0, err
+		}
+		c.SetKernelArgBuffer(ki, 0, buf)
+		c.SetKernelArgScalar(ki, 1, cl.ArgU32(uint32(size)))
+		c.SetKernelArgScalar(ki, 2, cl.ArgU32(uint32(off)))
+		if err := c.EnqueueNDRange(s.q, ki, []uint64{uint64(size - off), uint64(size - off)}, []uint64{ludBlock, ludBlock}); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, 4*size*size)
+	if err := c.EnqueueRead(s.q, buf, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksum(bytesconv.ToFloat32(out)), nil
+}

@@ -1,0 +1,92 @@
+package rodinia
+
+import (
+	"math"
+	"sort"
+
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// nn: nearest neighbors over hurricane-track-like records. One upload, one
+// distance kernel, one full readback; the host selects the k smallest —
+// near-native territory for remoting because almost all time is a single
+// kernel plus bulk transfers.
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "nn_distance",
+		// locations(lat,lng pairs), distances | n, lat, lng
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			loc := bytesconv.F32(env.Buf(0))
+			dist := bytesconv.F32(env.Buf(1))
+			n := int(env.U32(2))
+			lat := env.F32(3)
+			lng := env.F32(4)
+			for i := 0; i < n; i++ {
+				dla := loc.At(2*i) - lat
+				dln := loc.At(2*i+1) - lng
+				dist.Set(i, float32(math.Sqrt(float64(dla*dla+dln*dln))))
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "nn",
+		Pattern: "1 upload, 1 launch, 1 bulk readback; host top-k (transfer-bound)",
+		Run:     runNN,
+	})
+}
+
+func runNN(c cl.Client, scale int) (float64, error) {
+	n := 262144 * scale
+	const k = 5
+	s, err := openSession(c, "nn_distance")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(61)
+	loc := make([]float32, 2*n)
+	for i := range loc {
+		loc[i] = r.Float32() * 90
+	}
+
+	bufLoc, err := s.buffer(uint64(4 * 2 * n))
+	if err != nil {
+		return 0, err
+	}
+	bufDist, err := s.buffer(uint64(4 * n))
+	if err != nil {
+		return 0, err
+	}
+	if err := c.EnqueueWrite(s.q, bufLoc, false, 0, bytesconv.Float32Bytes(loc)); err != nil {
+		return 0, err
+	}
+
+	kern, err := s.kernel("nn_distance")
+	if err != nil {
+		return 0, err
+	}
+	c.SetKernelArgBuffer(kern, 0, bufLoc)
+	c.SetKernelArgBuffer(kern, 1, bufDist)
+	c.SetKernelArgScalar(kern, 2, cl.ArgU32(uint32(n)))
+	c.SetKernelArgScalar(kern, 3, cl.ArgF32(30.0))
+	c.SetKernelArgScalar(kern, 4, cl.ArgF32(-60.0))
+	if err := c.EnqueueNDRange(s.q, kern, []uint64{uint64(n)}, []uint64{256}); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, 4*n)
+	if err := c.EnqueueRead(s.q, bufDist, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	dist := bytesconv.ToFloat32(out)
+	sort.Slice(dist, func(i, j int) bool { return dist[i] < dist[j] })
+	return checksum(dist[:k]), nil
+}

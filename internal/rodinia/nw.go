@@ -1,0 +1,152 @@
+package rodinia
+
+import (
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// nw: Needleman-Wunsch sequence alignment. Dynamic programming over
+// anti-diagonals of 16x16 blocks: one launch per block diagonal, first
+// growing from the top-left corner, then shrinking toward the bottom-right
+// — ~2*(N/16) launches with tiny per-launch work at the extremes.
+
+const nwBlock = 16
+
+func nwCell(score bytesconv.Int32View, ref bytesconv.Int32View, dim, i, j int, penalty int32) {
+	up := score.At((i-1)*dim+j) - penalty
+	left := score.At(i*dim+j-1) - penalty
+	diag := score.At((i-1)*dim+j-1) + ref.At(i*dim+j)
+	m := diag
+	if up > m {
+		m = up
+	}
+	if left > m {
+		m = left
+	}
+	score.Set(i*dim+j, m)
+}
+
+func nwProcessBlock(score, ref bytesconv.Int32View, dim, bi, bj int, penalty int32) {
+	for i := bi*nwBlock + 1; i <= (bi+1)*nwBlock && i < dim; i++ {
+		for j := bj*nwBlock + 1; j <= (bj+1)*nwBlock && j < dim; j++ {
+			nwCell(score, ref, dim, i, j, penalty)
+		}
+	}
+}
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "nw_kernel1",
+		// score, ref | dim, diag, penalty  (upper-left triangle diagonal)
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			score := bytesconv.I32(env.Buf(0))
+			ref := bytesconv.I32(env.Buf(1))
+			dim := int(env.U32(2))
+			diag := int(env.U32(3))
+			penalty := env.I32(4)
+			for bi := 0; bi <= diag; bi++ {
+				nwProcessBlock(score, ref, dim, bi, diag-bi, penalty)
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "nw_kernel2",
+		// score, ref | dim, diag, penalty  (lower-right triangle diagonal)
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar, cl.ArgScalar, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			score := bytesconv.I32(env.Buf(0))
+			ref := bytesconv.I32(env.Buf(1))
+			dim := int(env.U32(2))
+			diag := int(env.U32(3))
+			penalty := env.I32(4)
+			nb := (dim - 1) / nwBlock
+			for bi := nb - diag; bi < nb; bi++ {
+				nwProcessBlock(score, ref, dim, bi, nb-1-(bi-(nb-diag)), penalty)
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "nw",
+		Pattern: "one launch per block anti-diagonal (~2N/16), small early/late kernels",
+		Run:     runNW,
+	})
+}
+
+func runNW(c cl.Client, scale int) (float64, error) {
+	dim := 512*scale + 1
+	const penalty = 10
+	s, err := openSession(c, "nw_kernel1, nw_kernel2")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(71)
+	ref := make([]int32, dim*dim)
+	score := make([]int32, dim*dim)
+	for i := 1; i < dim; i++ {
+		for j := 1; j < dim; j++ {
+			ref[i*dim+j] = int32(r.Intn(21) - 10)
+		}
+	}
+	for i := 1; i < dim; i++ {
+		score[i*dim] = int32(-i * penalty)
+		score[i] = int32(-i * penalty)
+	}
+
+	bufScore, err := s.buffer(uint64(4 * dim * dim))
+	if err != nil {
+		return 0, err
+	}
+	bufRef, err := s.buffer(uint64(4 * dim * dim))
+	if err != nil {
+		return 0, err
+	}
+	c.EnqueueWrite(s.q, bufScore, false, 0, bytesconv.Int32Bytes(score))
+	c.EnqueueWrite(s.q, bufRef, false, 0, bytesconv.Int32Bytes(ref))
+
+	k1, err := s.kernel("nw_kernel1")
+	if err != nil {
+		return 0, err
+	}
+	k2, err := s.kernel("nw_kernel2")
+	if err != nil {
+		return 0, err
+	}
+
+	nb := (dim - 1) / nwBlock
+	for d := 0; d < nb; d++ {
+		c.SetKernelArgBuffer(k1, 0, bufScore)
+		c.SetKernelArgBuffer(k1, 1, bufRef)
+		c.SetKernelArgScalar(k1, 2, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k1, 3, cl.ArgU32(uint32(d)))
+		c.SetKernelArgScalar(k1, 4, cl.ArgI32(penalty))
+		if err := c.EnqueueNDRange(s.q, k1, []uint64{uint64(d + 1)}, []uint64{1}); err != nil {
+			return 0, err
+		}
+	}
+	for d := nb - 1; d >= 1; d-- {
+		c.SetKernelArgBuffer(k2, 0, bufScore)
+		c.SetKernelArgBuffer(k2, 1, bufRef)
+		c.SetKernelArgScalar(k2, 2, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k2, 3, cl.ArgU32(uint32(d)))
+		c.SetKernelArgScalar(k2, 4, cl.ArgI32(penalty))
+		if err := c.EnqueueNDRange(s.q, k2, []uint64{uint64(d)}, []uint64{1}); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, 4*dim*dim)
+	if err := c.EnqueueRead(s.q, bufScore, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksumI(bytesconv.ToInt32(out)), nil
+}

@@ -1,0 +1,111 @@
+package rodinia
+
+import (
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// pathfinder: grid dynamic programming. One kernel launch per row with
+// re-set arguments and ping-ponged result rows; the per-launch work is a
+// single row, so the call rate is high and each call cheap — another
+// async-forwarding beneficiary.
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "pathfinder_kernel",
+		// wall_row, src, dst | cols
+		Args: []cl.ArgKind{cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgScalar},
+		Run: func(env *cl.KernelEnv) {
+			wall := bytesconv.I32(env.Buf(0))
+			src := bytesconv.I32(env.Buf(1))
+			dst := bytesconv.I32(env.Buf(2))
+			cols := int(env.U32(3))
+			for x := 0; x < cols; x++ {
+				m := src.At(x)
+				if x > 0 && src.At(x-1) < m {
+					m = src.At(x - 1)
+				}
+				if x < cols-1 && src.At(x+1) < m {
+					m = src.At(x + 1)
+				}
+				dst.Set(x, wall.At(x)+m)
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "pathfinder",
+		Pattern: "one cheap launch + 4 SetKernelArg per grid row (call-rate-bound)",
+		Run:     runPathfinder,
+	})
+}
+
+func runPathfinder(c cl.Client, scale int) (float64, error) {
+	cols := 65536 * scale
+	const rows = 64
+	s, err := openSession(c, "pathfinder_kernel")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(83)
+	wall := make([][]int32, rows)
+	for i := range wall {
+		wall[i] = make([]int32, cols)
+		for j := range wall[i] {
+			wall[i][j] = int32(r.Intn(10))
+		}
+	}
+
+	rowBytes := uint64(4 * cols)
+	bufWall := make([]cl.Ref, rows)
+	for i := 0; i < rows; i++ {
+		b, err := s.buffer(rowBytes)
+		if err != nil {
+			return 0, err
+		}
+		bufWall[i] = b
+		if err := c.EnqueueWrite(s.q, b, false, 0, bytesconv.Int32Bytes(wall[i])); err != nil {
+			return 0, err
+		}
+	}
+	bufSrc, err := s.buffer(rowBytes)
+	if err != nil {
+		return 0, err
+	}
+	bufDst, err := s.buffer(rowBytes)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.EnqueueWrite(s.q, bufSrc, false, 0, bytesconv.Int32Bytes(wall[0])); err != nil {
+		return 0, err
+	}
+
+	k, err := s.kernel("pathfinder_kernel")
+	if err != nil {
+		return 0, err
+	}
+	for row := 1; row < rows; row++ {
+		c.SetKernelArgBuffer(k, 0, bufWall[row])
+		c.SetKernelArgBuffer(k, 1, bufSrc)
+		c.SetKernelArgBuffer(k, 2, bufDst)
+		c.SetKernelArgScalar(k, 3, cl.ArgU32(uint32(cols)))
+		if err := c.EnqueueNDRange(s.q, k, []uint64{uint64(cols)}, []uint64{256}); err != nil {
+			return 0, err
+		}
+		bufSrc, bufDst = bufDst, bufSrc
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, rowBytes)
+	if err := c.EnqueueRead(s.q, bufSrc, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksumI(bytesconv.ToInt32(out)), nil
+}

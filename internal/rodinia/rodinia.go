@@ -1,0 +1,149 @@
+// Package rodinia reimplements nine Rodinia OpenCL benchmarks against the
+// cl.Client surface, preserving each benchmark's API call pattern: the mix
+// of buffer allocations, host↔device transfers, per-iteration
+// clSetKernelArg / clEnqueueNDRangeKernel loops, synchronization points and
+// result readbacks that determines how much API-boundary overhead AvA adds
+// (Figure 5 of the paper). Kernels execute real compute on the simulated
+// device, so remote-vs-native ratios reflect genuine work.
+//
+// The benchmarks are backprop, bfs, gaussian, hotspot, lud, nn, nw,
+// pathfinder and srad — the Rodinia OpenCL suite the paper ran on a GTX
+// 1080. Problem sizes are scaled for a software device; Scale multiplies
+// the default size.
+package rodinia
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ava/internal/cl"
+)
+
+// Workload is one benchmark.
+type Workload struct {
+	Name string
+	// Description of the call pattern, for documentation output.
+	Pattern string
+	// Run executes the workload and returns a result checksum, which
+	// must be identical between native and remoted execution.
+	Run func(c cl.Client, scale int) (float64, error)
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns the workloads sorted by name.
+func All() []Workload {
+	out := append([]Workload(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns a workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// session wraps the boilerplate every Rodinia benchmark shares: platform
+// discovery, context and queue setup, program build, and teardown.
+type session struct {
+	c    cl.Client
+	ctx  cl.Ref
+	dev  cl.Ref
+	q    cl.Ref
+	prog cl.Ref
+
+	bufs  []cl.Ref
+	kerns []cl.Ref
+}
+
+// openSession bootstraps a context/queue and builds a program exposing the
+// named kernels.
+func openSession(c cl.Client, kernels string) (*session, error) {
+	ps, err := c.PlatformIDs()
+	if err != nil {
+		return nil, err
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("rodinia: no platforms")
+	}
+	ds, err := c.DeviceIDs(ps[0], cl.DeviceTypeGPU)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := c.CreateContext(ds)
+	if err != nil {
+		return nil, err
+	}
+	q, err := c.CreateQueue(ctx, ds[0], 0)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := c.CreateProgram(ctx, kernels)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.BuildProgram(prog, ""); err != nil {
+		return nil, err
+	}
+	return &session{c: c, ctx: ctx, dev: ds[0], q: q, prog: prog}, nil
+}
+
+func (s *session) buffer(size uint64) (cl.Ref, error) {
+	b, err := s.c.CreateBuffer(s.ctx, 1, size)
+	if err != nil {
+		return cl.Ref{}, err
+	}
+	s.bufs = append(s.bufs, b)
+	return b, nil
+}
+
+func (s *session) kernel(name string) (cl.Ref, error) {
+	k, err := s.c.CreateKernel(s.prog, name)
+	if err != nil {
+		return cl.Ref{}, err
+	}
+	s.kerns = append(s.kerns, k)
+	return k, nil
+}
+
+func (s *session) close() {
+	for _, k := range s.kerns {
+		s.c.ReleaseKernel(k)
+	}
+	for _, b := range s.bufs {
+		s.c.ReleaseBuffer(b)
+	}
+	s.c.ReleaseProgram(s.prog)
+	s.c.ReleaseQueue(s.q)
+	s.c.ReleaseContext(s.ctx)
+}
+
+// rng returns the deterministic generator used to build inputs; both the
+// native and the remoted run of a workload must see identical data.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// checksum folds a float32 slice into a stable scalar.
+func checksum(xs []float32) float64 {
+	var s float64
+	for i, x := range xs {
+		s += float64(x) * float64(1+i%7)
+	}
+	return s
+}
+
+// checksumI folds an int32 slice.
+func checksumI(xs []int32) float64 {
+	var s float64
+	for i, x := range xs {
+		s += float64(x) * float64(1+i%5)
+	}
+	return s
+}

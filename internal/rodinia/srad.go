@@ -1,0 +1,217 @@
+package rodinia
+
+import (
+	"math"
+
+	"ava/internal/bytesconv"
+	"ava/internal/cl"
+)
+
+// srad: speckle-reducing anisotropic diffusion over an ultrasound-like
+// image. Each iteration needs region-of-interest statistics on the host, so
+// the pattern alternates a blocking partial readback with two kernel
+// launches — a mix of bandwidth and synchronization load.
+
+func init() {
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "srad_kernel1",
+		// img, dN, dS, dW, dE, c | rows, cols, q0sqr
+		Args: []cl.ArgKind{
+			cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer,
+			cl.ArgScalar, cl.ArgScalar, cl.ArgScalar,
+		},
+		Run: func(env *cl.KernelEnv) {
+			img := bytesconv.F32(env.Buf(0))
+			dN := bytesconv.F32(env.Buf(1))
+			dS := bytesconv.F32(env.Buf(2))
+			dW := bytesconv.F32(env.Buf(3))
+			dE := bytesconv.F32(env.Buf(4))
+			cc := bytesconv.F32(env.Buf(5))
+			rows := int(env.U32(6))
+			cols := int(env.U32(7))
+			q0 := env.F32(8)
+			at := func(r, c int) float32 {
+				if r < 0 {
+					r = 0
+				}
+				if r >= rows {
+					r = rows - 1
+				}
+				if c < 0 {
+					c = 0
+				}
+				if c >= cols {
+					c = cols - 1
+				}
+				return img.At(r*cols + c)
+			}
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					j := at(r, c)
+					n := at(r-1, c) - j
+					sv := at(r+1, c) - j
+					w := at(r, c-1) - j
+					e := at(r, c+1) - j
+					dN.Set(r*cols+c, n)
+					dS.Set(r*cols+c, sv)
+					dW.Set(r*cols+c, w)
+					dE.Set(r*cols+c, e)
+					g2 := (n*n + sv*sv + w*w + e*e) / (j * j)
+					l := (n + sv + w + e) / j
+					num := 0.5*g2 - (1.0/16.0)*l*l
+					den := 1 + 0.25*l
+					qsqr := num / (den * den)
+					den = (qsqr - q0) / (q0 * (1 + q0))
+					cv := 1.0 / (1.0 + den)
+					if cv < 0 {
+						cv = 0
+					}
+					if cv > 1 {
+						cv = 1
+					}
+					cc.Set(r*cols+c, cv)
+				}
+			}
+		},
+	})
+	cl.DefaultKernels.MustRegister(&cl.KernelDef{
+		Name: "srad_kernel2",
+		// img, dN, dS, dW, dE, c | rows, cols, lambda
+		Args: []cl.ArgKind{
+			cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer, cl.ArgBuffer,
+			cl.ArgScalar, cl.ArgScalar, cl.ArgScalar,
+		},
+		Run: func(env *cl.KernelEnv) {
+			img := bytesconv.F32(env.Buf(0))
+			dN := bytesconv.F32(env.Buf(1))
+			dS := bytesconv.F32(env.Buf(2))
+			dW := bytesconv.F32(env.Buf(3))
+			dE := bytesconv.F32(env.Buf(4))
+			cc := bytesconv.F32(env.Buf(5))
+			rows := int(env.U32(6))
+			cols := int(env.U32(7))
+			lambda := env.F32(8)
+			cat := func(r, c int) float32 {
+				if r >= rows {
+					r = rows - 1
+				}
+				if c >= cols {
+					c = cols - 1
+				}
+				return cc.At(r*cols + c)
+			}
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					idx := r*cols + c
+					d := cat(r, c)*dN.At(idx) + cat(r+1, c)*dS.At(idx) +
+						cat(r, c)*dW.At(idx) + cat(r, c+1)*dE.At(idx)
+					img.Set(idx, img.At(idx)+0.25*lambda*d)
+				}
+			}
+		},
+	})
+
+	register(Workload{
+		Name:    "srad",
+		Pattern: "per-iteration: blocking stats readback + 2 launches (bandwidth+sync)",
+		Run:     runSRAD,
+	})
+}
+
+func runSRAD(c cl.Client, scale int) (float64, error) {
+	dim := 192 * scale
+	const iters = 8
+	const lambda = 0.5
+	s, err := openSession(c, "srad_kernel1, srad_kernel2")
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+
+	r := rng(97)
+	img := make([]float32, dim*dim)
+	for i := range img {
+		img[i] = float32(math.Exp(float64(r.Float32())))
+	}
+
+	sz := uint64(4 * dim * dim)
+	bufImg, err := s.buffer(sz)
+	if err != nil {
+		return 0, err
+	}
+	var dirs [4]cl.Ref
+	for i := range dirs {
+		if dirs[i], err = s.buffer(sz); err != nil {
+			return 0, err
+		}
+	}
+	bufC, err := s.buffer(sz)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.EnqueueWrite(s.q, bufImg, false, 0, bytesconv.Float32Bytes(img)); err != nil {
+		return 0, err
+	}
+
+	k1, err := s.kernel("srad_kernel1")
+	if err != nil {
+		return 0, err
+	}
+	k2, err := s.kernel("srad_kernel2")
+	if err != nil {
+		return 0, err
+	}
+
+	roi := make([]byte, 4*dim) // first row as the region of interest
+	for it := 0; it < iters; it++ {
+		// Host computes ROI statistics from a blocking partial readback.
+		if err := c.EnqueueRead(s.q, bufImg, true, 0, roi); err != nil {
+			return 0, err
+		}
+		vals := bytesconv.ToFloat32(roi)
+		var sum, sum2 float64
+		for _, v := range vals {
+			sum += float64(v)
+			sum2 += float64(v) * float64(v)
+		}
+		mean := sum / float64(len(vals))
+		variance := sum2/float64(len(vals)) - mean*mean
+		q0 := float32(variance / (mean * mean))
+
+		c.SetKernelArgBuffer(k1, 0, bufImg)
+		for i := 0; i < 4; i++ {
+			c.SetKernelArgBuffer(k1, uint32(1+i), dirs[i])
+		}
+		c.SetKernelArgBuffer(k1, 5, bufC)
+		c.SetKernelArgScalar(k1, 6, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k1, 7, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k1, 8, cl.ArgF32(q0))
+		if err := c.EnqueueNDRange(s.q, k1, []uint64{uint64(dim), uint64(dim)}, []uint64{16, 16}); err != nil {
+			return 0, err
+		}
+
+		c.SetKernelArgBuffer(k2, 0, bufImg)
+		for i := 0; i < 4; i++ {
+			c.SetKernelArgBuffer(k2, uint32(1+i), dirs[i])
+		}
+		c.SetKernelArgBuffer(k2, 5, bufC)
+		c.SetKernelArgScalar(k2, 6, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k2, 7, cl.ArgU32(uint32(dim)))
+		c.SetKernelArgScalar(k2, 8, cl.ArgF32(lambda))
+		if err := c.EnqueueNDRange(s.q, k2, []uint64{uint64(dim), uint64(dim)}, []uint64{16, 16}); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Finish(s.q); err != nil {
+		return 0, err
+	}
+
+	out := make([]byte, sz)
+	if err := c.EnqueueRead(s.q, bufImg, true, 0, out); err != nil {
+		return 0, err
+	}
+	if err := c.DeferredError(); err != nil {
+		return 0, err
+	}
+	return checksum(bytesconv.ToFloat32(out)), nil
+}

@@ -1,0 +1,107 @@
+// Package server implements the AvA API server: the unprivileged host
+// process that executes forwarded API calls against the accelerator silo on
+// behalf of guest applications (§4.1).
+//
+// Each guest VM gets its own Context — the process-level isolation analogue
+// — holding a private handle table that maps guest-visible opaque handles to
+// real silo objects, per-VM accounting, the record log used by migration,
+// and the deferred-error slot for asynchronously forwarded calls. A
+// Registry binds a compiled Descriptor's functions to Go handlers provided
+// by a silo binding (the generated API server component).
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ava/internal/marshal"
+)
+
+// HandleTable maps guest-visible handles to silo objects. Tables are
+// per-VM, so one guest can neither forge nor observe another's objects —
+// the isolation property §4.1 requires of the API server.
+type HandleTable struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[marshal.Handle]any
+}
+
+// NewHandleTable returns an empty table.
+func NewHandleTable() *HandleTable {
+	return &HandleTable{next: 1, m: make(map[marshal.Handle]any)}
+}
+
+// Insert registers obj and returns its new handle.
+func (t *HandleTable) Insert(obj any) marshal.Handle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := marshal.Handle(t.next)
+	t.next++
+	t.m[h] = obj
+	return h
+}
+
+// InsertAt registers obj under a specific handle value, used by migration
+// replay to rebuild a table whose handle values the guest already holds.
+// It fails if the handle is already bound.
+func (t *HandleTable) InsertAt(h marshal.Handle, obj any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.m[h]; dup {
+		return fmt.Errorf("server: handle %d already bound", h)
+	}
+	t.m[h] = obj
+	if uint64(h) >= t.next {
+		t.next = uint64(h) + 1
+	}
+	return nil
+}
+
+// Get resolves a handle.
+func (t *HandleTable) Get(h marshal.Handle) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj, ok := t.m[h]
+	return obj, ok
+}
+
+// Remove deletes a handle and returns the object it referenced.
+func (t *HandleTable) Remove(h marshal.Handle) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj, ok := t.m[h]
+	if ok {
+		delete(t.m, h)
+	}
+	return obj, ok
+}
+
+// Len returns the number of live handles.
+func (t *HandleTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Handles returns all live handles in ascending order.
+func (t *HandleTable) Handles() []marshal.Handle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]marshal.Handle, 0, len(t.m))
+	for h := range t.m {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEach visits every live (handle, object) pair in ascending handle
+// order. The table lock is not held during visits.
+func (t *HandleTable) ForEach(visit func(marshal.Handle, any)) {
+	for _, h := range t.Handles() {
+		if obj, ok := t.Get(h); ok {
+			visit(h, obj)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"fmt"
+
+	"ava/internal/cava"
+	"ava/internal/marshal"
+	"ava/internal/spec"
+)
+
+// Invocation is one decoded API call being executed by a handler.
+//
+// The dispatcher decodes the Call frame, verifies the argument vector
+// against the descriptor, allocates space for output buffers, and hands the
+// Invocation to the registered handler. The handler reads arguments through
+// the typed accessors, performs the silo operation, and records results with
+// the Set* methods; the dispatcher then assembles the Reply.
+type Invocation struct {
+	Desc *cava.FuncDesc
+	Ctx  *Context
+
+	args []marshal.Value // verified arguments; out buffers pre-allocated
+	outs []marshal.Value // out-element results, indexed by out slot
+	ret  marshal.Value
+	env  spec.Env
+}
+
+// Arg returns the raw argument value at index i.
+func (inv *Invocation) Arg(i int) marshal.Value { return inv.args[i] }
+
+// NumArgs returns the argument count.
+func (inv *Invocation) NumArgs() int { return len(inv.args) }
+
+// Env returns the scalar-argument environment for expression evaluation
+// (built lazily; the dispatch hot path never needs it).
+func (inv *Invocation) Env() spec.Env {
+	if inv.env == nil {
+		inv.env = inv.Desc.Env(inv.args)
+	}
+	return inv.env
+}
+
+// Handle returns the handle argument at index i (0 if null).
+func (inv *Invocation) Handle(i int) marshal.Handle {
+	if inv.args[i].Kind == marshal.KindNull {
+		return 0
+	}
+	return inv.args[i].Handle()
+}
+
+// Uint returns the unsigned scalar at index i, converting bools and ints.
+func (inv *Invocation) Uint(i int) uint64 {
+	v := inv.args[i]
+	switch v.Kind {
+	case marshal.KindUint, marshal.KindHandle, marshal.KindLen:
+		return v.Uint
+	case marshal.KindInt:
+		return uint64(v.Int)
+	case marshal.KindBool:
+		if v.Bool {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Int returns the signed scalar at index i.
+func (inv *Invocation) Int(i int) int64 {
+	v := inv.args[i]
+	switch v.Kind {
+	case marshal.KindInt:
+		return v.Int
+	case marshal.KindUint, marshal.KindHandle, marshal.KindLen:
+		return int64(v.Uint)
+	case marshal.KindBool:
+		if v.Bool {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Bool returns the boolean interpretation of the scalar at index i.
+func (inv *Invocation) Bool(i int) bool { return inv.Uint(i) != 0 }
+
+// Float returns the float scalar at index i.
+func (inv *Invocation) Float(i int) float64 {
+	v := inv.args[i]
+	switch v.Kind {
+	case marshal.KindFloat:
+		return v.Float
+	case marshal.KindInt:
+		return float64(v.Int)
+	case marshal.KindUint:
+		return float64(v.Uint)
+	}
+	return 0
+}
+
+// Str returns the string argument at index i.
+func (inv *Invocation) Str(i int) string { return inv.args[i].Str }
+
+// Bytes returns the buffer at index i. For in/inout buffers it holds the
+// guest's data; for out buffers it is zeroed space of the declared size for
+// the handler to fill. Nil for null buffers.
+func (inv *Invocation) Bytes(i int) []byte { return inv.args[i].Bytes }
+
+// IsNull reports whether the guest passed a null pointer at index i.
+func (inv *Invocation) IsNull(i int) bool { return inv.args[i].Kind == marshal.KindNull }
+
+// outSlot maps a parameter index to its position in Reply.Outs.
+func (inv *Invocation) outSlot(i int) int {
+	slot := 0
+	for j := 0; j < i; j++ {
+		if inv.Desc.Params[j].Out() {
+			slot++
+		}
+	}
+	return slot
+}
+
+// SetOutHandle stores a freshly created object handle into the out-element
+// parameter at index i (the `element { allocates; }` pattern).
+func (inv *Invocation) SetOutHandle(i int, h marshal.Handle) {
+	inv.outs[inv.outSlot(i)] = marshal.HandleVal(h)
+}
+
+// SetOutUint stores an unsigned scalar result into the out element at i.
+func (inv *Invocation) SetOutUint(i int, v uint64) {
+	inv.outs[inv.outSlot(i)] = marshal.Uint(v)
+}
+
+// SetOutInt stores a signed scalar result into the out element at i.
+func (inv *Invocation) SetOutInt(i int, v int64) {
+	inv.outs[inv.outSlot(i)] = marshal.Int(v)
+}
+
+// SetOutFloat stores a float result into the out element at i.
+func (inv *Invocation) SetOutFloat(i int, v float64) {
+	inv.outs[inv.outSlot(i)] = marshal.Float(v)
+}
+
+// SetRet sets the call's return value.
+func (inv *Invocation) SetRet(v marshal.Value) { inv.ret = v }
+
+// SetStatus sets an integer status return (the cl_int pattern).
+func (inv *Invocation) SetStatus(v int64) { inv.ret = marshal.Int(v) }
+
+// SetRetHandle sets a handle return value.
+func (inv *Invocation) SetRetHandle(h marshal.Handle) { inv.ret = marshal.HandleVal(h) }
+
+// Ret returns the current return value.
+func (inv *Invocation) Ret() marshal.Value { return inv.ret }
+
+// finishOuts assembles Reply.Outs in parameter order: buffers contribute
+// their (possibly handler-written) bytes, elements contribute the values
+// stored by Set*; null arguments stay null.
+func (inv *Invocation) finishOuts() []marshal.Value {
+	if inv.Desc.NumOuts == 0 {
+		return nil
+	}
+	outs := make([]marshal.Value, 0, inv.Desc.NumOuts)
+	slot := 0
+	for i, pd := range inv.Desc.Params {
+		if !pd.Out() {
+			continue
+		}
+		switch {
+		case inv.args[i].Kind == marshal.KindNull:
+			outs = append(outs, marshal.Null())
+		case pd.IsBuffer:
+			outs = append(outs, marshal.BytesVal(inv.args[i].Bytes))
+		default: // element
+			outs = append(outs, inv.outs[slot])
+		}
+		slot++
+	}
+	return outs
+}
+
+// verifyAndPrepare checks a decoded argument vector against the descriptor
+// and allocates out-buffer space. It returns an error for malformed or
+// mendacious frames (wrong arity, buffer lengths disagreeing with the
+// size expressions) — the server must not trust the guest library.
+func verifyAndPrepare(d *cava.Descriptor, fd *cava.FuncDesc, args []marshal.Value) (*Invocation, error) {
+	if len(args) != len(fd.Params) {
+		return nil, fmt.Errorf("server: %s: %d args, want %d", fd.Name, len(args), len(fd.Params))
+	}
+	// Work on a copy: out-buffer placeholders are replaced with allocated
+	// space, and the caller's slice (the decoded wire form) must stay
+	// pristine for the migration record log.
+	args = append([]marshal.Value(nil), args...)
+	inv := &Invocation{
+		Desc: fd,
+		args: args,
+		outs: make([]marshal.Value, fd.NumOuts),
+	}
+	for i := range fd.Params {
+		pd := &fd.Params[i]
+		v := &args[i]
+		if !pd.IsPointer {
+			if err := verifyScalar(pd, v); err != nil {
+				return nil, fmt.Errorf("server: %s(%s): %v", fd.Name, pd.Name, err)
+			}
+			continue
+		}
+		if v.Kind == marshal.KindNull {
+			continue // optional pointer omitted by the guest
+		}
+		want, err := fd.BufferBytesArgs(i, d.API, args)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s(%s): %v", fd.Name, pd.Name, err)
+		}
+		switch {
+		case pd.In() && pd.Out(): // inout: bytes both ways
+			if v.Kind != marshal.KindBytes || len(v.Bytes) != want {
+				return nil, fmt.Errorf("server: %s(%s): inout buffer %d bytes, want %d", fd.Name, pd.Name, len(v.Bytes), want)
+			}
+		case pd.In():
+			if v.Kind != marshal.KindBytes || len(v.Bytes) != want {
+				return nil, fmt.Errorf("server: %s(%s): in buffer %d bytes, want %d", fd.Name, pd.Name, len(v.Bytes), want)
+			}
+		default: // out: guest sends a length placeholder; allocate space
+			if v.Kind != marshal.KindLen {
+				return nil, fmt.Errorf("server: %s(%s): out parameter sent as %v", fd.Name, pd.Name, v.Kind)
+			}
+			if int(v.Uint) != want {
+				return nil, fmt.Errorf("server: %s(%s): out length %d, want %d", fd.Name, pd.Name, v.Uint, want)
+			}
+			if pd.IsBuffer {
+				*v = marshal.BytesVal(make([]byte, want))
+			}
+			// Out elements keep the placeholder; handlers use SetOut*.
+		}
+	}
+	return inv, nil
+}
+
+func verifyScalar(pd *cava.ParamDesc, v *marshal.Value) error {
+	switch pd.Kind {
+	case spec.KindHandle:
+		if v.Kind != marshal.KindHandle && v.Kind != marshal.KindNull {
+			return fmt.Errorf("handle sent as %v", v.Kind)
+		}
+	case spec.KindString:
+		if v.Kind != marshal.KindString && v.Kind != marshal.KindNull {
+			return fmt.Errorf("string sent as %v", v.Kind)
+		}
+	case spec.KindFloat:
+		if v.Kind != marshal.KindFloat {
+			return fmt.Errorf("float sent as %v", v.Kind)
+		}
+	case spec.KindBool:
+		if v.Kind != marshal.KindBool && v.Kind != marshal.KindUint && v.Kind != marshal.KindInt {
+			return fmt.Errorf("bool sent as %v", v.Kind)
+		}
+	case spec.KindInt, spec.KindUint:
+		if v.Kind != marshal.KindInt && v.Kind != marshal.KindUint && v.Kind != marshal.KindBool {
+			return fmt.Errorf("integer sent as %v", v.Kind)
+		}
+	}
+	return nil
+}

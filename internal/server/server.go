@@ -1,0 +1,525 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ava/internal/cava"
+	"ava/internal/clock"
+	"ava/internal/marshal"
+	"ava/internal/spec"
+	"ava/internal/transport"
+)
+
+// ErrDeviceOOM is the sentinel silo handlers wrap when the device is out of
+// memory. The dispatcher gives the configured OOM policy (the buffer-object
+// swap manager, §4.3) one chance to make room and retries once.
+var ErrDeviceOOM = errors.New("server: device out of memory")
+
+// Handler executes one API call against the silo.
+type Handler func(inv *Invocation) error
+
+// Registry binds a Descriptor's functions to silo handlers.
+type Registry struct {
+	Desc     *cava.Descriptor
+	handlers []Handler
+	// OnOOM, if set, is invoked when a handler fails with ErrDeviceOOM;
+	// returning true retries the call once.
+	OnOOM func(ctx *Context, fd *cava.FuncDesc) bool
+}
+
+// NewRegistry creates an empty registry for d.
+func NewRegistry(d *cava.Descriptor) *Registry {
+	return &Registry{Desc: d, handlers: make([]Handler, len(d.Funcs))}
+}
+
+// Register installs the handler for a named function.
+func (r *Registry) Register(name string, h Handler) error {
+	fd, ok := r.Desc.Lookup(name)
+	if !ok {
+		return fmt.Errorf("server: register %q: no such function in %s", name, r.Desc.Name)
+	}
+	if r.handlers[fd.ID] != nil {
+		return fmt.Errorf("server: register %q: already registered", name)
+	}
+	r.handlers[fd.ID] = h
+	return nil
+}
+
+// MustRegister is Register for silo bindings shipped in the binary.
+func (r *Registry) MustRegister(name string, h Handler) {
+	if err := r.Register(name, h); err != nil {
+		panic(err)
+	}
+}
+
+// Unregistered returns the names of functions without handlers, for
+// completeness checks in silo binding tests.
+func (r *Registry) Unregistered() []string {
+	var out []string
+	for i, h := range r.handlers {
+		if h == nil {
+			out = append(out, r.Desc.Funcs[i].Name)
+		}
+	}
+	return out
+}
+
+// Stats counts per-VM server activity.
+type Stats struct {
+	Calls      uint64
+	AsyncCalls uint64
+	Errors     uint64
+	Replays    uint64
+	BytesIn    uint64
+	BytesOut   uint64
+	ExecTime   time.Duration
+}
+
+// RecordedCall is one entry in the migration record log (§4.3): a call
+// whose track annotation requires replay to reconstruct device state,
+// together with the reply it produced (the outs let the replay engine remap
+// handles the original call handed to the guest).
+type RecordedCall struct {
+	Func uint32
+	Args []marshal.Value
+	Ret  marshal.Value
+	Outs []marshal.Value
+	// Created is the guest handle the call produced (TrackCreate only).
+	Created marshal.Handle
+}
+
+// Context is the per-VM execution context inside the API server.
+type Context struct {
+	VM      uint32
+	Name    string
+	Handles *HandleTable
+
+	// Aux carries silo-binding state private to one API's handlers (e.g.
+	// the OpenCL binding's reverse object→handle map). Handlers run
+	// serially per context, so no locking discipline is imposed.
+	Aux any
+
+	mu        sync.Mutex
+	deferred  string // pending async-error note (§4.2 error deferral)
+	recording bool   // record tracked calls for migration (opt-in)
+	log       []RecordedCall
+	stats     Stats
+	frozen    bool // suspended for migration
+
+	clk clock.Clock
+}
+
+// NewContext creates the execution context for one VM.
+func NewContext(vm uint32, name string) *Context {
+	return &Context{
+		VM:      vm,
+		Name:    name,
+		Handles: NewHandleTable(),
+		clk:     clock.NewReal(),
+	}
+}
+
+// SetClock overrides the context's time source (tests).
+func (c *Context) SetClock(clk clock.Clock) { c.clk = clk }
+
+// Stats returns a copy of the context's counters.
+func (c *Context) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DeferredError returns and clears the pending async-error note.
+func (c *Context) DeferredError() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.deferred
+	c.deferred = ""
+	return d
+}
+
+func (c *Context) setDeferred(msg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deferred == "" {
+		c.deferred = msg
+	}
+}
+
+// SetRecording enables or disables the migration record log. Recording is
+// off by default — tracking every tracked call costs measurable time on
+// call-intensive workloads, so a deployment enables it only for VMs that
+// may migrate (ava.Config{Recording: true}).
+func (c *Context) SetRecording(on bool) {
+	c.mu.Lock()
+	c.recording = on
+	c.mu.Unlock()
+}
+
+// Recording reports whether the migration record log is active.
+func (c *Context) Recording() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recording
+}
+
+// RemapRecorded rewrites every occurrence of handle from to handle to in
+// the record log (args, returns, outs and Created). The migration engine
+// uses it after rebinding a replayed object to its original guest handle so
+// the destination's own log stays consistent for a further migration.
+func (c *Context) RemapRecorded(from, to marshal.Handle) {
+	if from == 0 || from == to {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fix := func(v *marshal.Value) {
+		if v.Kind == marshal.KindHandle && v.Handle() == from {
+			*v = marshal.HandleVal(to)
+		}
+	}
+	for i := range c.log {
+		rc := &c.log[i]
+		if rc.Created == from {
+			rc.Created = to
+		}
+		fix(&rc.Ret)
+		for j := range rc.Args {
+			fix(&rc.Args[j])
+		}
+		for j := range rc.Outs {
+			fix(&rc.Outs[j])
+		}
+	}
+}
+
+// RecordLog returns a copy of the migration record log.
+func (c *Context) RecordLog() []RecordedCall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RecordedCall(nil), c.log...)
+}
+
+// Freeze suspends call execution (migration quiesce). Calls arriving while
+// frozen fail with StatusDenied.
+func (c *Context) Freeze() {
+	c.mu.Lock()
+	c.frozen = true
+	c.mu.Unlock()
+}
+
+// Thaw resumes call execution.
+func (c *Context) Thaw() {
+	c.mu.Lock()
+	c.frozen = false
+	c.mu.Unlock()
+}
+
+// record appends to the migration log per the function's track annotation.
+// Destroy calls prune the created object's history instead of growing the
+// log (the Nooks-style object tracking the paper cites).
+func (c *Context) record(fd *cava.FuncDesc, args []marshal.Value, rep *marshal.Reply, created marshal.Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.recording {
+		return
+	}
+	switch fd.Track.Kind {
+	case spec.TrackConfig, spec.TrackModify:
+		c.log = append(c.log, RecordedCall{
+			Func: fd.ID, Args: cloneValues(args),
+			Ret: rep.Ret, Outs: cloneValues(rep.Outs),
+		})
+	case spec.TrackCreate:
+		c.log = append(c.log, RecordedCall{
+			Func: fd.ID, Args: cloneValues(args),
+			Ret: rep.Ret, Outs: cloneValues(rep.Outs),
+			Created: created,
+		})
+	case spec.TrackDestroy:
+		if fd.TrackIdx < 0 || fd.TrackIdx >= len(args) {
+			return
+		}
+		h := args[fd.TrackIdx].Handle()
+		kept := c.log[:0]
+		for _, rc := range c.log {
+			if rc.Created == h && h != 0 {
+				continue // drop the create
+			}
+			if refsHandle(c.handlesOf(rc), h) {
+				continue // drop modifies touching the destroyed object
+			}
+			kept = append(kept, rc)
+		}
+		c.log = kept
+	}
+}
+
+func (c *Context) handlesOf(rc RecordedCall) []marshal.Handle {
+	var hs []marshal.Handle
+	for _, v := range rc.Args {
+		if v.Kind == marshal.KindHandle {
+			hs = append(hs, v.Handle())
+		}
+	}
+	return hs
+}
+
+func refsHandle(hs []marshal.Handle, h marshal.Handle) bool {
+	for _, x := range hs {
+		if x == h && h != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneValues(vs []marshal.Value) []marshal.Value {
+	out := make([]marshal.Value, len(vs))
+	for i, v := range vs {
+		if v.Kind == marshal.KindBytes {
+			v.Bytes = append([]byte(nil), v.Bytes...)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Server executes forwarded calls for a set of VM contexts.
+type Server struct {
+	reg *Registry
+
+	mu   sync.Mutex
+	ctxs map[uint32]*Context
+}
+
+// New creates a server over a silo registry.
+func New(reg *Registry) *Server {
+	return &Server{reg: reg, ctxs: make(map[uint32]*Context)}
+}
+
+// Registry returns the silo registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Context returns (creating on first use) the per-VM context.
+func (s *Server) Context(vm uint32, name string) *Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.ctxs[vm]; ok {
+		return c
+	}
+	c := NewContext(vm, name)
+	s.ctxs[vm] = c
+	return c
+}
+
+// DropContext removes a VM's context (VM teardown).
+func (s *Server) DropContext(vm uint32) {
+	s.mu.Lock()
+	delete(s.ctxs, vm)
+	s.mu.Unlock()
+}
+
+// Execute runs one decoded call and returns the reply, or nil for
+// asynchronously forwarded calls (which get no reply).
+func (s *Server) Execute(ctx *Context, call *marshal.Call) *marshal.Reply {
+	async := call.Flags&marshal.FlagAsync != 0
+
+	ctx.mu.Lock()
+	frozen := ctx.frozen
+	ctx.mu.Unlock()
+	if frozen {
+		if async {
+			ctx.setDeferred("call rejected: VM suspended for migration")
+			return nil
+		}
+		return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusDenied, Err: "VM suspended for migration"}
+	}
+
+	reply := s.execute(ctx, call, async)
+
+	ctx.mu.Lock()
+	ctx.stats.Calls++
+	if async {
+		ctx.stats.AsyncCalls++
+	}
+	if call.Flags&marshal.FlagReplay != 0 {
+		ctx.stats.Replays++
+	}
+	if reply != nil && reply.Status != marshal.StatusOK {
+		ctx.stats.Errors++
+	}
+	ctx.mu.Unlock()
+
+	if async {
+		if reply != nil && reply.Status != marshal.StatusOK {
+			ctx.setDeferred(fmt.Sprintf("async %s: %s", s.funcName(call.Func), reply.Err))
+		} else if reply != nil && s.isFailureRet(call.Func, reply.Ret) {
+			ctx.setDeferred(fmt.Sprintf("async %s: API error %s", s.funcName(call.Func), reply.Ret))
+		}
+		return nil
+	}
+	// Piggy-back any deferred async error note on the next sync reply so
+	// the guest library can surface it (§4.2: "the error can be delivered
+	// from a later API call").
+	if reply.Err == "" {
+		if d := ctx.DeferredError(); d != "" {
+			reply.Err = "deferred: " + d
+		}
+	}
+	return reply
+}
+
+func (s *Server) funcName(id uint32) string {
+	if fd, ok := s.reg.Desc.ByID(id); ok {
+		return fd.Name
+	}
+	return fmt.Sprintf("func#%d", id)
+}
+
+func (s *Server) isFailureRet(id uint32, ret marshal.Value) bool {
+	fd, ok := s.reg.Desc.ByID(id)
+	if !ok || !fd.HasSuccess {
+		return false
+	}
+	switch ret.Kind {
+	case marshal.KindInt:
+		return ret.Int != fd.SuccessVal
+	case marshal.KindUint:
+		return int64(ret.Uint) != fd.SuccessVal
+	}
+	return false
+}
+
+func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.Reply {
+	fail := func(st marshal.Status, format string, args ...any) *marshal.Reply {
+		return &marshal.Reply{Seq: call.Seq, Status: st, Err: fmt.Sprintf(format, args...)}
+	}
+	fd, ok := s.reg.Desc.ByID(call.Func)
+	if !ok {
+		return fail(marshal.StatusDenied, "unknown function #%d", call.Func)
+	}
+	h := s.reg.handlers[fd.ID]
+	if h == nil {
+		return fail(marshal.StatusInternal, "%s: no handler registered", fd.Name)
+	}
+	// A guest may only use async forwarding where the spec allows it.
+	if async {
+		if sync, err := fd.IsSync(s.reg.Desc.API, call.Args); err != nil || sync {
+			return fail(marshal.StatusDenied, "%s: async forwarding not permitted by specification", fd.Name)
+		}
+	}
+
+	inv, err := verifyAndPrepare(s.reg.Desc, fd, call.Args)
+	if err != nil {
+		return fail(marshal.StatusDenied, "%v", err)
+	}
+	inv.Ctx = ctx
+
+	start := ctx.clk.Now()
+	err = runHandler(h, inv)
+	if errors.Is(err, ErrDeviceOOM) && s.reg.OnOOM != nil && s.reg.OnOOM(ctx, fd) {
+		err = runHandler(h, inv) // one retry after the swap manager made room
+	}
+	elapsed := ctx.clk.Since(start)
+	ctx.mu.Lock()
+	ctx.stats.ExecTime += elapsed
+	ctx.mu.Unlock()
+
+	if err != nil {
+		return fail(marshal.StatusInternal, "%s: %v", fd.Name, err)
+	}
+
+	reply := &marshal.Reply{
+		Seq:    call.Seq,
+		Status: marshal.StatusOK,
+		Ret:    inv.ret,
+		Outs:   inv.finishOuts(),
+	}
+
+	// Record for migration replay, capturing the created handle if any.
+	// call.Args is the pristine wire form (verifyAndPrepare works on a
+	// copy), so the recorded call can be re-executed verbatim.
+	if fd.Track.Kind != spec.TrackNone {
+		var created marshal.Handle
+		if fd.Track.Kind == spec.TrackCreate {
+			if fd.TrackIdx >= 0 {
+				created = inv.outs[inv.outSlot(fd.TrackIdx)].Handle()
+			} else if inv.ret.Kind == marshal.KindHandle {
+				created = inv.ret.Handle()
+			}
+		}
+		ctx.record(fd, call.Args, reply, created)
+	}
+	return reply
+}
+
+// runHandler isolates a silo handler: a panic in one VM's call becomes an
+// error reply for that call instead of taking down the API server process
+// serving every VM — the fault-isolation property §2 faults vCUDA for
+// lacking.
+func runHandler(h Handler, inv *Invocation) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	return h(inv)
+}
+
+// ExecuteFrame decodes and executes one encoded call frame.
+func (s *Server) ExecuteFrame(ctx *Context, frame []byte) ([]byte, error) {
+	call, err := marshal.DecodeCall(frame)
+	if err != nil {
+		return nil, err
+	}
+	ctx.mu.Lock()
+	ctx.stats.BytesIn += uint64(len(frame))
+	ctx.mu.Unlock()
+	reply := s.Execute(ctx, call)
+	if reply == nil {
+		return nil, nil
+	}
+	out := marshal.EncodeReply(reply)
+	ctx.mu.Lock()
+	ctx.stats.BytesOut += uint64(len(out))
+	ctx.mu.Unlock()
+	return out, nil
+}
+
+// ServeVM runs the serve loop for one VM over ep: receive batch frames,
+// execute each call in order, reply to synchronous calls. It returns when
+// the transport closes.
+func (s *Server) ServeVM(ctx *Context, ep transport.Endpoint) error {
+	for {
+		frame, err := ep.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		calls, err := marshal.DecodeBatch(frame)
+		if err != nil {
+			return fmt.Errorf("server: vm %d sent malformed batch: %w", ctx.VM, err)
+		}
+		for _, cf := range calls {
+			reply, err := s.ExecuteFrame(ctx, cf)
+			if err != nil {
+				return fmt.Errorf("server: vm %d sent malformed call: %w", ctx.VM, err)
+			}
+			if reply == nil {
+				continue
+			}
+			if err := ep.Send(reply); err != nil {
+				if errors.Is(err, transport.ErrClosed) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+}

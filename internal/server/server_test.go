@@ -1,0 +1,396 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ava/internal/cava"
+	"ava/internal/marshal"
+)
+
+const srvSpec = `
+api "srvtest";
+handle obj;
+const OK = 0;
+type st = int32_t { success(OK); };
+
+st create(uint32_t kind, obj *o) {
+  parameter(o) { out; element { allocates; } }
+  track(create, o);
+}
+st destroy(obj o) { track(destroy, o); }
+st poke(obj o, uint32_t v) { track(modify, o); }
+st setup(uint32_t flags) { track(config); }
+st bigAlloc(size_t size) ;
+st ping(uint32_t x);
+`
+
+func newTestServer(t *testing.T) (*Server, *Context, *cava.Descriptor) {
+	t.Helper()
+	desc := cava.MustCompile(srvSpec)
+	reg := NewRegistry(desc)
+	reg.MustRegister("create", func(inv *Invocation) error {
+		h := inv.Ctx.Handles.Insert(fmt.Sprintf("obj-kind-%d", inv.Uint(0)))
+		inv.SetOutHandle(1, h)
+		inv.SetStatus(0)
+		return nil
+	})
+	reg.MustRegister("destroy", func(inv *Invocation) error {
+		inv.Ctx.Handles.Remove(inv.Handle(0))
+		inv.SetStatus(0)
+		return nil
+	})
+	reg.MustRegister("poke", func(inv *Invocation) error { inv.SetStatus(0); return nil })
+	reg.MustRegister("setup", func(inv *Invocation) error { inv.SetStatus(0); return nil })
+	reg.MustRegister("ping", func(inv *Invocation) error { inv.SetStatus(0); return nil })
+	oomLeft := 1
+	reg.MustRegister("bigAlloc", func(inv *Invocation) error {
+		if oomLeft > 0 {
+			oomLeft--
+			return fmt.Errorf("alloc %d: %w", inv.Uint(0), ErrDeviceOOM)
+		}
+		inv.SetStatus(0)
+		return nil
+	})
+	srv := New(reg)
+	ctx := srv.Context(7, "vm7")
+	ctx.SetRecording(true)
+	return srv, ctx, desc
+}
+
+func call(desc *cava.Descriptor, name string, args ...marshal.Value) *marshal.Call {
+	fd, ok := desc.Lookup(name)
+	if !ok {
+		panic(name)
+	}
+	return &marshal.Call{Seq: 1, Func: fd.ID, Args: args}
+}
+
+func TestExecuteUnknownFunction(t *testing.T) {
+	srv, ctx, _ := newTestServer(t)
+	reply := srv.Execute(ctx, &marshal.Call{Seq: 1, Func: 999})
+	if reply.Status != marshal.StatusDenied {
+		t.Fatalf("status = %v", reply.Status)
+	}
+}
+
+func TestExecuteMissingHandler(t *testing.T) {
+	desc := cava.MustCompile(`void f(uint32_t a);`)
+	srv := New(NewRegistry(desc))
+	ctx := srv.Context(1, "v")
+	reply := srv.Execute(ctx, call(desc, "f", marshal.Uint(1)))
+	if reply.Status != marshal.StatusInternal {
+		t.Fatalf("status = %v", reply.Status)
+	}
+}
+
+func TestUnregisteredList(t *testing.T) {
+	desc := cava.MustCompile(`void f(uint32_t a); void g(uint32_t a);`)
+	reg := NewRegistry(desc)
+	reg.MustRegister("f", func(inv *Invocation) error { return nil })
+	un := reg.Unregistered()
+	if len(un) != 1 || un[0] != "g" {
+		t.Fatalf("unregistered = %v", un)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	desc := cava.MustCompile(`void f(uint32_t a);`)
+	reg := NewRegistry(desc)
+	if err := reg.Register("ghost", nil); err == nil {
+		t.Fatal("registered unknown function")
+	}
+	if err := reg.Register("f", func(inv *Invocation) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("f", func(inv *Invocation) error { return nil }); err == nil {
+		t.Fatal("double registration allowed")
+	}
+}
+
+func TestOOMRetryPolicy(t *testing.T) {
+	srv, ctx, desc := newTestServer(t)
+	evictions := 0
+	srv.Registry().OnOOM = func(c *Context, fd *cava.FuncDesc) bool {
+		evictions++
+		return true
+	}
+	reply := srv.Execute(ctx, call(desc, "bigAlloc", marshal.Uint(1<<20)))
+	if reply.Status != marshal.StatusOK {
+		t.Fatalf("status = %v (%s)", reply.Status, reply.Err)
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d", evictions)
+	}
+}
+
+func TestOOMWithoutPolicyFails(t *testing.T) {
+	srv, ctx, desc := newTestServer(t)
+	reply := srv.Execute(ctx, call(desc, "bigAlloc", marshal.Uint(1<<20)))
+	if reply.Status != marshal.StatusInternal || !strings.Contains(reply.Err, "out of memory") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestFreezeDeniesCalls(t *testing.T) {
+	srv, ctx, desc := newTestServer(t)
+	ctx.Freeze()
+	reply := srv.Execute(ctx, call(desc, "ping", marshal.Uint(1)))
+	if reply.Status != marshal.StatusDenied {
+		t.Fatalf("status = %v", reply.Status)
+	}
+	ctx.Thaw()
+	reply = srv.Execute(ctx, call(desc, "ping", marshal.Uint(1)))
+	if reply.Status != marshal.StatusOK {
+		t.Fatalf("after thaw: %v", reply.Status)
+	}
+}
+
+func TestRecordLogConfigAndModify(t *testing.T) {
+	srv, ctx, desc := newTestServer(t)
+	srv.Execute(ctx, call(desc, "setup", marshal.Uint(3)))
+	reply := srv.Execute(ctx, call(desc, "create", marshal.Uint(1), marshal.Len(8)))
+	h := reply.Outs[0].Handle()
+	srv.Execute(ctx, call(desc, "poke", marshal.HandleVal(h), marshal.Uint(42)))
+
+	log := ctx.RecordLog()
+	if len(log) != 3 {
+		t.Fatalf("log = %d entries", len(log))
+	}
+	if log[1].Created != h {
+		t.Fatalf("created = %d, want %d", log[1].Created, h)
+	}
+
+	// Destroying the object prunes its create and modify entries but not
+	// the global config.
+	srv.Execute(ctx, call(desc, "destroy", marshal.HandleVal(h)))
+	log = ctx.RecordLog()
+	if len(log) != 1 {
+		t.Fatalf("after destroy: %d entries", len(log))
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	srv, ctx, desc := newTestServer(t)
+	srv.Execute(ctx, call(desc, "ping", marshal.Uint(1)))
+	srv.Execute(ctx, &marshal.Call{Seq: 2, Func: 999})
+	st := ctx.Stats()
+	if st.Calls != 2 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestContextReuseAndDrop(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	a := srv.Context(3, "vm3")
+	b := srv.Context(3, "vm3")
+	if a != b {
+		t.Fatal("context not reused")
+	}
+	srv.DropContext(3)
+	c := srv.Context(3, "vm3")
+	if a == c {
+		t.Fatal("context not dropped")
+	}
+}
+
+func TestHandleTableBasics(t *testing.T) {
+	ht := NewHandleTable()
+	h1 := ht.Insert("a")
+	h2 := ht.Insert("b")
+	if h1 == h2 || h1 == 0 {
+		t.Fatalf("handles %d %d", h1, h2)
+	}
+	if v, ok := ht.Get(h1); !ok || v != "a" {
+		t.Fatalf("get = %v %t", v, ok)
+	}
+	if ht.Len() != 2 {
+		t.Fatalf("len = %d", ht.Len())
+	}
+	if v, ok := ht.Remove(h1); !ok || v != "a" {
+		t.Fatalf("remove = %v %t", v, ok)
+	}
+	if _, ok := ht.Get(h1); ok {
+		t.Fatal("removed handle resolvable")
+	}
+	if _, ok := ht.Remove(h1); ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestHandleTableInsertAt(t *testing.T) {
+	ht := NewHandleTable()
+	if err := ht.InsertAt(42, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.InsertAt(42, "y"); err == nil {
+		t.Fatal("duplicate InsertAt succeeded")
+	}
+	// Fresh inserts must not collide with forced handles.
+	h := ht.Insert("z")
+	if h <= 42 {
+		t.Fatalf("Insert returned %d after InsertAt(42)", h)
+	}
+}
+
+func TestHandleTableOrdering(t *testing.T) {
+	ht := NewHandleTable()
+	for i := 0; i < 10; i++ {
+		ht.Insert(i)
+	}
+	hs := ht.Handles()
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1] >= hs[i] {
+			t.Fatal("handles not sorted")
+		}
+	}
+	var visited []any
+	ht.ForEach(func(h marshal.Handle, obj any) { visited = append(visited, obj) })
+	if len(visited) != 10 || visited[0] != 0 || visited[9] != 9 {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+// Property: handles are never reused while live, and Get is consistent
+// with Insert/Remove history.
+func TestQuickHandleTable(t *testing.T) {
+	f := func(ops []uint8) bool {
+		ht := NewHandleTable()
+		live := map[marshal.Handle]int{}
+		n := 0
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				for h := range live {
+					ht.Remove(h)
+					delete(live, h)
+					break
+				}
+				continue
+			}
+			h := ht.Insert(n)
+			if _, dup := live[h]; dup {
+				return false
+			}
+			live[h] = n
+			n++
+		}
+		if ht.Len() != len(live) {
+			return false
+		}
+		for h, v := range live {
+			got, ok := ht.Get(h)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeferredErrorOnce(t *testing.T) {
+	ctx := NewContext(1, "v")
+	ctx.setDeferred("first")
+	ctx.setDeferred("second") // only the first is kept
+	if d := ctx.DeferredError(); d != "first" {
+		t.Fatalf("deferred = %q", d)
+	}
+	if d := ctx.DeferredError(); d != "" {
+		t.Fatalf("deferred not cleared: %q", d)
+	}
+}
+
+func TestIsFailureRetDetection(t *testing.T) {
+	srv, _, desc := newTestServer(t)
+	fd, _ := desc.Lookup("ping")
+	if srv.isFailureRet(fd.ID, marshal.Int(0)) {
+		t.Fatal("success flagged as failure")
+	}
+	if !srv.isFailureRet(fd.ID, marshal.Int(-5)) {
+		t.Fatal("failure not flagged")
+	}
+	if srv.isFailureRet(999, marshal.Int(-5)) {
+		t.Fatal("unknown function flagged")
+	}
+}
+
+func TestExecuteFrameMalformed(t *testing.T) {
+	srv, ctx, _ := newTestServer(t)
+	if _, err := srv.ExecuteFrame(ctx, []byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed frame executed")
+	}
+}
+
+func TestVerifyScalarKinds(t *testing.T) {
+	srv, ctx, desc := newTestServer(t)
+	// String where a uint32 is expected.
+	reply := srv.Execute(ctx, call(desc, "ping", marshal.Str("hi")))
+	if reply.Status != marshal.StatusDenied {
+		t.Fatalf("status = %v", reply.Status)
+	}
+	// Wrong arity.
+	reply = srv.Execute(ctx, call(desc, "ping"))
+	if reply.Status != marshal.StatusDenied {
+		t.Fatalf("status = %v", reply.Status)
+	}
+}
+
+func TestInvocationAccessors(t *testing.T) {
+	desc := cava.MustCompile(`
+		handle h;
+		void f(h a, int32_t b, uint32_t c, double d, bool e, string s, const void *buf, size_t buf_size) {
+			parameter(buf) { in; buffer(buf_size); }
+		}
+	`)
+	fd, _ := desc.Lookup("f")
+	inv, err := verifyAndPrepare(desc, fd, []marshal.Value{
+		marshal.HandleVal(5), marshal.Int(-3), marshal.Uint(9), marshal.Float(2.5),
+		marshal.Bool(true), marshal.Str("name"), marshal.BytesVal([]byte{1, 2}), marshal.Uint(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Handle(0) != 5 || inv.Int(1) != -3 || inv.Uint(2) != 9 ||
+		inv.Float(3) != 2.5 || !inv.Bool(4) || inv.Str(5) != "name" ||
+		len(inv.Bytes(6)) != 2 || inv.NumArgs() != 8 {
+		t.Fatal("accessor mismatch")
+	}
+	if inv.IsNull(0) {
+		t.Fatal("non-null reported null")
+	}
+	if inv.Env()["buf_size"] != 2 {
+		t.Fatalf("env = %v", inv.Env())
+	}
+	// Cross-kind coercions.
+	if inv.Uint(1) != uint64(0xFFFFFFFFFFFFFFFD) || inv.Int(2) != 9 {
+		t.Fatal("coercion mismatch")
+	}
+	if inv.Float(1) != -3 || inv.Float(2) != 9 {
+		t.Fatal("float coercion mismatch")
+	}
+	if !inv.Bool(2) || inv.Uint(4) != 1 || inv.Int(4) != 1 {
+		t.Fatal("bool coercion mismatch")
+	}
+}
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	desc := cava.MustCompile(`void boom(uint32_t x); void ok(uint32_t x);`)
+	reg := NewRegistry(desc)
+	reg.MustRegister("boom", func(inv *Invocation) error { panic("silo bug") })
+	reg.MustRegister("ok", func(inv *Invocation) error { return nil })
+	srv := New(reg)
+	ctx := srv.Context(1, "v")
+	rep := srv.Execute(ctx, call(desc, "boom", marshal.Uint(1)))
+	if rep.Status != marshal.StatusInternal || !strings.Contains(rep.Err, "panic") {
+		t.Fatalf("reply = %+v", rep)
+	}
+	// The server survives and keeps executing for this and other calls.
+	rep = srv.Execute(ctx, call(desc, "ok", marshal.Uint(1)))
+	if rep.Status != marshal.StatusOK {
+		t.Fatalf("server did not survive handler panic: %+v", rep)
+	}
+}

@@ -1,0 +1,185 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Note is a single inference decision or open question produced while
+// generating a preliminary specification. The paper's workflow (Figure 2)
+// has CAvA create a preliminary spec from the unmodified header, then the
+// programmer refines it with guidance; Notes are that guidance.
+type Note struct {
+	Func  string
+	Param string
+	Msg   string
+	// NeedsReview marks decisions CAvA could not make safely; the
+	// developer must annotate before the spec validates.
+	NeedsReview bool
+}
+
+func (n Note) String() string {
+	where := n.Func
+	if n.Param != "" {
+		where += "(" + n.Param + ")"
+	}
+	tag := "inferred"
+	if n.NeedsReview {
+		tag = "NEEDS REVIEW"
+	}
+	return fmt.Sprintf("%s: %s: %s", tag, where, n.Msg)
+}
+
+// Infer fills in annotations that can be derived from the declarations
+// alone, mirroring the paper's §3: "The AvA prototype uses argument types to
+// infer semantic information, and requires the programmer to verify its
+// results." It applies the conventions the paper proposes for documentation-
+// free operation (e.g. "the size parameter for every pointer argument has
+// the same name with _size appended").
+//
+// Rules, in order, for each unannotated parameter:
+//
+//  1. Scalars and handles pass by value; nothing to infer.
+//  2. `const char*` is an input string.
+//  3. A const pointer is an input buffer (Figure 4: "event_wait_list is
+//     inferred to be an input buffer ... because it is a const pointer").
+//     Its element count comes from a sibling parameter named
+//     <name>_size, <name>_count, <name>_len, num_<name>, or
+//     num_<name-without-plural-s>; failing that, a parameter named exactly
+//     "size" when the pointee is void; failing that it is marked for review.
+//  4. A non-const pointer to a handle type is a single-element output whose
+//     element the call allocates (the clEnqueueReadBuffer `event` pattern).
+//  5. A non-const pointer to a scalar is a single-element output.
+//  6. A non-const void pointer is an output buffer, sized like rule 3,
+//     otherwise marked for review.
+//
+// Function synchrony defaults to sync. Functions whose return type declares
+// a success value and that have no outputs of any kind are eligible for
+// async forwarding, which is noted but NOT applied automatically — the
+// paper applies async only by explicit annotation (§4.2).
+func Infer(api *API) []Note {
+	var notes []Note
+	for _, fn := range api.Funcs {
+		notes = append(notes, inferFunc(api, fn)...)
+	}
+	return notes
+}
+
+func inferFunc(api *API, fn *Func) []Note {
+	var notes []Note
+	add := func(param, format string, args ...any) {
+		notes = append(notes, Note{Func: fn.Name, Param: param, Msg: fmt.Sprintf(format, args...)})
+	}
+	review := func(param, format string, args ...any) {
+		notes = append(notes, Note{Func: fn.Name, Param: param, Msg: fmt.Sprintf(format, args...), NeedsReview: true})
+	}
+
+	hasOutput := false
+	for _, prm := range fn.Params {
+		rt, err := api.Resolve(prm.Type.Name)
+		if err != nil {
+			review(prm.Name, "unknown type %q", prm.Type.Name)
+			continue
+		}
+		if prm.Type.Stars == 0 {
+			continue // rule 1
+		}
+		annotated := prm.Dir != DirDefault || prm.IsBuffer || prm.IsElement
+		if annotated {
+			if prm.Dir == DirOut || prm.Dir == DirInOut {
+				hasOutput = true
+			}
+			continue
+		}
+		switch {
+		case rt.Kind == KindString || (prm.Type.Name == "char" && prm.Type.Const): // rule 2
+			prm.Dir = DirIn
+			prm.Inferred = true
+			add(prm.Name, "const char* -> input string")
+		case prm.Type.Const: // rule 3
+			prm.Dir = DirIn
+			prm.IsBuffer = true
+			prm.Inferred = true
+			if sz := findSizeParam(fn, prm, rt.Kind == KindVoid); sz != "" {
+				prm.SizeExpr = &Ref{Name: sz}
+				add(prm.Name, "const pointer -> input buffer sized by %q", sz)
+			} else {
+				prm.SizeExpr = &IntLit{Value: 1}
+				review(prm.Name, "input buffer with no discoverable size parameter; defaulted to 1 element")
+			}
+		case rt.Kind == KindHandle: // rule 4
+			prm.Dir = DirOut
+			prm.IsElement = true
+			prm.Allocates = true
+			prm.Inferred = true
+			hasOutput = true
+			add(prm.Name, "%s* -> single-element output, freshly allocated handle", prm.Type.Name)
+		case rt.Kind != KindVoid: // rule 5
+			prm.Dir = DirOut
+			prm.IsElement = true
+			prm.Inferred = true
+			hasOutput = true
+			add(prm.Name, "%s* -> single-element output", prm.Type.Name)
+		default: // rule 6
+			prm.Dir = DirOut
+			prm.IsBuffer = true
+			prm.Inferred = true
+			hasOutput = true
+			if sz := findSizeParam(fn, prm, true); sz != "" {
+				prm.SizeExpr = &Ref{Name: sz}
+				add(prm.Name, "void* -> output buffer sized by %q", sz)
+			} else {
+				prm.SizeExpr = &IntLit{Value: 1}
+				review(prm.Name, "output buffer with no discoverable size parameter; defaulted to 1 byte")
+			}
+		}
+	}
+
+	if fn.Sync.Mode == AsyncAlways {
+		return notes
+	}
+	if _, ok := api.SuccessValue(fn); ok && !hasOutput {
+		add("", "eligible for async forwarding (success value declared, no outputs); annotate `async;` to enable")
+	}
+	return notes
+}
+
+// findSizeParam locates a scalar sibling parameter that names prm's size
+// by convention.
+func findSizeParam(fn *Func, prm *Param, allowBareSize bool) string {
+	candidates := []string{
+		prm.Name + "_size",
+		prm.Name + "_count",
+		prm.Name + "_len",
+		"num_" + prm.Name,
+		"n_" + prm.Name,
+	}
+	// The OpenCL convention from Figure 4: event_wait_list is sized by
+	// num_events_in_wait_list.
+	if base, ok := strings.CutSuffix(prm.Name, "_wait_list"); ok {
+		candidates = append(candidates, "num_"+base+"s_in_wait_list")
+	}
+	if allowBareSize {
+		candidates = append(candidates, "size")
+	}
+	for _, c := range candidates {
+		if sp := fn.Param(c); sp != nil && sp.Type.Stars == 0 {
+			return c
+		}
+	}
+	// Fuzzy fallback: a scalar parameter whose name mentions the buffer's
+	// name (singular) together with a size word.
+	base := strings.TrimSuffix(prm.Name, "s")
+	for _, sp := range fn.Params {
+		if sp == prm || sp.Type.Stars != 0 {
+			continue
+		}
+		if strings.Contains(sp.Name, base) &&
+			(strings.Contains(sp.Name, "num") ||
+				strings.Contains(sp.Name, "count") ||
+				strings.Contains(sp.Name, "size")) {
+			return sp.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,211 @@
+package spec
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes CAvA specification source. The language uses C-style
+// comments (// and /* */), C-like identifiers and integer literals
+// (decimal and 0x hex), and a small fixed set of punctuation.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByteAt(i int) byte {
+	if l.off+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+i]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, pos: pos, text: l.src[start:l.off]}, nil
+	case c >= '0' && c <= '9':
+		start := l.off
+		base := 10
+		if c == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+		}
+		for l.off < len(l.src) {
+			d := l.peekByte()
+			if base == 16 && isHexDigit(d) || base == 10 && d >= '0' && d <= '9' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.off]
+		parse := text
+		if base == 16 {
+			parse = strings.TrimPrefix(strings.TrimPrefix(text, "0x"), "0X")
+			if parse == "" {
+				return token{}, errf(pos, "malformed hex literal %q", text)
+			}
+		}
+		n, err := strconv.ParseInt(parse, base, 64)
+		if err != nil {
+			return token{}, errf(pos, "malformed integer literal %q", text)
+		}
+		return token{kind: tokInt, pos: pos, num: n}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return token{}, errf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return token{}, errf(pos, "unterminated string literal")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return token{}, errf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return token{kind: tokString, pos: pos, text: sb.String()}, nil
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case '*':
+		return token{kind: tokStar, pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, pos: pos}, nil
+	case '-':
+		return token{kind: tokMinus, pos: pos}, nil
+	case '/':
+		return token{kind: tokSlash, pos: pos}, nil
+	case '=':
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokEq, pos: pos}, nil
+		}
+		return token{kind: tokAssign, pos: pos}, nil
+	case '!':
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokNeq, pos: pos}, nil
+		}
+		return token{}, errf(pos, "unexpected character '!'")
+	}
+	return token{}, errf(pos, "unexpected character %q", string(rune(c)))
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,106 @@
+package spec
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLParen // (
+	tokRParen // )
+	tokLBrace // {
+	tokRBrace // }
+	tokSemi   // ;
+	tokComma  // ,
+	tokStar   // *
+	tokAssign // =
+	tokEq     // ==
+	tokNeq    // !=
+	tokPlus   // +
+	tokMinus  // -
+	tokSlash  // /
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokStar:
+		return "'*'"
+	case tokAssign:
+		return "'='"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokSlash:
+		return "'/'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string // identifier text or string literal contents
+	num  int64  // integer value
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent:
+		return t.text
+	case tokInt:
+		return fmt.Sprintf("%d", t.num)
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+// Error is a spec parse or validation error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("spec:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,273 @@
+package swap_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ava"
+	"ava/internal/cl"
+	"ava/internal/devsim"
+	"ava/internal/server"
+	"ava/internal/swap"
+)
+
+// tinySilo has 1 MiB of device memory so oversubscription is easy.
+func tinySilo() *cl.Silo {
+	return cl.NewSilo(cl.Config{
+		Devices: []devsim.Config{{Name: "tiny-gpu", MemoryBytes: 1 << 20, ComputeUnits: 2}},
+	})
+}
+
+func remoteWithSwap(t *testing.T) (cl.Client, *swap.Manager, *cl.Silo) {
+	t.Helper()
+	silo := tinySilo()
+	desc := cl.Descriptor()
+	reg := server.NewRegistry(desc)
+	cl.BindServer(reg, silo)
+	mgr := swap.NewManager(silo)
+	mgr.Install(reg)
+	stack := ava.NewStack(desc, reg, ava.Config{})
+	t.Cleanup(stack.Close)
+	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl.NewRemote(lib), mgr, silo
+}
+
+func bootstrap(t *testing.T, c cl.Client) (ctx, q cl.Ref) {
+	t.Helper()
+	ps, _ := c.PlatformIDs()
+	ds, _ := c.DeviceIDs(ps[0], cl.DeviceTypeGPU)
+	ctx, err := c.CreateContext(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err = c.CreateQueue(ctx, ds[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, q
+}
+
+func TestOversubscriptionSucceedsWithSwap(t *testing.T) {
+	c, mgr, _ := remoteWithSwap(t)
+	ctx, q := bootstrap(t, c)
+
+	// Allocate 4x the device memory in 256 KiB buffers, writing a
+	// distinct pattern to each.
+	const bufSize = 256 << 10
+	const count = 16
+	bufs := make([]cl.Ref, count)
+	for i := 0; i < count; i++ {
+		b, err := c.CreateBuffer(ctx, 1, bufSize)
+		if err != nil {
+			t.Fatalf("buffer %d: %v", i, err)
+		}
+		bufs[i] = b
+		pat := bytes.Repeat([]byte{byte(i + 1)}, bufSize)
+		if err := c.EnqueueWrite(q, b, true, 0, pat); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := mgr.Stats()
+	if st.Evictions == 0 || st.OOMRescues == 0 {
+		t.Fatalf("no swapping happened: %+v", st)
+	}
+
+	// Every buffer's contents must survive, including evicted ones.
+	got := make([]byte, bufSize)
+	for i := 0; i < count; i++ {
+		if err := c.EnqueueRead(q, bufs[i], true, 0, got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		for _, x := range got {
+			if x != byte(i+1) {
+				t.Fatalf("buffer %d corrupted: %d", i, x)
+			}
+		}
+	}
+}
+
+func TestOversubscriptionFailsWithoutSwap(t *testing.T) {
+	silo := tinySilo()
+	desc := cl.Descriptor()
+	reg := server.NewRegistry(desc)
+	cl.BindServer(reg, silo) // no swap manager installed
+	stack := ava.NewStack(desc, reg, ava.Config{})
+	t.Cleanup(stack.Close)
+	lib, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
+	c := cl.NewRemote(lib)
+	ctx, _ := bootstrap(t, c)
+	var err error
+	for i := 0; i < 16 && err == nil; i++ {
+		_, err = c.CreateBuffer(ctx, 1, 256<<10)
+	}
+	if err == nil {
+		t.Fatal("oversubscription succeeded without a swap manager")
+	}
+}
+
+func TestKernelFaultsEvictedBuffersBackIn(t *testing.T) {
+	c, _, silo := remoteWithSwap(t)
+	ctx, q := bootstrap(t, c)
+
+	const n = 1024
+	a, _ := c.CreateBuffer(ctx, 1, 4*n)
+	b, _ := c.CreateBuffer(ctx, 1, 4*n)
+	o, _ := c.CreateBuffer(ctx, 1, 4*n)
+	one := bytes.Repeat([]byte{0, 0, 128, 63}, n) // 1.0f LE
+	two := bytes.Repeat([]byte{0, 0, 0, 64}, n)   // 2.0f LE
+	c.EnqueueWrite(q, a, true, 0, one)
+	c.EnqueueWrite(q, b, true, 0, two)
+
+	// Force-evict everything, then launch: the silo must fault buffers in.
+	mgr := swap.NewManager(silo)
+	if _, err := mgr.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, _ := c.CreateProgram(ctx, "vector_add")
+	c.BuildProgram(prog, "")
+	k, _ := c.CreateKernel(prog, "vector_add")
+	c.SetKernelArgBuffer(k, 0, a)
+	c.SetKernelArgBuffer(k, 1, b)
+	c.SetKernelArgBuffer(k, 2, o)
+	c.SetKernelArgScalar(k, 3, cl.ArgU32(n))
+	if err := c.EnqueueNDRange(q, k, []uint64{n}, []uint64{256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finish(q); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*n)
+	if err := c.EnqueueRead(q, o, true, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeferredError(); err != nil {
+		t.Fatal(err)
+	}
+	// 1.0 + 2.0 = 3.0 = 0x40400000 LE.
+	for i := 0; i < n; i++ {
+		if out[4*i+3] != 0x40 || out[4*i+2] != 0x40 {
+			t.Fatalf("element %d wrong: % x", i, out[4*i:4*i+4])
+		}
+	}
+}
+
+func TestEvictAllCountsAndIdempotent(t *testing.T) {
+	silo := tinySilo()
+	c := cl.NewNative(silo)
+	ctx, q := bootstrap(t, c)
+	for i := 0; i < 3; i++ {
+		b, err := c.CreateBuffer(ctx, 1, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.EnqueueWrite(q, b, true, 0, make([]byte, 1024))
+	}
+	mgr := swap.NewManager(silo)
+	n, err := mgr.EvictAll()
+	if err != nil || n != 3 {
+		t.Fatalf("evicted %d, %v", n, err)
+	}
+	n, err = mgr.EvictAll()
+	if err != nil || n != 0 {
+		t.Fatalf("second EvictAll evicted %d, %v", n, err)
+	}
+}
+
+func TestOOMWithNothingToEvict(t *testing.T) {
+	silo := tinySilo()
+	mgr := swap.NewManager(silo)
+	if mgr.OnOOM(nil, nil) {
+		t.Fatal("OnOOM claimed success with no buffers")
+	}
+	if st := mgr.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUOrderRespected(t *testing.T) {
+	silo := tinySilo()
+	c := cl.NewNative(silo)
+	ctx, q := bootstrap(t, c)
+	a, _ := c.CreateBuffer(ctx, 1, 1024)
+	b, _ := c.CreateBuffer(ctx, 1, 1024)
+	c.EnqueueWrite(q, a, true, 0, make([]byte, 1024))
+	c.EnqueueWrite(q, b, true, 0, make([]byte, 1024))
+	// Touch a, making b the LRU.
+	c.EnqueueRead(q, a, true, 0, make([]byte, 1024))
+
+	victim := cl.LRUVictim(silo.LiveBuffers())
+	bm, _ := cl.NativeMem(b)
+	if victim != bm {
+		t.Fatal("LRU victim is not the least recently used buffer")
+	}
+}
+
+// Property: any interleaving of writes, evictions and reads preserves
+// every buffer's logical contents.
+func TestQuickEvictionPreservesContents(t *testing.T) {
+	f := func(ops []uint8) bool {
+		silo := tinySilo()
+		c := cl.NewNative(silo)
+		ps, _ := c.PlatformIDs()
+		ds, _ := c.DeviceIDs(ps[0], cl.DeviceTypeGPU)
+		ctx, err := c.CreateContext(ds)
+		if err != nil {
+			return false
+		}
+		q, _ := c.CreateQueue(ctx, ds[0], 0)
+		const nb = 4
+		const sz = 1024
+		bufs := make([]cl.Ref, nb)
+		want := make([][]byte, nb)
+		for i := range bufs {
+			bufs[i], err = c.CreateBuffer(ctx, 1, sz)
+			if err != nil {
+				return false
+			}
+			want[i] = make([]byte, sz)
+		}
+		for _, op := range ops {
+			i := int(op) % nb
+			switch (op / 16) % 3 {
+			case 0: // write a fresh pattern
+				for j := range want[i] {
+					want[i][j] = byte(op) + byte(j)
+				}
+				if err := c.EnqueueWrite(q, bufs[i], true, 0, want[i]); err != nil {
+					return false
+				}
+			case 1: // evict
+				if m, ok := cl.NativeMem(bufs[i]); ok {
+					silo.EvictBuffer(m)
+				}
+			case 2: // read and check
+				got := make([]byte, sz)
+				if err := c.EnqueueRead(q, bufs[i], true, 0, got); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, want[i]) {
+					return false
+				}
+			}
+		}
+		// Final sweep: every buffer intact.
+		for i := range bufs {
+			got := make([]byte, sz)
+			if err := c.EnqueueRead(q, bufs[i], true, 0, got); err != nil {
+				return false
+			}
+			if !bytes.Equal(got, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

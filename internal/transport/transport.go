@@ -1,0 +1,331 @@
+// Package transport provides the pluggable frame transports AvA forwards
+// API calls over.
+//
+// The paper's design requirement is that the remoting transport be
+// hypervisor-interposable (unlike plain RPC in prior API-remoting systems)
+// and pluggable, so VMs can use local or disaggregated accelerators. Three
+// transports are provided:
+//
+//   - InProc: a pair of Go channels; the analogue of a hypercall path, used
+//     when guest, router and server share a process (tests and benchmarks).
+//   - Ring: a pair of fixed-size byte rings with doorbell semantics — the
+//     analogue of the hypervisor-managed shared-memory FIFO queues that
+//     VMware's SVGA device uses, which the paper cites as the model for
+//     interposable transport.
+//   - TCP: length-prefixed frames over a socket, supporting disaggregated
+//     accelerators (the LegoOS-style configuration from §4.1).
+//
+// All transports carry opaque frames; marshal encodes/decodes them.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// MaxFrame bounds a single frame (a call with its largest buffer argument).
+const MaxFrame = 64 << 20
+
+// Endpoint is one side of a bidirectional, ordered, reliable frame pipe.
+// Send and Recv are each safe for one concurrent caller; different
+// goroutines may send and receive simultaneously.
+type Endpoint interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Close releases the endpoint; blocked and future calls fail with
+	// ErrClosed (or io.EOF mapped to ErrClosed for remote closure).
+	Close() error
+}
+
+// inprocEnd is a channel-backed endpoint half.
+type inprocEnd struct {
+	send chan<- []byte
+	recv <-chan []byte
+
+	mu     sync.Mutex
+	closed chan struct{}
+	peer   *inprocEnd
+}
+
+// NewInProc returns two connected in-process endpoints.
+func NewInProc() (Endpoint, Endpoint) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	a := &inprocEnd{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &inprocEnd{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (e *inprocEnd) Send(frame []byte) error {
+	// Zero-copy: ownership of frame transfers to the receiver (the
+	// hypercall-page model). Senders must not modify a frame after Send;
+	// every stack component already encodes into a fresh buffer per frame.
+	select {
+	case <-e.closed:
+		return ErrClosed
+	case <-e.peer.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.send <- frame:
+		return nil
+	case <-e.closed:
+		return ErrClosed
+	case <-e.peer.closed:
+		return ErrClosed
+	}
+}
+
+func (e *inprocEnd) Recv() ([]byte, error) {
+	select {
+	case f, ok := <-e.recv:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return f, nil
+	case <-e.closed:
+		return nil, ErrClosed
+	case <-e.peer.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case f, ok := <-e.recv:
+			if ok {
+				return f, nil
+			}
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (e *inprocEnd) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-e.closed:
+		return nil
+	default:
+		close(e.closed)
+	}
+	return nil
+}
+
+// ring is a fixed-capacity byte FIFO with blocking semantics, the shared
+// memory region of a queue pair. Frames are stored as a 4-byte length
+// followed by the payload, exactly as they would be in guest-visible
+// shared memory.
+type ring struct {
+	mu      sync.Mutex
+	notFull *sync.Cond // doorbell: consumer -> producer
+	notEmpt *sync.Cond // doorbell: producer -> consumer
+	buf     []byte
+	head    int // read position
+	tail    int // write position
+	used    int
+	closed  bool
+}
+
+func newRing(capacity int) *ring {
+	r := &ring{buf: make([]byte, capacity)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpt = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *ring) put(frame []byte) error {
+	need := 4 + len(frame)
+	if need > len(r.buf) {
+		return fmt.Errorf("transport: frame of %d bytes exceeds ring capacity %d", len(frame), len(r.buf))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.buf)-r.used < need && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	r.write(hdr[:])
+	r.write(frame)
+	r.notEmpt.Signal()
+	return nil
+}
+
+func (r *ring) write(b []byte) {
+	n := copy(r.buf[r.tail:], b)
+	if n < len(b) {
+		copy(r.buf, b[n:])
+	}
+	r.tail = (r.tail + len(b)) % len(r.buf)
+	r.used += len(b)
+}
+
+func (r *ring) get() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.used < 4 && !r.closed {
+		r.notEmpt.Wait()
+	}
+	if r.used < 4 && r.closed {
+		return nil, ErrClosed
+	}
+	var hdr [4]byte
+	r.read(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	frame := make([]byte, n)
+	// The producer writes header+payload under one lock hold, so if the
+	// header is here the payload is too.
+	r.read(frame)
+	r.notFull.Signal()
+	return frame, nil
+}
+
+func (r *ring) read(b []byte) {
+	n := copy(b, r.buf[r.head:min(r.head+len(b), len(r.buf))])
+	if n < len(b) {
+		copy(b[n:], r.buf)
+	}
+	r.head = (r.head + len(b)) % len(r.buf)
+	r.used -= len(b)
+}
+
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notFull.Broadcast()
+	r.notEmpt.Broadcast()
+}
+
+// ringEnd is one side of a ring queue pair.
+type ringEnd struct {
+	tx, rx *ring
+}
+
+// NewRing returns two endpoints connected by a pair of byte rings of the
+// given capacity each (the simulated shared-memory FIFO queues).
+func NewRing(capacity int) (Endpoint, Endpoint) {
+	if capacity < 64 {
+		capacity = 64
+	}
+	ab := newRing(capacity)
+	ba := newRing(capacity)
+	return &ringEnd{tx: ab, rx: ba}, &ringEnd{tx: ba, rx: ab}
+}
+
+func (e *ringEnd) Send(frame []byte) error { return e.tx.put(frame) }
+func (e *ringEnd) Recv() ([]byte, error)   { return e.rx.get() }
+func (e *ringEnd) Close() error {
+	e.tx.close()
+	e.rx.close()
+	return nil
+}
+
+// connEnd adapts a net.Conn to Endpoint with 4-byte length prefixes.
+type connEnd struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+// NewConn wraps an established connection as an Endpoint.
+func NewConn(c net.Conn) Endpoint { return &connEnd{conn: c} }
+
+func (e *connEnd) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := e.conn.Write(hdr[:]); err != nil {
+		return mapNetErr(err)
+	}
+	if _, err := e.conn.Write(frame); err != nil {
+		return mapNetErr(err)
+	}
+	return nil
+}
+
+func (e *connEnd) Recv() ([]byte, error) {
+	e.recvMu.Lock()
+	defer e.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(e.conn, hdr[:]); err != nil {
+		return nil, mapNetErr(err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: peer announced %d-byte frame", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(e.conn, frame); err != nil {
+		return nil, mapNetErr(err)
+	}
+	return frame, nil
+}
+
+func (e *connEnd) Close() error { return e.conn.Close() }
+
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+		return ErrClosed
+	}
+	return err
+}
+
+// Listener accepts TCP endpoint connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next incoming endpoint.
+func (l *Listener) Accept() (Endpoint, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, mapNetErr(err)
+	}
+	return NewConn(c), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Dial connects to a Listener.
+func Dial(addr string) (Endpoint, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
