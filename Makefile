@@ -1,0 +1,27 @@
+# Pre-merge gate: formatting, static checks, build, race-enabled tests.
+# ROADMAP.md's tier-1 line is the subset `go build ./... && go test ./...`;
+# `make check` is the stricter local/CI version of the same gate.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
 	"ava/internal/guest"
@@ -49,6 +50,24 @@ type (
 	Scheduler = hv.Scheduler
 	// GuestLib is the descriptor-driven guest stub engine.
 	GuestLib = guest.Lib
+	// CallOptions carries per-call deadline and priority metadata
+	// (guest.CallOptions; pass to GuestLib.CallWith or a binding's With).
+	CallOptions = guest.CallOptions
+)
+
+// Stack-wide sentinel errors (internal/averr), usable with errors.Is on
+// any error surfaced by any layer.
+var (
+	// ErrDeadlineExceeded reports a call whose deadline passed before it
+	// completed, whether it failed fast in the guest, was denied at the
+	// router, or was aborted at the server.
+	ErrDeadlineExceeded = averr.ErrDeadlineExceeded
+	// ErrCanceled reports a call aborted by an explicit cancellation.
+	ErrCanceled = averr.ErrCanceled
+	// ErrUnknownVM reports routing or stats for an unregistered VM.
+	ErrUnknownVM = averr.ErrUnknownVM
+	// ErrBadArg reports arguments that do not match the specification.
+	ErrBadArg = averr.ErrBadArg
 )
 
 // CompileSpec parses and compiles a CAvA specification.
@@ -163,6 +182,9 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 
 	ctx := s.Server.Context(cfg.ID, cfg.Name)
 	ctx.SetRecording(s.cfg.Recording)
+	if s.cfg.Clock != nil {
+		ctx.SetClock(s.cfg.Clock)
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -170,7 +192,14 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 	}()
 	go s.Server.ServeVM(ctx, serverEP)
 
-	opts = append(append([]guest.Option(nil), s.cfg.GuestOptions...), opts...)
+	// The configured clock reaches every layer: guest deadline stamping
+	// and fail-fast run on the same time source as router admission and
+	// server dispatch (options may still override per attachment).
+	base := []guest.Option(nil)
+	if s.cfg.Clock != nil {
+		base = append(base, guest.WithClock(s.cfg.Clock))
+	}
+	opts = append(append(base, s.cfg.GuestOptions...), opts...)
 	lib := guest.New(s.Desc, guestEP, opts...)
 	s.mu.Lock()
 	s.vms[cfg.ID] = &attachment{

@@ -6,7 +6,8 @@
 //
 //	avabench                 # run everything
 //	avabench -exp fig5       # one experiment: fig5, async, fullvirt,
-//	                         # sharing, swap, migrate, effort, transport
+//	                         # sharing, swap, migrate, effort, transport,
+//	                         # breakdown
 //	avabench -scale 2 -reps 5
 package main
 

@@ -1,0 +1,34 @@
+// Package averr defines the sentinel errors shared across the AvA stack.
+//
+// Every layer of the remoting path — the guest stub engine, the hypervisor
+// router and the API server — used to mint its own ad-hoc errors for the
+// same conditions, which made `errors.Is` useless across layer boundaries.
+// The sentinels here are the single source of truth: layers wrap them with
+// `fmt.Errorf("...: %w", ...)` for context, and the guest library maps
+// deadline/cancellation reply statuses back onto them, so a caller can test
+// `errors.Is(err, averr.ErrDeadlineExceeded)` no matter which layer denied
+// or aborted the call.
+package averr
+
+import "errors"
+
+// Sentinels, ordered roughly by where on the call path they arise.
+var (
+	// ErrBadArg reports an argument vector that does not match the API
+	// specification (guest-side conversion or server-side verification).
+	ErrBadArg = errors.New("ava: argument does not match specification")
+	// ErrProtocol reports a violation of the stack's internal wire
+	// protocol (mismatched reply sequence, malformed out vector).
+	ErrProtocol = errors.New("ava: protocol violation")
+	// ErrUnknownVM reports routing or stats for a VM that was never
+	// registered with the hypervisor.
+	ErrUnknownVM = errors.New("ava: unknown VM")
+	// ErrDeadlineExceeded reports a call whose deadline passed before it
+	// completed: failed fast in the guest, denied at the router, or
+	// aborted at the server. Reply status StatusDeadline maps to it.
+	ErrDeadlineExceeded = errors.New("ava: deadline exceeded")
+	// ErrCanceled reports a call aborted by an explicit cancellation
+	// signal rather than a deadline. Reply status StatusCanceled maps
+	// to it.
+	ErrCanceled = errors.New("ava: call canceled")
+)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -81,6 +82,29 @@ func TestTableRendering(t *testing.T) {
 	for _, want := range []string{"X — t", "bee", "note: hello 7"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBreakdownCoverage(t *testing.T) {
+	tbl, err := Breakdown(Options{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Acceptance: the stamped stage sum accounts for the end-to-end
+	// latency of the sync vectoradd workload to within ~10% (a little
+	// slack for scheduler noise on loaded CI machines).
+	for _, row := range tbl.Rows {
+		cov := row[len(row)-1]
+		var pct float64
+		if _, err := fmt.Sscanf(cov, "%f%%", &pct); err != nil {
+			t.Fatalf("bad coverage cell %q: %v", cov, err)
+		}
+		if pct < 85 || pct > 112 {
+			t.Fatalf("%s: stage sum covers %.0f%% of e2e, want ~100%%: %v", row[0], pct, row)
 		}
 	}
 }

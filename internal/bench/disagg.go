@@ -117,6 +117,7 @@ func All(opts Options) ([]*Table, error) {
 		{"migrate", Migration},
 		{"effort", func(Options) (*Table, error) { return Effort() }},
 		{"transport", Transports},
+		{"breakdown", Breakdown},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -146,7 +147,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return Effort()
 	case "transport", "transports":
 		return Transports(opts)
+	case "breakdown", "stages":
+		return Breakdown(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown)", name)
 	}
 }

@@ -12,7 +12,8 @@ import (
 // observes the 39-function API while every call is marshalled, batched,
 // routed through the hypervisor, and executed by the API server.
 type RemoteClient struct {
-	lib *guest.Lib
+	lib  *guest.Lib
+	opts guest.CallOptions
 }
 
 // NewRemote wraps an attached guest library (its descriptor must be the
@@ -21,6 +22,15 @@ func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
 
 // Lib exposes the underlying stub engine (stats, flush).
 func (c *RemoteClient) Lib() *guest.Lib { return c.lib }
+
+// With returns a client whose calls carry opts (deadline, priority); the
+// receiver is unchanged, so clients for different urgency classes can
+// share one attached library.
+func (c *RemoteClient) With(opts guest.CallOptions) *RemoteClient {
+	d := *c
+	d.opts = opts
+	return &d
+}
 
 func rref(h marshal.Handle) Ref { return Ref{h: h} }
 
@@ -49,7 +59,7 @@ func status(op string, v marshal.Value, err error) error {
 func (c *RemoteClient) PlatformIDs() ([]Ref, error) {
 	// Two-phase query, as real OpenCL applications do.
 	var n uint32
-	ret, err := c.lib.Call("clGetPlatformIDs", uint32(0), nil, &n)
+	ret, err := c.lib.CallWith(c.opts, "clGetPlatformIDs", uint32(0), nil, &n)
 	if err := status("clGetPlatformIDs", ret, err); err != nil {
 		return nil, err
 	}
@@ -57,7 +67,7 @@ func (c *RemoteClient) PlatformIDs() ([]Ref, error) {
 		return nil, nil
 	}
 	buf := make([]byte, 8*n)
-	ret, err = c.lib.Call("clGetPlatformIDs", n, buf, nil)
+	ret, err = c.lib.CallWith(c.opts, "clGetPlatformIDs", n, buf, nil)
 	if err := status("clGetPlatformIDs", ret, err); err != nil {
 		return nil, err
 	}
@@ -74,7 +84,7 @@ func refsFromBytes(b []byte) []Ref {
 
 func (c *RemoteClient) info(op string, args func(dst []byte, szr *uint64) []any) ([]byte, error) {
 	var size uint64
-	ret, err := c.lib.Call(op, args(nil, &size)...)
+	ret, err := c.lib.CallWith(c.opts, op, args(nil, &size)...)
 	if err := status(op, ret, err); err != nil {
 		return nil, err
 	}
@@ -82,7 +92,7 @@ func (c *RemoteClient) info(op string, args func(dst []byte, szr *uint64) []any)
 		return nil, nil
 	}
 	buf := make([]byte, size)
-	ret, err = c.lib.Call(op, args(buf, nil)...)
+	ret, err = c.lib.CallWith(c.opts, op, args(buf, nil)...)
 	if err := status(op, ret, err); err != nil {
 		return nil, err
 	}
@@ -100,7 +110,7 @@ func (c *RemoteClient) PlatformInfo(p Ref, param uint32) ([]byte, error) {
 
 func (c *RemoteClient) DeviceIDs(p Ref, devType uint64) ([]Ref, error) {
 	var n uint32
-	ret, err := c.lib.Call("clGetDeviceIDs", p.h, devType, uint32(0), nil, &n)
+	ret, err := c.lib.CallWith(c.opts, "clGetDeviceIDs", p.h, devType, uint32(0), nil, &n)
 	if err := status("clGetDeviceIDs", ret, err); err != nil {
 		return nil, err
 	}
@@ -108,7 +118,7 @@ func (c *RemoteClient) DeviceIDs(p Ref, devType uint64) ([]Ref, error) {
 		return nil, nil
 	}
 	buf := make([]byte, 8*n)
-	ret, err = c.lib.Call("clGetDeviceIDs", p.h, devType, n, buf, nil)
+	ret, err = c.lib.CallWith(c.opts, "clGetDeviceIDs", p.h, devType, n, buf, nil)
 	if err := status("clGetDeviceIDs", ret, err); err != nil {
 		return nil, err
 	}
@@ -130,7 +140,7 @@ func (c *RemoteClient) CreateContext(devs []Ref) (Ref, error) {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(d.h))
 	}
 	var errcode int32
-	ret, err := c.lib.Call("clCreateContext", uint32(len(devs)), buf, &errcode)
+	ret, err := c.lib.CallWith(c.opts, "clCreateContext", uint32(len(devs)), buf, &errcode)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -141,7 +151,7 @@ func (c *RemoteClient) CreateContext(devs []Ref) (Ref, error) {
 }
 
 func (c *RemoteClient) ReleaseContext(r Ref) error {
-	ret, err := c.lib.Call("clReleaseContext", r.h)
+	ret, err := c.lib.CallWith(c.opts, "clReleaseContext", r.h)
 	return status("clReleaseContext", ret, err)
 }
 
@@ -156,7 +166,7 @@ func (c *RemoteClient) ContextInfo(r Ref, param uint32) ([]byte, error) {
 
 func (c *RemoteClient) CreateQueue(cr, dr Ref, properties uint64) (Ref, error) {
 	var errcode int32
-	ret, err := c.lib.Call("clCreateCommandQueue", cr.h, dr.h, properties, &errcode)
+	ret, err := c.lib.CallWith(c.opts, "clCreateCommandQueue", cr.h, dr.h, properties, &errcode)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -167,13 +177,13 @@ func (c *RemoteClient) CreateQueue(cr, dr Ref, properties uint64) (Ref, error) {
 }
 
 func (c *RemoteClient) ReleaseQueue(r Ref) error {
-	ret, err := c.lib.Call("clReleaseCommandQueue", r.h)
+	ret, err := c.lib.CallWith(c.opts, "clReleaseCommandQueue", r.h)
 	return status("clReleaseCommandQueue", ret, err)
 }
 
 func (c *RemoteClient) CreateBuffer(cr Ref, flags uint64, size uint64) (Ref, error) {
 	var errcode int32
-	ret, err := c.lib.Call("clCreateBuffer", cr.h, flags, size, &errcode)
+	ret, err := c.lib.CallWith(c.opts, "clCreateBuffer", cr.h, flags, size, &errcode)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -184,13 +194,13 @@ func (c *RemoteClient) CreateBuffer(cr Ref, flags uint64, size uint64) (Ref, err
 }
 
 func (c *RemoteClient) ReleaseBuffer(r Ref) error {
-	ret, err := c.lib.Call("clReleaseMemObject", r.h)
+	ret, err := c.lib.CallWith(c.opts, "clReleaseMemObject", r.h)
 	return status("clReleaseMemObject", ret, err)
 }
 
 func (c *RemoteClient) CreateProgram(cr Ref, source string) (Ref, error) {
 	var errcode int32
-	ret, err := c.lib.Call("clCreateProgramWithSource", cr.h, source, &errcode)
+	ret, err := c.lib.CallWith(c.opts, "clCreateProgramWithSource", cr.h, source, &errcode)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -201,7 +211,7 @@ func (c *RemoteClient) CreateProgram(cr Ref, source string) (Ref, error) {
 }
 
 func (c *RemoteClient) BuildProgram(r Ref, options string) error {
-	ret, err := c.lib.Call("clBuildProgram", r.h, options)
+	ret, err := c.lib.CallWith(c.opts, "clBuildProgram", r.h, options)
 	return status("clBuildProgram", ret, err)
 }
 
@@ -216,13 +226,13 @@ func (c *RemoteClient) ProgramBuildLog(r Ref) (string, error) {
 }
 
 func (c *RemoteClient) ReleaseProgram(r Ref) error {
-	ret, err := c.lib.Call("clReleaseProgram", r.h)
+	ret, err := c.lib.CallWith(c.opts, "clReleaseProgram", r.h)
 	return status("clReleaseProgram", ret, err)
 }
 
 func (c *RemoteClient) CreateKernel(r Ref, name string) (Ref, error) {
 	var errcode int32
-	ret, err := c.lib.Call("clCreateKernel", r.h, name, &errcode)
+	ret, err := c.lib.CallWith(c.opts, "clCreateKernel", r.h, name, &errcode)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -233,7 +243,7 @@ func (c *RemoteClient) CreateKernel(r Ref, name string) (Ref, error) {
 }
 
 func (c *RemoteClient) ReleaseKernel(r Ref) error {
-	ret, err := c.lib.Call("clReleaseKernel", r.h)
+	ret, err := c.lib.CallWith(c.opts, "clReleaseKernel", r.h)
 	return status("clReleaseKernel", ret, err)
 }
 
@@ -242,12 +252,12 @@ func (c *RemoteClient) SetKernelArgBuffer(kr Ref, index uint32, mr Ref) error {
 	// server translates it through the per-VM handle table.
 	val := make([]byte, 8)
 	binary.LittleEndian.PutUint64(val, uint64(mr.h))
-	ret, err := c.lib.Call("clSetKernelArg", kr.h, index, uint64(8), val)
+	ret, err := c.lib.CallWith(c.opts, "clSetKernelArg", kr.h, index, uint64(8), val)
 	return status("clSetKernelArg", ret, err)
 }
 
 func (c *RemoteClient) SetKernelArgScalar(kr Ref, index uint32, val []byte) error {
-	ret, err := c.lib.Call("clSetKernelArg", kr.h, index, uint64(len(val)), val)
+	ret, err := c.lib.CallWith(c.opts, "clSetKernelArg", kr.h, index, uint64(len(val)), val)
 	return status("clSetKernelArg", ret, err)
 }
 
@@ -260,7 +270,7 @@ func sizesBytes(sz []uint64) []byte {
 }
 
 func (c *RemoteClient) EnqueueNDRange(qr, kr Ref, global, local []uint64) error {
-	ret, err := c.lib.Call("clEnqueueNDRangeKernel",
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueNDRangeKernel",
 		qr.h, kr.h, uint32(len(global)), sizesBytes(global), sizesBytes(local),
 		uint32(0), nil, nil)
 	return status("clEnqueueNDRangeKernel", ret, err)
@@ -268,7 +278,7 @@ func (c *RemoteClient) EnqueueNDRange(qr, kr Ref, global, local []uint64) error 
 
 func (c *RemoteClient) EnqueueNDRangeEvent(qr, kr Ref, global, local []uint64) (Ref, error) {
 	var ev marshal.Handle
-	ret, err := c.lib.Call("clEnqueueNDRangeKernel",
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueNDRangeKernel",
 		qr.h, kr.h, uint32(len(global)), sizesBytes(global), sizesBytes(local),
 		uint32(0), nil, &ev)
 	if err := status("clEnqueueNDRangeKernel", ret, err); err != nil {
@@ -278,34 +288,34 @@ func (c *RemoteClient) EnqueueNDRangeEvent(qr, kr Ref, global, local []uint64) (
 }
 
 func (c *RemoteClient) EnqueueRead(qr, mr Ref, blocking bool, offset uint64, dst []byte) error {
-	ret, err := c.lib.Call("clEnqueueReadBuffer",
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueReadBuffer",
 		qr.h, mr.h, boolArg(blocking), offset, uint64(len(dst)), dst,
 		uint32(0), nil, nil)
 	return status("clEnqueueReadBuffer", ret, err)
 }
 
 func (c *RemoteClient) EnqueueWrite(qr, mr Ref, blocking bool, offset uint64, src []byte) error {
-	ret, err := c.lib.Call("clEnqueueWriteBuffer",
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueWriteBuffer",
 		qr.h, mr.h, boolArg(blocking), offset, uint64(len(src)), src,
 		uint32(0), nil, nil)
 	return status("clEnqueueWriteBuffer", ret, err)
 }
 
 func (c *RemoteClient) EnqueueCopy(qr, sr, dr Ref, srcOff, dstOff, size uint64) error {
-	ret, err := c.lib.Call("clEnqueueCopyBuffer",
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueCopyBuffer",
 		qr.h, sr.h, dr.h, srcOff, dstOff, size, uint32(0), nil, nil)
 	return status("clEnqueueCopyBuffer", ret, err)
 }
 
 func (c *RemoteClient) EnqueueFill(qr, mr Ref, pattern []byte, offset, size uint64) error {
-	ret, err := c.lib.Call("clEnqueueFillBuffer",
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueFillBuffer",
 		qr.h, mr.h, pattern, uint64(len(pattern)), offset, size, uint32(0), nil, nil)
 	return status("clEnqueueFillBuffer", ret, err)
 }
 
 func (c *RemoteClient) EnqueueMarker(qr Ref) (Ref, error) {
 	var ev marshal.Handle
-	ret, err := c.lib.Call("clEnqueueMarker", qr.h, &ev)
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueMarker", qr.h, &ev)
 	if err := status("clEnqueueMarker", ret, err); err != nil {
 		return Ref{}, err
 	}
@@ -313,17 +323,17 @@ func (c *RemoteClient) EnqueueMarker(qr Ref) (Ref, error) {
 }
 
 func (c *RemoteClient) EnqueueBarrier(qr Ref) error {
-	ret, err := c.lib.Call("clEnqueueBarrier", qr.h)
+	ret, err := c.lib.CallWith(c.opts, "clEnqueueBarrier", qr.h)
 	return status("clEnqueueBarrier", ret, err)
 }
 
 func (c *RemoteClient) Finish(qr Ref) error {
-	ret, err := c.lib.Call("clFinish", qr.h)
+	ret, err := c.lib.CallWith(c.opts, "clFinish", qr.h)
 	return status("clFinish", ret, err)
 }
 
 func (c *RemoteClient) Flush(qr Ref) error {
-	ret, err := c.lib.Call("clFlush", qr.h)
+	ret, err := c.lib.CallWith(c.opts, "clFlush", qr.h)
 	if err := status("clFlush", ret, err); err != nil {
 		return err
 	}
@@ -336,13 +346,13 @@ func (c *RemoteClient) WaitForEvents(events []Ref) error {
 	for i, e := range events {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(e.h))
 	}
-	ret, err := c.lib.Call("clWaitForEvents", uint32(len(events)), buf)
+	ret, err := c.lib.CallWith(c.opts, "clWaitForEvents", uint32(len(events)), buf)
 	return status("clWaitForEvents", ret, err)
 }
 
 func (c *RemoteClient) EventProfiling(er Ref, param uint32) (uint64, error) {
 	buf := make([]byte, 8)
-	ret, err := c.lib.Call("clGetEventProfilingInfo", er.h, param, uint64(8), buf, nil)
+	ret, err := c.lib.CallWith(c.opts, "clGetEventProfilingInfo", er.h, param, uint64(8), buf, nil)
 	if err := status("clGetEventProfilingInfo", ret, err); err != nil {
 		return 0, err
 	}
@@ -350,7 +360,7 @@ func (c *RemoteClient) EventProfiling(er Ref, param uint32) (uint64, error) {
 }
 
 func (c *RemoteClient) ReleaseEvent(er Ref) error {
-	ret, err := c.lib.Call("clReleaseEvent", er.h)
+	ret, err := c.lib.CallWith(c.opts, "clReleaseEvent", er.h)
 	return status("clReleaseEvent", ret, err)
 }
 

@@ -20,6 +20,13 @@ type Clock interface {
 	Sleep(d time.Duration)
 	// Since returns the time elapsed on this clock since t.
 	Since(t time.Time) time.Duration
+	// AfterFunc arranges for f to run once, in its own goroutine, after d
+	// of this clock's time has elapsed. The returned stop function
+	// prevents the firing if it has not happened yet and reports whether
+	// it did so. The API server uses this for call-deadline cancellation
+	// signals; on a Virtual clock the timer fires from Advance/Set, which
+	// keeps cancellation deterministic in tests.
+	AfterFunc(d time.Duration, f func()) (stop func() bool)
 }
 
 // Real is the wall clock.
@@ -54,13 +61,28 @@ func (*Real) Sleep(d time.Duration) {
 // Since implements Clock.
 func (*Real) Since(t time.Time) time.Duration { return time.Since(t) }
 
+// AfterFunc implements Clock via the runtime timer.
+func (*Real) AfterFunc(d time.Duration, f func()) (stop func() bool) {
+	t := time.AfterFunc(d, f)
+	return t.Stop
+}
+
 // Virtual is a deterministic clock that only advances when told to.
 // Sleep advances the clock rather than blocking, which makes timing-dependent
 // logic (DMA transfer cost, token-bucket refill) fully deterministic in tests.
 // Virtual is safe for concurrent use.
 type Virtual struct {
-	mu  sync.Mutex
-	now time.Time
+	mu     sync.Mutex
+	now    time.Time
+	timers []*vtimer
+}
+
+// vtimer is one pending AfterFunc on a virtual clock.
+type vtimer struct {
+	when    time.Time
+	f       func()
+	stopped bool
+	fired   bool
 }
 
 // NewVirtual returns a virtual clock starting at an arbitrary fixed epoch.
@@ -91,6 +113,7 @@ func (v *Virtual) Advance(d time.Duration) {
 	}
 	v.mu.Lock()
 	v.now = v.now.Add(d)
+	v.fireDueLocked()
 	v.mu.Unlock()
 }
 
@@ -99,6 +122,49 @@ func (v *Virtual) Set(t time.Time) {
 	v.mu.Lock()
 	if t.After(v.now) {
 		v.now = t
+		v.fireDueLocked()
 	}
 	v.mu.Unlock()
+}
+
+// AfterFunc implements Clock. Timers fire (each in its own goroutine, like
+// time.AfterFunc) when Advance or Set moves the clock to or past their
+// expiry; a timer whose delay is <= 0 fires immediately.
+func (v *Virtual) AfterFunc(d time.Duration, f func()) (stop func() bool) {
+	v.mu.Lock()
+	t := &vtimer{when: v.now.Add(d), f: f}
+	if !t.when.After(v.now) {
+		t.fired = true
+		v.mu.Unlock()
+		go f()
+		return func() bool { return false }
+	}
+	v.timers = append(v.timers, t)
+	v.mu.Unlock()
+	return func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if t.fired || t.stopped {
+			return false
+		}
+		t.stopped = true
+		return true
+	}
+}
+
+// fireDueLocked launches every timer whose expiry has been reached and
+// prunes finished entries. Called with v.mu held.
+func (v *Virtual) fireDueLocked() {
+	kept := v.timers[:0]
+	for _, t := range v.timers {
+		switch {
+		case t.stopped:
+		case !t.when.After(v.now):
+			t.fired = true
+			go t.f()
+		default:
+			kept = append(kept, t)
+		}
+	}
+	v.timers = kept
 }

@@ -95,3 +95,65 @@ func TestRealClockMonotonicEnough(t *testing.T) {
 		t.Fatal("real clock did not advance")
 	}
 }
+
+func TestVirtualAfterFuncFiresOnAdvance(t *testing.T) {
+	v := NewVirtual()
+	fired := make(chan struct{})
+	v.AfterFunc(10*time.Millisecond, func() { close(fired) })
+	v.Advance(9 * time.Millisecond)
+	select {
+	case <-fired:
+		t.Fatal("timer fired early")
+	default:
+	}
+	v.Advance(time.Millisecond)
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire at expiry")
+	}
+}
+
+func TestVirtualAfterFuncStop(t *testing.T) {
+	v := NewVirtual()
+	fired := make(chan struct{})
+	stop := v.AfterFunc(time.Millisecond, func() { close(fired) })
+	if !stop() {
+		t.Fatal("stop before expiry reported false")
+	}
+	if stop() {
+		t.Fatal("second stop reported true")
+	}
+	v.Advance(time.Hour)
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
+func TestVirtualAfterFuncImmediate(t *testing.T) {
+	v := NewVirtual()
+	fired := make(chan struct{})
+	v.AfterFunc(0, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive delay did not fire immediately")
+	}
+}
+
+func TestRealAfterFunc(t *testing.T) {
+	r := NewReal()
+	fired := make(chan struct{})
+	r.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("real AfterFunc did not fire")
+	}
+	stop := r.AfterFunc(time.Hour, func() {})
+	if !stop() {
+		t.Fatal("stop of pending real timer reported false")
+	}
+}

@@ -18,22 +18,29 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"ava/internal/averr"
 	"ava/internal/cava"
+	"ava/internal/clock"
 	"ava/internal/marshal"
 	"ava/internal/spec"
 	"ava/internal/transport"
 )
 
-// Errors returned by the stub engine.
+// Errors returned by the stub engine — aliases of the stack-wide sentinels
+// in internal/averr, so errors.Is works across layer boundaries.
 var (
-	ErrBadArg   = errors.New("guest: argument does not match specification")
-	ErrProtocol = errors.New("guest: protocol violation")
+	ErrBadArg           = averr.ErrBadArg
+	ErrProtocol         = averr.ErrProtocol
+	ErrDeadlineExceeded = averr.ErrDeadlineExceeded
+	ErrCanceled         = averr.ErrCanceled
 )
 
 // APIError is a remote API failure surfaced by the stack itself
-// (router denial or server-internal fault), as opposed to an API status
-// code, which flows through the return value.
+// (router denial, server-internal fault, or a deadline/cancellation
+// abort), as opposed to an API status code, which flows through the
+// return value.
 type APIError struct {
 	Func   string
 	Status marshal.Status
@@ -44,6 +51,13 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("guest: %s: %s: %s", e.Func, e.Status, e.Detail)
 }
 
+// Unwrap maps the reply status onto the stack-wide sentinel it represents
+// (ErrDeadlineExceeded for StatusDeadline, ErrCanceled for StatusCanceled),
+// making errors.Is hold end to end regardless of which layer aborted the
+// call. Statuses without a sentinel — including unknown future ones —
+// unwrap to nil and keep their numeric identity in Error().
+func (e *APIError) Unwrap() error { return e.Status.Sentinel() }
+
 // Stats counts guest-side activity.
 type Stats struct {
 	Calls      uint64
@@ -52,6 +66,22 @@ type Stats struct {
 	Batches    uint64 // transport frames sent
 	BytesSent  uint64
 	BytesRecv  uint64
+	// DeadlineFailFast counts calls failed locally because their deadline
+	// had already passed at encode time; they never touch the transport.
+	DeadlineFailFast uint64
+
+	// Per-stage latency accumulators, summed over the StagedCalls
+	// synchronous calls whose replies carried a full stamp block; divide
+	// by StagedCalls for per-call means. Stages follow the call path:
+	// guest encode → router admit → server dispatch → handler done →
+	// reply decoded back at the guest. Stamps come from each layer's own
+	// clock, so cross-machine (TCP) deployments fold clock skew into
+	// EncodeToAdmit.
+	StagedCalls          uint64
+	StageEncodeToAdmit   time.Duration
+	StageAdmitToDispatch time.Duration
+	StageExec            time.Duration
+	StageReply           time.Duration
 }
 
 // Option configures a Lib.
@@ -73,13 +103,54 @@ func WithForceSync() Option {
 	return func(l *Lib) { l.forceSync = true }
 }
 
+// WithClock overrides the library's time source, used for deadline
+// stamping and fail-fast checks (virtual clocks in tests).
+func WithClock(clk clock.Clock) Option {
+	return func(l *Lib) {
+		if clk != nil {
+			l.clk = clk
+		}
+	}
+}
+
+// WithPriority sets the library-wide default priority stamped on every
+// call (higher is more urgent; 0 is the default class).
+func WithPriority(p uint8) Option {
+	return func(l *Lib) { l.defPriority = p }
+}
+
+// WithTimeout sets a library-wide default per-call deadline: every call
+// without an explicit CallOptions deadline is stamped with now+d at encode
+// time. Zero disables the default.
+func WithTimeout(d time.Duration) Option {
+	return func(l *Lib) { l.defTimeout = d }
+}
+
+// CallOptions carries per-call forwarding metadata. The zero value means
+// "use the library defaults".
+type CallOptions struct {
+	// Deadline is an absolute deadline on the library's clock; the zero
+	// time means none (Timeout, then the library default, applies).
+	Deadline time.Time
+	// Timeout, when positive and Deadline is zero, sets the deadline to
+	// now+Timeout at encode time.
+	Timeout time.Duration
+	// Priority overrides the library default when non-zero (priority 0 is
+	// the shared default class, so per-call demotion to 0 is expressed by
+	// not raising the library default instead).
+	Priority uint8
+}
+
 // Lib is the descriptor-driven guest stub engine for one API on one VM.
 type Lib struct {
 	desc *cava.Descriptor
 	ep   transport.Endpoint
+	clk  clock.Clock
 
-	batchLimit int
-	forceSync  bool
+	batchLimit  int
+	forceSync   bool
+	defPriority uint8
+	defTimeout  time.Duration
 
 	mu         sync.Mutex
 	seq        uint64
@@ -91,7 +162,7 @@ type Lib struct {
 
 // New creates a guest library over an established transport endpoint.
 func New(desc *cava.Descriptor, ep transport.Endpoint, opts ...Option) *Lib {
-	l := &Lib{desc: desc, ep: ep, batchLimit: 128}
+	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal()}
 	for _, o := range opts {
 		o(l)
 	}
@@ -139,16 +210,51 @@ type outBinding struct {
 // The returned Value is the API return value; for asynchronously forwarded
 // calls it is the declared success value.
 func (l *Lib) Call(name string, args ...any) (marshal.Value, error) {
+	return l.CallWith(CallOptions{}, name, args...)
+}
+
+// CallWith is Call with explicit per-call forwarding metadata: a deadline
+// (absolute or as a timeout) and a priority, stamped into the call header
+// at encode time. A call whose deadline has already passed fails fast
+// locally with ErrDeadlineExceeded and never touches the transport.
+func (l *Lib) CallWith(opts CallOptions, name string, args ...any) (marshal.Value, error) {
 	fd, ok := l.desc.Lookup(name)
 	if !ok {
 		return marshal.Null(), fmt.Errorf("%w: no function %q", ErrBadArg, name)
 	}
-	return l.call(fd, args)
+	return l.call(fd, opts, args)
 }
 
-func (l *Lib) call(fd *cava.FuncDesc, args []any) (marshal.Value, error) {
+// deadlineNano resolves the effective absolute deadline (UnixNano on the
+// library's clock) for one call; 0 means none.
+func (l *Lib) deadlineNano(opts CallOptions, now time.Time) int64 {
+	switch {
+	case !opts.Deadline.IsZero():
+		return opts.Deadline.UnixNano()
+	case opts.Timeout > 0:
+		return now.Add(opts.Timeout).UnixNano()
+	case l.defTimeout > 0:
+		return now.Add(l.defTimeout).UnixNano()
+	}
+	return 0
+}
+
+func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Value, error) {
 	if len(args) != len(fd.Params) {
 		return marshal.Null(), fmt.Errorf("%w: %s: %d args, want %d", ErrBadArg, fd.Name, len(args), len(fd.Params))
+	}
+
+	// Stamp before marshalling: the encode→admit stage owns argument
+	// conversion and buffer copies, so the per-stage breakdown accounts
+	// for the full guest-side cost of the call. Fail-fast also sits here,
+	// before any marshal effort is spent on a dead call.
+	now := l.clk.Now()
+	deadline := l.deadlineNano(opts, now)
+	if deadline != 0 && deadline <= now.UnixNano() {
+		l.mu.Lock()
+		l.stats.DeadlineFailFast++
+		l.mu.Unlock()
+		return marshal.Null(), fmt.Errorf("%w: %s: expired before encode", ErrDeadlineExceeded, fd.Name)
 	}
 
 	values := make([]marshal.Value, len(args))
@@ -200,8 +306,14 @@ func (l *Lib) call(fd *cava.FuncDesc, args []any) (marshal.Value, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
+	pri := opts.Priority
+	if pri == 0 {
+		pri = l.defPriority
+	}
+
 	l.seq++
-	call := &marshal.Call{Seq: l.seq, Func: fd.ID, Args: values}
+	call := &marshal.Call{Seq: l.seq, Func: fd.ID, Priority: pri, Deadline: deadline, Args: values}
+	call.Stamps.Encode = now.UnixNano()
 	l.stats.Calls++
 
 	if !sync {
@@ -243,13 +355,32 @@ func (l *Lib) call(fd *cava.FuncDesc, args []any) (marshal.Value, error) {
 	if reply.Seq != call.Seq {
 		return marshal.Null(), fmt.Errorf("%w: reply seq %d for call %d", ErrProtocol, reply.Seq, call.Seq)
 	}
+	// The reply stage closes when results reach the caller, so output
+	// scatter (which can copy large buffers) is charged to it; stamps are
+	// recorded on error returns too, since a failed call consumed the
+	// same stack path.
+	staged := func() {
+		st := reply.Stamps
+		if st.Done == 0 || st.Encode == 0 || st.Admit == 0 || st.Dispatch == 0 {
+			return
+		}
+		recv := l.clk.Now().UnixNano()
+		l.stats.StagedCalls++
+		l.stats.StageEncodeToAdmit += time.Duration(st.Admit - st.Encode)
+		l.stats.StageAdmitToDispatch += time.Duration(st.Dispatch - st.Admit)
+		l.stats.StageExec += time.Duration(st.Done - st.Dispatch)
+		l.stats.StageReply += time.Duration(recv - st.Done)
+	}
 	if reply.Status != marshal.StatusOK {
+		staged()
 		return marshal.Null(), &APIError{Func: fd.Name, Status: reply.Status, Detail: reply.Err}
 	}
 	if reply.Err != "" {
 		l.deferred = fmt.Errorf("guest: %s", reply.Err)
 	}
-	if err := scatter(fd, reply, outs); err != nil {
+	err = scatter(fd, reply, outs)
+	staged()
+	if err != nil {
 		return marshal.Null(), err
 	}
 	return reply.Ret, nil

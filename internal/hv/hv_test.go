@@ -122,9 +122,9 @@ func TestQuickTokenBucketRate(t *testing.T) {
 
 func TestFIFOSchedulerAccounts(t *testing.T) {
 	s := NewFIFOScheduler()
-	s.Admit(1, 10)
+	s.Admit(1, 10, 0)
 	s.Done(1, 10, 0)
-	s.Admit(1, 10)
+	s.Admit(1, 10, 0)
 	s.Done(1, 10, 25) // measured overrides
 	if got := s.Usage(1); got != 35 {
 		t.Fatalf("usage = %d", got)
@@ -136,7 +136,7 @@ func TestFairSchedulerSingleVMNeverBlocks(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 100; i++ {
-			s.Admit(1, 1000)
+			s.Admit(1, 1000, 0)
 			s.Done(1, 1000, 0)
 		}
 		close(done)
@@ -159,17 +159,17 @@ func TestFairSchedulerHoldsBackLeader(t *testing.T) {
 
 	// VM1 runs ahead uncontended: usage 1000.
 	for i := 0; i < 100; i++ {
-		s.Admit(1, 10)
+		s.Admit(1, 10, 0)
 		s.Done(1, 10, 0)
 	}
 
 	// VM2 starts contending and holds its slot open (Admit without Done).
-	s.Admit(2, 10)
+	s.Admit(2, 10, 0)
 
 	// VM1's next Admit must now block: 1000 > 10 + 100.
 	admitted := make(chan struct{})
 	go func() {
-		s.Admit(1, 10)
+		s.Admit(1, 10, 0)
 		close(admitted)
 	}()
 	select {
@@ -181,7 +181,7 @@ func TestFairSchedulerHoldsBackLeader(t *testing.T) {
 	// VM2 catches up; once within the window, VM1 unblocks.
 	s.Done(2, 10, 0)
 	for s.Usage(2) < s.Usage(1)-100 {
-		s.Admit(2, 10)
+		s.Admit(2, 10, 0)
 		s.Done(2, 10, 0)
 	}
 	// VM1 may still be gated on VM2 contending; VM2 going idle must also
@@ -201,9 +201,9 @@ func TestFairSchedulerWeightedAccounting(t *testing.T) {
 	s.SetWeight(1, 4)
 	s.SetWeight(2, 1)
 	for i := 0; i < 100; i++ {
-		s.Admit(1, 40)
+		s.Admit(1, 40, 0)
 		s.Done(1, 40, 0)
-		s.Admit(2, 10)
+		s.Admit(2, 10, 0)
 		s.Done(2, 10, 0)
 	}
 	// VM1 did 4x the raw work but has identical normalized usage.
@@ -219,13 +219,13 @@ func TestFairSchedulerWeightedHoldBack(t *testing.T) {
 	s.SetWeight(1, 4)
 	s.SetWeight(2, 1)
 	for i := 0; i < 100; i++ {
-		s.Admit(2, 10)
+		s.Admit(2, 10, 0)
 		s.Done(2, 10, 0) // usage 1000 normalized
 	}
-	s.Admit(1, 40) // usage 10; holds its slot open as the contender
+	s.Admit(1, 40, 0) // usage 10; holds its slot open as the contender
 	admitted := make(chan struct{})
 	go func() {
-		s.Admit(2, 10)
+		s.Admit(2, 10, 0)
 		close(admitted)
 	}()
 	select {
@@ -245,7 +245,7 @@ func TestFairSchedulerWeightedHoldBack(t *testing.T) {
 func TestFairSchedulerZeroWeightCoerced(t *testing.T) {
 	s := NewFairScheduler(10)
 	s.SetWeight(1, 0)
-	s.Admit(1, 10)
+	s.Admit(1, 10, 0)
 	s.Done(1, 10, 0)
 	if s.Usage(1) != 10 {
 		t.Fatalf("usage = %d", s.Usage(1))
@@ -254,7 +254,7 @@ func TestFairSchedulerZeroWeightCoerced(t *testing.T) {
 
 func TestFairSchedulerReset(t *testing.T) {
 	s := NewFairScheduler(10)
-	s.Admit(1, 100)
+	s.Admit(1, 100, 0)
 	s.Done(1, 100, 0)
 	s.Reset()
 	if s.Usage(1) != 0 {
@@ -268,8 +268,9 @@ func TestFairSchedulerReset(t *testing.T) {
 // server executes nothing: it answers every sync call with StatusOK and
 // counts frames, isolating router behaviour from server behaviour.
 type echoServer struct {
-	mu    sync.Mutex
-	calls []uint32
+	mu      sync.Mutex
+	calls   []uint32
+	decoded []*marshal.Call // full headers as the server received them
 }
 
 func (e *echoServer) serve(ep transport.Endpoint) {
@@ -289,6 +290,7 @@ func (e *echoServer) serve(ep transport.Endpoint) {
 			}
 			e.mu.Lock()
 			e.calls = append(e.calls, call.Func)
+			e.decoded = append(e.decoded, call)
 			e.mu.Unlock()
 			if call.Flags&marshal.FlagAsync == 0 {
 				rep := marshal.EncodeReply(&marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK, Ret: marshal.Int(0)})
@@ -304,6 +306,12 @@ func (e *echoServer) count() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.calls)
+}
+
+func (e *echoServer) call(i int) *marshal.Call {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.decoded[i]
 }
 
 func routedStack(t *testing.T, r *Router, id VMID) (transport.Endpoint, *echoServer) {
@@ -746,5 +754,209 @@ func TestRouterQuotaDoesNotChargeDenied(t *testing.T) {
 		if rep.Status != marshal.StatusOK {
 			t.Fatalf("small push %d: %+v", i, rep)
 		}
+	}
+}
+
+// --- PriorityScheduler ---
+
+// admitOrder parks one waiter per entry of pris (arrival order = slice
+// order) behind a held gate, then opens the gate and returns the indices
+// in admission order. between, if non-nil, runs after waiter i is parked.
+func admitOrder(t *testing.T, s *PriorityScheduler, pris []uint8, between func(i int)) []int {
+	t.Helper()
+	s.Admit(0, 1, 255) // hold the gate so waiters contend
+	order := make(chan int, len(pris))
+	var wg sync.WaitGroup
+	for i, p := range pris {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Admit(1, 1, p)
+			order <- i
+			s.Done(1, 1, 0)
+		}()
+		// Each waiter must be parked before the next arrives, so FIFO
+		// tiebreaks are deterministic.
+		for s.Waiting() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+		if between != nil {
+			between(i)
+		}
+	}
+	s.Done(0, 1, 0) // open the gate
+	wg.Wait()
+	close(order)
+	got := make([]int, 0, len(pris))
+	for i := range order {
+		got = append(got, i)
+	}
+	return got
+}
+
+func TestPrioritySchedulerOrdersByPriority(t *testing.T) {
+	// Arrival order 0,1,2 with priorities 0,5,3: a FIFO scheduler admits
+	// in arrival order (its Admit never blocks), the priority scheduler
+	// must serve 1 (pri 5), then 2 (pri 3), then 0 (pri 0).
+	s := NewPriorityScheduler(clock.NewVirtual(), 0)
+	got := admitOrder(t, s, []uint8{0, 5, 3}, nil)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("admission order = %v, want %v", got, want)
+		}
+	}
+	if s.Usage(1) != 3 {
+		t.Fatalf("usage = %d", s.Usage(1))
+	}
+}
+
+func TestPrioritySchedulerFIFOWithinLevel(t *testing.T) {
+	s := NewPriorityScheduler(clock.NewVirtual(), 0)
+	got := admitOrder(t, s, []uint8{7, 7, 7}, nil)
+	for i, idx := range []int{0, 1, 2} {
+		if got[i] != idx {
+			t.Fatalf("same-priority admission order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestPrioritySchedulerAgingPromotes(t *testing.T) {
+	// One level per millisecond of waiting: a priority-1 call parked for
+	// 300ms of virtual time outranks a fresh priority-200 arrival.
+	clk := clock.NewVirtual()
+	s := NewPriorityScheduler(clk, time.Millisecond)
+	got := admitOrder(t, s, []uint8{1, 200}, func(i int) {
+		if i == 0 {
+			clk.Advance(300 * time.Millisecond)
+		}
+	})
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("admission order = %v, want aged waiter first", got)
+	}
+}
+
+// --- Router deadlines ---
+
+// encCallDeadline builds a call frame with explicit deadline/stamp/priority
+// header fields, as a guest library would emit.
+func encCallDeadline(desc *cava.Descriptor, seq uint64, name string, pri uint8, encode, deadline int64, args ...marshal.Value) []byte {
+	fd, ok := desc.Lookup(name)
+	if !ok {
+		panic(name)
+	}
+	c := &marshal.Call{Seq: seq, Func: fd.ID, Priority: pri, Deadline: deadline, Args: args}
+	c.Stamps.Encode = encode
+	return marshal.EncodeCall(c)
+}
+
+func TestRouterDeniesExpiredDeadline(t *testing.T) {
+	desc := hvDesc()
+	r := NewRouter(desc, nil, clock.NewVirtual())
+	r.RegisterVM(VMConfig{ID: 1})
+	ep, echo := routedStack(t, r, 1)
+	// Deadline at or before the encode stamp: zero remaining budget in the
+	// guest's own clock domain, regardless of router-clock skew.
+	frame := encCallDeadline(desc, 7, "ping", 0, 2_000, 1_500, marshal.Uint(1))
+	rep := sendSync(t, ep, frame)
+	if rep.Status != marshal.StatusDeadline {
+		t.Fatalf("reply = %+v, want StatusDeadline", rep)
+	}
+	if rep.Seq != 7 {
+		t.Fatalf("reply seq = %d", rep.Seq)
+	}
+	if echo.count() != 0 {
+		t.Fatal("expired call reached the server")
+	}
+	st, _ := r.Stats(1)
+	if st.Denied != 1 || st.DeadlineDenied != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRouterDeniesDeadlineAfterStall(t *testing.T) {
+	desc := hvDesc()
+	clk := clock.NewVirtual()
+	r := NewRouter(desc, nil, clk)
+	// Burst 1 at 10 calls/s: the second call stalls 100ms of virtual time
+	// in the rate limiter.
+	r.RegisterVM(VMConfig{ID: 1, CallsPerSec: 10, CallBurst: 1})
+	ep, echo := routedStack(t, r, 1)
+
+	rep := sendSync(t, ep, encCallDeadline(desc, 1, "ping", 0, 1_000, 0, marshal.Uint(1)))
+	if rep.Status != marshal.StatusOK {
+		t.Fatalf("first call = %+v", rep)
+	}
+
+	// 50ms of budget cannot survive the 100ms stall: the router must deny
+	// after the stall rather than forward a dead call to the silo.
+	budget := (50 * time.Millisecond).Nanoseconds()
+	rep = sendSync(t, ep, encCallDeadline(desc, 2, "ping", 0, 1_000, 1_000+budget, marshal.Uint(1)))
+	if rep.Status != marshal.StatusDeadline {
+		t.Fatalf("stalled call = %+v, want StatusDeadline", rep)
+	}
+	if echo.count() != 1 {
+		t.Fatalf("server saw %d calls, want only the first", echo.count())
+	}
+	st, _ := r.Stats(1)
+	if st.DeadlineDenied != 1 || st.Stall < 100*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRouterPatchesHeaderForForwarding(t *testing.T) {
+	desc := hvDesc()
+	clk := clock.NewVirtual()
+	r := NewRouter(desc, nil, clk)
+	r.RegisterVM(VMConfig{ID: 42})
+	ep, echo := routedStack(t, r, 42)
+
+	// Guest clock domain is arbitrary (epoch 5000); 1s of budget.
+	budget := time.Second.Nanoseconds()
+	rep := sendSync(t, ep, encCallDeadline(desc, 1, "ping", 9, 5_000, 5_000+budget, marshal.Uint(1)))
+	if rep.Status != marshal.StatusOK {
+		t.Fatalf("reply = %+v", rep)
+	}
+	got := echo.call(0)
+	if got.VM != 42 {
+		t.Fatalf("forwarded VM = %d, want hypervisor-asserted 42", got.VM)
+	}
+	if got.Priority != 9 {
+		t.Fatalf("forwarded priority = %d", got.Priority)
+	}
+	now := clk.Now().UnixNano()
+	if got.Deadline != now+budget {
+		t.Fatalf("forwarded deadline = %d, want %d (re-anchored to router clock)", got.Deadline, now+budget)
+	}
+	if got.Stamps.Admit != now {
+		t.Fatalf("admit stamp = %d, want %d", got.Stamps.Admit, now)
+	}
+	if got.Stamps.Encode != 5_000 {
+		t.Fatalf("encode stamp clobbered: %d", got.Stamps.Encode)
+	}
+}
+
+func TestRouterReplayBypassesDeadlineStall(t *testing.T) {
+	// Replayed calls skip rate limiting, so their deadlines are only
+	// checked at arrival; a generous deadline survives.
+	desc := hvDesc()
+	clk := clock.NewVirtual()
+	r := NewRouter(desc, nil, clk)
+	r.RegisterVM(VMConfig{ID: 1, CallsPerSec: 1, CallBurst: 1})
+	ep, echo := routedStack(t, r, 1)
+	rep := sendSync(t, ep, encCallDeadline(desc, 1, "ping", 0, 1_000, 0, marshal.Uint(1)))
+	if rep.Status != marshal.StatusOK {
+		t.Fatalf("first call = %+v", rep)
+	}
+	fd, _ := desc.Lookup("ping")
+	c := &marshal.Call{Seq: 2, Func: fd.ID, Flags: marshal.FlagReplay, Deadline: 1_000 + time.Millisecond.Nanoseconds(), Args: []marshal.Value{marshal.Uint(1)}}
+	c.Stamps.Encode = 1_000
+	rep = sendSync(t, ep, marshal.EncodeCall(c))
+	if rep.Status != marshal.StatusOK {
+		t.Fatalf("replayed call = %+v", rep)
+	}
+	if echo.count() != 2 {
+		t.Fatalf("server saw %d calls", echo.count())
 	}
 }

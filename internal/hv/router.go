@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
 	"ava/internal/marshal"
@@ -41,9 +42,13 @@ type VMStats struct {
 	Forwarded    uint64
 	Denied       uint64
 	AsyncDropped uint64
-	Bytes        uint64
-	Stall        time.Duration    // time spent rate-limited or unscheduled
-	Resources    map[string]int64 // summed resource estimates
+	// DeadlineDenied counts calls denied with StatusDeadline: expired on
+	// arrival, or the rate-limit/scheduling stall consumed the remaining
+	// budget. Included in Denied.
+	DeadlineDenied uint64
+	Bytes          uint64
+	Stall          time.Duration    // time spent rate-limited or unscheduled
+	Resources      map[string]int64 // summed resource estimates
 }
 
 // Interceptor observes (and may veto) every forwarded call — the
@@ -51,8 +56,9 @@ type VMStats struct {
 // call.
 type Interceptor func(vm VMID, fd *cava.FuncDesc, call *marshal.Call) error
 
-// ErrUnknownVM reports routing for a VM that was never registered.
-var ErrUnknownVM = errors.New("hv: unknown VM")
+// ErrUnknownVM reports routing for a VM that was never registered — an
+// alias of the stack-wide sentinel so errors.Is holds across layers.
+var ErrUnknownVM = averr.ErrUnknownVM
 
 type vmState struct {
 	cfg    VMConfig
@@ -252,9 +258,12 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 		return false, nil // unparseable: cannot even address a reply
 	}
 	async := call.Flags&marshal.FlagAsync != 0
-	reject := func(format string, args ...any) (bool, *marshal.Reply) {
+	rejectAs := func(status marshal.Status, format string, args ...any) (bool, *marshal.Reply) {
 		st.note(func(s *VMStats) {
 			s.Denied++
+			if status == marshal.StatusDeadline {
+				s.DeadlineDenied++
+			}
 			if async {
 				s.AsyncDropped++
 			}
@@ -264,15 +273,33 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 		}
 		return false, &marshal.Reply{
 			Seq:    call.Seq,
-			Status: marshal.StatusDenied,
+			Status: status,
 			Err:    fmt.Sprintf(format, args...),
 		}
+	}
+	reject := func(format string, args ...any) (bool, *marshal.Reply) {
+		return rejectAs(marshal.StatusDenied, format, args...)
 	}
 
 	call.VM = id // the hypervisor, not the guest, asserts identity
 	fd, ok := r.desc.ByID(call.Func)
 	if !ok {
 		return reject("hv: unknown function #%d", call.Func)
+	}
+
+	// Deadline translation (gRPC-style): the wire deadline is absolute on
+	// the guest's clock, which need not agree with ours (TCP transports can
+	// cross machines). The remaining budget — deadline minus the guest's
+	// encode stamp — is clock-skew-free, so re-anchor it against our own
+	// clock and deny outright if it is already spent.
+	now := r.clk.Now()
+	var localDeadline time.Time
+	if call.Deadline != 0 {
+		rel := time.Duration(call.Deadline - call.Stamps.Encode)
+		if rel <= 0 {
+			return rejectAs(marshal.StatusDeadline, "hv: %s: deadline expired before admission", fd.Name)
+		}
+		localDeadline = now.Add(rel)
 	}
 	if len(call.Args) != len(fd.Params) {
 		return reject("hv: %s: argument arity %d, want %d", fd.Name, len(call.Args), len(fd.Params))
@@ -309,11 +336,26 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 			cost = 1
 		}
 		t0 := r.clk.Now()
-		r.sched.Admit(id, cost)
+		r.sched.Admit(id, cost, call.Priority)
 		r.sched.Done(id, cost, 0)
 		stall += r.clk.Since(t0)
 		st.note(func(s *VMStats) { s.Stall += stall })
+		// The stall was spent inside the deadline's budget: a call held
+		// back past its deadline by rate limiting or scheduling must not
+		// reach the silo.
+		if !localDeadline.IsZero() && !r.clk.Now().Before(localDeadline) {
+			return rejectAs(marshal.StatusDeadline, "hv: %s: deadline expired while stalled %v", fd.Name, stall)
+		}
 	}
+
+	// Rewrite the forwarded header in place — VM identity, the deadline
+	// re-anchored into this router's clock domain, and the admission stamp
+	// — so the zero-copy batch fast path still forwards the original frame.
+	var wireDeadline int64
+	if !localDeadline.IsZero() {
+		wireDeadline = localDeadline.UnixNano()
+	}
+	marshal.PatchCallAdmit(cf, id, wireDeadline, r.clk.Now().UnixNano())
 
 	st.note(func(s *VMStats) {
 		s.Forwarded++

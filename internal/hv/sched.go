@@ -3,6 +3,8 @@ package hv
 import (
 	"sync"
 	"time"
+
+	"ava/internal/clock"
 )
 
 // Scheduler orders forwarded calls across contending VMs at function-call
@@ -14,8 +16,10 @@ import (
 // isolation.
 type Scheduler interface {
 	// Admit blocks until vm may forward a call with the given estimated
-	// cost (nanoseconds of device time, or an abstract cost unit).
-	Admit(vm VMID, cost int64)
+	// cost (nanoseconds of device time, or an abstract cost unit) and
+	// guest-stamped priority (higher is more urgent; schedulers without a
+	// priority policy ignore it).
+	Admit(vm VMID, cost int64, pri uint8)
 	// Done reports that the admitted call finished; measured, if positive,
 	// replaces the estimate in the VM's accounting.
 	Done(vm VMID, cost int64, measured int64)
@@ -35,7 +39,7 @@ func NewFIFOScheduler() *FIFOScheduler {
 }
 
 // Admit implements Scheduler.
-func (s *FIFOScheduler) Admit(vm VMID, cost int64) {}
+func (s *FIFOScheduler) Admit(vm VMID, cost int64, pri uint8) {}
 
 // Done implements Scheduler.
 func (s *FIFOScheduler) Done(vm VMID, cost int64, measured int64) {
@@ -116,8 +120,9 @@ func (s *FairScheduler) minWaitingUsage(self VMID) (int64, bool) {
 	return m, found
 }
 
-// Admit implements Scheduler.
-func (s *FairScheduler) Admit(vm VMID, cost int64) {
+// Admit implements Scheduler. Fair sharing is priority-blind: pri is
+// ignored (use PriorityScheduler for urgency ordering).
+func (s *FairScheduler) Admit(vm VMID, cost int64, pri uint8) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.waiting[vm]++
@@ -162,4 +167,117 @@ func (s *FairScheduler) Reset() {
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+}
+
+// PriorityScheduler serializes admission through a single gate and serves
+// waiters strictly by priority — highest guest-stamped priority first, FIFO
+// within a level. To bound starvation, a waiter's effective priority is
+// aged upward by one level per agingQuantum of waiting, so a long-parked
+// low-priority call eventually outranks fresh high-priority arrivals.
+// Effective priorities are evaluated against the scheduler's clock each
+// time the gate opens, which keeps aging deterministic on a virtual clock.
+type PriorityScheduler struct {
+	clk   clock.Clock
+	aging time.Duration
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	usage map[VMID]int64
+	queue []*priWaiter
+	seq   uint64
+	busy  bool
+}
+
+// priWaiter is one call parked at the admission gate.
+type priWaiter struct {
+	vm      VMID
+	pri     uint8
+	seq     uint64 // arrival order, tiebreak within a priority level
+	parked  time.Time
+	granted bool
+}
+
+// NewPriorityScheduler creates a strict-priority scheduler. agingQuantum
+// is the waiting time that promotes a parked call by one priority level
+// (0 disables aging); a nil clock selects the wall clock.
+func NewPriorityScheduler(clk clock.Clock, agingQuantum time.Duration) *PriorityScheduler {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	s := &PriorityScheduler{clk: clk, aging: agingQuantum, usage: make(map[VMID]int64)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// effective returns w's aged priority as of now.
+func (s *PriorityScheduler) effective(w *priWaiter, now time.Time) int {
+	p := int(w.pri)
+	if s.aging > 0 {
+		p += int(now.Sub(w.parked) / s.aging)
+	}
+	if p > 255 {
+		p = 255
+	}
+	return p
+}
+
+// grantLocked opens the gate for the best waiter, if any. Called with
+// s.mu held and the gate free.
+func (s *PriorityScheduler) grantLocked() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	now := s.clk.Now()
+	best := 0
+	for i := 1; i < len(s.queue); i++ {
+		pi, pb := s.effective(s.queue[i], now), s.effective(s.queue[best], now)
+		if pi > pb || (pi == pb && s.queue[i].seq < s.queue[best].seq) {
+			best = i
+		}
+	}
+	w := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	w.granted = true
+	s.busy = true
+	s.cond.Broadcast()
+}
+
+// Admit implements Scheduler.
+func (s *PriorityScheduler) Admit(vm VMID, cost int64, pri uint8) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	w := &priWaiter{vm: vm, pri: pri, seq: s.seq, parked: s.clk.Now()}
+	s.queue = append(s.queue, w)
+	s.grantLocked()
+	for !w.granted {
+		s.cond.Wait()
+	}
+}
+
+// Done implements Scheduler.
+func (s *PriorityScheduler) Done(vm VMID, cost int64, measured int64) {
+	if measured > 0 {
+		cost = measured
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage[vm] += cost
+	s.busy = false
+	s.grantLocked()
+}
+
+// Usage implements Scheduler.
+func (s *PriorityScheduler) Usage(vm VMID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[vm]
+}
+
+// Waiting returns the number of calls parked at the gate (tests use this
+// to sequence contention deterministically).
+func (s *PriorityScheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"ava/internal/averr"
 )
 
 // Kind identifies the type of a wire value.
@@ -182,24 +184,67 @@ const (
 	FlagReplay
 )
 
+// FlagsKnown is the set of flag bits this version of the stack assigns
+// meaning to. Unknown bits must round-trip unmodified through every layer —
+// the router and server test individual known bits and never reject or mask
+// the rest — so a newer guest can talk through an older router (forward
+// compatibility on the wire).
+const FlagsKnown = FlagAsync | FlagBatched | FlagReplay
+
+// Stamps is the per-stage timestamp block a call accumulates as it crosses
+// the stack, the raw material for per-stage latency breakdowns. Each value
+// is absolute nanoseconds (UnixNano) on the clock of the layer that stamped
+// it; 0 means "not stamped yet". Within one host the domains coincide and
+// differences between adjacent stamps are true stage latencies; across a
+// disaggregated (TCP) hop the Encode→Admit difference additionally absorbs
+// any clock skew between the machines.
+type Stamps struct {
+	Encode   int64 // guest library, when the call was marshalled
+	Admit    int64 // router, after policing/scheduling, before forwarding
+	Dispatch int64 // server, before handler invocation
+	Done     int64 // server, after handler return
+}
+
 // Call is one forwarded API invocation.
 type Call struct {
-	Seq   uint64  // per-VM sequence number, assigned by the guest library
-	VM    uint32  // VM identifier, stamped by the hypervisor endpoint
-	Func  uint32  // function index in the API's StackDescriptor
-	Flags uint16  // FlagAsync etc.
-	Args  []Value // arguments in declaration order
+	Seq   uint64 // per-VM sequence number, assigned by the guest library
+	VM    uint32 // VM identifier, stamped by the hypervisor endpoint
+	Func  uint32 // function index in the API's StackDescriptor
+	Flags uint16 // FlagAsync etc.
+	// Priority orders the call against other VMs' calls in a
+	// priority-aware router scheduler; higher is more urgent, 0 is the
+	// default class.
+	Priority uint8
+	// Deadline is the absolute time (UnixNano) after which the caller no
+	// longer wants the result; 0 means no deadline. It is stamped by the
+	// guest in its own clock domain and re-anchored ("clock-domain-
+	// translated") into the router's domain at admission: each hop
+	// computes the remaining budget against the previous hop's stamp and
+	// rewrites the deadline relative to its own clock, the same
+	// translation gRPC applies to propagated deadlines.
+	Deadline int64
+	// Stamps is the per-stage timestamp block; the guest fills Encode,
+	// the router Admit. Dispatch/Done are filled server-side and travel
+	// back in the Reply (they are carried here too so the block
+	// round-trips whole through any layer that re-encodes the call).
+	Stamps Stamps
+	Args   []Value // arguments in declaration order
 }
 
 // Status codes in a Reply frame.
 type Status uint8
 
-// Reply statuses.
+// Reply statuses. Unknown (future) status values must round-trip through
+// every layer unmodified: decode preserves the raw byte, String falls back
+// to a numeric form, and the guest surfaces the numeric status rather than
+// collapsing it into one of the known codes.
 const (
 	StatusOK       Status = iota // call executed; Ret/Outs valid
 	StatusAPIError               // call executed; API returned a failure code in Ret
 	StatusDenied                 // router rejected the call (policy/verification)
 	StatusInternal               // stack-internal failure; Err describes it
+	StatusDeadline               // the call's deadline expired before completion
+	StatusCanceled               // the call was aborted by a cancellation signal
 )
 
 func (s Status) String() string {
@@ -212,8 +257,28 @@ func (s Status) String() string {
 		return "denied"
 	case StatusInternal:
 		return "internal"
+	case StatusDeadline:
+		return "deadline-exceeded"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Sentinel maps a status to the stack-wide sentinel error it represents,
+// or nil for statuses (including unknown future ones) with no sentinel.
+// Guest-side errors unwrap to this, so errors.Is(err,
+// averr.ErrDeadlineExceeded) holds end to end no matter which layer
+// expired the call.
+func (s Status) Sentinel() error {
+	switch s {
+	case StatusDeadline:
+		return averr.ErrDeadlineExceeded
+	case StatusCanceled:
+		return averr.ErrCanceled
+	default:
+		return nil
 	}
 }
 
@@ -221,6 +286,10 @@ func (s Status) String() string {
 type Reply struct {
 	Seq    uint64
 	Status Status
+	// Stamps echoes the call's per-stage timestamp block with the
+	// server-side stages (Dispatch, Done) filled in, letting the guest
+	// compute a full per-stage latency breakdown from the reply alone.
+	Stamps Stamps
 	Err    string  // human-readable detail for StatusDenied/StatusInternal
 	Ret    Value   // the API return value
 	Outs   []Value // out / in-out buffer contents, in argument order
@@ -410,10 +479,22 @@ func valueSize(v Value) int {
 	}
 }
 
+// Fixed call-header layout. The hypervisor-owned fields sit at fixed
+// offsets so the router can stamp them into an encoded frame in place,
+// preserving its zero-copy forwarding fast path.
+const (
+	callOffVM       = 8  // after Seq
+	callOffDeadline = 19 // after Func, Flags, Priority
+	callOffAdmit    = 35 // after Stamps.Encode
+	// CallHeaderSize is the encoded size of the fixed Call header
+	// (everything before the argument vector).
+	CallHeaderSize = 61
+)
+
 // EncodeCall encodes c as a frame body, sized exactly so large buffer
 // arguments never trigger append growth copies.
 func EncodeCall(c *Call) []byte {
-	n := 20
+	n := CallHeaderSize
 	for _, a := range c.Args {
 		n += valueSize(a)
 	}
@@ -426,11 +507,48 @@ func AppendCall(b []byte, c *Call) []byte {
 	b = appendUint32(b, c.VM)
 	b = appendUint32(b, c.Func)
 	b = appendUint16(b, c.Flags)
+	b = append(b, c.Priority)
+	b = appendUint64(b, uint64(c.Deadline))
+	b = appendStamps(b, c.Stamps)
 	b = appendUint16(b, uint16(len(c.Args)))
 	for _, a := range c.Args {
 		b = AppendValue(b, a)
 	}
 	return b
+}
+
+// PatchCallAdmit rewrites the hypervisor-owned header fields of an encoded
+// call frame in place: the VM identity (the hypervisor, not the guest,
+// asserts it on the wire), the deadline re-anchored into the router's
+// clock domain, and the router-admit stamp. The frame must have been
+// validated by DecodeCall first.
+func PatchCallAdmit(frame []byte, vm uint32, deadline, admit int64) {
+	if len(frame) < CallHeaderSize {
+		return
+	}
+	binary.LittleEndian.PutUint32(frame[callOffVM:], vm)
+	binary.LittleEndian.PutUint64(frame[callOffDeadline:], uint64(deadline))
+	binary.LittleEndian.PutUint64(frame[callOffAdmit:], uint64(admit))
+}
+
+func appendStamps(b []byte, s Stamps) []byte {
+	b = appendUint64(b, uint64(s.Encode))
+	b = appendUint64(b, uint64(s.Admit))
+	b = appendUint64(b, uint64(s.Dispatch))
+	b = appendUint64(b, uint64(s.Done))
+	return b
+}
+
+func (r *reader) stamps() (Stamps, error) {
+	var s Stamps
+	for _, dst := range []*int64{&s.Encode, &s.Admit, &s.Dispatch, &s.Done} {
+		u, err := r.u64()
+		if err != nil {
+			return Stamps{}, err
+		}
+		*dst = int64(u)
+	}
+	return s, nil
 }
 
 // DecodeCall decodes a frame body produced by EncodeCall.
@@ -448,6 +566,17 @@ func DecodeCall(b []byte) (*Call, error) {
 		return nil, err
 	}
 	if c.Flags, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if c.Priority, err = r.u8(); err != nil {
+		return nil, err
+	}
+	dl, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	c.Deadline = int64(dl)
+	if c.Stamps, err = r.stamps(); err != nil {
 		return nil, err
 	}
 	n, err := r.u16()
@@ -473,7 +602,7 @@ func DecodeCall(b []byte) (*Call, error) {
 
 // EncodeReply encodes rep as a frame body, sized exactly.
 func EncodeReply(rep *Reply) []byte {
-	n := 15 + len(rep.Err) + valueSize(rep.Ret)
+	n := 47 + len(rep.Err) + valueSize(rep.Ret)
 	for _, o := range rep.Outs {
 		n += valueSize(o)
 	}
@@ -484,6 +613,7 @@ func EncodeReply(rep *Reply) []byte {
 func AppendReply(b []byte, rep *Reply) []byte {
 	b = appendUint64(b, rep.Seq)
 	b = append(b, byte(rep.Status))
+	b = appendStamps(b, rep.Stamps)
 	b = appendUint32(b, uint32(len(rep.Err)))
 	b = append(b, rep.Err...)
 	b = AppendValue(b, rep.Ret)
@@ -507,6 +637,9 @@ func DecodeReply(b []byte) (*Reply, error) {
 		return nil, err
 	}
 	rep.Status = Status(st)
+	if rep.Stamps, err = r.stamps(); err != nil {
+		return nil, err
+	}
 	en, err := r.u32()
 	if err != nil {
 		return nil, err

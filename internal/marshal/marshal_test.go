@@ -1,11 +1,14 @@
 package marshal
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"ava/internal/averr"
 )
 
 func sampleValues() []Value {
@@ -134,8 +137,8 @@ func TestDecodeCallTrailingGarbage(t *testing.T) {
 
 func TestDecodeBadKind(t *testing.T) {
 	b := EncodeCall(&Call{Seq: 1, Args: []Value{Int(5)}})
-	// Arg kind byte is right after the 20-byte header.
-	b[20] = 0xEE
+	// Arg kind byte is right after the fixed header.
+	b[CallHeaderSize] = 0xEE
 	if _, err := DecodeCall(b); err == nil {
 		t.Fatal("bad kind not detected")
 	}
@@ -145,10 +148,10 @@ func TestDecodeOversizedString(t *testing.T) {
 	c := &Call{Seq: 1, Args: []Value{Str("abcd")}}
 	b := EncodeCall(c)
 	// Inflate the declared string length far beyond the frame.
-	b[21] = 0xFF
-	b[22] = 0xFF
-	b[23] = 0xFF
-	b[24] = 0x7F
+	b[CallHeaderSize+1] = 0xFF
+	b[CallHeaderSize+2] = 0xFF
+	b[CallHeaderSize+3] = 0xFF
+	b[CallHeaderSize+4] = 0x7F
 	if _, err := DecodeCall(b); err == nil {
 		t.Fatal("oversized string not detected")
 	}
@@ -181,10 +184,15 @@ func TestValueEqualCrossKind(t *testing.T) {
 }
 
 func TestStatusAndKindStrings(t *testing.T) {
-	for _, s := range []Status{StatusOK, StatusAPIError, StatusDenied, StatusInternal, Status(99)} {
+	for _, s := range []Status{StatusOK, StatusAPIError, StatusDenied, StatusInternal,
+		StatusDeadline, StatusCanceled, Status(99)} {
 		if s.String() == "" {
 			t.Errorf("empty Status string for %d", s)
 		}
+	}
+	// Unknown statuses keep their numeric identity rather than collapsing.
+	if Status(99).String() == Status(98).String() {
+		t.Error("unknown statuses are indistinguishable")
 	}
 	for k := Kind(0); k < 12; k++ {
 		if k.String() == "" {
@@ -225,9 +233,13 @@ func randomValue(r *rand.Rand) Value {
 }
 
 func TestQuickCallRoundTrip(t *testing.T) {
-	f := func(seq uint64, vm, fn uint32, flags uint16, nargs uint8) bool {
+	f := func(seq uint64, vm, fn uint32, flags uint16, pri uint8, deadline int64, stamps [4]int64, nargs uint8) bool {
 		r := rand.New(rand.NewSource(int64(seq) ^ int64(fn)))
-		c := &Call{Seq: seq, VM: vm, Func: fn, Flags: flags}
+		c := &Call{
+			Seq: seq, VM: vm, Func: fn, Flags: flags,
+			Priority: pri, Deadline: deadline,
+			Stamps: Stamps{Encode: stamps[0], Admit: stamps[1], Dispatch: stamps[2], Done: stamps[3]},
+		}
 		for i := 0; i < int(nargs%24); i++ {
 			c.Args = append(c.Args, randomValue(r))
 		}
@@ -236,6 +248,9 @@ func TestQuickCallRoundTrip(t *testing.T) {
 			return false
 		}
 		if got.Seq != c.Seq || got.VM != c.VM || got.Func != c.Func || got.Flags != c.Flags {
+			return false
+		}
+		if got.Priority != c.Priority || got.Deadline != c.Deadline || got.Stamps != c.Stamps {
 			return false
 		}
 		if len(got.Args) != len(c.Args) {
@@ -253,10 +268,40 @@ func TestQuickCallRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCallHeaderEdgeRoundTrip pins the corners of the extended header: zero
+// and sentinel deadlines, max priority, and every replay/async/batched flag
+// combination plus unknown future flag bits — all must round-trip exactly.
+func TestCallHeaderEdgeRoundTrip(t *testing.T) {
+	deadlines := []int64{0, 1, -1, math.MaxInt64, math.MinInt64}
+	flagSets := []uint16{0, FlagAsync, FlagBatched, FlagReplay,
+		FlagAsync | FlagBatched, FlagAsync | FlagReplay, FlagBatched | FlagReplay,
+		FlagAsync | FlagBatched | FlagReplay,
+		1 << 9, FlagsKnown | 1<<15} // unknown future bits must survive
+	for _, d := range deadlines {
+		for _, fl := range flagSets {
+			for _, pri := range []uint8{0, 1, 200, math.MaxUint8} {
+				c := &Call{Seq: 5, VM: 2, Func: 3, Flags: fl, Priority: pri, Deadline: d,
+					Stamps: Stamps{Encode: 100, Admit: 200}}
+				got, err := DecodeCall(EncodeCall(c))
+				if err != nil {
+					t.Fatalf("deadline=%d flags=%#x pri=%d: %v", d, fl, pri, err)
+				}
+				if got.Deadline != d || got.Flags != fl || got.Priority != pri || got.Stamps != c.Stamps {
+					t.Fatalf("header dropped: got %+v want %+v", got, c)
+				}
+			}
+		}
+	}
+}
+
 func TestQuickReplyRoundTrip(t *testing.T) {
-	f := func(seq uint64, status uint8, errmsg string, nouts uint8) bool {
+	f := func(seq uint64, status uint8, errmsg string, stamps [4]int64, nouts uint8) bool {
 		r := rand.New(rand.NewSource(int64(seq)))
-		rep := &Reply{Seq: seq, Status: Status(status % 4), Err: errmsg, Ret: randomValue(r)}
+		// Full uint8 range: unknown future statuses must round-trip too.
+		rep := &Reply{
+			Seq: seq, Status: Status(status), Err: errmsg, Ret: randomValue(r),
+			Stamps: Stamps{Encode: stamps[0], Admit: stamps[1], Dispatch: stamps[2], Done: stamps[3]},
+		}
 		for i := 0; i < int(nouts%16); i++ {
 			rep.Outs = append(rep.Outs, randomValue(r))
 		}
@@ -264,7 +309,7 @@ func TestQuickReplyRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if got.Seq != rep.Seq || got.Status != rep.Status || got.Err != rep.Err {
+		if got.Seq != rep.Seq || got.Status != rep.Status || got.Err != rep.Err || got.Stamps != rep.Stamps {
 			return false
 		}
 		if !got.Ret.Equal(rep.Ret) || len(got.Outs) != len(rep.Outs) {
@@ -291,6 +336,39 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStatusSentinels(t *testing.T) {
+	if !errors.Is(StatusDeadline.Sentinel(), averr.ErrDeadlineExceeded) {
+		t.Error("StatusDeadline does not map to ErrDeadlineExceeded")
+	}
+	if !errors.Is(StatusCanceled.Sentinel(), averr.ErrCanceled) {
+		t.Error("StatusCanceled does not map to ErrCanceled")
+	}
+	for _, s := range []Status{StatusOK, StatusAPIError, StatusDenied, StatusInternal, Status(200)} {
+		if s.Sentinel() != nil {
+			t.Errorf("%v unexpectedly maps to a sentinel", s)
+		}
+	}
+}
+
+func TestPatchCallAdmit(t *testing.T) {
+	c := &Call{Seq: 9, VM: 1, Func: 4, Flags: FlagReplay | 1<<12, Priority: 7,
+		Deadline: 1000, Stamps: Stamps{Encode: 11}, Args: []Value{Int(3), Str("x")}}
+	frame := EncodeCall(c)
+	PatchCallAdmit(frame, 42, 2000, 1500)
+	got, err := DecodeCall(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VM != 42 || got.Deadline != 2000 || got.Stamps.Admit != 1500 {
+		t.Fatalf("patch not applied: %+v", got)
+	}
+	// Everything else is untouched.
+	if got.Seq != c.Seq || got.Func != c.Func || got.Flags != c.Flags ||
+		got.Priority != c.Priority || got.Stamps.Encode != 11 || len(got.Args) != 2 {
+		t.Fatalf("patch disturbed unrelated fields: %+v", got)
 	}
 }
 

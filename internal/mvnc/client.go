@@ -77,7 +77,8 @@ func (c *NativeClient) DeferredError() error { return nil }
 
 // RemoteClient is the generated MVNC guest library over the stub engine.
 type RemoteClient struct {
-	lib *guest.Lib
+	lib  *guest.Lib
+	opts guest.CallOptions
 }
 
 // NewRemote wraps an attached guest library speaking the MVNC Spec.
@@ -85,6 +86,14 @@ func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
 
 // Lib exposes the stub engine.
 func (c *RemoteClient) Lib() *guest.Lib { return c.lib }
+
+// With returns a client whose calls carry opts (deadline, priority); the
+// receiver is unchanged.
+func (c *RemoteClient) With(opts guest.CallOptions) *RemoteClient {
+	d := *c
+	d.opts = opts
+	return &d
+}
 
 func (c *RemoteClient) st(op string, v marshal.Value, err error) error {
 	if err != nil {
@@ -103,7 +112,7 @@ func (c *RemoteClient) st(op string, v marshal.Value, err error) error {
 // DeviceCount implements Client.
 func (c *RemoteClient) DeviceCount() (int, error) {
 	var n uint32
-	ret, err := c.lib.Call("mvncGetDeviceCount", &n)
+	ret, err := c.lib.CallWith(c.opts, "mvncGetDeviceCount", &n)
 	if err := c.st("mvncGetDeviceCount", ret, err); err != nil {
 		return 0, err
 	}
@@ -113,7 +122,7 @@ func (c *RemoteClient) DeviceCount() (int, error) {
 // DeviceName implements Client.
 func (c *RemoteClient) DeviceName(index uint32) (string, error) {
 	buf := make([]byte, 64)
-	ret, err := c.lib.Call("mvncGetDeviceName", index, uint64(len(buf)), buf)
+	ret, err := c.lib.CallWith(c.opts, "mvncGetDeviceName", index, uint64(len(buf)), buf)
 	if err := c.st("mvncGetDeviceName", ret, err); err != nil {
 		return "", err
 	}
@@ -127,7 +136,7 @@ func (c *RemoteClient) DeviceName(index uint32) (string, error) {
 // OpenDevice implements Client.
 func (c *RemoteClient) OpenDevice(index uint32) (Ref, error) {
 	var h marshal.Handle
-	ret, err := c.lib.Call("mvncOpenDevice", index, &h)
+	ret, err := c.lib.CallWith(c.opts, "mvncOpenDevice", index, &h)
 	if err := c.st("mvncOpenDevice", ret, err); err != nil {
 		return Ref{}, err
 	}
@@ -136,14 +145,14 @@ func (c *RemoteClient) OpenDevice(index uint32) (Ref, error) {
 
 // CloseDevice implements Client.
 func (c *RemoteClient) CloseDevice(r Ref) error {
-	ret, err := c.lib.Call("mvncCloseDevice", r.h)
+	ret, err := c.lib.CallWith(c.opts, "mvncCloseDevice", r.h)
 	return c.st("mvncCloseDevice", ret, err)
 }
 
 // AllocateGraph implements Client.
 func (c *RemoteClient) AllocateGraph(r Ref, name string, blob []byte) (Ref, error) {
 	var h marshal.Handle
-	ret, err := c.lib.Call("mvncAllocateGraph", r.h, name, uint64(len(blob)), blob, &h)
+	ret, err := c.lib.CallWith(c.opts, "mvncAllocateGraph", r.h, name, uint64(len(blob)), blob, &h)
 	if err := c.st("mvncAllocateGraph", ret, err); err != nil {
 		return Ref{}, err
 	}
@@ -152,32 +161,32 @@ func (c *RemoteClient) AllocateGraph(r Ref, name string, blob []byte) (Ref, erro
 
 // DeallocateGraph implements Client.
 func (c *RemoteClient) DeallocateGraph(r Ref) error {
-	ret, err := c.lib.Call("mvncDeallocateGraph", r.h)
+	ret, err := c.lib.CallWith(c.opts, "mvncDeallocateGraph", r.h)
 	return c.st("mvncDeallocateGraph", ret, err)
 }
 
 // LoadTensor implements Client.
 func (c *RemoteClient) LoadTensor(r Ref, tensor []byte) error {
-	ret, err := c.lib.Call("mvncLoadTensor", r.h, uint64(len(tensor)), tensor)
+	ret, err := c.lib.CallWith(c.opts, "mvncLoadTensor", r.h, uint64(len(tensor)), tensor)
 	return c.st("mvncLoadTensor", ret, err)
 }
 
 // GetResult implements Client.
 func (c *RemoteClient) GetResult(r Ref, dst []byte) error {
-	ret, err := c.lib.Call("mvncGetResult", r.h, uint64(len(dst)), dst)
+	ret, err := c.lib.CallWith(c.opts, "mvncGetResult", r.h, uint64(len(dst)), dst)
 	return c.st("mvncGetResult", ret, err)
 }
 
 // SetGraphOption implements Client.
 func (c *RemoteClient) SetGraphOption(r Ref, option, value uint32) error {
-	ret, err := c.lib.Call("mvncSetGraphOption", r.h, option, value)
+	ret, err := c.lib.CallWith(c.opts, "mvncSetGraphOption", r.h, option, value)
 	return c.st("mvncSetGraphOption", ret, err)
 }
 
 // GetGraphOption implements Client.
 func (c *RemoteClient) GetGraphOption(r Ref, option uint32) (uint32, error) {
 	var v uint32
-	ret, err := c.lib.Call("mvncGetGraphOption", r.h, option, &v)
+	ret, err := c.lib.CallWith(c.opts, "mvncGetGraphOption", r.h, option, &v)
 	if err := c.st("mvncGetGraphOption", ret, err); err != nil {
 		return 0, err
 	}

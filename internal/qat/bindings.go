@@ -218,10 +218,21 @@ func (c *NativeClient) Hash(r Ref, src []byte) ([32]byte, error) {
 }
 
 // RemoteClient is the generated QAT guest library.
-type RemoteClient struct{ lib *guest.Lib }
+type RemoteClient struct {
+	lib  *guest.Lib
+	opts guest.CallOptions
+}
 
 // NewRemote wraps an attached guest library speaking the QAT Spec.
 func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
+
+// With returns a client whose calls carry opts (deadline, priority); the
+// receiver is unchanged.
+func (c *RemoteClient) With(opts guest.CallOptions) *RemoteClient {
+	d := *c
+	d.opts = opts
+	return &d
+}
 
 func (c *RemoteClient) st(op string, v marshal.Value, err error) error {
 	if err != nil {
@@ -233,7 +244,7 @@ func (c *RemoteClient) st(op string, v marshal.Value, err error) error {
 // NumInstances implements Client.
 func (c *RemoteClient) NumInstances() (int, error) {
 	var n uint32
-	ret, err := c.lib.Call("qatGetNumInstances", &n)
+	ret, err := c.lib.CallWith(c.opts, "qatGetNumInstances", &n)
 	if err := c.st("qatGetNumInstances", ret, err); err != nil {
 		return 0, err
 	}
@@ -243,7 +254,7 @@ func (c *RemoteClient) NumInstances() (int, error) {
 // StartInstance implements Client.
 func (c *RemoteClient) StartInstance(index uint32) (Ref, error) {
 	var h marshal.Handle
-	ret, err := c.lib.Call("qatStartInstance", index, &h)
+	ret, err := c.lib.CallWith(c.opts, "qatStartInstance", index, &h)
 	if err := c.st("qatStartInstance", ret, err); err != nil {
 		return Ref{}, err
 	}
@@ -252,14 +263,14 @@ func (c *RemoteClient) StartInstance(index uint32) (Ref, error) {
 
 // StopInstance implements Client.
 func (c *RemoteClient) StopInstance(r Ref) error {
-	ret, err := c.lib.Call("qatStopInstance", r.h)
+	ret, err := c.lib.CallWith(c.opts, "qatStopInstance", r.h)
 	return c.st("qatStopInstance", ret, err)
 }
 
 // SessionInit implements Client.
 func (c *RemoteClient) SessionInit(r Ref, direction, level uint32) (Ref, error) {
 	var h marshal.Handle
-	ret, err := c.lib.Call("qatSessionInit", r.h, direction, level, &h)
+	ret, err := c.lib.CallWith(c.opts, "qatSessionInit", r.h, direction, level, &h)
 	if err := c.st("qatSessionInit", ret, err); err != nil {
 		return Ref{}, err
 	}
@@ -268,14 +279,14 @@ func (c *RemoteClient) SessionInit(r Ref, direction, level uint32) (Ref, error) 
 
 // SessionTeardown implements Client.
 func (c *RemoteClient) SessionTeardown(r Ref) error {
-	ret, err := c.lib.Call("qatSessionTeardown", r.h)
+	ret, err := c.lib.CallWith(c.opts, "qatSessionTeardown", r.h)
 	return c.st("qatSessionTeardown", ret, err)
 }
 
 // Compress implements Client.
 func (c *RemoteClient) Compress(r Ref, src, dst []byte) (int, error) {
 	var produced uint32
-	ret, err := c.lib.Call("qatCompress", r.h, uint64(len(src)), src,
+	ret, err := c.lib.CallWith(c.opts, "qatCompress", r.h, uint64(len(src)), src,
 		uint64(len(dst)), dst, &produced)
 	if err := c.st("qatCompress", ret, err); err != nil {
 		return int(produced), err
@@ -286,7 +297,7 @@ func (c *RemoteClient) Compress(r Ref, src, dst []byte) (int, error) {
 // Decompress implements Client.
 func (c *RemoteClient) Decompress(r Ref, src, dst []byte) (int, error) {
 	var produced uint32
-	ret, err := c.lib.Call("qatDecompress", r.h, uint64(len(src)), src,
+	ret, err := c.lib.CallWith(c.opts, "qatDecompress", r.h, uint64(len(src)), src,
 		uint64(len(dst)), dst, &produced)
 	if err := c.st("qatDecompress", ret, err); err != nil {
 		return int(produced), err
@@ -298,7 +309,7 @@ func (c *RemoteClient) Decompress(r Ref, src, dst []byte) (int, error) {
 func (c *RemoteClient) Hash(r Ref, src []byte) ([32]byte, error) {
 	var d [32]byte
 	buf := make([]byte, 32)
-	ret, err := c.lib.Call("qatHash", r.h, uint64(len(src)), src, buf)
+	ret, err := c.lib.CallWith(c.opts, "qatHash", r.h, uint64(len(src)), src, buf)
 	if err := c.st("qatHash", ret, err); err != nil {
 		return d, err
 	}

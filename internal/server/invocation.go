@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"ava/internal/cava"
 	"ava/internal/marshal"
@@ -23,6 +25,56 @@ type Invocation struct {
 	outs []marshal.Value // out-element results, indexed by out slot
 	ret  marshal.Value
 	env  spec.Env
+
+	// Cancellation: armed by the dispatcher when the call carries a
+	// deadline. cancel is closed at most once, by the deadline timer or an
+	// explicit Cancel.
+	deadline  time.Time
+	cancel    chan struct{}
+	cancelMu  sync.Mutex
+	cancelErr error
+	canceled  bool
+}
+
+// Deadline returns the call's deadline in the server's clock domain; ok is
+// false when the call carries none.
+func (inv *Invocation) Deadline() (t time.Time, ok bool) {
+	return inv.deadline, !inv.deadline.IsZero()
+}
+
+// Done returns a channel closed when the call should stop: its deadline
+// expired or it was canceled. A long-running handler selects on it beside
+// its device work and returns inv.Err() when it fires. For a call without
+// a deadline, Done returns nil, which blocks forever in a select.
+func (inv *Invocation) Done() <-chan struct{} { return inv.cancel }
+
+// Err returns the cancellation cause (ErrDeadlineExceeded or ErrCanceled)
+// once Done is closed, nil before.
+func (inv *Invocation) Err() error {
+	inv.cancelMu.Lock()
+	defer inv.cancelMu.Unlock()
+	return inv.cancelErr
+}
+
+// Cancel aborts the call with ErrCanceled; a no-op for calls without a
+// cancellation signal armed or already canceled.
+func (inv *Invocation) Cancel() { inv.cancelWith(ErrCanceled) }
+
+// arm installs the cancellation signal for a call with a deadline.
+func (inv *Invocation) arm(deadline time.Time) {
+	inv.deadline = deadline
+	inv.cancel = make(chan struct{})
+}
+
+func (inv *Invocation) cancelWith(err error) {
+	inv.cancelMu.Lock()
+	defer inv.cancelMu.Unlock()
+	if inv.cancel == nil || inv.canceled {
+		return
+	}
+	inv.canceled = true
+	inv.cancelErr = err
+	close(inv.cancel)
 }
 
 // Arg returns the raw argument value at index i.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
 	"ava/internal/marshal"
@@ -17,6 +18,14 @@ import (
 // memory. The dispatcher gives the configured OOM policy (the buffer-object
 // swap manager, §4.3) one chance to make room and retries once.
 var ErrDeviceOOM = errors.New("server: device out of memory")
+
+// Aliases of the stack-wide sentinels (internal/averr): a handler that
+// observes inv.Done() returns inv.Err(), which is one of these, and the
+// dispatcher maps them onto StatusDeadline / StatusCanceled replies.
+var (
+	ErrDeadlineExceeded = averr.ErrDeadlineExceeded
+	ErrCanceled         = averr.ErrCanceled
+)
 
 // Handler executes one API call against the silo.
 type Handler func(inv *Invocation) error
@@ -76,6 +85,16 @@ type Stats struct {
 	BytesIn    uint64
 	BytesOut   uint64
 	ExecTime   time.Duration
+	// DeadlineAborts counts calls ended with StatusDeadline: expired at
+	// dispatch, aborted in flight through the cancellation signal, or
+	// finished only after their budget was spent. CanceledCalls counts
+	// StatusCanceled aborts. Both are included in Errors.
+	DeadlineAborts uint64
+	CanceledCalls  uint64
+	// AdmitToDispatch accumulates router-admit → server-dispatch latency
+	// over calls carrying an admit stamp (on cross-machine transports the
+	// clock skew between router and server folds into this stage).
+	AdmitToDispatch time.Duration
 }
 
 // RecordedCall is one entry in the migration record log (§4.3): a call
@@ -420,6 +439,44 @@ func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.
 	inv.Ctx = ctx
 
 	start := ctx.clk.Now()
+	// stamp completes the call's timestamp block on a reply produced after
+	// dispatch, feeding the guest's per-stage latency breakdown.
+	stamp := func(r *marshal.Reply) *marshal.Reply {
+		r.Stamps = call.Stamps
+		r.Stamps.Dispatch = start.UnixNano()
+		r.Stamps.Done = ctx.clk.Now().UnixNano()
+		return r
+	}
+	if call.Stamps.Admit != 0 {
+		ctx.mu.Lock()
+		ctx.stats.AdmitToDispatch += time.Duration(start.UnixNano() - call.Stamps.Admit)
+		ctx.mu.Unlock()
+	}
+
+	// Deadline: re-anchor the remaining budget (wire deadline minus the
+	// newest upstream stamp) into this server's clock domain, re-check at
+	// dispatch, and arm the cancellation signal that handlers observe via
+	// inv.Done() so a slow call aborts instead of holding the silo.
+	var localDeadline time.Time
+	if call.Deadline != 0 {
+		rel := time.Duration(call.Deadline - start.UnixNano())
+		if anchor := call.Stamps.Admit; anchor != 0 {
+			rel = time.Duration(call.Deadline - anchor)
+		} else if call.Stamps.Encode != 0 {
+			rel = time.Duration(call.Deadline - call.Stamps.Encode)
+		}
+		if rel <= 0 {
+			ctx.mu.Lock()
+			ctx.stats.DeadlineAborts++
+			ctx.mu.Unlock()
+			return stamp(fail(marshal.StatusDeadline, "%s: deadline expired before dispatch", fd.Name))
+		}
+		localDeadline = start.Add(rel)
+		inv.arm(localDeadline)
+		stop := ctx.clk.AfterFunc(rel, func() { inv.cancelWith(ErrDeadlineExceeded) })
+		defer stop()
+	}
+
 	err = runHandler(h, inv)
 	if errors.Is(err, ErrDeviceOOM) && s.reg.OnOOM != nil && s.reg.OnOOM(ctx, fd) {
 		err = runHandler(h, inv) // one retry after the swap manager made room
@@ -430,15 +487,36 @@ func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.
 	ctx.mu.Unlock()
 
 	if err != nil {
-		return fail(marshal.StatusInternal, "%s: %v", fd.Name, err)
+		status := marshal.StatusInternal
+		switch {
+		case errors.Is(err, ErrDeadlineExceeded):
+			status = marshal.StatusDeadline
+			ctx.mu.Lock()
+			ctx.stats.DeadlineAborts++
+			ctx.mu.Unlock()
+		case errors.Is(err, ErrCanceled):
+			status = marshal.StatusCanceled
+			ctx.mu.Lock()
+			ctx.stats.CanceledCalls++
+			ctx.mu.Unlock()
+		}
+		return stamp(fail(status, "%s: %v", fd.Name, err))
+	}
+	// A handler that ignored the signal and finished after expiry is still
+	// aborted: the caller's budget is spent and the reply is already late.
+	if !localDeadline.IsZero() && !ctx.clk.Now().Before(localDeadline) {
+		ctx.mu.Lock()
+		ctx.stats.DeadlineAborts++
+		ctx.mu.Unlock()
+		return stamp(fail(marshal.StatusDeadline, "%s: deadline expired during execution", fd.Name))
 	}
 
-	reply := &marshal.Reply{
+	reply := stamp(&marshal.Reply{
 		Seq:    call.Seq,
 		Status: marshal.StatusOK,
 		Ret:    inv.ret,
 		Outs:   inv.finishOuts(),
-	}
+	})
 
 	// Record for migration replay, capturing the created handle if any.
 	// call.Args is the pristine wire form (verifyAndPrepare works on a

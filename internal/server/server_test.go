@@ -1,12 +1,15 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ava/internal/cava"
+	"ava/internal/clock"
 	"ava/internal/marshal"
 )
 
@@ -392,5 +395,222 @@ func TestHandlerPanicIsolated(t *testing.T) {
 	rep = srv.Execute(ctx, call(desc, "ok", marshal.Uint(1)))
 	if rep.Status != marshal.StatusOK {
 		t.Fatalf("server did not survive handler panic: %+v", rep)
+	}
+}
+
+// --- Deadlines & cancellation ---
+
+// deadlineServer registers a "slow" handler that blocks on the cancellation
+// signal until released, plus the usual ping.
+func deadlineServer(t *testing.T, clk *clock.Virtual) (*Server, *Context, *cava.Descriptor, chan struct{}) {
+	t.Helper()
+	desc := cava.MustCompile(`
+api "dl";
+const OK = 0;
+type st = int32_t { success(OK); };
+st ping(uint32_t x);
+st slow(uint32_t x);
+`)
+	reg := NewRegistry(desc)
+	reg.MustRegister("ping", func(inv *Invocation) error { inv.SetStatus(0); return nil })
+	release := make(chan struct{})
+	reg.MustRegister("slow", func(inv *Invocation) error {
+		// The cooperative-abort pattern: work "on the device" while
+		// watching the cancellation signal.
+		select {
+		case <-inv.Done():
+			return inv.Err()
+		case <-release:
+			inv.SetStatus(0)
+			return nil
+		}
+	})
+	srv := New(reg)
+	ctx := srv.Context(7, "vm7")
+	ctx.SetClock(clk)
+	return srv, ctx, desc, release
+}
+
+func TestDispatchDeniesExpiredDeadline(t *testing.T) {
+	clk := clock.NewVirtual()
+	srv, ctx, desc, _ := deadlineServer(t, clk)
+	c := call(desc, "ping", marshal.Uint(1))
+	// Budget already spent relative to the admit stamp.
+	c.Stamps.Admit = 5_000
+	c.Deadline = 4_000
+	reply := srv.Execute(ctx, c)
+	if reply.Status != marshal.StatusDeadline {
+		t.Fatalf("status = %v (%s)", reply.Status, reply.Err)
+	}
+	if !errors.Is(reply.Status.Sentinel(), ErrDeadlineExceeded) {
+		t.Fatal("status does not map to ErrDeadlineExceeded")
+	}
+	st := ctx.Stats()
+	if st.DeadlineAborts != 1 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInFlightCallAbortsOnDeadline(t *testing.T) {
+	clk := clock.NewVirtual()
+	srv, ctx, desc, _ := deadlineServer(t, clk)
+	c := call(desc, "slow", marshal.Uint(1))
+	c.Stamps.Admit = clk.Now().UnixNano()
+	c.Deadline = c.Stamps.Admit + (50 * time.Millisecond).Nanoseconds()
+
+	done := make(chan *marshal.Reply, 1)
+	go func() { done <- srv.Execute(ctx, c) }()
+	// The handler is parked on inv.Done(); advancing past the deadline
+	// fires the cancellation timer and unblocks it.
+	for ctx.Stats().Calls == 0 && len(done) == 0 {
+		time.Sleep(time.Millisecond)
+		clk.Advance(10 * time.Millisecond)
+		if clk.Since(time.Unix(1_000_000_000, 0)) > time.Second {
+			break
+		}
+	}
+	reply := <-done
+	if reply.Status != marshal.StatusDeadline {
+		t.Fatalf("status = %v (%s)", reply.Status, reply.Err)
+	}
+	st := ctx.Stats()
+	if st.DeadlineAborts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if reply.Stamps.Dispatch == 0 || reply.Stamps.Done == 0 {
+		t.Fatalf("abort reply missing stamps: %+v", reply.Stamps)
+	}
+}
+
+func TestSlowCallCompletesWithinDeadline(t *testing.T) {
+	clk := clock.NewVirtual()
+	srv, ctx, desc, release := deadlineServer(t, clk)
+	c := call(desc, "slow", marshal.Uint(1))
+	c.Stamps.Admit = clk.Now().UnixNano()
+	c.Deadline = c.Stamps.Admit + time.Second.Nanoseconds()
+	done := make(chan *marshal.Reply, 1)
+	go func() { done <- srv.Execute(ctx, c) }()
+	close(release)
+	reply := <-done
+	if reply.Status != marshal.StatusOK {
+		t.Fatalf("status = %v (%s)", reply.Status, reply.Err)
+	}
+	if ctx.Stats().DeadlineAborts != 0 {
+		t.Fatal("completed call counted as abort")
+	}
+}
+
+func TestIgnoredDeadlineStillAborts(t *testing.T) {
+	// A handler that never looks at inv.Done() but finishes after expiry:
+	// the reply is already late, so the dispatcher converts it.
+	clk := clock.NewVirtual()
+	desc := cava.MustCompile(`
+const OK = 0;
+type st = int32_t { success(OK); };
+st busy(uint32_t x);
+`)
+	reg := NewRegistry(desc)
+	reg.MustRegister("busy", func(inv *Invocation) error {
+		clk.Advance(200 * time.Millisecond) // device work overruns
+		inv.SetStatus(0)
+		return nil
+	})
+	srv := New(reg)
+	ctx := srv.Context(1, "vm1")
+	ctx.SetClock(clk)
+	c := call(desc, "busy", marshal.Uint(1))
+	c.Stamps.Admit = clk.Now().UnixNano()
+	c.Deadline = c.Stamps.Admit + (50 * time.Millisecond).Nanoseconds()
+	reply := srv.Execute(ctx, c)
+	if reply.Status != marshal.StatusDeadline {
+		t.Fatalf("status = %v (%s)", reply.Status, reply.Err)
+	}
+}
+
+func TestExplicitCancel(t *testing.T) {
+	clk := clock.NewVirtual()
+	desc := cava.MustCompile(`
+const OK = 0;
+type st = int32_t { success(OK); };
+st job(uint32_t x);
+`)
+	reg := NewRegistry(desc)
+	reg.MustRegister("job", func(inv *Invocation) error {
+		inv.Cancel()
+		<-inv.Done()
+		return fmt.Errorf("job %d: %w", inv.Uint(0), inv.Err())
+	})
+	srv := New(reg)
+	ctx := srv.Context(1, "vm1")
+	ctx.SetClock(clk)
+	c := call(desc, "job", marshal.Uint(3))
+	c.Deadline = clk.Now().Add(time.Second).UnixNano()
+	c.Stamps.Encode = clk.Now().UnixNano()
+	reply := srv.Execute(ctx, c)
+	if reply.Status != marshal.StatusCanceled {
+		t.Fatalf("status = %v (%s)", reply.Status, reply.Err)
+	}
+	if !errors.Is(reply.Status.Sentinel(), ErrCanceled) {
+		t.Fatal("status does not map to ErrCanceled")
+	}
+	if ctx.Stats().CanceledCalls != 1 {
+		t.Fatalf("stats = %+v", ctx.Stats())
+	}
+}
+
+func TestReplyStampsFeedBreakdown(t *testing.T) {
+	clk := clock.NewVirtual()
+	srv, ctx, desc, _ := deadlineServer(t, clk)
+	c := call(desc, "ping", marshal.Uint(1))
+	c.Stamps.Encode = 100
+	c.Stamps.Admit = clk.Now().Add(-2 * time.Millisecond).UnixNano()
+	reply := srv.Execute(ctx, c)
+	if reply.Status != marshal.StatusOK {
+		t.Fatalf("status = %v", reply.Status)
+	}
+	if reply.Stamps.Encode != 100 || reply.Stamps.Admit != c.Stamps.Admit {
+		t.Fatalf("upstream stamps clobbered: %+v", reply.Stamps)
+	}
+	if reply.Stamps.Dispatch != clk.Now().UnixNano() || reply.Stamps.Done != clk.Now().UnixNano() {
+		t.Fatalf("server stamps = %+v", reply.Stamps)
+	}
+	if got := ctx.Stats().AdmitToDispatch; got != 2*time.Millisecond {
+		t.Fatalf("AdmitToDispatch = %v", got)
+	}
+}
+
+func TestInvocationDeadlineAccessor(t *testing.T) {
+	clk := clock.NewVirtual()
+	desc := cava.MustCompile(`
+const OK = 0;
+type st = int32_t { success(OK); };
+st peek(uint32_t x);
+`)
+	reg := NewRegistry(desc)
+	var got time.Time
+	var ok bool
+	reg.MustRegister("peek", func(inv *Invocation) error {
+		got, ok = inv.Deadline()
+		inv.SetStatus(0)
+		return nil
+	})
+	srv := New(reg)
+	ctx := srv.Context(1, "vm1")
+	ctx.SetClock(clk)
+	c := call(desc, "peek", marshal.Uint(0))
+	if reply := srv.Execute(ctx, c); reply.Status != marshal.StatusOK {
+		t.Fatal(reply.Err)
+	}
+	if ok {
+		t.Fatal("deadline reported for deadline-free call")
+	}
+	c2 := call(desc, "peek", marshal.Uint(0))
+	c2.Stamps.Admit = clk.Now().UnixNano()
+	c2.Deadline = c2.Stamps.Admit + time.Second.Nanoseconds()
+	if reply := srv.Execute(ctx, c2); reply.Status != marshal.StatusOK {
+		t.Fatal(reply.Err)
+	}
+	if !ok || !got.Equal(clk.Now().Add(time.Second)) {
+		t.Fatalf("deadline = %v ok=%v", got, ok)
 	}
 }
