@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench bench-smoke
 
-check: fmt vet build test
+check: fmt vet build test bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,3 +25,8 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark, no unit tests: catches benchmarks that
+# stopped compiling or panic without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

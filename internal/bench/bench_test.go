@@ -108,3 +108,31 @@ func TestBreakdownCoverage(t *testing.T) {
 		}
 	}
 }
+
+func TestPipelineScaling(t *testing.T) {
+	tbl, err := Pipeline(Options{Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 { // 3 transports x 4 thread counts
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Acceptance: >=3x sync-call throughput at 8 guest threads vs 1 on the
+	// in-process transport. The workload is sleep-dominated (400us of
+	// modeled device time per call), so the scaling survives loaded CI
+	// machines; measured headroom is ~7x.
+	for _, row := range tbl.Rows {
+		if row[0] != "inproc" || row[1] != "8" {
+			continue
+		}
+		var scale float64
+		if _, err := fmt.Sscanf(row[len(row)-1], "%fx", &scale); err != nil {
+			t.Fatalf("bad scaling cell %q: %v", row[len(row)-1], err)
+		}
+		if scale < 3 {
+			t.Fatalf("inproc scaling at 8 threads = %.2fx, want >= 3x: %v", scale, row)
+		}
+		return
+	}
+	t.Fatal("inproc/8 row missing")
+}

@@ -118,6 +118,7 @@ func All(opts Options) ([]*Table, error) {
 		{"effort", func(Options) (*Table, error) { return Effort() }},
 		{"transport", Transports},
 		{"breakdown", Breakdown},
+		{"pipeline", Pipeline},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -149,7 +150,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return Transports(opts)
 	case "breakdown", "stages":
 		return Breakdown(opts)
+	case "pipeline", "pipelining":
+		return Pipeline(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline)", name)
 	}
 }

@@ -71,6 +71,13 @@ type FuncDesc struct {
 	TrackIdx  int // parameter index of the tracked object, else -1
 
 	NumOuts int // count of out/inout parameters (Reply.Outs arity)
+
+	// DomainIdx is the parameter index of the call's ordering domain — the
+	// first non-pointer handle parameter (for OpenCL enqueues, the command
+	// queue) — or -1 for handle-less calls, which share a single fallback
+	// domain. The server's dispatcher preserves FIFO order within a domain
+	// while executing independent domains concurrently.
+	DomainIdx int
 }
 
 // AlwaysSync reports whether the call is forwarded synchronously for every
@@ -129,6 +136,7 @@ func compileFunc(api *spec.API, fn *spec.Func, id uint32) (*FuncDesc, error) {
 		Track:        fn.Track,
 		CondParamIdx: -1,
 		TrackIdx:     -1,
+		DomainIdx:    -1,
 	}
 
 	rt, err := api.Resolve(fn.Ret.Name)
@@ -148,6 +156,9 @@ func compileFunc(api *spec.API, fn *spec.Func, id uint32) (*FuncDesc, error) {
 		}
 		if pd.Out() {
 			fd.NumOuts++
+		}
+		if fd.DomainIdx < 0 && !pd.IsPointer && pd.Kind == spec.KindHandle {
+			fd.DomainIdx = len(fd.Params)
 		}
 		fd.Params = append(fd.Params, pd)
 	}
@@ -342,6 +353,19 @@ func (f *FuncDesc) IsSync(api *spec.API, args []marshal.Value) (bool, error) {
 		return !eq, nil
 	}
 	return eq, nil
+}
+
+// Domain returns the call's ordering-domain key for an argument vector:
+// the value of the first handle parameter, or 0 — the shared fallback
+// domain — for handle-less functions and null handles.
+func (f *FuncDesc) Domain(args []marshal.Value) uint64 {
+	if f.DomainIdx < 0 || f.DomainIdx >= len(args) {
+		return 0
+	}
+	if v := args[f.DomainIdx]; v.Kind == marshal.KindHandle {
+		return v.Uint
+	}
+	return 0
 }
 
 // EstimateResources evaluates every resource annotation for a call.

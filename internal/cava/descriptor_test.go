@@ -304,3 +304,37 @@ func TestCompiledSpecPrintedFormStillCompiles(t *testing.T) {
 		t.Fatalf("printed spec lost track annotation:\n%s", printed)
 	}
 }
+
+func TestOrderingDomain(t *testing.T) {
+	d := compileTest(t)
+
+	// writeBuf(dev d, buf b, ...): the first non-pointer handle parameter
+	// is the ordering domain.
+	wb, _ := d.Lookup("writeBuf")
+	if wb.DomainIdx != 0 {
+		t.Fatalf("writeBuf DomainIdx = %d, want 0", wb.DomainIdx)
+	}
+	args := []marshal.Value{
+		marshal.HandleVal(0xD0), marshal.HandleVal(0xB1),
+		marshal.Uint(0), marshal.Uint(4),
+		marshal.BytesVal([]byte{1, 2, 3, 4}), marshal.Uint(1),
+	}
+	if dom := wb.Domain(args); dom != 0xD0 {
+		t.Fatalf("writeBuf domain = %#x, want 0xD0", dom)
+	}
+
+	// openDevice(uint32_t, dev *d): the only handle is an out pointer, so
+	// the call lands in the fallback domain.
+	od, _ := d.Lookup("openDevice")
+	if od.DomainIdx != -1 {
+		t.Fatalf("openDevice DomainIdx = %d, want -1", od.DomainIdx)
+	}
+	if dom := od.Domain([]marshal.Value{marshal.Uint(0), marshal.Null()}); dom != 0 {
+		t.Fatalf("openDevice domain = %d, want 0 (fallback)", dom)
+	}
+
+	// A malformed (short) argument vector must not panic and falls back.
+	if dom := wb.Domain(nil); dom != 0 {
+		t.Fatalf("short args domain = %d, want 0", dom)
+	}
+}

@@ -3,6 +3,7 @@ package cl
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ava/internal/marshal"
 	"ava/internal/server"
@@ -18,17 +19,18 @@ import (
 
 // vmBinding is per-VM binding state: a reverse map so stable silo objects
 // (platforms, devices) keep a stable guest handle across repeated queries.
+// Dispatch workers run handlers for one VM concurrently, so the map is
+// guarded by its own mutex (held across the whole lookup-or-insert so two
+// workers cannot mint distinct handles for the same platform).
 type vmBinding struct {
+	mu      sync.Mutex
 	reverse map[any]marshal.Handle
 }
 
 func binding(ctx *server.Context) *vmBinding {
-	if b, ok := ctx.Aux.(*vmBinding); ok {
-		return b
-	}
-	b := &vmBinding{reverse: make(map[any]marshal.Handle)}
-	ctx.Aux = b
-	return b
+	return ctx.AuxInit(func() any {
+		return &vmBinding{reverse: make(map[any]marshal.Handle)}
+	}).(*vmBinding)
 }
 
 // insertStable returns the existing handle for obj or inserts it. The
@@ -36,6 +38,8 @@ func binding(ctx *server.Context) *vmBinding {
 // table entries underneath this cache.
 func insertStable(ctx *server.Context, obj any) marshal.Handle {
 	b := binding(ctx)
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if h, ok := b.reverse[obj]; ok {
 		if got, live := ctx.Handles.Get(h); live && got == obj {
 			return h
@@ -49,14 +53,20 @@ func insertStable(ctx *server.Context, obj any) marshal.Handle {
 
 // insertFresh inserts an always-new object (buffers, kernels, events).
 func insertFresh(ctx *server.Context, obj any) marshal.Handle {
+	b := binding(ctx)
 	h := ctx.Handles.Insert(obj)
-	binding(ctx).reverse[obj] = h
+	b.mu.Lock()
+	b.reverse[obj] = h
+	b.mu.Unlock()
 	return h
 }
 
 func dropHandle(ctx *server.Context, h marshal.Handle) {
 	if obj, ok := ctx.Handles.Remove(h); ok {
-		delete(binding(ctx).reverse, obj)
+		b := binding(ctx)
+		b.mu.Lock()
+		delete(b.reverse, obj)
+		b.mu.Unlock()
 	}
 }
 

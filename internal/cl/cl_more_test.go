@@ -7,6 +7,7 @@ import (
 
 	"ava/internal/cl"
 	"ava/internal/devsim"
+	"ava/internal/marshal"
 	"ava/internal/server"
 	"ava/internal/stacktest"
 )
@@ -306,4 +307,36 @@ func TestSweepRandomArgs(t *testing.T) {
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, newSilo())
 	stacktest.SweepRandomArgs(t, server.New(reg), 50)
+}
+
+func TestOrderingDomainsFollowFirstHandle(t *testing.T) {
+	desc := cl.Descriptor()
+	// Enqueues order on the command queue; clSetKernelArg orders on the
+	// kernel it mutates. The dispatch pipeline serializes the two through
+	// the shared kernel handle, so the split is safe — but the primary
+	// domains must differ or per-queue parallelism disappears.
+	for _, name := range []string{
+		"clEnqueueNDRangeKernel", "clEnqueueWriteBuffer", "clFinish",
+		"clSetKernelArg",
+	} {
+		fd, ok := desc.Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if fd.DomainIdx != 0 {
+			t.Fatalf("%s DomainIdx = %d, want 0", name, fd.DomainIdx)
+		}
+	}
+	// Two queues are two domains.
+	fd, _ := desc.Lookup("clFinish")
+	q1 := []marshal.Value{marshal.HandleVal(7)}
+	q2 := []marshal.Value{marshal.HandleVal(8)}
+	if fd.Domain(q1) == fd.Domain(q2) {
+		t.Fatal("distinct queues mapped to one ordering domain")
+	}
+	// Discovery calls carry no input handle: fallback domain.
+	gp, _ := desc.Lookup("clGetPlatformIDs")
+	if gp.DomainIdx != -1 {
+		t.Fatalf("clGetPlatformIDs DomainIdx = %d, want -1", gp.DomainIdx)
+	}
 }

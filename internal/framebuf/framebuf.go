@@ -1,0 +1,65 @@
+// Package framebuf pools call/reply frame buffers for the remoting hot
+// path.
+//
+// Every forwarded call allocates at least two frames — the batch frame
+// carrying the call and the reply frame carrying its results — and under
+// pipelined load those allocations dominate the garbage produced per call.
+// The pool recycles them across the layers that can prove exclusive
+// ownership of a buffer:
+//
+//   - the guest library recycles its batch frames after a copying
+//     transport has sent them, and reply frames after scattering outputs,
+//   - the API server recycles received batch frames once every call in
+//     the batch has executed (reference-counted by the dispatch workers)
+//     and reply frames after a copying transport has sent them,
+//   - the ring and TCP transports draw their per-frame receive buffers
+//     from the pool instead of allocating fresh.
+//
+// Ownership is the entire contract: Put hands the buffer to the next Get,
+// so a caller must not retain any alias into a buffer it has Put. Layers
+// that cannot prove ownership (the router, which forwards frames it does
+// not own) simply never Put — a missed Put falls back to the garbage
+// collector, never to corruption.
+package framebuf
+
+import "sync"
+
+// maxPooled caps the capacity of buffers kept by the pool. Oversized
+// frames (a large DMA argument) are served and dropped so one huge call
+// cannot pin megabytes inside the pool forever.
+const maxPooled = 1 << 20
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Get returns a zero-length buffer with capacity at least n. The contents
+// beyond length 0 are unspecified.
+func Get(n int) []byte {
+	p := pool.Get().(*[]byte)
+	b := *p
+	*p = nil
+	pool.Put(p)
+	if cap(b) < n {
+		// Too small for this frame: let the GC have it and size fresh.
+		return make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// GetLen returns a length-n buffer with unspecified contents, for receive
+// paths that fill it completely.
+func GetLen(n int) []byte {
+	b := Get(n)
+	return b[:n]
+}
+
+// Put recycles b for a future Get. The caller must own b exclusively and
+// must not touch it (or anything aliasing it) afterwards. Nil and
+// oversized buffers are dropped.
+func Put(b []byte) {
+	if b == nil || cap(b) == 0 || cap(b) > maxPooled {
+		return
+	}
+	p := pool.Get().(*[]byte)
+	*p = b
+	pool.Put(p)
+}

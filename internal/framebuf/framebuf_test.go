@@ -1,0 +1,49 @@
+package framebuf
+
+import "testing"
+
+func TestGetReturnsRequestedCapacity(t *testing.T) {
+	b := Get(100)
+	if len(b) != 0 {
+		t.Fatalf("Get returned length %d, want 0", len(b))
+	}
+	if cap(b) < 100 {
+		t.Fatalf("Get returned capacity %d, want >= 100", cap(b))
+	}
+}
+
+func TestGetLen(t *testing.T) {
+	b := GetLen(64)
+	if len(b) != 64 {
+		t.Fatalf("GetLen returned length %d, want 64", len(b))
+	}
+}
+
+func TestPutGetRecycles(t *testing.T) {
+	// The pool is best-effort (sync.Pool may drop under GC pressure), so
+	// the assertion is only that a recycled buffer round-trips usably.
+	b := Get(256)
+	b = append(b, 1, 2, 3)
+	Put(b)
+	c := Get(16)
+	c = append(c, 9)
+	if c[0] != 9 {
+		t.Fatalf("recycled buffer content = %d, want 9", c[0])
+	}
+}
+
+func TestPutDropsOversized(t *testing.T) {
+	Put(make([]byte, maxPooled+1)) // must not panic or pin
+	Put(nil)
+	b := Get(8)
+	if cap(b) < 8 {
+		t.Fatalf("Get after oversized Put returned capacity %d", cap(b))
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buf := Get(512)
+		Put(buf[:cap(buf)])
+	}
+}

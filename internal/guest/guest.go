@@ -23,6 +23,7 @@ import (
 	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
+	"ava/internal/framebuf"
 	"ava/internal/marshal"
 	"ava/internal/spec"
 	"ava/internal/transport"
@@ -69,6 +70,14 @@ type Stats struct {
 	// DeadlineFailFast counts calls failed locally because their deadline
 	// had already passed at encode time; they never touch the transport.
 	DeadlineFailFast uint64
+	// BatchExpiredDrops counts batched asynchronous calls excised at flush
+	// because their deadline passed while they sat in the batch; like the
+	// router's async deadline denial, the drop is local and surfaces only
+	// through stats.
+	BatchExpiredDrops uint64
+	// BatchDeadlineFlushes counts early batch flushes forced because the
+	// oldest batched call's deadline budget fell within the flush slack.
+	BatchDeadlineFlushes uint64
 
 	// Per-stage latency accumulators, summed over the StagedCalls
 	// synchronous calls whose replies carried a full stamp block; divide
@@ -126,6 +135,15 @@ func WithTimeout(d time.Duration) Option {
 	return func(l *Lib) { l.defTimeout = d }
 }
 
+// WithDeadlineSlack tunes deadline-aware batching: an asynchronous append
+// forces a flush when any batched call's remaining deadline budget falls
+// to d or below, so the batch reaches the server while its calls can
+// still run. Zero or negative disables the early flush (expired batched
+// calls are still dropped locally at flush time). The default is 200µs.
+func WithDeadlineSlack(d time.Duration) Option {
+	return func(l *Lib) { l.deadlineSlack = d }
+}
+
 // CallOptions carries per-call forwarding metadata. The zero value means
 // "use the library defaults".
 type CallOptions struct {
@@ -141,28 +159,68 @@ type CallOptions struct {
 	Priority uint8
 }
 
+// pendingCall is the batcher's per-call metadata: where the call's
+// length-prefixed frame sits in pendingBuf, and the deadline bookkeeping
+// that lets takePending excise calls that expired while batched.
+type pendingCall struct {
+	off, end int   // [off, end) segment of pendingBuf (incl. length prefix)
+	deadline int64 // absolute UnixNano on the library clock; 0 = none
+	async    bool  // only async calls may be dropped locally
+}
+
+func (pc *pendingCall) expired(now int64) bool {
+	return pc.async && pc.deadline != 0 && pc.deadline <= now
+}
+
+// demuxResult carries one call's outcome from the reply demultiplexer to
+// the goroutine waiting on it.
+type demuxResult struct {
+	reply *marshal.Reply
+	frame []byte // backing frame, recycled by the waiter after scatter
+	err   error
+}
+
 // Lib is the descriptor-driven guest stub engine for one API on one VM.
+//
+// Lib is fully pipelined: N goroutines can each have a synchronous call in
+// flight over the one endpoint. A call holds the library mutex only for
+// the short critical section — sequence allocation, encode, send — and
+// then waits for its reply on a private channel fed by a demultiplexer
+// goroutine that routes replies by sequence number. Asynchronous batching
+// keeps its ordering guarantee because a synchronous call rides the same
+// batch frame as (and therefore behind) every call batched before it.
 type Lib struct {
 	desc *cava.Descriptor
 	ep   transport.Endpoint
 	clk  clock.Clock
 
-	batchLimit  int
-	forceSync   bool
-	defPriority uint8
-	defTimeout  time.Duration
+	batchLimit    int
+	forceSync     bool
+	defPriority   uint8
+	defTimeout    time.Duration
+	deadlineSlack time.Duration
 
-	mu         sync.Mutex
-	seq        uint64
-	pendingBuf []byte // batch frame under construction (async calls)
-	pendingN   int    // calls in pendingBuf
-	deferred   error
-	stats      Stats
+	mu          sync.Mutex
+	seq         uint64
+	pendingBuf  []byte        // batch frame under construction (async calls)
+	pendingN    int           // calls in pendingBuf
+	pendingMeta []pendingCall // one entry per call in pendingBuf
+	deferred    error
+	stats       Stats
+
+	// Reply demultiplexer state. waitMu is ordered strictly inside mu and
+	// the demux goroutine takes only waitMu, never mu: the demux must
+	// never block behind a sender stalled on transport backpressure, or
+	// the pipeline's drain would be part of its own congestion cycle.
+	demuxOnce sync.Once
+	waitMu    sync.Mutex
+	waiters   map[uint64]chan demuxResult
+	recvErr   error // sticky demux failure; set once, fails all later calls
 }
 
 // New creates a guest library over an established transport endpoint.
 func New(desc *cava.Descriptor, ep transport.Endpoint, opts ...Option) *Lib {
-	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal()}
+	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal(), deadlineSlack: 200 * time.Microsecond}
 	for _, o := range opts {
 		o(l)
 	}
@@ -303,8 +361,11 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 		sync = true
 	}
 
+	// Short critical section: sequence allocation, encode into the batch
+	// frame, and (for sync calls) waiter registration plus send. The reply
+	// round trip happens outside the lock, so other goroutines pipeline
+	// their own calls over the same endpoint meanwhile.
 	l.mu.Lock()
-	defer l.mu.Unlock()
 
 	pri := opts.Priority
 	if pri == 0 {
@@ -321,12 +382,20 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 		if l.pendingN > 0 {
 			call.Flags |= marshal.FlagBatched
 		}
-		l.appendPending(call)
+		l.appendPending(call, deadline, true)
 		l.stats.AsyncCalls++
+		var err error
 		if l.pendingN >= l.batchLimit {
-			if err := l.flushLocked(); err != nil {
-				return marshal.Null(), err
-			}
+			err = l.flushLocked()
+		} else if l.deadlinePressure(now) {
+			// Deadline-aware batching: the oldest batched call's budget is
+			// nearly spent, so flush now rather than let it expire queued.
+			l.stats.BatchDeadlineFlushes++
+			err = l.flushLocked()
+		}
+		l.mu.Unlock()
+		if err != nil {
+			return marshal.Null(), err
 		}
 		if fd.HasSuccess {
 			return marshal.Int(fd.SuccessVal), nil
@@ -335,31 +404,39 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 	}
 
 	l.stats.SyncCalls++
-	l.appendPending(call)
-	batch := l.takePending()
+	l.appendPending(call, deadline, false)
+	batch, _ := l.takePending()
 
 	l.stats.Batches++
 	l.stats.BytesSent += uint64(len(batch))
-	if err := l.ep.Send(batch); err != nil {
-		return marshal.Null(), err
+	// Register before Send: the reply may race back before this goroutine
+	// would otherwise get around to waiting for it.
+	ch, err := l.register(call.Seq)
+	if err == nil {
+		if serr := l.ep.Send(batch); serr != nil {
+			l.unregister(call.Seq)
+			err = serr
+		} else if transport.SendCopies(l.ep) {
+			framebuf.Put(batch)
+		}
 	}
-	replyFrame, err := l.ep.Recv()
+	l.mu.Unlock()
 	if err != nil {
 		return marshal.Null(), err
 	}
-	l.stats.BytesRecv += uint64(len(replyFrame))
-	reply, err := marshal.DecodeReply(replyFrame)
-	if err != nil {
-		return marshal.Null(), err
+
+	res := <-ch
+	if res.err != nil {
+		return marshal.Null(), res.err
 	}
-	if reply.Seq != call.Seq {
-		return marshal.Null(), fmt.Errorf("%w: reply seq %d for call %d", ErrProtocol, reply.Seq, call.Seq)
-	}
+	reply := res.reply
 	// The reply stage closes when results reach the caller, so output
 	// scatter (which can copy large buffers) is charged to it; stamps are
 	// recorded on error returns too, since a failed call consumed the
-	// same stack path.
-	staged := func() {
+	// same stack path. stagedLocked runs under l.mu on this goroutine —
+	// the demux goroutine never touches the stats lock.
+	stagedLocked := func() {
+		l.stats.BytesRecv += uint64(len(res.frame))
 		st := reply.Stamps
 		if st.Done == 0 || st.Encode == 0 || st.Admit == 0 || st.Dispatch == 0 {
 			return
@@ -371,26 +448,135 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 		l.stats.StageExec += time.Duration(st.Done - st.Dispatch)
 		l.stats.StageReply += time.Duration(recv - st.Done)
 	}
+	// release recycles the reply frame once nothing returned to the caller
+	// can alias it; a KindBytes return value is copied out first.
+	release := func() {
+		if !transport.RecvOwned(l.ep) {
+			return
+		}
+		if reply.Ret.Kind == marshal.KindBytes {
+			reply.Ret.Bytes = append([]byte(nil), reply.Ret.Bytes...)
+		}
+		framebuf.Put(res.frame)
+	}
 	if reply.Status != marshal.StatusOK {
-		staged()
+		l.mu.Lock()
+		stagedLocked()
+		l.mu.Unlock()
+		release()
 		return marshal.Null(), &APIError{Func: fd.Name, Status: reply.Status, Detail: reply.Err}
 	}
+	err = scatter(fd, reply, outs)
+	l.mu.Lock()
 	if reply.Err != "" {
 		l.deferred = fmt.Errorf("guest: %s", reply.Err)
 	}
-	err = scatter(fd, reply, outs)
-	staged()
+	stagedLocked()
+	l.mu.Unlock()
+	release()
 	if err != nil {
 		return marshal.Null(), err
 	}
 	return reply.Ret, nil
 }
 
+// register installs the reply channel for seq and lazily starts the
+// demultiplexer. Called with l.mu held; fails immediately if the demux
+// has already died (its error is sticky — no reply can ever arrive).
+func (l *Lib) register(seq uint64) (chan demuxResult, error) {
+	l.demuxOnce.Do(func() { go l.demux() })
+	l.waitMu.Lock()
+	defer l.waitMu.Unlock()
+	if l.recvErr != nil {
+		return nil, l.recvErr
+	}
+	if l.waiters == nil {
+		l.waiters = make(map[uint64]chan demuxResult)
+	}
+	ch := make(chan demuxResult, 1)
+	l.waiters[seq] = ch
+	return ch, nil
+}
+
+func (l *Lib) unregister(seq uint64) {
+	l.waitMu.Lock()
+	delete(l.waiters, seq)
+	l.waitMu.Unlock()
+}
+
+// demux is the reply demultiplexer: it owns the endpoint's receive side,
+// routing each reply to the goroutine registered for its sequence number.
+// Any receive or protocol failure is terminal — every in-flight and
+// future call fails with the same error, because once the reply stream is
+// broken no awaited reply can be trusted to arrive.
+func (l *Lib) demux() {
+	for {
+		frame, err := l.ep.Recv()
+		if err != nil {
+			l.failWaiters(err)
+			return
+		}
+		reply, err := marshal.DecodeReply(frame)
+		if err != nil {
+			l.failWaiters(err)
+			return
+		}
+		l.waitMu.Lock()
+		ch, ok := l.waiters[reply.Seq]
+		if ok {
+			delete(l.waiters, reply.Seq)
+		}
+		l.waitMu.Unlock()
+		if !ok {
+			// A reply nobody awaits means the two sides disagree about
+			// the call stream — the sequence space is poisoned.
+			l.failWaiters(fmt.Errorf("%w: reply for unknown call seq %d", ErrProtocol, reply.Seq))
+			return
+		}
+		// Buffered channel: delivery never blocks the demux loop.
+		ch <- demuxResult{reply: reply, frame: frame}
+	}
+}
+
+// failWaiters records the demux's terminal error and delivers it to every
+// registered waiter.
+func (l *Lib) failWaiters(err error) {
+	l.waitMu.Lock()
+	if l.recvErr == nil {
+		l.recvErr = err
+	}
+	for seq, ch := range l.waiters {
+		delete(l.waiters, seq)
+		ch <- demuxResult{err: err}
+	}
+	l.waitMu.Unlock()
+}
+
+// deadlinePressure reports whether any batched call's remaining deadline
+// budget is within the flush slack. Called with l.mu held.
+func (l *Lib) deadlinePressure(now time.Time) bool {
+	if l.deadlineSlack <= 0 {
+		return false
+	}
+	nowN := now.UnixNano()
+	for i := range l.pendingMeta {
+		if d := l.pendingMeta[i].deadline; d != 0 && d-nowN <= int64(l.deadlineSlack) {
+			return true
+		}
+	}
+	return false
+}
+
 // appendPending encodes call directly into the batch frame under
 // construction: calls are marshalled exactly once, into the buffer the
-// transport will carry.
-func (l *Lib) appendPending(call *marshal.Call) {
+// transport will carry. The buffer is drawn from the frame pool; it
+// returns there after a copying transport sends it, or cycles through the
+// server's dispatch refcount on ownership-transferring transports.
+func (l *Lib) appendPending(call *marshal.Call, deadline int64, async bool) {
 	if l.pendingN == 0 {
+		if l.pendingBuf == nil {
+			l.pendingBuf = framebuf.Get(64)
+		}
 		l.pendingBuf = append(l.pendingBuf[:0], 0, 0) // count patched at flush
 	}
 	// Length prefix placeholder, then the call body.
@@ -402,18 +588,48 @@ func (l *Lib) appendPending(call *marshal.Call) {
 	l.pendingBuf[start+1] = byte(n >> 8)
 	l.pendingBuf[start+2] = byte(n >> 16)
 	l.pendingBuf[start+3] = byte(n >> 24)
+	l.pendingMeta = append(l.pendingMeta, pendingCall{
+		off: start, end: len(l.pendingBuf), deadline: deadline, async: async,
+	})
 	l.pendingN++
 }
 
-// takePending finalizes and detaches the batch frame. The transport takes
-// ownership, so the next batch starts a fresh buffer.
-func (l *Lib) takePending() []byte {
-	b := l.pendingBuf
-	b[0] = byte(l.pendingN)
-	b[1] = byte(l.pendingN >> 8)
+// takePending finalizes and detaches the batch frame, returning it with
+// the count of calls it carries. Batched asynchronous calls whose
+// deadline passed while they waited are excised — dropped locally and
+// counted — rather than forwarded to be denied upstream. The transport
+// takes ownership of the returned frame, so the next batch starts fresh.
+func (l *Lib) takePending() ([]byte, int) {
+	b, n := l.pendingBuf, l.pendingN
+	nowN := l.clk.Now().UnixNano()
+	drop := 0
+	for i := range l.pendingMeta {
+		if l.pendingMeta[i].expired(nowN) {
+			drop++
+		}
+	}
+	if drop > 0 {
+		kept := framebuf.Get(len(b))
+		kept = append(kept, 0, 0)
+		for i := range l.pendingMeta {
+			if l.pendingMeta[i].expired(nowN) {
+				continue
+			}
+			kept = append(kept, b[l.pendingMeta[i].off:l.pendingMeta[i].end]...)
+		}
+		framebuf.Put(b)
+		b = kept
+		n -= drop
+		l.stats.BatchExpiredDrops += uint64(drop)
+	}
+	if n > 0 {
+		b[0] = byte(n)
+		b[1] = byte(n >> 8)
+	}
 	l.pendingBuf = nil
 	l.pendingN = 0
-	return b
+	l.pendingMeta = l.pendingMeta[:0]
+	return b, n
 }
 
 // Flush transmits all queued asynchronous calls without waiting for any
@@ -428,10 +644,19 @@ func (l *Lib) flushLocked() error {
 	if l.pendingN == 0 {
 		return nil
 	}
-	batch := l.takePending()
+	batch, n := l.takePending()
+	if n == 0 {
+		// Every batched call expired while queued; nothing to send.
+		framebuf.Put(batch)
+		return nil
+	}
 	l.stats.Batches++
 	l.stats.BytesSent += uint64(len(batch))
-	return l.ep.Send(batch)
+	err := l.ep.Send(batch)
+	if err == nil && transport.SendCopies(l.ep) {
+		framebuf.Put(batch)
+	}
+	return err
 }
 
 // Close flushes pending asynchronous calls and closes the endpoint.

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
+	"ava/internal/framebuf"
 	"ava/internal/marshal"
 	"ava/internal/spec"
 	"ava/internal/transport"
@@ -117,8 +119,10 @@ type Context struct {
 	Handles *HandleTable
 
 	// Aux carries silo-binding state private to one API's handlers (e.g.
-	// the OpenCL binding's reverse object→handle map). Handlers run
-	// serially per context, so no locking discipline is imposed.
+	// the OpenCL binding's reverse object→handle map). Dispatch workers
+	// run handlers for one context concurrently (FIFO is guaranteed only
+	// within an ordering domain), so binding state must synchronize its
+	// own mutation; initialize it race-free through AuxInit.
 	Aux any
 
 	mu        sync.Mutex
@@ -143,6 +147,18 @@ func NewContext(vm uint32, name string) *Context {
 
 // SetClock overrides the context's time source (tests).
 func (c *Context) SetClock(clk clock.Clock) { c.clk = clk }
+
+// AuxInit returns c.Aux, initializing it with mk on first use. Handlers
+// on different dispatch workers may race to bind a context, so lazy Aux
+// initialization must go through here rather than testing c.Aux directly.
+func (c *Context) AuxInit(mk func() any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Aux == nil {
+		c.Aux = mk()
+	}
+	return c.Aux
+}
 
 // Stats returns a copy of the context's counters.
 func (c *Context) Stats() Stats {
@@ -568,36 +584,247 @@ func (s *Server) ExecuteFrame(ctx *Context, frame []byte) ([]byte, error) {
 	return out, nil
 }
 
+// ServeWorkers is the number of dispatch workers ServeVM runs per VM.
+// Ordering domains are spread across the workers, so up to ServeWorkers
+// independent domains execute concurrently.
+const ServeWorkers = 16
+
+// workerQueueDepth bounds each dispatch worker's inbox (and the reply
+// writer's). A full queue back-pressures the receive loop, which in turn
+// back-pressures the transport — the same flow control the serial loop had,
+// just with a deeper pipe.
+const workerQueueDepth = 64
+
+// frameRef reference-counts a received batch frame across the calls decoded
+// from it. The decoded calls alias the frame's bytes (args, inout outs), so
+// the frame returns to the pool only after the last call's reply has been
+// encoded. A nil frameRef (non-owning transport) is a no-op.
+type frameRef struct {
+	buf  []byte
+	refs int32
+}
+
+func (fr *frameRef) release() {
+	if fr != nil && atomic.AddInt32(&fr.refs, -1) == 0 {
+		framebuf.Put(fr.buf)
+	}
+}
+
+// dispatchTask is one decoded call headed for an ordering-domain worker.
+// deps are the completion signals of earlier calls that touched any of this
+// call's handle arguments; the worker waits for them before executing, so a
+// clEnqueueNDRangeKernel (domain: the queue) can never overtake the
+// clSetKernelArg (domain: the kernel) it depends on. Because deps always
+// point at strictly earlier wire-order tasks and worker queues are FIFO,
+// the earliest unfinished task never waits on anything behind it — the
+// waits cannot deadlock.
+type dispatchTask struct {
+	call *marshal.Call
+	fr   *frameRef
+	deps []chan struct{}
+	done chan struct{}
+}
+
 // ServeVM runs the serve loop for one VM over ep: receive batch frames,
-// execute each call in order, reply to synchronous calls. It returns when
-// the transport closes.
+// dispatch each call to a worker keyed by its ordering domain (the first
+// handle argument — an OpenCL command queue, a compression session), and
+// reply to synchronous calls through a single writer goroutine. Calls in
+// the same domain execute in arrival order, as do calls that share any
+// handle argument (a kernel mutated by clSetKernelArg and then launched on
+// a queue); calls with disjoint handles execute concurrently. It returns
+// when the transport closes.
 func (s *Server) ServeVM(ctx *Context, ep transport.Endpoint) error {
+	sendCopies := transport.SendCopies(ep)
+	recvOwned := transport.RecvOwned(ep)
+
+	// Reply writer: the only goroutine that Sends on ep, so replies from
+	// concurrent workers never interleave mid-frame. After the first Send
+	// failure it keeps draining so workers never block on a dead writer.
+	replyCh := make(chan []byte, workerQueueDepth)
+	writerDone := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(writerDone)
+		for out := range replyCh {
+			if writerErr != nil {
+				continue
+			}
+			if err := ep.Send(out); err != nil {
+				writerErr = err
+				continue
+			}
+			if sendCopies {
+				framebuf.Put(out)
+			}
+		}
+	}()
+
+	queues := make([]chan dispatchTask, ServeWorkers)
+	var wg sync.WaitGroup
+	for i := range queues {
+		q := make(chan dispatchTask, workerQueueDepth)
+		queues[i] = q
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range q {
+				for _, d := range t.deps {
+					<-d
+				}
+				s.dispatch(ctx, t, replyCh)
+				close(t.done)
+			}
+		}()
+	}
+
+	// Sticky round-robin domain→worker assignment: a domain keeps its
+	// worker for the VM's lifetime (preserving FIFO within the domain)
+	// while new domains spread evenly — the first ServeWorkers domains are
+	// guaranteed distinct workers, which hashing would not give.
+	//
+	// lastTouch chains dependencies across domains: for every handle a
+	// call references (not just its primary domain), the call waits for
+	// the previous call that touched the same handle. Both maps grow with
+	// the number of distinct handles ever referenced; at a few words per
+	// entry that is noise next to the handle table.
+	domains := make(map[uint64]int)
+	lastTouch := make(map[uint64]chan struct{})
+	var outstanding []chan struct{} // uncompleted async tasks, wire order
+	next := 0
+
+	var loopErr error
+recv:
 	for {
 		frame, err := ep.Recv()
 		if err != nil {
-			if errors.Is(err, transport.ErrClosed) {
-				return nil
+			if !errors.Is(err, transport.ErrClosed) {
+				loopErr = err
 			}
-			return err
+			break
 		}
 		calls, err := marshal.DecodeBatch(frame)
 		if err != nil {
-			return fmt.Errorf("server: vm %d sent malformed batch: %w", ctx.VM, err)
+			loopErr = fmt.Errorf("server: vm %d sent malformed batch: %w", ctx.VM, err)
+			break
+		}
+		var fr *frameRef
+		if recvOwned {
+			fr = &frameRef{buf: frame, refs: int32(len(calls))}
 		}
 		for _, cf := range calls {
-			reply, err := s.ExecuteFrame(ctx, cf)
+			call, err := marshal.DecodeCall(cf)
 			if err != nil {
-				return fmt.Errorf("server: vm %d sent malformed call: %w", ctx.VM, err)
+				// Abandon the rest of the frame: the undispatched refs
+				// never drain, so the frame falls to the GC (never back
+				// to the pool while calls alias it).
+				loopErr = fmt.Errorf("server: vm %d sent malformed call: %w", ctx.VM, err)
+				break recv
 			}
-			if reply == nil {
-				continue
+			ctx.mu.Lock()
+			ctx.stats.BytesIn += uint64(len(cf))
+			ctx.mu.Unlock()
+			dom := uint64(0)
+			isSync := true // unknown functions get an error reply: sync
+			if fd, ok := s.reg.Desc.ByID(call.Func); ok {
+				dom = fd.Domain(call.Args)
+				sync, err := fd.IsSync(s.reg.Desc.API, call.Args)
+				isSync = err != nil || sync
 			}
-			if err := ep.Send(reply); err != nil {
-				if errors.Is(err, transport.ErrClosed) {
-					return nil
+			w, ok := domains[dom]
+			if !ok {
+				w = next % ServeWorkers
+				domains[dom] = w
+				next++
+			}
+			t := dispatchTask{call: call, fr: fr, done: make(chan struct{})}
+			touched := false
+			for _, a := range call.Args {
+				if a.Kind != marshal.KindHandle {
+					continue
 				}
-				return err
+				touched = true
+				// prev == t.done when the same handle appears twice in one
+				// call (e.g. copying a buffer onto itself): skip, or the
+				// worker would wait on the task's own completion.
+				if prev, ok := lastTouch[a.Uint]; ok && prev != t.done {
+					t.deps = append(t.deps, prev)
+				}
+				lastTouch[a.Uint] = t.done
 			}
+			if !touched {
+				// Handle-less calls chain on the fallback domain so they
+				// stay ordered relative to each other.
+				if prev, ok := lastTouch[0]; ok {
+					t.deps = append(t.deps, prev)
+				}
+				lastTouch[0] = t.done
+			}
+			if isSync {
+				// A synchronization point observes all asynchronous work
+				// issued before it — that is the §4.2 error-deferral
+				// contract: an async failure surfaces at the next sync
+				// call, whatever object it names. Completed asyncs are
+				// compacted out as a side effect.
+				kept := outstanding[:0]
+				for _, d := range outstanding {
+					select {
+					case <-d:
+					default:
+						kept = append(kept, d)
+						t.deps = append(t.deps, d)
+					}
+				}
+				outstanding = kept
+			} else {
+				// Bound the bookkeeping for sync-free workloads: in-flight
+				// asyncs are capped by the queue depths, so past this
+				// length the prefix is mostly complete.
+				if len(outstanding) >= 32*workerQueueDepth {
+					kept := outstanding[:0]
+					for _, d := range outstanding {
+						select {
+						case <-d:
+						default:
+							kept = append(kept, d)
+						}
+					}
+					outstanding = kept
+				}
+				outstanding = append(outstanding, t.done)
+			}
+			queues[w] <- t
 		}
 	}
+
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	close(replyCh)
+	<-writerDone
+	if loopErr != nil {
+		return loopErr
+	}
+	if writerErr != nil && !errors.Is(writerErr, transport.ErrClosed) {
+		return writerErr
+	}
+	return nil
+}
+
+// dispatch executes one call on a worker goroutine and hands the encoded
+// reply (if any) to the writer.
+func (s *Server) dispatch(ctx *Context, t dispatchTask, replyCh chan<- []byte) {
+	reply := s.Execute(ctx, t.call)
+	if reply == nil {
+		t.fr.release()
+		return
+	}
+	out := marshal.AppendReply(framebuf.Get(0), reply)
+	// Inout outs alias the batch frame, so the frame is released only now
+	// that the reply bytes have been copied out by the encoder.
+	t.fr.release()
+	ctx.mu.Lock()
+	ctx.stats.BytesOut += uint64(len(out))
+	ctx.mu.Unlock()
+	replyCh <- out
 }

@@ -25,6 +25,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"ava/internal/framebuf"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
@@ -44,6 +46,34 @@ type Endpoint interface {
 	// Close releases the endpoint; blocked and future calls fail with
 	// ErrClosed (or io.EOF mapped to ErrClosed for remote closure).
 	Close() error
+}
+
+// FrameOwnership is an optional Endpoint refinement describing who owns a
+// frame's backing buffer across Send and Recv. The frame-pooling layers
+// (guest library, API server) consult it before recycling buffers through
+// internal/framebuf. Endpoints that do not implement it get conservative
+// defaults — sent frames are retained by the endpoint, received frames may
+// be shared — under which no buffer is ever recycled.
+type FrameOwnership interface {
+	// SendCopies reports whether Send copies the frame out before
+	// returning, leaving the buffer free for the caller to reuse.
+	SendCopies() bool
+	// RecvOwned reports whether frames returned by Recv are exclusively
+	// owned by the caller, safe to recycle once fully consumed.
+	RecvOwned() bool
+}
+
+// SendCopies reports whether ep's Send leaves the sent buffer reusable.
+func SendCopies(ep Endpoint) bool {
+	fo, ok := ep.(FrameOwnership)
+	return ok && fo.SendCopies()
+}
+
+// RecvOwned reports whether frames from ep's Recv belong exclusively to
+// the receiver.
+func RecvOwned(ep Endpoint) bool {
+	fo, ok := ep.(FrameOwnership)
+	return ok && fo.RecvOwned()
 }
 
 // inprocEnd is a channel-backed endpoint half.
@@ -109,6 +139,15 @@ func (e *inprocEnd) Recv() ([]byte, error) {
 	}
 }
 
+// SendCopies implements FrameOwnership: Send transfers ownership of the
+// frame to the receiver (the hypercall-page model), so the sender must
+// not reuse it.
+func (e *inprocEnd) SendCopies() bool { return false }
+
+// RecvOwned implements FrameOwnership: a received frame was handed over
+// whole by the peer and belongs to the receiver.
+func (e *inprocEnd) RecvOwned() bool { return true }
+
 func (e *inprocEnd) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -160,7 +199,11 @@ func (r *ring) put(frame []byte) error {
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
 	r.write(hdr[:])
 	r.write(frame)
-	r.notEmpt.Signal()
+	// Broadcast, not Signal: under pipelined use several waiters can be
+	// parked here at once (a consumer racing close, or future multi-
+	// consumer endpoints), and a Signal consumed by a waiter that then
+	// observes `closed` would strand the rest.
+	r.notEmpt.Broadcast()
 	return nil
 }
 
@@ -185,11 +228,13 @@ func (r *ring) get() ([]byte, error) {
 	var hdr [4]byte
 	r.read(hdr[:])
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	frame := make([]byte, n)
+	// Pooled scratch: the frame leaves the ring into a recycled buffer
+	// instead of a fresh allocation per frame; the consumer owns it.
+	frame := framebuf.GetLen(n)
 	// The producer writes header+payload under one lock hold, so if the
 	// header is here the payload is too.
 	r.read(frame)
-	r.notFull.Signal()
+	r.notFull.Broadcast()
 	return frame, nil
 }
 
@@ -228,6 +273,14 @@ func NewRing(capacity int) (Endpoint, Endpoint) {
 
 func (e *ringEnd) Send(frame []byte) error { return e.tx.put(frame) }
 func (e *ringEnd) Recv() ([]byte, error)   { return e.rx.get() }
+
+// SendCopies implements FrameOwnership: put copies the frame into the
+// shared ring, so the sender keeps its buffer.
+func (e *ringEnd) SendCopies() bool { return true }
+
+// RecvOwned implements FrameOwnership: get copies each frame out of the
+// ring into a buffer owned by the caller.
+func (e *ringEnd) RecvOwned() bool { return true }
 func (e *ringEnd) Close() error {
 	e.tx.close()
 	e.rx.close()
@@ -253,10 +306,10 @@ func (e *connEnd) Send(frame []byte) error {
 	defer e.sendMu.Unlock()
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := e.conn.Write(hdr[:]); err != nil {
-		return mapNetErr(err)
-	}
-	if _, err := e.conn.Write(frame); err != nil {
+	// One writev for header+payload: a single syscall per frame, and no
+	// header-only segment for Nagle/delayed-ACK to trip over.
+	bufs := net.Buffers{hdr[:], frame}
+	if _, err := bufs.WriteTo(e.conn); err != nil {
 		return mapNetErr(err)
 	}
 	return nil
@@ -273,12 +326,20 @@ func (e *connEnd) Recv() ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: peer announced %d-byte frame", n)
 	}
-	frame := make([]byte, n)
+	frame := framebuf.GetLen(int(n))
 	if _, err := io.ReadFull(e.conn, frame); err != nil {
 		return nil, mapNetErr(err)
 	}
 	return frame, nil
 }
+
+// SendCopies implements FrameOwnership: the kernel copies the frame into
+// the socket buffer during Send.
+func (e *connEnd) SendCopies() bool { return true }
+
+// RecvOwned implements FrameOwnership: Recv reads each frame into a
+// buffer owned by the caller.
+func (e *connEnd) RecvOwned() bool { return true }
 
 func (e *connEnd) Close() error { return e.conn.Close() }
 
