@@ -28,5 +28,8 @@ bench:
 
 # One iteration of every benchmark, no unit tests: catches benchmarks that
 # stopped compiling or panic without paying for a full measurement run.
+# Also exercises the overload-control experiment (E11) end to end, since
+# its assertions live in the table generation, not in a Benchmark func.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+	$(GO) run ./cmd/avabench -exp overload -reps 1

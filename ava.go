@@ -53,6 +53,8 @@ type (
 	// CallOptions carries per-call deadline and priority metadata
 	// (guest.CallOptions; pass to GuestLib.CallWith or a binding's With).
 	CallOptions = guest.CallOptions
+	// ShedConfig tunes the router's load shedder (hv.ShedConfig).
+	ShedConfig = hv.ShedConfig
 )
 
 // Stack-wide sentinel errors (internal/averr), usable with errors.Is on
@@ -64,6 +66,8 @@ var (
 	ErrDeadlineExceeded = averr.ErrDeadlineExceeded
 	// ErrCanceled reports a call aborted by an explicit cancellation.
 	ErrCanceled = averr.ErrCanceled
+	// ErrOverloaded reports a call shed by the router's overload control.
+	ErrOverloaded = averr.ErrOverloaded
 	// ErrUnknownVM reports routing or stats for an unregistered VM.
 	ErrUnknownVM = averr.ErrUnknownVM
 	// ErrBadArg reports arguments that do not match the specification.
@@ -126,6 +130,9 @@ type Config struct {
 	// Recording enables the migration record log for attached VMs (§4.3);
 	// off by default because tracking costs time on call-heavy workloads.
 	Recording bool
+	// Shed configures the router's load shedder (hv.ShedConfig); the zero
+	// value leaves shedding off.
+	Shed hv.ShedConfig
 }
 
 // Stack is an assembled AvA deployment for one API: one router, one API
@@ -149,13 +156,15 @@ type attachment struct {
 
 // NewStack builds the hypervisor and server halves over a silo registry.
 func NewStack(desc *cava.Descriptor, reg *server.Registry, cfg Config) *Stack {
-	return &Stack{
+	s := &Stack{
 		Desc:   desc,
 		Router: hv.NewRouter(desc, cfg.Scheduler, cfg.Clock),
 		Server: server.New(reg),
 		cfg:    cfg,
 		vms:    make(map[uint32]*attachment),
 	}
+	s.Router.SetShedPolicy(cfg.Shed)
+	return s
 }
 
 func (s *Stack) pair() (transport.Endpoint, transport.Endpoint) {

@@ -7,7 +7,7 @@
 //	avabench                 # run everything
 //	avabench -exp fig5       # one experiment: fig5, async, fullvirt,
 //	                         # sharing, swap, migrate, effort, transport,
-//	                         # breakdown, pipeline
+//	                         # breakdown, pipeline, overload
 //	avabench -scale 2 -reps 5
 package main
 

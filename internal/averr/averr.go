@@ -31,4 +31,8 @@ var (
 	// signal rather than a deadline. Reply status StatusCanceled maps
 	// to it.
 	ErrCanceled = errors.New("ava: call canceled")
+	// ErrOverloaded reports a call shed by the router's overload control
+	// before it consumed any device resources; the caller should back off
+	// and retry. Reply status StatusOverload maps to it.
+	ErrOverloaded = errors.New("ava: overloaded")
 )

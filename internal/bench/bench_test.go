@@ -136,3 +136,39 @@ func TestPipelineScaling(t *testing.T) {
 	}
 	t.Fatal("inproc/8 row missing")
 }
+
+func TestOverloadShedding(t *testing.T) {
+	res, err := overloadRun(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: under low-priority saturation, high-priority p99 stays
+	// within 2x of its uncontended value. The workload is sleep-dominated
+	// (3ms of handler time per call), so the bound survives loaded CI
+	// machines; measured headroom is ~1.1x.
+	if res.contP99 > 2*res.soloP99 {
+		t.Fatalf("contended hi p99 = %v, want <= 2x solo p99 %v", res.contP99, res.soloP99)
+	}
+	// Low-priority overflow is shed with StatusOverload at admission time,
+	// well under its deadline — not discovered by timeout.
+	if res.loShed < 50 {
+		t.Fatalf("only %d calls shed (of %d attempts); shedding did not engage", res.loShed, res.loAttempts)
+	}
+	if res.shedP50 > overloadDeadline/4 {
+		t.Fatalf("median shed denial latency = %v, want well under the %v deadline", res.shedP50, overloadDeadline)
+	}
+	if res.shedP99 >= overloadDeadline {
+		t.Fatalf("p99 shed denial latency = %v, not under the %v deadline", res.shedP99, overloadDeadline)
+	}
+	if res.loOther > 0 {
+		t.Fatalf("%d low-priority calls failed with unexpected errors", res.loOther)
+	}
+	// The high band is never sheddable.
+	if res.hiShedDenied != 0 {
+		t.Fatalf("high-priority VM had %d calls shed", res.hiShedDenied)
+	}
+	// Client-observed denials and router-side counters agree.
+	if res.shedDenied < uint64(res.loShed) {
+		t.Fatalf("router ShedDenied = %d < client-observed %d", res.shedDenied, res.loShed)
+	}
+}

@@ -119,6 +119,7 @@ func All(opts Options) ([]*Table, error) {
 		{"transport", Transports},
 		{"breakdown", Breakdown},
 		{"pipeline", Pipeline},
+		{"overload", Overload},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -152,7 +153,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return Breakdown(opts)
 	case "pipeline", "pipelining":
 		return Pipeline(opts)
+	case "overload", "shed":
+		return Overload(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload)", name)
 	}
 }

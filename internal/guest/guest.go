@@ -36,6 +36,7 @@ var (
 	ErrProtocol         = averr.ErrProtocol
 	ErrDeadlineExceeded = averr.ErrDeadlineExceeded
 	ErrCanceled         = averr.ErrCanceled
+	ErrOverloaded       = averr.ErrOverloaded
 )
 
 // APIError is a remote API failure surfaced by the stack itself
@@ -78,6 +79,10 @@ type Stats struct {
 	// BatchDeadlineFlushes counts early batch flushes forced because the
 	// oldest batched call's deadline budget fell within the flush slack.
 	BatchDeadlineFlushes uint64
+	// OverloadDenied counts replies carrying StatusOverload: calls (or, via
+	// the router's deferred-denial contract, earlier async calls) shed by
+	// the hypervisor's load shedder.
+	OverloadDenied uint64
 
 	// Per-stage latency accumulators, summed over the StagedCalls
 	// synchronous calls whose replies carried a full stamp block; divide
@@ -461,6 +466,9 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 	}
 	if reply.Status != marshal.StatusOK {
 		l.mu.Lock()
+		if reply.Status == marshal.StatusOverload {
+			l.stats.OverloadDenied++
+		}
 		stagedLocked()
 		l.mu.Unlock()
 		release()

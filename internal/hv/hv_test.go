@@ -400,10 +400,15 @@ func TestRouterDeniesIllegalAsync(t *testing.T) {
 	if err := ep.Send(marshal.EncodeBatch([][]byte{frame})); err != nil {
 		t.Fatal(err)
 	}
-	// Follow with a legitimate call to create a synchronization point.
+	// The next synchronization point observes the dropped call's denial
+	// (§4.2 deferred-error contract), and the one after that is clean.
 	rep := sendSync(t, ep, encCall(desc, 2, "ping", 0, marshal.Uint(1)))
+	if rep.Status != marshal.StatusDenied || !strings.HasPrefix(rep.Err, "deferred: ") {
+		t.Fatalf("reply = %+v, want deferred denial", rep)
+	}
+	rep = sendSync(t, ep, encCall(desc, 3, "ping", 0, marshal.Uint(1)))
 	if rep.Status != marshal.StatusOK {
-		t.Fatalf("reply = %+v", rep)
+		t.Fatalf("reply after deferred drain = %+v", rep)
 	}
 	if echo.count() != 1 {
 		t.Fatalf("server saw %d calls, want only the legal one", echo.count())

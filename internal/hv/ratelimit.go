@@ -90,3 +90,153 @@ func (tb *TokenBucket) Tokens() float64 {
 	tb.refill(tb.clk.Now())
 	return tb.tokens
 }
+
+// reserveDelay returns the wait n tokens would require right now, without
+// withdrawing them. charge withdraws unconditionally. Together they let
+// PriorityBuckets compose a peek-then-charge decision across several
+// buckets atomically (under its own lock).
+func (tb *TokenBucket) reserveDelay(n float64) time.Duration {
+	if tb.Unlimited() || n <= 0 {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(tb.clk.Now())
+	if t := tb.tokens - n; t < 0 {
+		return time.Duration(-t / tb.rate * float64(time.Second))
+	}
+	return 0
+}
+
+func (tb *TokenBucket) charge(n float64) {
+	if tb.Unlimited() || n <= 0 {
+		return
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(tb.clk.Now())
+	tb.tokens -= n
+}
+
+// NumPriorityBands is how many priority bands the router's QoS machinery
+// distinguishes. The call header's 0-255 priority byte maps onto bands by
+// its two top bits, so band boundaries stay stable however guests pick
+// byte values within a class.
+const NumPriorityBands = 4
+
+// PriorityBand maps a guest-stamped priority byte to its band index
+// (0 = lowest, NumPriorityBands-1 = highest).
+func PriorityBand(pri uint8) int { return int(pri >> 6) }
+
+// DefaultPriorityShares is the per-band split of a VM's rate when the VM
+// config does not override it: higher bands reserve larger floors.
+var DefaultPriorityShares = [NumPriorityBands]float64{0.1, 0.2, 0.3, 0.4}
+
+// PriorityBuckets is a two-level token-bucket hierarchy: a shared bucket
+// enforcing the VM's aggregate rate, plus one reserved sub-bucket per
+// priority band ("floor"). A call admitted within its band's floor never
+// waits on the shared bucket, so saturating low-priority traffic cannot
+// stall high-priority calls on the same VM; a band past its floor may
+// borrow whatever aggregate headroom the shared bucket has spare, which
+// keeps the hierarchy work-conserving. A band with a zero share has no
+// floor and always settles against the shared bucket.
+type PriorityBuckets struct {
+	mu     sync.Mutex
+	shared *TokenBucket
+	sub    [NumPriorityBands]*TokenBucket // nil where the share is zero
+}
+
+// NewPriorityBuckets creates the hierarchy. rate<=0 means unlimited; an
+// all-zero shares array selects DefaultPriorityShares, and shares are
+// normalized so floors always partition the aggregate rate.
+func NewPriorityBuckets(rate, burst float64, shares [NumPriorityBands]float64, clk clock.Clock) *PriorityBuckets {
+	pb := &PriorityBuckets{}
+	if rate <= 0 {
+		return pb
+	}
+	var sum float64
+	for _, s := range shares {
+		if s > 0 {
+			sum += s
+		}
+	}
+	if sum <= 0 {
+		shares, sum = DefaultPriorityShares, 1
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	pb.shared = NewTokenBucket(rate, burst, clk)
+	for i, s := range shares {
+		if s <= 0 {
+			continue
+		}
+		sb := s / sum * burst
+		if sb < 1 {
+			sb = 1 // a floor that cannot hold one call is no floor at all
+		}
+		pb.sub[i] = NewTokenBucket(s/sum*rate, sb, clk)
+	}
+	return pb
+}
+
+// Unlimited reports whether the hierarchy imposes no limit.
+func (pb *PriorityBuckets) Unlimited() bool { return pb == nil || pb.shared.Unlimited() }
+
+// Reserve withdraws n tokens for a band-b call and returns the delay the
+// caller must sleep before proceeding. Within its floor a band pays no
+// delay regardless of the shared bucket's debt; past the floor it takes
+// the cheaper of waiting out its own floor or borrowing shared headroom.
+func (pb *PriorityBuckets) Reserve(band int, n float64) time.Duration {
+	if pb.Unlimited() || n <= 0 {
+		return 0
+	}
+	if band < 0 {
+		band = 0
+	} else if band >= NumPriorityBands {
+		band = NumPriorityBands - 1
+	}
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	sub := pb.sub[band]
+	if sub == nil {
+		d := pb.shared.reserveDelay(n)
+		pb.shared.charge(n)
+		return d
+	}
+	subD := sub.reserveDelay(n)
+	if subD == 0 {
+		// Floors are carved out of the aggregate, so the shared bucket is
+		// charged too — but never waited on.
+		sub.charge(n)
+		pb.shared.charge(n)
+		return 0
+	}
+	if sharedD := pb.shared.reserveDelay(n); sharedD < subD {
+		pb.shared.charge(n)
+		return sharedD
+	}
+	sub.charge(n)
+	pb.shared.charge(n)
+	return subD
+}
+
+// SharedTokens and SubTokens expose bucket levels for tests and
+// introspection; SubTokens reports 0 for floor-less bands.
+func (pb *PriorityBuckets) SharedTokens() float64 {
+	if pb.Unlimited() {
+		return 0
+	}
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	return pb.shared.Tokens()
+}
+
+func (pb *PriorityBuckets) SubTokens(band int) float64 {
+	if pb.Unlimited() || band < 0 || band >= NumPriorityBands || pb.sub[band] == nil {
+		return 0
+	}
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	return pb.sub[band].Tokens()
+}

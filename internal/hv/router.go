@@ -35,6 +35,11 @@ type VMConfig struct {
 	// This is §4.3's administration interface: "control how much of each
 	// specified API resource each VM is allotted".
 	Quotas map[string]int64
+	// PriorityShares splits the VM's call/byte rate into per-priority-band
+	// floors (see PriorityBuckets); the zero value selects
+	// DefaultPriorityShares. A band within its floor is never delayed by
+	// other bands' consumption on the same VM.
+	PriorityShares [NumPriorityBands]float64
 }
 
 // VMStats counts router activity for one VM.
@@ -46,9 +51,45 @@ type VMStats struct {
 	// arrival, or the rate-limit/scheduling stall consumed the remaining
 	// budget. Included in Denied.
 	DeadlineDenied uint64
-	Bytes          uint64
-	Stall          time.Duration    // time spent rate-limited or unscheduled
-	Resources      map[string]int64 // summed resource estimates
+	// ShedDenied counts calls denied with StatusOverload by the load
+	// shedder. Included in Denied.
+	ShedDenied uint64
+	Bytes      uint64
+	Stall      time.Duration // time spent rate-limited or unscheduled
+	// BandStall splits Stall by the call's priority band, so per-band QoS
+	// (low bands absorbing the throttling) is observable.
+	BandStall [NumPriorityBands]time.Duration
+	Resources map[string]int64 // summed resource estimates
+}
+
+// ShedConfig configures the router's load shedder. When any threshold is
+// crossed, calls in the lowest ShedBands priority bands are denied with
+// StatusOverload instead of being stalled toward their deadlines. The
+// zero value disables shedding.
+type ShedConfig struct {
+	// MaxQueueDepth sheds while the scheduler reports at least this many
+	// parked calls (0 disables the depth signal; requires a scheduler
+	// implementing LoadIntrospector).
+	MaxQueueDepth int
+	// MaxRecentStall sheds while the recent aggregate admission stall —
+	// an EWMA over rate-limit and scheduling delays of admitted calls —
+	// is at least this long (0 disables the stall signal).
+	MaxRecentStall time.Duration
+	// ShedBands is how many of the lowest priority bands are sheddable;
+	// 0 defaults to 1 (only band 0).
+	ShedBands int
+}
+
+func (sc ShedConfig) enabled() bool { return sc.MaxQueueDepth > 0 || sc.MaxRecentStall > 0 }
+
+func (sc ShedConfig) shedBands() int {
+	if sc.ShedBands <= 0 {
+		return 1
+	}
+	if sc.ShedBands > NumPriorityBands {
+		return NumPriorityBands
+	}
+	return sc.ShedBands
 }
 
 // Interceptor observes (and may veto) every forwarded call — the
@@ -62,11 +103,39 @@ var ErrUnknownVM = averr.ErrUnknownVM
 
 type vmState struct {
 	cfg    VMConfig
-	callTB *TokenBucket
-	byteTB *TokenBucket
+	callTB *PriorityBuckets
+	byteTB *PriorityBuckets
 
 	mu    sync.Mutex
 	stats VMStats
+	// First router-side denial of an async call since the last synchronous
+	// call, held for §4.2's error-deferral contract: async denials cannot
+	// be replied to (the guest is not waiting), so the VM's next sync call
+	// fails with the recorded status instead of the denial vanishing.
+	deferredStatus marshal.Status
+	deferredErr    string
+}
+
+// deferDenial records the first pending async denial (first wins, like the
+// server's deferred-error slot).
+func (st *vmState) deferDenial(status marshal.Status, msg string) {
+	st.mu.Lock()
+	if st.deferredStatus == marshal.StatusOK {
+		st.deferredStatus, st.deferredErr = status, msg
+	}
+	st.mu.Unlock()
+}
+
+// takeDeferred consumes the pending async denial, if any.
+func (st *vmState) takeDeferred() (marshal.Status, string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deferredStatus == marshal.StatusOK {
+		return marshal.StatusOK, "", false
+	}
+	status, msg := st.deferredStatus, st.deferredErr
+	st.deferredStatus, st.deferredErr = marshal.StatusOK, ""
+	return status, msg, true
 }
 
 // Router verifies, polices, schedules and forwards API calls between guest
@@ -79,6 +148,61 @@ type Router struct {
 	mu        sync.Mutex
 	vms       map[VMID]*vmState
 	intercept []Interceptor
+	shed      ShedConfig
+
+	loadMu      sync.Mutex
+	recentStall time.Duration // EWMA of admitted calls' rate-limit+sched stall
+}
+
+// SetShedPolicy installs (or, with the zero value, removes) the router's
+// load-shedding configuration.
+func (r *Router) SetShedPolicy(cfg ShedConfig) {
+	r.mu.Lock()
+	r.shed = cfg
+	r.mu.Unlock()
+}
+
+func (r *Router) shedConfig() ShedConfig {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shed
+}
+
+// noteStall folds one admitted call's stall into the router-wide EWMA the
+// load shedder reads (alpha 1/8; stall-free admissions decay it).
+func (r *Router) noteStall(d time.Duration) {
+	r.loadMu.Lock()
+	r.recentStall += (d - r.recentStall) / 8
+	r.loadMu.Unlock()
+}
+
+// RecentStall returns the router's recent aggregate admission stall.
+func (r *Router) RecentStall() time.Duration {
+	r.loadMu.Lock()
+	defer r.loadMu.Unlock()
+	return r.recentStall
+}
+
+// overloaded evaluates the shed thresholds against the scheduler's queue
+// depth and the recent aggregate stall (the larger of the scheduler's gate
+// signal and the router's own rate-limit signal).
+func (r *Router) overloaded(sc ShedConfig) bool {
+	li, introspective := r.sched.(LoadIntrospector)
+	if sc.MaxQueueDepth > 0 && introspective && li.QueueDepth() >= sc.MaxQueueDepth {
+		return true
+	}
+	if sc.MaxRecentStall > 0 {
+		stall := r.RecentStall()
+		if introspective {
+			if s := li.RecentStall(); s > stall {
+				stall = s
+			}
+		}
+		if stall >= sc.MaxRecentStall {
+			return true
+		}
+	}
+	return false
 }
 
 // NewRouter creates a router for one API. A nil scheduler selects FIFO;
@@ -113,8 +237,8 @@ func (r *Router) RegisterVM(cfg VMConfig) error {
 	}
 	st := &vmState{
 		cfg:    cfg,
-		callTB: NewTokenBucket(cfg.CallsPerSec, cfg.CallBurst, r.clk),
-		byteTB: NewTokenBucket(cfg.BytesPerSec, cfg.ByteBurst, r.clk),
+		callTB: NewPriorityBuckets(cfg.CallsPerSec, cfg.CallBurst, cfg.PriorityShares, r.clk),
+		byteTB: NewPriorityBuckets(cfg.BytesPerSec, cfg.ByteBurst, cfg.PriorityShares, r.clk),
 	}
 	st.stats.Resources = make(map[string]int64)
 	r.vms[cfg.ID] = st
@@ -248,9 +372,9 @@ func (r *Router) uplink(id VMID, st *vmState, guestSide, serverSide transport.En
 }
 
 // police verifies and schedules one call. It returns keep=true to forward
-// the frame, or a denial reply for synchronous calls (async denials are
-// dropped and counted — their guests learn through deferred errors on the
-// server path or through stats).
+// the frame, or a denial reply for synchronous calls. Async denials are
+// dropped, counted, and recorded as the VM's pending deferred error so the
+// next synchronous call surfaces them (§4.2).
 func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (keep bool, deny *marshal.Reply) {
 	call, err := marshal.DecodeCall(cf)
 	if err != nil {
@@ -259,22 +383,29 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 	}
 	async := call.Flags&marshal.FlagAsync != 0
 	rejectAs := func(status marshal.Status, format string, args ...any) (bool, *marshal.Reply) {
+		msg := fmt.Sprintf(format, args...)
 		st.note(func(s *VMStats) {
 			s.Denied++
 			if status == marshal.StatusDeadline {
 				s.DeadlineDenied++
+			}
+			if status == marshal.StatusOverload {
+				s.ShedDenied++
 			}
 			if async {
 				s.AsyncDropped++
 			}
 		})
 		if async {
+			// The guest is not waiting for a reply; record the denial so the
+			// VM's next synchronization point observes it (§4.2).
+			st.deferDenial(status, msg)
 			return false, nil
 		}
 		return false, &marshal.Reply{
 			Seq:    call.Seq,
 			Status: status,
-			Err:    fmt.Sprintf(format, args...),
+			Err:    msg,
 		}
 	}
 	reject := func(format string, args ...any) (bool, *marshal.Reply) {
@@ -282,6 +413,23 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 	}
 
 	call.VM = id // the hypervisor, not the guest, asserts identity
+
+	// §4.2 error deferral for router-side denials: if an earlier async call
+	// was denied here, this VM's next synchronous call fails with the
+	// recorded status — mirroring the server's deferred-error contract so
+	// async denials never vanish into a counter. Replayed calls are exempt:
+	// migration restore must not absorb a pre-restore denial.
+	if !async && call.Flags&marshal.FlagReplay == 0 {
+		if status, msg, pending := st.takeDeferred(); pending {
+			st.note(func(s *VMStats) { s.Denied++ })
+			return false, &marshal.Reply{
+				Seq:    call.Seq,
+				Status: status,
+				Err:    "deferred: " + msg,
+			}
+		}
+	}
+
 	fd, ok := r.desc.ByID(call.Func)
 	if !ok {
 		return reject("hv: unknown function #%d", call.Func)
@@ -291,11 +439,19 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 	// the guest's clock, which need not agree with ours (TCP transports can
 	// cross machines). The remaining budget — deadline minus the guest's
 	// encode stamp — is clock-skew-free, so re-anchor it against our own
-	// clock and deny outright if it is already spent.
+	// clock and deny outright if it is already spent. A call with a
+	// deadline but no encode stamp offers nothing to translate against:
+	// anchor it at admission on our clock instead of misreading the raw
+	// guest wall-clock value as a relative budget.
 	now := r.clk.Now()
 	var localDeadline time.Time
 	if call.Deadline != 0 {
-		rel := time.Duration(call.Deadline - call.Stamps.Encode)
+		var rel time.Duration
+		if call.Stamps.Encode != 0 {
+			rel = time.Duration(call.Deadline - call.Stamps.Encode)
+		} else {
+			rel = time.Duration(call.Deadline - now.UnixNano())
+		}
 		if rel <= 0 {
 			return rejectAs(marshal.StatusDeadline, "hv: %s: deadline expired before admission", fd.Name)
 		}
@@ -324,12 +480,21 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 		}
 	}
 	if call.Flags&marshal.FlagReplay == 0 {
-		var stall time.Duration
-		if !st.callTB.Unlimited() {
-			stall += st.callTB.Wait(1)
+		band := PriorityBand(call.Priority)
+		// Load shedding: under overload, deny sheddable (lowest-band) calls
+		// immediately with StatusOverload rather than stalling them toward
+		// their deadlines — admission-time backpressure the caller can see.
+		if sc := r.shedConfig(); sc.enabled() && band < sc.shedBands() && r.overloaded(sc) {
+			return rejectAs(marshal.StatusOverload, "hv: %s: shed under overload (priority band %d)", fd.Name, band)
 		}
-		if !st.byteTB.Unlimited() {
-			stall += st.byteTB.Wait(float64(len(cf)))
+		// Reserve both buckets up front and sleep once for the larger
+		// delay: the two limits overlap in time rather than compounding.
+		stall := st.callTB.Reserve(band, 1)
+		if d := st.byteTB.Reserve(band, float64(len(cf))); d > stall {
+			stall = d
+		}
+		if stall > 0 {
+			r.clk.Sleep(stall)
 		}
 		cost := est["device_time"]
 		if cost <= 0 {
@@ -339,7 +504,11 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 		r.sched.Admit(id, cost, call.Priority)
 		r.sched.Done(id, cost, 0)
 		stall += r.clk.Since(t0)
-		st.note(func(s *VMStats) { s.Stall += stall })
+		r.noteStall(stall)
+		st.note(func(s *VMStats) {
+			s.Stall += stall
+			s.BandStall[band] += stall
+		})
 		// The stall was spent inside the deadline's budget: a call held
 		// back past its deadline by rate limiting or scheduling must not
 		// reach the silo.

@@ -27,6 +27,16 @@ type Scheduler interface {
 	Usage(vm VMID) int64
 }
 
+// LoadIntrospector is implemented by schedulers that can report admission
+// pressure: the number of calls parked at the gate and a recent-stall
+// signal (an exponentially weighted average of how long granted calls
+// waited). The router's load shedder consults it when deciding to deny
+// low-priority calls under overload.
+type LoadIntrospector interface {
+	QueueDepth() int
+	RecentStall() time.Duration
+}
+
 // FIFOScheduler admits every call immediately: the no-policy baseline.
 type FIFOScheduler struct {
 	mu    sync.Mutex
@@ -180,12 +190,13 @@ type PriorityScheduler struct {
 	clk   clock.Clock
 	aging time.Duration
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	usage map[VMID]int64
-	queue []*priWaiter
-	seq   uint64
-	busy  bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	usage  map[VMID]int64
+	queue  []*priWaiter
+	seq    uint64
+	busy   bool
+	recent time.Duration // EWMA of grant wait times
 }
 
 // priWaiter is one call parked at the admission gate.
@@ -239,6 +250,9 @@ func (s *PriorityScheduler) grantLocked() {
 	s.queue = append(s.queue[:best], s.queue[best+1:]...)
 	w.granted = true
 	s.busy = true
+	// Fold this grant's park time into the recent-stall EWMA (alpha 1/8);
+	// zero-wait grants decay it, so the signal tracks current pressure.
+	s.recent += (now.Sub(w.parked) - s.recent) / 8
 	s.cond.Broadcast()
 }
 
@@ -280,4 +294,15 @@ func (s *PriorityScheduler) Waiting() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// QueueDepth implements LoadIntrospector: calls parked at the gate now.
+func (s *PriorityScheduler) QueueDepth() int { return s.Waiting() }
+
+// RecentStall implements LoadIntrospector: an exponentially weighted
+// average of how long recently granted calls waited at the gate.
+func (s *PriorityScheduler) RecentStall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recent
 }

@@ -245,6 +245,7 @@ const (
 	StatusInternal               // stack-internal failure; Err describes it
 	StatusDeadline               // the call's deadline expired before completion
 	StatusCanceled               // the call was aborted by a cancellation signal
+	StatusOverload               // the router shed the call under overload; retry later
 )
 
 func (s Status) String() string {
@@ -261,6 +262,8 @@ func (s Status) String() string {
 		return "deadline-exceeded"
 	case StatusCanceled:
 		return "canceled"
+	case StatusOverload:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -277,6 +280,8 @@ func (s Status) Sentinel() error {
 		return averr.ErrDeadlineExceeded
 	case StatusCanceled:
 		return averr.ErrCanceled
+	case StatusOverload:
+		return averr.ErrOverloaded
 	default:
 		return nil
 	}
