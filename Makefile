@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke
+.PHONY: check fmt vet build test bench bench-smoke chaos
 
 check: fmt vet build test bench-smoke
 
@@ -28,8 +28,17 @@ bench:
 
 # One iteration of every benchmark, no unit tests: catches benchmarks that
 # stopped compiling or panic without paying for a full measurement run.
-# Also exercises the overload-control experiment (E11) end to end, since
-# its assertions live in the table generation, not in a Benchmark func.
+# Also exercises the overload-control (E11) and failover (E12) experiments
+# end to end, since their assertions live in the table generation, not in
+# a Benchmark func.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/avabench -exp overload -reps 1
+	$(GO) run ./cmd/avabench -exp failover -reps 1
+
+# Chaos gate: every fault-injection and kill-the-server test under -race,
+# with fixed seeds (the tests pin their own Flaky/backoff seeds), so CI
+# reproduces the same failure schedules run to run.
+chaos:
+	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control' \
+		./internal/transport/ ./internal/failover/ ./internal/stacktest/

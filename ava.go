@@ -29,12 +29,15 @@ package ava
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
+	"ava/internal/failover"
 	"ava/internal/guest"
 	"ava/internal/hv"
+	"ava/internal/migrate"
 	"ava/internal/server"
 	"ava/internal/spec"
 	"ava/internal/transport"
@@ -72,6 +75,10 @@ var (
 	ErrUnknownVM = averr.ErrUnknownVM
 	// ErrBadArg reports arguments that do not match the specification.
 	ErrBadArg = averr.ErrBadArg
+	// ErrRetryable reports a call lost to an API-server failure that the
+	// failover layer could not transparently resubmit; the caller may
+	// safely reissue it.
+	ErrRetryable = averr.ErrRetryable
 )
 
 // CompileSpec parses and compiles a CAvA specification.
@@ -133,6 +140,34 @@ type Config struct {
 	// Shed configures the router's load shedder (hv.ShedConfig); the zero
 	// value leaves shedding off.
 	Shed hv.ShedConfig
+	// Failover enables fault-tolerant remoting for attached VMs: a per-VM
+	// guardian shadows the record log, checkpoints periodically, and on
+	// API-server failure respawns the server, replays state, and directs
+	// the guest library to resubmit its unacked calls. Nil disables.
+	Failover *FailoverConfig
+}
+
+// FailoverConfig tunes the per-VM failover guardian (see internal/failover).
+type FailoverConfig struct {
+	// Adapter supplies silo-specific object snapshot/restore, as for
+	// migration. Nil disables object-state checkpointing (replay alone
+	// reconstructs objects; stateful contents are lost on recovery).
+	Adapter migrate.Adapter
+	// CheckpointEvery cuts a quiesced checkpoint after this many calls;
+	// 0 disables periodic checkpoints.
+	CheckpointEvery int
+	// HeartbeatEvery probes server liveness when the link has been idle
+	// this long; 0 disables probing (transport errors still detect death).
+	HeartbeatEvery time.Duration
+	// LivenessTimeout bounds quiesce/liveness marker round trips; 0 = 2s.
+	LivenessTimeout time.Duration
+	// Backoff shapes respawn retries and the guest's shared retry budget.
+	Backoff failover.BackoffConfig
+	// Retain caps the guest's retained-call window; 0 = 4096.
+	Retain int
+	// WrapServerLink, when set, wraps each freshly dialed router→server
+	// endpoint — e.g. transport.NewFlaky for fault injection in tests.
+	WrapServerLink func(transport.Endpoint) transport.Endpoint
 }
 
 // Stack is an assembled AvA deployment for one API: one router, one API
@@ -149,9 +184,10 @@ type Stack struct {
 }
 
 type attachment struct {
-	lib  *guest.Lib
-	eps  []transport.Endpoint
-	done chan struct{}
+	lib      *guest.Lib
+	eps      []transport.Endpoint
+	done     chan struct{}
+	guardian *failover.Guardian
 }
 
 // NewStack builds the hypervisor and server halves over a silo registry.
@@ -180,26 +216,77 @@ func (s *Stack) pair() (transport.Endpoint, transport.Endpoint) {
 	}
 }
 
+// newContext builds a fresh server-side execution context for one VM,
+// wired to the stack's recording policy and clock.
+func (s *Stack) newContext(id uint32, name string) *server.Context {
+	ctx := s.Server.Context(id, name)
+	ctx.SetRecording(s.cfg.Recording)
+	if s.cfg.Clock != nil {
+		ctx.SetClock(s.cfg.Clock)
+	}
+	return ctx
+}
+
 // AttachVM registers a VM with the router, starts its router and server
-// loops, and returns the guest library bound to its transport.
+// loops, and returns the guest library bound to its transport. With
+// Config.Failover set, a per-VM guardian is interposed between the router
+// and the API server: it shadows the record log, checkpoints periodically,
+// and on server failure respawns a fresh server incarnation, replays its
+// state, and coordinates the guest library's transparent resubmission.
 func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error) {
 	if err := s.Router.RegisterVM(cfg); err != nil {
 		return nil, err
 	}
 	guestEP, routerGuest := s.pair()
-	routerServer, serverEP := s.pair()
 
-	ctx := s.Server.Context(cfg.ID, cfg.Name)
-	ctx.SetRecording(s.cfg.Recording)
-	if s.cfg.Clock != nil {
-		ctx.SetClock(s.cfg.Clock)
+	var (
+		routerServer transport.Endpoint
+		g            *failover.Guardian
+		foOpts       []guest.Option
+	)
+	if fc := s.cfg.Failover; fc != nil {
+		var north transport.Endpoint
+		routerServer, north = s.pair()
+		id, name := cfg.ID, cfg.Name
+		dial := func() (failover.ServerLink, error) {
+			south, serverEP := s.pair()
+			if fc.WrapServerLink != nil {
+				south = fc.WrapServerLink(south)
+			}
+			// Each server incarnation starts from a clean context; the
+			// guardian replays state into it before traffic resumes.
+			s.Server.DropContext(id)
+			ctx := s.newContext(id, name)
+			go s.Server.ServeVM(ctx, serverEP)
+			return failover.ServerLink{EP: south, Server: s.Server, Ctx: ctx, Adapter: fc.Adapter}, nil
+		}
+		g = failover.New(s.Desc, north, dial, failover.Config{
+			CheckpointEvery: fc.CheckpointEvery,
+			HeartbeatEvery:  fc.HeartbeatEvery,
+			LivenessTimeout: fc.LivenessTimeout,
+			Backoff:         fc.Backoff,
+			Clock:           s.cfg.Clock,
+			OnEpoch:         func(e uint32) { s.Router.SetEpoch(id, e) },
+		})
+		if err := g.Start(); err != nil {
+			s.Router.UnregisterVM(cfg.ID)
+			for _, ep := range []transport.Endpoint{guestEP, routerGuest, routerServer, north} {
+				ep.Close()
+			}
+			return nil, err
+		}
+		foOpts = append(foOpts, guest.WithFailover(guest.FailoverPolicy{Retain: fc.Retain}))
+	} else {
+		var serverEP transport.Endpoint
+		routerServer, serverEP = s.pair()
+		go s.Server.ServeVM(s.newContext(cfg.ID, cfg.Name), serverEP)
 	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		s.Router.Attach(cfg.ID, routerGuest, routerServer)
 	}()
-	go s.Server.ServeVM(ctx, serverEP)
 
 	// The configured clock reaches every layer: guest deadline stamping
 	// and fail-fast run on the same time source as router admission and
@@ -208,16 +295,40 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 	if s.cfg.Clock != nil {
 		base = append(base, guest.WithClock(s.cfg.Clock))
 	}
+	base = append(base, foOpts...)
 	opts = append(append(base, s.cfg.GuestOptions...), opts...)
 	lib := guest.New(s.Desc, guestEP, opts...)
 	s.mu.Lock()
 	s.vms[cfg.ID] = &attachment{
-		lib:  lib,
-		eps:  []transport.Endpoint{guestEP, routerGuest, routerServer, serverEP},
-		done: done,
+		lib:      lib,
+		eps:      []transport.Endpoint{guestEP, routerGuest, routerServer},
+		done:     done,
+		guardian: g,
 	}
 	s.mu.Unlock()
 	return lib, nil
+}
+
+// Guardian returns the failover guardian for an attached VM, or nil when
+// failover is disabled or the VM is unknown.
+func (s *Stack) Guardian(id uint32) *failover.Guardian {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at := s.vms[id]; at != nil {
+		return at.guardian
+	}
+	return nil
+}
+
+// KillServer abruptly severs a VM's router→server link — the SIGKILL
+// equivalent used by chaos tests and the E12 experiment. Requires failover.
+func (s *Stack) KillServer(id uint32) error {
+	g := s.Guardian(id)
+	if g == nil {
+		return fmt.Errorf("ava: VM %d has no failover guardian", id)
+	}
+	g.KillServer()
+	return nil
 }
 
 // Context returns the server-side execution context for an attached VM.
@@ -237,6 +348,9 @@ func (s *Stack) DetachVM(id uint32) {
 	at.lib.Close()
 	for _, ep := range at.eps {
 		ep.Close()
+	}
+	if at.guardian != nil {
+		at.guardian.Close()
 	}
 	<-at.done
 	s.Router.UnregisterVM(id)

@@ -35,4 +35,11 @@ var (
 	// before it consumed any device resources; the caller should back off
 	// and retry. Reply status StatusOverload maps to it.
 	ErrOverloaded = errors.New("ava: overloaded")
+	// ErrRetryable reports a call lost to an API-server failover that the
+	// stack could not transparently resubmit (its retained frame had been
+	// trimmed, or recovery was abandoned). The accelerator state has been
+	// reconstructed from the record log, so the caller may safely reissue
+	// the call; the wrapping error carries the endpoint epoch at which the
+	// loss happened. Reply status StatusRetryable maps to it.
+	ErrRetryable = errors.New("ava: call lost to failover, reissue")
 )

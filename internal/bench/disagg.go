@@ -120,6 +120,7 @@ func All(opts Options) ([]*Table, error) {
 		{"breakdown", Breakdown},
 		{"pipeline", Pipeline},
 		{"overload", Overload},
+		{"failover", Failover},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -155,7 +156,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return Pipeline(opts)
 	case "overload", "shed":
 		return Overload(opts)
+	case "failover", "chaos":
+		return Failover(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover)", name)
 	}
 }

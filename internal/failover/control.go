@@ -1,0 +1,53 @@
+package failover
+
+import (
+	"encoding/binary"
+
+	"ava/internal/marshal"
+)
+
+// Control notices travel guardian→guest on the reply channel, disguised as
+// Reply frames whose Seq lives in the reserved marshal.CtrlSeqBase range so
+// they can never collide with a real call's reply. The payload rides in
+// Ret as an opaque byte buffer: [kind u8][epoch u32 LE][watermark u64 LE].
+
+// Control notice kinds.
+const (
+	// CtrlCheckpoint announces a completed periodic checkpoint at
+	// watermark W: the guest may trim its retained-call window to seq > W.
+	CtrlCheckpoint = 1
+	// CtrlRecover announces a completed recovery onto a fresh endpoint
+	// epoch: the guest must resubmit its unacked window stamped with the
+	// new epoch.
+	CtrlRecover = 2
+	// CtrlDead announces an abandoned recovery (respawn budget exhausted):
+	// the guest must fail in-flight calls with averr.ErrRetryable.
+	CtrlDead = 3
+)
+
+// EncodeControl builds the control Reply frame for a notice.
+func EncodeControl(kind byte, epoch uint32, watermark uint64) []byte {
+	var payload [13]byte
+	payload[0] = kind
+	binary.LittleEndian.PutUint32(payload[1:], epoch)
+	binary.LittleEndian.PutUint64(payload[5:], watermark)
+	return marshal.EncodeReply(&marshal.Reply{
+		Seq:    marshal.CtrlSeqBase | uint64(kind),
+		Status: marshal.StatusOK,
+		Ret:    marshal.BytesVal(payload[:]),
+	})
+}
+
+// DecodeControl extracts a control notice from a decoded Reply whose Seq is
+// in the control range. ok=false means the frame is not a well-formed
+// notice and must be ignored.
+func DecodeControl(rep *marshal.Reply) (kind byte, epoch uint32, watermark uint64, ok bool) {
+	if rep.Seq < marshal.CtrlSeqBase || rep.Seq >= marshal.MarkerSeqBase {
+		return 0, 0, 0, false
+	}
+	if rep.Ret.Kind != marshal.KindBytes || len(rep.Ret.Bytes) != 13 {
+		return 0, 0, 0, false
+	}
+	b := rep.Ret.Bytes
+	return b[0], binary.LittleEndian.Uint32(b[1:]), binary.LittleEndian.Uint64(b[5:]), true
+}

@@ -1,0 +1,1191 @@
+// Package failover makes an AvA stack crash-survivable: it detects API
+// server death, respawns or rebinds a replacement server, reconstructs the
+// VM's accelerator state from the §4.3 record log plus a periodic
+// checkpoint, and coordinates the guest library's transparent resubmission
+// of every call the crash swallowed.
+//
+// The central piece is the Guardian, a per-VM interposer that sits between
+// the router and the API server link. On the way south it shadows the
+// record log (keyed by guest sequence number) so recovery does not depend
+// on the server that just died; on the way north it watches replies to
+// learn which calls completed. Every CheckpointEvery calls it quiesces the
+// server with a marker barrier and snapshots stateful objects, bounding
+// replay work. When the link severs (or a liveness probe times out), it
+// bumps the VM's endpoint epoch, dials a replacement via the injected
+// closure, replays the filtered shadow log through migrate.RestoreWith —
+// rebinding recreated objects to the handle values the guest already holds
+// — and then tells the guest to resubmit its unacked window.
+//
+// The idempotency rule falls out of the spec's track annotations. Replay
+// runs strictly up to the checkpoint watermark w, preserving the original
+// order among creates, configs and modifies; everything past w flows
+// through the guest's window resubmission, again in true sequence order:
+//
+//   - create/config at or below w: exactly once — replay rebuilt the object
+//     under the guest's handle value, so a resubmitted copy is
+//     short-circuited with the recorded reply.
+//   - create/config past w with a recorded reply: re-executed by the
+//     resubmission stream (replay cannot run them early — they may depend
+//     on unreplayed modifies, e.g. a kernel created from a program built
+//     after the checkpoint); the guardian rebinds the fresh handle to the
+//     recorded one and the guest discards the duplicate reply.
+//   - destroy: exactly once — if the original took effect and was pruned, a
+//     resubmission gets a synthesized success; if it never confirmed, the
+//     replayed log still contains the object and the destroy re-executes.
+//   - modify/untracked: at-least-once — deterministically re-executed from
+//     the checkpoint watermark in guest sequence order.
+//
+// Calls that cannot be resubmitted (their retained frame was trimmed, or
+// recovery was abandoned) surface averr.ErrRetryable: never a silent drop.
+package failover
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ava/internal/cava"
+	"ava/internal/clock"
+	"ava/internal/framebuf"
+	"ava/internal/marshal"
+	"ava/internal/migrate"
+	"ava/internal/server"
+	"ava/internal/spec"
+	"ava/internal/transport"
+)
+
+// markerFunc is the function id of quiesce/liveness marker calls. It is
+// never registered, so the server answers with a synchronous error reply —
+// which, by the §4.2 sync-barrier contract, it can only send after every
+// async issued before the marker has completed.
+const markerFunc = ^uint32(0)
+
+// Config tunes a Guardian.
+type Config struct {
+	// CheckpointEvery cuts a checkpoint after this many forwarded calls;
+	// 0 disables periodic checkpoints (recovery then replays the whole
+	// shadow log and the guest's full retained window).
+	CheckpointEvery int
+	// HeartbeatEvery probes server liveness with a marker when the link
+	// has been idle this long; 0 disables probing, leaving detection to
+	// transport errors alone.
+	HeartbeatEvery time.Duration
+	// LivenessTimeout bounds a marker round trip (quiesce barriers and
+	// liveness probes); 0 means 2s.
+	LivenessTimeout time.Duration
+	// Backoff shapes respawn retries; the zero value gets defaults
+	// (1ms base, 100ms cap, 2s budget).
+	Backoff BackoffConfig
+	// OnEpoch is called with each new endpoint epoch before the guest is
+	// told to resubmit — the router uses it to fence stale frames.
+	OnEpoch func(epoch uint32)
+	// Clock is the time source; nil uses the wall clock.
+	Clock clock.Clock
+}
+
+// ServerLink is one dialed attachment to an API server. EP carries frames;
+// Server/Ctx/Adapter give the guardian direct access for replay and
+// checkpointing (nil for links that cannot be replayed, e.g. a remote
+// server reached only by wire — recovery then reconnects without replay).
+type ServerLink struct {
+	EP      transport.Endpoint
+	Server  *server.Server
+	Ctx     *server.Context
+	Adapter migrate.Adapter
+}
+
+// Stats counts guardian activity.
+type Stats struct {
+	Recoveries          uint64
+	Checkpoints         uint64
+	ShortCircuited      uint64 // resubmitted calls answered from the shadow log
+	SynthesizedDestroys uint64 // resubmitted destroys answered with synthetic success
+	StaleDropped        uint64 // frames dropped for a stale epoch
+	ResubmitForwarded   uint64 // resubmitted calls re-executed on the new server
+	LastRecoveryPause   time.Duration
+	LastWatermark       uint64
+}
+
+// destroyRec tracks one destroy call so the exactly-once rule can tell "took
+// effect, reply lost" apart from "never confirmed".
+type destroyRec struct {
+	h      marshal.Handle
+	pruned bool // shadow log pruned (destroy confirmed or async)
+}
+
+// Guardian is the per-VM failover interposer between router and server.
+type Guardian struct {
+	desc *cava.Descriptor
+	cfg  Config
+	clk  clock.Clock
+	bo   *Backoff
+
+	north transport.Endpoint // toward the router/guest
+	dial  func() (ServerLink, error)
+
+	northCh   chan []byte   // single-writer queue toward north
+	done      chan struct{} // closed by Close
+	closeOnce sync.Once
+
+	southMu   sync.Mutex // serializes Sends on the current link
+	quiesceMu sync.Mutex // serializes uplink processing vs. checkpoints
+
+	markerMu      sync.Mutex
+	markerN       uint64
+	markerWaiters map[uint64]chan struct{}
+	abort         chan struct{} // closed when recovery starts; remade per link
+
+	lastRecv atomic.Int64 // UnixNano of the last frame received from the server
+
+	mu            sync.Mutex
+	cond          *sync.Cond // recovery completion
+	closed        bool
+	dead          bool
+	deadErr       error
+	epoch         uint32
+	link          ServerLink
+	linkGen       int
+	recovering    bool
+	entries       []*server.RecordedCall // shadow log, ascending guest seq
+	bySeq         map[uint64]*server.RecordedCall
+	replySeen     map[uint64]bool
+	pendingRebind map[uint64]struct{} // completed creates/configs past the last recovery watermark: re-execute on resubmit, then rebind
+	destroys      map[uint64]*destroyRec
+	inflightSync  map[uint64]struct{}
+	maxSeq        uint64 // highest guest seq forwarded south
+	sinceCkpt     int
+	ckptObjects   map[marshal.Handle][]byte
+	ckptW         uint64 // checkpoint watermark: state covers seq <= ckptW
+	stats         Stats
+}
+
+// New builds a Guardian for one VM. north faces the router; dial produces a
+// fresh server link (spawning or rebinding a server as the deployment needs)
+// and is invoked for the initial attach and after every failure. Call Start
+// to dial the first link and begin pumping.
+func New(desc *cava.Descriptor, north transport.Endpoint, dial func() (ServerLink, error), cfg Config) *Guardian {
+	if cfg.LivenessTimeout <= 0 {
+		cfg.LivenessTimeout = 2 * time.Second
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	g := &Guardian{
+		desc:          desc,
+		cfg:           cfg,
+		clk:           clk,
+		bo:            NewBackoff(cfg.Backoff),
+		north:         north,
+		dial:          dial,
+		northCh:       make(chan []byte, 256),
+		done:          make(chan struct{}),
+		markerWaiters: make(map[uint64]chan struct{}),
+		abort:         make(chan struct{}),
+		bySeq:         make(map[uint64]*server.RecordedCall),
+		replySeen:     make(map[uint64]bool),
+		destroys:      make(map[uint64]*destroyRec),
+		inflightSync:  make(map[uint64]struct{}),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Start dials the initial server link and starts the pump goroutines.
+func (g *Guardian) Start() error {
+	link, err := g.dial()
+	if err != nil {
+		return fmt.Errorf("failover: initial dial: %w", err)
+	}
+	g.mu.Lock()
+	g.link = link
+	gen := g.linkGen
+	g.mu.Unlock()
+	g.lastRecv.Store(g.clk.Now().UnixNano())
+	go g.northWriter()
+	go g.uplink()
+	go g.downlink(link, gen)
+	if g.cfg.HeartbeatEvery > 0 {
+		go g.heartbeat()
+	}
+	return nil
+}
+
+// Close tears the guardian down; the current server link is severed.
+func (g *Guardian) Close() {
+	g.closeOnce.Do(func() {
+		g.mu.Lock()
+		g.closed = true
+		link := g.link
+		g.mu.Unlock()
+		close(g.done)
+		g.north.Close()
+		if link.EP != nil {
+			link.EP.Close()
+		}
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+}
+
+// Stats returns a copy of the guardian's counters.
+func (g *Guardian) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Epoch returns the current endpoint epoch.
+func (g *Guardian) Epoch() uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// KillServer severs the current server link abruptly — the SIGKILL
+// equivalent used by chaos tests and E12. The guardian notices through its
+// pumps and recovers as it would from a real crash.
+func (g *Guardian) KillServer() {
+	g.mu.Lock()
+	ep := g.link.EP
+	g.mu.Unlock()
+	if ep != nil {
+		transport.Sever(ep)
+	}
+}
+
+// CheckpointNow cuts a checkpoint synchronously (tests, pre-migration).
+func (g *Guardian) CheckpointNow() error {
+	g.quiesceMu.Lock()
+	defer g.quiesceMu.Unlock()
+	return g.checkpoint()
+}
+
+// ---------------------------------------------------------------------------
+// North writer: the single goroutine that Sends toward the router.
+
+func (g *Guardian) northWriter() {
+	var failed bool
+	sendCopies := transport.SendCopies(g.north)
+	for {
+		select {
+		case <-g.done:
+			return
+		case frame := <-g.northCh:
+			if failed {
+				continue
+			}
+			if err := g.north.Send(frame); err != nil {
+				failed = true // keep draining so pumps never block
+				continue
+			}
+			if sendCopies {
+				framebuf.Put(frame)
+			}
+		}
+	}
+}
+
+func (g *Guardian) sendNorth(frame []byte) {
+	select {
+	case g.northCh <- frame:
+	case <-g.done:
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Uplink: guest/router → guardian → server.
+
+func (g *Guardian) uplink() {
+	for {
+		frame, err := g.north.Recv()
+		if err != nil {
+			return
+		}
+		g.quiesceMu.Lock()
+		g.handleUplinkFrame(frame)
+		g.quiesceMu.Unlock()
+	}
+}
+
+func (g *Guardian) handleUplinkFrame(frame []byte) {
+	// Hold new work while a recovery is rebuilding the server.
+	g.mu.Lock()
+	for g.recovering && !g.closed && !g.dead {
+		g.cond.Wait()
+	}
+	if g.closed || g.dead {
+		g.mu.Unlock()
+		return // drop: the guest has been told via CtrlDead (or is closing)
+	}
+	epoch := g.epoch
+	link := g.link
+	gen := g.linkGen
+	g.mu.Unlock()
+
+	calls, err := marshal.DecodeBatch(frame)
+	if err != nil {
+		return // malformed; the server would reject it anyway
+	}
+	decoded := make([]*marshal.Call, len(calls))
+	hasResub := false
+	for i, cf := range calls {
+		call, err := marshal.DecodeCall(cf)
+		if err != nil {
+			continue
+		}
+		decoded[i] = call
+		if call.Flags&marshal.FlagResubmit != 0 {
+			hasResub = true
+		}
+	}
+	kept := make([][]byte, 0, len(calls))
+	allKept := true
+	if hasResub {
+		// Resubmission replays program order: the guest originally issued
+		// each of these calls only after every earlier sync call had
+		// returned, and the server's dependency tracking cannot
+		// reconstruct ordering edges through handles that do not exist yet
+		// (a context created from devices an enumeration call is still
+		// materializing). Forward one call at a time, draining sync
+		// replies in between — this is the recovery path, so latency is
+		// irrelevant next to correctness.
+		allKept = false
+		for i, cf := range calls {
+			call := decoded[i]
+			if call == nil {
+				continue
+			}
+			if !g.drainSyncs(gen) {
+				break // link died again; the guest resubmits under the new epoch
+			}
+			if !g.admit(call, epoch) {
+				continue
+			}
+			if err := g.sendSouth(link, marshal.EncodeBatch([][]byte{cf})); err != nil {
+				g.recover(gen, err)
+				break
+			}
+		}
+	} else {
+		for i, cf := range calls {
+			call := decoded[i]
+			if call == nil {
+				allKept = false
+				continue
+			}
+			if g.admit(call, epoch) {
+				kept = append(kept, cf)
+			} else {
+				allKept = false
+			}
+		}
+		if len(kept) > 0 {
+			out := frame
+			if !allKept {
+				out = marshal.EncodeBatch(kept)
+			}
+			if err := g.sendSouth(link, out); err != nil {
+				g.recover(gen, err)
+				// The frame reached the shadow log before the send, so the
+				// guest's resubmission covers everything in it.
+			}
+		}
+	}
+	if transport.RecvOwned(g.north) {
+		// Tracked entries were deep-copied and any re-encoded batch copied
+		// the call bodies, so the original frame can recycle unless it was
+		// forwarded as-is over an ownership-transferring transport.
+		forwardedWhole := len(kept) > 0 && allKept
+		g.mu.Lock()
+		south := g.link.EP
+		g.mu.Unlock()
+		if !(forwardedWhole && !transport.SendCopies(south)) {
+			framebuf.Put(frame)
+		}
+	}
+	if g.cfg.CheckpointEvery > 0 {
+		g.mu.Lock()
+		due := g.sinceCkpt >= g.cfg.CheckpointEvery && !g.recovering && !g.dead
+		g.mu.Unlock()
+		if due {
+			g.checkpoint()
+		}
+	}
+}
+
+// admit applies epoch fencing, the resubmission dedupe rules and shadow
+// recording to one decoded call. It reports whether the call should be
+// forwarded to the server.
+func (g *Guardian) admit(call *marshal.Call, epoch uint32) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if call.Epoch != epoch {
+		// A frame from before the last recovery: the guest has (or will)
+		// resubmit its window under the new epoch, so forwarding this copy
+		// would double-execute. Dropping is safe precisely because
+		// resubmission covers it.
+		g.stats.StaleDropped++
+		return false
+	}
+
+	resubmit := call.Flags&marshal.FlagResubmit != 0
+	fd, known := g.desc.ByID(call.Func)
+
+	if resubmit && known {
+		if d, ok := g.destroys[call.Seq]; ok && d.pruned {
+			// The destroy took effect before the crash (its prune is
+			// final), so the object was never recreated by replay; a
+			// re-execution would fail on a dangling handle. Answer
+			// success directly — unless the call was asynchronous, in
+			// which case nobody awaits a reply and the drop alone is the
+			// correct outcome.
+			g.stats.SynthesizedDestroys++
+			if call.Flags&marshal.FlagAsync == 0 {
+				g.synthesizeOKLocked(call, fd)
+			}
+			return false
+		}
+		if rc, ok := g.bySeq[call.Seq]; ok && g.replySeen[call.Seq] {
+			if _, rebind := g.pendingRebind[call.Seq]; !rebind {
+				// The original completed and its reply was recorded; replay
+				// already rebuilt the object under the guest's handle
+				// values. Short-circuit with the recorded reply.
+				g.stats.ShortCircuited++
+				g.sendRecordedLocked(call.Seq, rc)
+				return false
+			}
+			// A completed create/config past the recovery watermark: replay
+			// could not include it (it may depend on unreplayed modifies),
+			// so it re-executes here in window order. noteReply rebinds the
+			// fresh handle to the recorded one; the guest discards the
+			// duplicate reply.
+		}
+		g.stats.ResubmitForwarded++
+	}
+
+	if known {
+		switch fd.Track.Kind {
+		case spec.TrackConfig, spec.TrackCreate, spec.TrackModify:
+			if _, dup := g.bySeq[call.Seq]; !dup {
+				rc := &server.RecordedCall{
+					Func: call.Func,
+					Args: server.CloneValues(call.Args),
+					Seq:  call.Seq,
+				}
+				g.entries = append(g.entries, rc)
+				g.bySeq[call.Seq] = rc
+			}
+		case spec.TrackDestroy:
+			if fd.TrackIdx >= 0 && fd.TrackIdx < len(call.Args) {
+				h := call.Args[fd.TrackIdx].Handle()
+				if d, ok := g.destroys[call.Seq]; ok {
+					_ = d // resubmitted unconfirmed destroy: forward again
+				} else {
+					d := &destroyRec{h: h}
+					g.destroys[call.Seq] = d
+					if call.Flags&marshal.FlagAsync != 0 {
+						// No reply will confirm it; prune optimistically.
+						g.pruneLocked(h)
+						d.pruned = true
+					}
+				}
+			}
+		}
+	}
+	if call.Flags&marshal.FlagAsync == 0 {
+		g.inflightSync[call.Seq] = struct{}{}
+	}
+	if call.Seq < marshal.CtrlSeqBase && call.Seq > g.maxSeq {
+		g.maxSeq = call.Seq
+	}
+	g.sinceCkpt++
+	return true
+}
+
+// pruneLocked drops every shadow entry a destroyed handle obsoletes,
+// mirroring Context.record's destroy rule.
+func (g *Guardian) pruneLocked(h marshal.Handle) {
+	kept := g.entries[:0]
+	for _, rc := range g.entries {
+		if rc.Obsoleted(h) {
+			delete(g.bySeq, rc.Seq)
+			delete(g.replySeen, rc.Seq)
+			continue
+		}
+		kept = append(kept, rc)
+	}
+	g.entries = kept
+}
+
+// synthesizeOKLocked answers a resubmitted, already-effective destroy with
+// a success reply built from the spec's success value.
+func (g *Guardian) synthesizeOKLocked(call *marshal.Call, fd *cava.FuncDesc) {
+	ret := marshal.Null()
+	if fd.HasSuccess {
+		ret = marshal.Int(fd.SuccessVal)
+	}
+	rep := &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK, Ret: ret}
+	g.syncDoneLocked(call.Seq)
+	g.sendNorth(marshal.EncodeReply(rep))
+}
+
+// sendRecordedLocked answers a resubmitted call with its recorded reply.
+func (g *Guardian) sendRecordedLocked(seq uint64, rc *server.RecordedCall) {
+	rep := &marshal.Reply{Seq: seq, Status: marshal.StatusOK, Ret: rc.Ret, Outs: rc.Outs}
+	g.syncDoneLocked(seq)
+	g.sendNorth(marshal.EncodeReply(rep))
+}
+
+func (g *Guardian) sendSouth(link ServerLink, frame []byte) error {
+	g.southMu.Lock()
+	defer g.southMu.Unlock()
+	if link.EP == nil {
+		return transport.ErrClosed
+	}
+	return link.EP.Send(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Downlink: server → guardian → guest. One instance per link generation.
+
+func (g *Guardian) downlink(link ServerLink, gen int) {
+	recvOwned := transport.RecvOwned(link.EP)
+	for {
+		frame, err := link.EP.Recv()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed || errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			g.recover(gen, err)
+			return
+		}
+		g.lastRecv.Store(g.clk.Now().UnixNano())
+		if len(frame) < 8 {
+			continue
+		}
+		seq := peekSeq(frame)
+		if seq >= marshal.MarkerSeqBase {
+			g.markerMu.Lock()
+			if ch, ok := g.markerWaiters[seq]; ok {
+				delete(g.markerWaiters, seq)
+				close(ch)
+			}
+			g.markerMu.Unlock()
+			if recvOwned {
+				framebuf.Put(frame)
+			}
+			continue
+		}
+		g.noteReply(seq, frame)
+		g.sendNorth(frame)
+	}
+}
+
+func peekSeq(frame []byte) uint64 {
+	return uint64(frame[0]) | uint64(frame[1])<<8 | uint64(frame[2])<<16 | uint64(frame[3])<<24 |
+		uint64(frame[4])<<32 | uint64(frame[5])<<40 | uint64(frame[6])<<48 | uint64(frame[7])<<56
+}
+
+// noteReply completes the shadow bookkeeping for one server reply: sync
+// drain tracking, recorded-reply capture for creates/configs/modifies, and
+// destroy confirmation.
+func (g *Guardian) noteReply(seq uint64, frame []byte) {
+	g.mu.Lock()
+	rc, tracked := g.bySeq[seq]
+	_, rebind := g.pendingRebind[seq]
+	if !rebind {
+		// For pendingRebind replies the sync-drain release waits until the
+		// rebind below has been applied, so a quiesce cannot snapshot the
+		// object under its fresh (not yet rebound) handle.
+		g.syncDoneLocked(seq)
+	}
+	needBody := tracked && (!g.replySeen[seq] || rebind)
+	d, isDestroy := g.destroys[seq]
+	needBody = needBody || (isDestroy && !d.pruned)
+	g.mu.Unlock()
+	if !needBody {
+		return
+	}
+	rep, err := marshal.DecodeReply(frame)
+	if err != nil {
+		if rebind {
+			g.mu.Lock()
+			g.syncDoneLocked(seq)
+			g.mu.Unlock()
+		}
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if isDestroy && !d.pruned {
+		if rep.Status == marshal.StatusOK {
+			g.pruneLocked(d.h)
+			d.pruned = true
+		} else {
+			// The destroy failed; the object lives on. Forget the record
+			// so a resubmission re-executes rather than synthesizing.
+			delete(g.destroys, seq)
+		}
+		return
+	}
+	if rebind {
+		// Re-execution of a completed create/config past the recovery
+		// watermark: keep the RECORDED reply (the guest holds its handles)
+		// and move the freshly created object under the recorded handle
+		// values in the server's table.
+		g.syncDoneLocked(seq)
+		delete(g.pendingRebind, seq)
+		if rep.Status != marshal.StatusOK {
+			// Re-execution failed: the object no longer exists on the new
+			// server. Forget it so neither replay nor short-circuiting
+			// claims otherwise.
+			g.dropEntryLocked(seq)
+			return
+		}
+		if fd, ok := g.desc.ByID(rc.Func); ok {
+			g.rebindRecordedLocked(fd, rc, rep)
+		}
+		return
+	}
+	if rep.Status != marshal.StatusOK {
+		// The call failed: it contributes no device state. Drop the
+		// provisional entry so replay never re-executes a failure.
+		g.dropEntryLocked(seq)
+		return
+	}
+	rc.Ret = rep.Ret
+	rc.Outs = server.CloneValues(rep.Outs)
+	if fd, ok := g.desc.ByID(rc.Func); ok && fd.Track.Kind == spec.TrackCreate {
+		rc.Created = createdHandle(fd, rep)
+	}
+	g.replySeen[seq] = true
+	if rc.Ret.Kind == marshal.KindBytes {
+		rc.Ret.Bytes = append([]byte(nil), rc.Ret.Bytes...)
+	}
+}
+
+// createdHandle extracts the handle a create call produced, mirroring the
+// server's record path: the tracked out-parameter slot if any, else a
+// handle-typed return value.
+func createdHandle(fd *cava.FuncDesc, rep *marshal.Reply) marshal.Handle {
+	if fd.TrackIdx >= 0 {
+		slot := 0
+		for i := range fd.Params {
+			if !fd.Params[i].Out() {
+				continue
+			}
+			if i == fd.TrackIdx {
+				if slot < len(rep.Outs) && rep.Outs[slot].Kind == marshal.KindHandle {
+					return rep.Outs[slot].Handle()
+				}
+				return 0
+			}
+			slot++
+		}
+		return 0
+	}
+	if rep.Ret.Kind == marshal.KindHandle {
+		return rep.Ret.Handle()
+	}
+	return 0
+}
+
+func (g *Guardian) dropEntryLocked(seq uint64) {
+	rc, ok := g.bySeq[seq]
+	if !ok {
+		return
+	}
+	delete(g.bySeq, seq)
+	delete(g.replySeen, seq)
+	delete(g.pendingRebind, seq)
+	for i, e := range g.entries {
+		if e == rc {
+			g.entries = append(g.entries[:i], g.entries[i+1:]...)
+			break
+		}
+	}
+}
+
+// rebindRecordedLocked moves the handles a re-executed create/config just
+// produced (in rep) to the values its original execution gave the guest (in
+// rc), mirroring migrate's rebind. Best-effort: a link without a local
+// server table (wire-only) or a vanished fresh handle leaves the table
+// untouched rather than failing the reply path.
+func (g *Guardian) rebindRecordedLocked(fd *cava.FuncDesc, rc *server.RecordedCall, rep *marshal.Reply) {
+	ctx := g.link.Ctx
+	if ctx == nil {
+		return
+	}
+	type pair struct{ old, new marshal.Handle }
+	var pairs []pair
+	add := func(old, new marshal.Handle) {
+		if old != 0 && new != 0 && old != new {
+			pairs = append(pairs, pair{old, new})
+		}
+	}
+	if rc.Ret.Kind == marshal.KindHandle && rep.Ret.Kind == marshal.KindHandle {
+		add(rc.Ret.Handle(), rep.Ret.Handle())
+	}
+	if len(rc.Outs) == len(rep.Outs) {
+		slot := 0
+		for i := range fd.Params {
+			pd := &fd.Params[i]
+			if !pd.Out() {
+				continue
+			}
+			oldV, newV := rc.Outs[slot], rep.Outs[slot]
+			slot++
+			switch {
+			case oldV.Kind == marshal.KindHandle && newV.Kind == marshal.KindHandle:
+				add(oldV.Handle(), newV.Handle())
+			case pd.Kind == spec.KindHandle && oldV.Kind == marshal.KindBytes && newV.Kind == marshal.KindBytes:
+				n := min(len(oldV.Bytes), len(newV.Bytes)) / 8
+				for j := 0; j < n; j++ {
+					add(marshal.Handle(binary.LittleEndian.Uint64(oldV.Bytes[8*j:])),
+						marshal.Handle(binary.LittleEndian.Uint64(newV.Bytes[8*j:])))
+				}
+			}
+		}
+	}
+	// Two phases so fresh handles that collide with original values within
+	// one reply cannot shadow each other.
+	objs := make([]any, len(pairs))
+	for i, p := range pairs {
+		obj, ok := ctx.Handles.Remove(p.new)
+		if !ok {
+			objs[i] = nil
+			continue
+		}
+		objs[i] = obj
+	}
+	for i, p := range pairs {
+		if objs[i] == nil {
+			continue
+		}
+		if err := ctx.Handles.InsertAt(p.old, objs[i]); err != nil {
+			// The original slot is occupied (exotic handle reuse); leave the
+			// object under its fresh value so server state stays consistent.
+			_ = ctx.Handles.InsertAt(p.new, objs[i])
+			continue
+		}
+		ctx.RemapRecorded(p.new, p.old)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints.
+
+// checkpoint quiesces the server and snapshots stateful objects, advancing
+// the watermark. The caller holds quiesceMu, so no new calls flow south
+// while it runs; in-flight ones drain through the live downlink.
+func (g *Guardian) checkpoint() error {
+	g.mu.Lock()
+	if g.recovering || g.dead || g.closed {
+		g.mu.Unlock()
+		return fmt.Errorf("failover: checkpoint skipped: guardian not steady")
+	}
+	link := g.link
+	gen := g.linkGen
+	w := g.maxSeq
+	g.mu.Unlock()
+
+	if err := g.waitSyncDrain(gen); err != nil {
+		return err
+	}
+	// Marker barrier: the server replies only after every async issued
+	// before the marker has completed, so device state is now exactly the
+	// effects of calls with seq <= w.
+	if err := g.probeMarker(link); err != nil {
+		return err
+	}
+
+	var objects map[marshal.Handle][]byte
+	if link.Ctx != nil && link.Adapter != nil {
+		objects = make(map[marshal.Handle][]byte)
+		var snapErr error
+		link.Ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+			if snapErr != nil {
+				return
+			}
+			state, stateful, err := link.Adapter.SnapshotObject(obj)
+			if err != nil {
+				snapErr = err
+				return
+			}
+			if stateful {
+				objects[h] = state
+			}
+		})
+		if snapErr != nil {
+			return fmt.Errorf("failover: checkpoint snapshot: %w", snapErr)
+		}
+	}
+
+	g.mu.Lock()
+	if g.linkGen != gen {
+		g.mu.Unlock()
+		return fmt.Errorf("failover: checkpoint aborted by recovery")
+	}
+	g.ckptObjects = objects
+	g.ckptW = w
+	g.sinceCkpt = 0
+	g.stats.Checkpoints++
+	g.stats.LastWatermark = w
+	// Destroy records at or below the watermark can never be resubmitted
+	// (the guest trims its window to seq > w); drop them.
+	for seq, d := range g.destroys {
+		if seq <= w && d.pruned {
+			delete(g.destroys, seq)
+		}
+	}
+	epoch := g.epoch
+	g.mu.Unlock()
+
+	g.sendNorth(EncodeControl(CtrlCheckpoint, epoch, w))
+	return nil
+}
+
+// drainSyncs waits until every forwarded sync call has been answered,
+// reporting false if the link changed (recovery, death, close) meanwhile.
+// Used to serialize resubmitted calls into original program order; woken
+// by syncDoneLocked each time the in-flight set empties.
+func (g *Guardian) drainSyncs(gen int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.linkGen != gen || g.recovering || g.closed || g.dead {
+			return false
+		}
+		if len(g.inflightSync) == 0 {
+			return true
+		}
+		g.cond.Wait()
+	}
+}
+
+// syncDoneLocked retires one answered sync call and wakes resubmission
+// serialization when the in-flight set drains.
+func (g *Guardian) syncDoneLocked(seq uint64) {
+	delete(g.inflightSync, seq)
+	if len(g.inflightSync) == 0 {
+		g.cond.Broadcast()
+	}
+}
+
+// waitSyncDrain blocks until every forwarded sync call has been answered.
+func (g *Guardian) waitSyncDrain(gen int) error {
+	for {
+		g.mu.Lock()
+		n := len(g.inflightSync)
+		aborted := g.linkGen != gen || g.recovering || g.closed || g.dead
+		g.mu.Unlock()
+		if aborted {
+			return fmt.Errorf("failover: quiesce aborted by recovery")
+		}
+		if n == 0 {
+			return nil
+		}
+		g.clk.Sleep(200 * time.Microsecond)
+	}
+}
+
+// probeMarker sends one marker call south and waits for its reply within
+// the liveness timeout; a recovery starting meanwhile aborts the wait.
+func (g *Guardian) probeMarker(link ServerLink) error {
+	g.mu.Lock()
+	abort := g.abort
+	g.mu.Unlock()
+	g.markerMu.Lock()
+	g.markerN++
+	id := marshal.MarkerSeqBase + g.markerN
+	ch := make(chan struct{})
+	g.markerWaiters[id] = ch
+	g.markerMu.Unlock()
+
+	cleanup := func() {
+		g.markerMu.Lock()
+		delete(g.markerWaiters, id)
+		g.markerMu.Unlock()
+	}
+
+	marker := marshal.EncodeCall(&marshal.Call{Seq: id, Func: markerFunc})
+	if err := g.sendSouth(link, marshal.EncodeBatch([][]byte{marker})); err != nil {
+		cleanup()
+		return err
+	}
+
+	timeout := make(chan struct{})
+	stop := g.clk.AfterFunc(g.cfg.LivenessTimeout, func() { close(timeout) })
+	defer stop()
+	select {
+	case <-ch:
+		return nil
+	case <-timeout:
+		cleanup()
+		return fmt.Errorf("failover: marker unanswered after %v", g.cfg.LivenessTimeout)
+	case <-abort:
+		cleanup()
+		return fmt.Errorf("failover: marker aborted by recovery")
+	case <-g.done:
+		cleanup()
+		return fmt.Errorf("failover: guardian closed")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Liveness probing.
+
+func (g *Guardian) heartbeat() {
+	for {
+		g.clk.Sleep(g.cfg.HeartbeatEvery)
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		g.mu.Lock()
+		busy := g.recovering || g.dead || g.closed
+		link := g.link
+		gen := g.linkGen
+		g.mu.Unlock()
+		if busy {
+			if g.isDead() {
+				return
+			}
+			continue
+		}
+		idle := g.clk.Now().UnixNano()-g.lastRecv.Load() >= int64(g.cfg.HeartbeatEvery)
+		if !idle {
+			continue
+		}
+		if err := g.probeMarker(link); err != nil {
+			// A deaf link (silent drops) produces no transport error; the
+			// unanswered marker is the only failure signal.
+			g.recover(gen, err)
+		}
+	}
+}
+
+func (g *Guardian) isDead() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dead || g.closed
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+// recover rebuilds the server side after gen's link failed: bump the epoch
+// (fencing stale frames at the router), dial a replacement under the
+// backoff budget, replay the filtered shadow log onto it, then announce the
+// new epoch north so the guest resubmits its unacked window.
+func (g *Guardian) recover(gen int, cause error) {
+	g.mu.Lock()
+	if g.linkGen != gen || g.recovering || g.closed || g.dead {
+		g.mu.Unlock()
+		return // someone else already recovered (or is recovering) this link
+	}
+	g.recovering = true
+	// Abort in-flight marker waits immediately: their replies died with
+	// the server, and a checkpoint blocked on one holds quiesceMu — which
+	// would stall the uplink (and the guest's resubmission) for the full
+	// liveness timeout.
+	close(g.abort)
+	g.epoch++
+	epoch := g.epoch
+	oldEP := g.link.EP
+	w := g.ckptW
+	objects := g.ckptObjects
+	log := g.filteredLogLocked(w)
+	g.mu.Unlock()
+
+	start := g.clk.Now()
+	if g.cfg.OnEpoch != nil {
+		// Fence first: the router drops stale-epoch frames from here on,
+		// so nothing sent under the old epoch can reach the new server.
+		g.cfg.OnEpoch(epoch)
+	}
+	if oldEP != nil {
+		transport.Sever(oldEP)
+	}
+
+	series := g.bo.Series()
+	for {
+		link, err := g.dial()
+		if err == nil {
+			err = g.replayOnto(link, log, objects)
+			if err != nil && link.EP != nil {
+				transport.Sever(link.EP)
+			}
+		}
+		if err == nil {
+			g.finishRecovery(link, epoch, w, start)
+			return
+		}
+		d, ok := series.Next()
+		if !ok {
+			g.die(fmt.Errorf("failover: recovery abandoned after %v (cause: %w; last: %v)", series.Spent(), cause, err))
+			return
+		}
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		g.clk.Sleep(d)
+	}
+}
+
+// filteredLogLocked derives the replay log for a recovery at watermark w.
+// Replay runs strictly up to the watermark so the original order between
+// creates, configs and modifies is preserved — a create past w may depend
+// on a modify past w (a kernel created from a freshly built program), and
+// only the guest's in-order window resubmission can re-execute that
+// correctly:
+//
+//   - confirmed creates and configs at or below w replay and rebind to the
+//     guest's handle values;
+//   - modifies at or below w replay in place;
+//   - everything past w — and any unconfirmed create/config — is left to
+//     the guest's resubmission, which re-executes the window in true
+//     sequence order.
+func (g *Guardian) filteredLogLocked(w uint64) []server.RecordedCall {
+	out := make([]server.RecordedCall, 0, len(g.entries))
+	for _, rc := range g.entries {
+		if rc.Seq > w {
+			continue
+		}
+		fd, ok := g.desc.ByID(rc.Func)
+		if !ok {
+			continue
+		}
+		switch fd.Track.Kind {
+		case spec.TrackCreate, spec.TrackConfig:
+			if g.replySeen[rc.Seq] {
+				out = append(out, *rc)
+			}
+		case spec.TrackModify:
+			out = append(out, *rc)
+		}
+	}
+	// Modifies re-recorded during a past resubmission append after older
+	// kept entries; replay must run in true guest sequence order.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// replayOnto reconstructs accelerator state on a fresh link: recorded calls
+// re-execute and rebind, then stateful objects restore from the checkpoint.
+func (g *Guardian) replayOnto(link ServerLink, log []server.RecordedCall, objects map[marshal.Handle][]byte) error {
+	if link.Server == nil || link.Ctx == nil {
+		return nil // wire-only link: reconnect without replay
+	}
+	snap := &migrate.Snapshot{
+		VM:      link.Ctx.VM,
+		Name:    link.Ctx.Name,
+		Log:     log,
+		Objects: objects,
+	}
+	// Objects destroyed after the checkpoint have no recreated handle;
+	// skip their state instead of failing the whole recovery.
+	_, err := migrate.RestoreWith(snap, link.Server, link.Ctx, link.Adapter, migrate.RestoreOptions{
+		SkipUnknownObjects: true,
+	})
+	return err
+}
+
+// finishRecovery installs the fresh link and rebuilds shadow state to match
+// exactly what was replayed.
+func (g *Guardian) finishRecovery(link ServerLink, epoch uint32, w uint64, start time.Time) {
+	g.mu.Lock()
+	// Rebuild the shadow log to match the replayed state: unconfirmed
+	// entries and modifies past the watermark were dropped and will be
+	// re-recorded when the guest resubmits them. Completed creates/configs
+	// past the watermark keep their recorded replies (the guest holds those
+	// handle values) but are marked pendingRebind: their resubmitted copies
+	// re-execute and the fresh handles are rebound to the recorded ones.
+	kept := make([]*server.RecordedCall, 0, len(g.entries))
+	bySeq := make(map[uint64]*server.RecordedCall, len(g.entries))
+	replySeen := make(map[uint64]bool, len(g.entries))
+	pendingRebind := make(map[uint64]struct{})
+	for _, rc := range g.entries {
+		fd, ok := g.desc.ByID(rc.Func)
+		if !ok {
+			continue
+		}
+		keep := false
+		switch fd.Track.Kind {
+		case spec.TrackCreate, spec.TrackConfig:
+			keep = g.replySeen[rc.Seq]
+			if keep && rc.Seq > w {
+				pendingRebind[rc.Seq] = struct{}{}
+			}
+		case spec.TrackModify:
+			keep = rc.Seq <= w
+		}
+		if keep {
+			kept = append(kept, rc)
+			bySeq[rc.Seq] = rc
+			if g.replySeen[rc.Seq] {
+				replySeen[rc.Seq] = true
+			}
+		}
+	}
+	g.entries = kept
+	g.bySeq = bySeq
+	g.replySeen = replySeen
+	g.pendingRebind = pendingRebind
+	g.inflightSync = make(map[uint64]struct{})
+	g.abort = make(chan struct{})
+	// The new server's state lineage only covers replayed calls (<= w);
+	// resubmission re-forwards the window in seq order and maxSeq climbs
+	// back as it does. A checkpoint cut mid-resubmission therefore cannot
+	// claim a watermark past what has actually re-executed — which would
+	// let the guest trim retained frames it still needs.
+	g.maxSeq = w
+	g.link = link
+	g.linkGen++
+	gen := g.linkGen
+	g.recovering = false
+	g.stats.Recoveries++
+	g.stats.LastRecoveryPause = g.clk.Since(start)
+	g.mu.Unlock()
+
+	g.lastRecv.Store(g.clk.Now().UnixNano())
+	go g.downlink(link, gen)
+	// Announce after the link is live: the guest's resubmission batch must
+	// find a working path.
+	g.sendNorth(EncodeControl(CtrlRecover, epoch, w))
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// die abandons recovery: the guest is told to surface ErrRetryable.
+func (g *Guardian) die(err error) {
+	g.mu.Lock()
+	g.dead = true
+	g.deadErr = err
+	g.recovering = false
+	epoch := g.epoch
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	g.sendNorth(EncodeControl(CtrlDead, epoch, 0))
+}
+
+// DeadErr returns the terminal error if recovery was abandoned, else nil.
+func (g *Guardian) DeadErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deadErr
+}

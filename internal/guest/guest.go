@@ -23,6 +23,7 @@ import (
 	"ava/internal/averr"
 	"ava/internal/cava"
 	"ava/internal/clock"
+	"ava/internal/failover"
 	"ava/internal/framebuf"
 	"ava/internal/marshal"
 	"ava/internal/spec"
@@ -37,6 +38,7 @@ var (
 	ErrDeadlineExceeded = averr.ErrDeadlineExceeded
 	ErrCanceled         = averr.ErrCanceled
 	ErrOverloaded       = averr.ErrOverloaded
+	ErrRetryable        = averr.ErrRetryable
 )
 
 // APIError is a remote API failure surfaced by the stack itself
@@ -83,6 +85,31 @@ type Stats struct {
 	// the router's deferred-denial contract, earlier async calls) shed by
 	// the hypervisor's load shedder.
 	OverloadDenied uint64
+	// OverloadRetries counts transparent re-sends of synchronous calls that
+	// were denied with StatusOverload (WithOverloadRetry); each retried
+	// denial also counts in OverloadDenied.
+	OverloadRetries uint64
+	// Reconnects counts endpoint-epoch changes absorbed transparently: one
+	// per server recovery the library resubmitted its unacked window for.
+	Reconnects uint64
+	// ResubmittedCalls counts retained calls re-sent after recoveries.
+	ResubmittedCalls uint64
+	// RetryableFailed counts calls failed with averr.ErrRetryable because
+	// their frame could not be replayed (retention window overflowed, or
+	// recovery was abandoned). Zero in a healthy deployment.
+	RetryableFailed uint64
+	// RetainDropped counts retained frames evicted undone because the
+	// retention window overflowed; such calls cannot be resubmitted after
+	// a crash. Size FailoverPolicy.Retain above the guardian's checkpoint
+	// interval to keep this at zero.
+	RetainDropped uint64
+	// StaleRepliesDropped counts replies discarded because their call had
+	// already retired — a reply the dead server incarnation got onto the
+	// wire before the crash, arriving after recovery short-circuited the
+	// resubmitted copy from the record log (or the reverse order). Under
+	// the at-least-once recovery protocol duplicates are expected noise;
+	// without failover the same reply is a protocol violation.
+	StaleRepliesDropped uint64
 
 	// Per-stage latency accumulators, summed over the StagedCalls
 	// synchronous calls whose replies carried a full stamp block; divide
@@ -149,6 +176,72 @@ func WithDeadlineSlack(d time.Duration) Option {
 	return func(l *Lib) { l.deadlineSlack = d }
 }
 
+// FailoverPolicy configures guest-side participation in API-server
+// failover. Every transmitted call is retained (an owned copy of its
+// encoded frame) until a guardian checkpoint notice covers it; when the
+// guardian announces a recovery onto a new endpoint epoch, the library
+// transparently resubmits its unacked window in sequence order, stamped
+// with the new epoch.
+type FailoverPolicy struct {
+	// Retain caps the retained-call window; 0 means 4096. It must
+	// comfortably exceed the guardian's CheckpointEvery, or calls can be
+	// evicted before a checkpoint covers them (Stats.RetainDropped) and
+	// surface averr.ErrRetryable after a crash instead of replaying.
+	Retain int
+}
+
+// WithFailover enables transparent resubmission after server recovery.
+func WithFailover(p FailoverPolicy) Option {
+	return func(l *Lib) {
+		if p.Retain <= 0 {
+			p.Retain = 4096
+		}
+		l.fo = &foState{
+			policy: p,
+			bySeq:  make(map[uint64]*retained),
+			ctrl:   make(chan ctrlMsg, 16),
+			done:   make(chan struct{}),
+		}
+	}
+}
+
+// WithOverloadRetry enables transparent retry of synchronous calls denied
+// with StatusOverload: each denied call draws jittered delays from its own
+// backoff series until the call succeeds, its deadline would pass mid-sleep,
+// or the series' budget is spent (the denial then surfaces as usual).
+func WithOverloadRetry(cfg failover.BackoffConfig) Option {
+	return func(l *Lib) { l.retryB = failover.NewBackoff(cfg) }
+}
+
+// retained is one call's resubmission record: an owned copy of its encoded
+// frame plus the bookkeeping that decides whether a recovery replays it.
+type retained struct {
+	seq   uint64
+	body  []byte // encoded call, no length prefix
+	track spec.TrackKind
+	sync  bool
+	sent  bool // false while the call still sits in the un-flushed batch
+	done  bool // result delivered (or locally dropped): never resubmit as-is
+}
+
+// ctrlMsg is one decoded guardian control notice.
+type ctrlMsg struct {
+	kind  byte
+	epoch uint32
+	w     uint64
+}
+
+// foState is the retention window plus the control-notice queue. The
+// window is guarded by l.mu; ctrl is fed by the demux and drained by
+// foLoop so control handling never blocks reply delivery.
+type foState struct {
+	policy  FailoverPolicy
+	entries []*retained // ascending seq
+	bySeq   map[uint64]*retained
+	ctrl    chan ctrlMsg
+	done    chan struct{}
+}
+
 // CallOptions carries per-call forwarding metadata. The zero value means
 // "use the library defaults".
 type CallOptions struct {
@@ -168,9 +261,10 @@ type CallOptions struct {
 // length-prefixed frame sits in pendingBuf, and the deadline bookkeeping
 // that lets takePending excise calls that expired while batched.
 type pendingCall struct {
-	off, end int   // [off, end) segment of pendingBuf (incl. length prefix)
-	deadline int64 // absolute UnixNano on the library clock; 0 = none
-	async    bool  // only async calls may be dropped locally
+	off, end int    // [off, end) segment of pendingBuf (incl. length prefix)
+	deadline int64  // absolute UnixNano on the library clock; 0 = none
+	async    bool   // only async calls may be dropped locally
+	seq      uint64 // ties the segment to its retained entry
 }
 
 func (pc *pendingCall) expired(now int64) bool {
@@ -207,11 +301,14 @@ type Lib struct {
 
 	mu          sync.Mutex
 	seq         uint64
+	epoch       uint32        // current endpoint epoch, stamped on every call
 	pendingBuf  []byte        // batch frame under construction (async calls)
 	pendingN    int           // calls in pendingBuf
 	pendingMeta []pendingCall // one entry per call in pendingBuf
 	deferred    error
 	stats       Stats
+	fo          *foState          // nil unless WithFailover
+	retryB      *failover.Backoff // nil unless WithOverloadRetry
 
 	// Reply demultiplexer state. waitMu is ordered strictly inside mu and
 	// the demux goroutine takes only waitMu, never mu: the demux must
@@ -220,7 +317,12 @@ type Lib struct {
 	demuxOnce sync.Once
 	waitMu    sync.Mutex
 	waiters   map[uint64]chan demuxResult
-	recvErr   error // sticky demux failure; set once, fails all later calls
+	discard   map[uint64]struct{} // resubmitted completed calls: eat the reply
+	retiredHi uint64              // highest seq whose reply was ever delivered or discarded
+	staleDup  uint64              // duplicate replies for retired seqs, dropped (failover only)
+	recvErr   error               // sticky demux failure; set once, fails all later calls
+
+	closeOnce sync.Once
 }
 
 // New creates a guest library over an established transport endpoint.
@@ -228,6 +330,12 @@ func New(desc *cava.Descriptor, ep transport.Endpoint, opts ...Option) *Lib {
 	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal(), deadlineSlack: 200 * time.Microsecond}
 	for _, o := range opts {
 		o(l)
+	}
+	if l.fo != nil {
+		// Control notices can arrive before the first synchronous call
+		// registers a waiter; the demux must be listening from the start.
+		l.demuxOnce.Do(func() { go l.demux() })
+		go l.foLoop()
 	}
 	return l
 }
@@ -238,8 +346,12 @@ func (l *Lib) Descriptor() *cava.Descriptor { return l.desc }
 // Stats returns a copy of the library's counters.
 func (l *Lib) Stats() Stats {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	s := l.stats
+	l.mu.Unlock()
+	l.waitMu.Lock()
+	s.StaleRepliesDropped = l.staleDup
+	l.waitMu.Unlock()
+	return s
 }
 
 // DeferredError returns and clears the stored failure of an earlier
@@ -369,123 +481,152 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 	// Short critical section: sequence allocation, encode into the batch
 	// frame, and (for sync calls) waiter registration plus send. The reply
 	// round trip happens outside the lock, so other goroutines pipeline
-	// their own calls over the same endpoint meanwhile.
-	l.mu.Lock()
+	// their own calls over the same endpoint meanwhile. Synchronous calls
+	// loop: an overload denial re-sends the call (fresh sequence number and
+	// encode stamp) after a jittered backoff when WithOverloadRetry is on.
+	var series *failover.Series
+	for {
+		l.mu.Lock()
 
-	pri := opts.Priority
-	if pri == 0 {
-		pri = l.defPriority
-	}
-
-	l.seq++
-	call := &marshal.Call{Seq: l.seq, Func: fd.ID, Priority: pri, Deadline: deadline, Args: values}
-	call.Stamps.Encode = now.UnixNano()
-	l.stats.Calls++
-
-	if !sync {
-		call.Flags |= marshal.FlagAsync
-		if l.pendingN > 0 {
-			call.Flags |= marshal.FlagBatched
+		pri := opts.Priority
+		if pri == 0 {
+			pri = l.defPriority
 		}
-		l.appendPending(call, deadline, true)
-		l.stats.AsyncCalls++
-		var err error
-		if l.pendingN >= l.batchLimit {
-			err = l.flushLocked()
-		} else if l.deadlinePressure(now) {
-			// Deadline-aware batching: the oldest batched call's budget is
-			// nearly spent, so flush now rather than let it expire queued.
-			l.stats.BatchDeadlineFlushes++
-			err = l.flushLocked()
+
+		l.seq++
+		call := &marshal.Call{Seq: l.seq, Func: fd.ID, Priority: pri, Epoch: l.epoch, Deadline: deadline, Args: values}
+		call.Stamps.Encode = now.UnixNano()
+		l.stats.Calls++
+
+		if !sync {
+			call.Flags |= marshal.FlagAsync
+			if l.pendingN > 0 {
+				call.Flags |= marshal.FlagBatched
+			}
+			l.appendPending(fd, call, deadline, true)
+			l.stats.AsyncCalls++
+			var err error
+			if l.pendingN >= l.batchLimit {
+				err = l.flushLocked()
+			} else if l.deadlinePressure(now) {
+				// Deadline-aware batching: the oldest batched call's budget is
+				// nearly spent, so flush now rather than let it expire queued.
+				l.stats.BatchDeadlineFlushes++
+				err = l.flushLocked()
+			}
+			l.mu.Unlock()
+			if err != nil {
+				return marshal.Null(), err
+			}
+			if fd.HasSuccess {
+				return marshal.Int(fd.SuccessVal), nil
+			}
+			return marshal.Null(), nil
 		}
-		l.mu.Unlock()
+
+		l.stats.SyncCalls++
+		l.appendPending(fd, call, deadline, false)
+		batch, _ := l.takePending()
+
+		l.stats.Batches++
+		l.stats.BytesSent += uint64(len(batch))
+		// Register before Send: the reply may race back before this goroutine
+		// would otherwise get around to waiting for it.
+		ch, err := l.register(call.Seq)
+		if err == nil {
+			if serr := l.ep.Send(batch); serr != nil {
+				l.unregister(call.Seq)
+				err = serr
+			} else if transport.SendCopies(l.ep) {
+				framebuf.Put(batch)
+			}
+		}
 		if err != nil {
+			l.markDoneLocked(call.Seq)
+			l.mu.Unlock()
 			return marshal.Null(), err
 		}
-		if fd.HasSuccess {
-			return marshal.Int(fd.SuccessVal), nil
-		}
-		return marshal.Null(), nil
-	}
+		l.mu.Unlock()
 
-	l.stats.SyncCalls++
-	l.appendPending(call, deadline, false)
-	batch, _ := l.takePending()
-
-	l.stats.Batches++
-	l.stats.BytesSent += uint64(len(batch))
-	// Register before Send: the reply may race back before this goroutine
-	// would otherwise get around to waiting for it.
-	ch, err := l.register(call.Seq)
-	if err == nil {
-		if serr := l.ep.Send(batch); serr != nil {
-			l.unregister(call.Seq)
-			err = serr
-		} else if transport.SendCopies(l.ep) {
-			framebuf.Put(batch)
+		res := <-ch
+		if res.err != nil {
+			l.mu.Lock()
+			l.markDoneLocked(call.Seq)
+			l.mu.Unlock()
+			return marshal.Null(), res.err
 		}
-	}
-	l.mu.Unlock()
-	if err != nil {
-		return marshal.Null(), err
-	}
-
-	res := <-ch
-	if res.err != nil {
-		return marshal.Null(), res.err
-	}
-	reply := res.reply
-	// The reply stage closes when results reach the caller, so output
-	// scatter (which can copy large buffers) is charged to it; stamps are
-	// recorded on error returns too, since a failed call consumed the
-	// same stack path. stagedLocked runs under l.mu on this goroutine —
-	// the demux goroutine never touches the stats lock.
-	stagedLocked := func() {
-		l.stats.BytesRecv += uint64(len(res.frame))
-		st := reply.Stamps
-		if st.Done == 0 || st.Encode == 0 || st.Admit == 0 || st.Dispatch == 0 {
-			return
+		reply := res.reply
+		// The reply stage closes when results reach the caller, so output
+		// scatter (which can copy large buffers) is charged to it; stamps are
+		// recorded on error returns too, since a failed call consumed the
+		// same stack path. stagedLocked runs under l.mu on this goroutine —
+		// the demux goroutine never touches the stats lock.
+		stagedLocked := func() {
+			l.stats.BytesRecv += uint64(len(res.frame))
+			st := reply.Stamps
+			if st.Done == 0 || st.Encode == 0 || st.Admit == 0 || st.Dispatch == 0 {
+				return
+			}
+			recv := l.clk.Now().UnixNano()
+			l.stats.StagedCalls++
+			l.stats.StageEncodeToAdmit += time.Duration(st.Admit - st.Encode)
+			l.stats.StageAdmitToDispatch += time.Duration(st.Dispatch - st.Admit)
+			l.stats.StageExec += time.Duration(st.Done - st.Dispatch)
+			l.stats.StageReply += time.Duration(recv - st.Done)
 		}
-		recv := l.clk.Now().UnixNano()
-		l.stats.StagedCalls++
-		l.stats.StageEncodeToAdmit += time.Duration(st.Admit - st.Encode)
-		l.stats.StageAdmitToDispatch += time.Duration(st.Dispatch - st.Admit)
-		l.stats.StageExec += time.Duration(st.Done - st.Dispatch)
-		l.stats.StageReply += time.Duration(recv - st.Done)
-	}
-	// release recycles the reply frame once nothing returned to the caller
-	// can alias it; a KindBytes return value is copied out first.
-	release := func() {
-		if !transport.RecvOwned(l.ep) {
-			return
+		// release recycles the reply frame once nothing returned to the caller
+		// can alias it; a KindBytes return value is copied out first.
+		release := func() {
+			if !transport.RecvOwned(l.ep) {
+				return
+			}
+			if reply.Ret.Kind == marshal.KindBytes {
+				reply.Ret.Bytes = append([]byte(nil), reply.Ret.Bytes...)
+			}
+			framebuf.Put(res.frame)
 		}
-		if reply.Ret.Kind == marshal.KindBytes {
-			reply.Ret.Bytes = append([]byte(nil), reply.Ret.Bytes...)
+		if reply.Status != marshal.StatusOK {
+			retry := false
+			var delay time.Duration
+			l.mu.Lock()
+			l.markDoneLocked(call.Seq)
+			if reply.Status == marshal.StatusOverload {
+				l.stats.OverloadDenied++
+				if l.retryB != nil {
+					if series == nil {
+						series = l.retryB.Series()
+					}
+					if d, ok := series.Next(); ok &&
+						(deadline == 0 || l.clk.Now().UnixNano()+int64(d) < deadline) {
+						retry, delay = true, d
+						l.stats.OverloadRetries++
+					}
+				}
+			}
+			stagedLocked()
+			l.mu.Unlock()
+			release()
+			if retry {
+				l.clk.Sleep(delay)
+				now = l.clk.Now()
+				continue
+			}
+			return marshal.Null(), &APIError{Func: fd.Name, Status: reply.Status, Detail: reply.Err}
 		}
-		framebuf.Put(res.frame)
-	}
-	if reply.Status != marshal.StatusOK {
+		err = scatter(fd, reply, outs)
 		l.mu.Lock()
-		if reply.Status == marshal.StatusOverload {
-			l.stats.OverloadDenied++
+		l.markDoneLocked(call.Seq)
+		if reply.Err != "" {
+			l.deferred = fmt.Errorf("guest: %s", reply.Err)
 		}
 		stagedLocked()
 		l.mu.Unlock()
 		release()
-		return marshal.Null(), &APIError{Func: fd.Name, Status: reply.Status, Detail: reply.Err}
+		if err != nil {
+			return marshal.Null(), err
+		}
+		return reply.Ret, nil
 	}
-	err = scatter(fd, reply, outs)
-	l.mu.Lock()
-	if reply.Err != "" {
-		l.deferred = fmt.Errorf("guest: %s", reply.Err)
-	}
-	stagedLocked()
-	l.mu.Unlock()
-	release()
-	if err != nil {
-		return marshal.Null(), err
-	}
-	return reply.Ret, nil
 }
 
 // register installs the reply channel for seq and lazily starts the
@@ -509,7 +650,19 @@ func (l *Lib) register(seq uint64) (chan demuxResult, error) {
 func (l *Lib) unregister(seq uint64) {
 	l.waitMu.Lock()
 	delete(l.waiters, seq)
+	// An abandoned call may still see a late reply; count it retired so
+	// that reply is recognized as stale under failover.
+	l.noteRetiredLocked(seq)
 	l.waitMu.Unlock()
+}
+
+// noteRetiredLocked (waitMu held) records that seq's reply has been
+// delivered, discarded or abandoned: any further reply for a seq at or
+// below the high-water mark is a recovery duplicate, not a new call's.
+func (l *Lib) noteRetiredLocked(seq uint64) {
+	if seq > l.retiredHi {
+		l.retiredHi = seq
+	}
 }
 
 // demux is the reply demultiplexer: it owns the endpoint's receive side,
@@ -529,10 +682,42 @@ func (l *Lib) demux() {
 			l.failWaiters(err)
 			return
 		}
+		if reply.Seq >= marshal.CtrlSeqBase {
+			// Guardian control notices ride the reply channel in a reserved
+			// sequence range; they are never a call's reply.
+			l.handleControl(reply)
+			if transport.RecvOwned(l.ep) {
+				framebuf.Put(frame)
+			}
+			continue
+		}
 		l.waitMu.Lock()
 		ch, ok := l.waiters[reply.Seq]
 		if ok {
 			delete(l.waiters, reply.Seq)
+			l.noteRetiredLocked(reply.Seq)
+		} else if _, disc := l.discard[reply.Seq]; disc {
+			// The reply of a completed call that was resubmitted purely to
+			// rebuild server state: the caller got its result long ago.
+			delete(l.discard, reply.Seq)
+			l.noteRetiredLocked(reply.Seq)
+			l.waitMu.Unlock()
+			if transport.RecvOwned(l.ep) {
+				framebuf.Put(frame)
+			}
+			continue
+		} else if l.fo != nil && reply.Seq <= l.retiredHi {
+			// A duplicate reply for a call that already retired: the dead
+			// server got its reply onto the wire before the crash and it
+			// arrived after recovery short-circuited the resubmitted copy
+			// from the record log (or the reverse order). At-least-once
+			// recovery makes such duplicates expected, not poison.
+			l.staleDup++
+			l.waitMu.Unlock()
+			if transport.RecvOwned(l.ep) {
+				framebuf.Put(frame)
+			}
+			continue
 		}
 		l.waitMu.Unlock()
 		if !ok {
@@ -580,7 +765,7 @@ func (l *Lib) deadlinePressure(now time.Time) bool {
 // transport will carry. The buffer is drawn from the frame pool; it
 // returns there after a copying transport sends it, or cycles through the
 // server's dispatch refcount on ownership-transferring transports.
-func (l *Lib) appendPending(call *marshal.Call, deadline int64, async bool) {
+func (l *Lib) appendPending(fd *cava.FuncDesc, call *marshal.Call, deadline int64, async bool) {
 	if l.pendingN == 0 {
 		if l.pendingBuf == nil {
 			l.pendingBuf = framebuf.Get(64)
@@ -597,9 +782,50 @@ func (l *Lib) appendPending(call *marshal.Call, deadline int64, async bool) {
 	l.pendingBuf[start+2] = byte(n >> 16)
 	l.pendingBuf[start+3] = byte(n >> 24)
 	l.pendingMeta = append(l.pendingMeta, pendingCall{
-		off: start, end: len(l.pendingBuf), deadline: deadline, async: async,
+		off: start, end: len(l.pendingBuf), deadline: deadline, async: async, seq: call.Seq,
 	})
 	l.pendingN++
+	if l.fo != nil {
+		// Retain an owned copy of the encoded call for resubmission; the
+		// batch frame itself is recycled or handed off after the send.
+		r := &retained{
+			seq:   call.Seq,
+			body:  append([]byte(nil), l.pendingBuf[start+4:]...),
+			track: fd.Track.Kind,
+			sync:  !async,
+		}
+		l.fo.entries = append(l.fo.entries, r)
+		l.fo.bySeq[call.Seq] = r
+		l.retainTrimLocked()
+	}
+}
+
+// retainTrimLocked evicts the oldest retained entries once the window
+// overflows its cap. Evicting an entry whose result is still outstanding
+// makes that call unrecoverable — counted, never silent.
+func (l *Lib) retainTrimLocked() {
+	over := len(l.fo.entries) - l.fo.policy.Retain
+	if over <= 0 {
+		return
+	}
+	for _, r := range l.fo.entries[:over] {
+		if !r.done {
+			l.stats.RetainDropped++
+		}
+		delete(l.fo.bySeq, r.seq)
+	}
+	l.fo.entries = append(l.fo.entries[:0:0], l.fo.entries[over:]...)
+}
+
+// markDoneLocked records that a call's outcome reached its caller: a
+// recovery must not replay it with a live waiter. Called with l.mu held.
+func (l *Lib) markDoneLocked(seq uint64) {
+	if l.fo == nil {
+		return
+	}
+	if r, ok := l.fo.bySeq[seq]; ok {
+		r.done = true
+	}
 }
 
 // takePending finalizes and detaches the batch frame, returning it with
@@ -612,8 +838,18 @@ func (l *Lib) takePending() ([]byte, int) {
 	nowN := l.clk.Now().UnixNano()
 	drop := 0
 	for i := range l.pendingMeta {
-		if l.pendingMeta[i].expired(nowN) {
+		exp := l.pendingMeta[i].expired(nowN)
+		if exp {
 			drop++
+		}
+		if l.fo != nil {
+			if r, ok := l.fo.bySeq[l.pendingMeta[i].seq]; ok {
+				if exp {
+					r.done = true // excised locally: it will never execute
+				} else {
+					r.sent = true
+				}
+			}
 		}
 	}
 	if drop > 0 {
@@ -669,11 +905,180 @@ func (l *Lib) flushLocked() error {
 
 // Close flushes pending asynchronous calls and closes the endpoint.
 func (l *Lib) Close() error {
+	l.closeOnce.Do(func() {
+		if l.fo != nil {
+			close(l.fo.done)
+		}
+	})
 	if err := l.Flush(); err != nil && !errors.Is(err, transport.ErrClosed) {
 		l.ep.Close()
 		return err
 	}
 	return l.ep.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Failover: control notices, retention trimming, window resubmission.
+
+// handleControl routes one guardian notice from the demux to foLoop. Runs
+// on the demux goroutine, so it must never take l.mu or block for long.
+func (l *Lib) handleControl(rep *marshal.Reply) {
+	if l.fo == nil {
+		return
+	}
+	kind, epoch, w, ok := failover.DecodeControl(rep)
+	if !ok {
+		return
+	}
+	select {
+	case l.fo.ctrl <- ctrlMsg{kind: kind, epoch: epoch, w: w}:
+	case <-l.fo.done:
+	}
+}
+
+func (l *Lib) foLoop() {
+	for {
+		select {
+		case <-l.fo.done:
+			return
+		case msg := <-l.fo.ctrl:
+			switch msg.kind {
+			case failover.CtrlCheckpoint:
+				l.trimRetained(msg.w)
+			case failover.CtrlRecover:
+				l.resubmit(msg.epoch, msg.w)
+			case failover.CtrlDead:
+				l.failRetryable(msg.epoch)
+			}
+		}
+	}
+}
+
+// trimRetained drops retained entries a checkpoint now covers: the server
+// can rebuild their effects from its snapshot, so resubmission will never
+// need their frames.
+func (l *Lib) trimRetained(w uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := 0
+	for idx < len(l.fo.entries) && l.fo.entries[idx].seq <= w {
+		delete(l.fo.bySeq, l.fo.entries[idx].seq)
+		idx++
+	}
+	if idx > 0 {
+		l.fo.entries = append(l.fo.entries[:0:0], l.fo.entries[idx:]...)
+	}
+}
+
+// resubmit absorbs a recovery onto endpoint epoch e with watermark w: every
+// unacked call past the watermark is re-sent in sequence order under the
+// new epoch. Calls whose results already reached their callers are
+// filtered by track kind — creates, configs and destroys were rebuilt (or
+// stayed applied) by the guardian's replay, while modifies and untracked
+// calls must re-execute for their state effects, with the second reply
+// discarded. In-flight calls keep their waiters and simply ride the
+// resubmission; the guardian short-circuits any whose original actually
+// completed.
+func (l *Lib) resubmit(epoch uint32, w uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch <= l.epoch {
+		return // duplicate or stale notice
+	}
+	l.epoch = epoch
+	l.stats.Reconnects++
+
+	// Un-flushed batched calls were encoded under the old epoch; patch
+	// them in place so the router does not fence them when they flush.
+	for i := range l.pendingMeta {
+		m := &l.pendingMeta[i]
+		marshal.PatchCallResubmit(l.pendingBuf[m.off+4:m.end], epoch)
+	}
+
+	var bodies [][]byte
+	resubmitting := make(map[uint64]bool)
+	for _, r := range l.fo.entries {
+		if r.seq <= w || !r.sent {
+			continue // covered by the checkpoint, or still pending locally
+		}
+		if r.done && r.track == spec.TrackDestroy {
+			// The destroy took effect; replay pruned the object, so there
+			// is nothing to re-execute (the guardian synthesizes success
+			// for any in-flight copy).
+			continue
+		}
+		// Everything else past the watermark re-executes on the new
+		// server in true sequence order — including completed creates and
+		// configs, which replay cannot safely run early because they may
+		// depend on unreplayed modifies (build-then-create-kernel). The
+		// guardian rebinds their fresh handles to the recorded originals
+		// and the duplicate reply is discarded below.
+		marshal.PatchCallResubmit(r.body, epoch)
+		bodies = append(bodies, r.body)
+		resubmitting[r.seq] = true
+		if r.done {
+			l.addDiscard(r.seq)
+		}
+		l.stats.ResubmittedCalls++
+	}
+
+	// In-flight calls past the watermark whose frames are not retained
+	// (window overflow) can never be replayed: fail them loudly.
+	l.waitMu.Lock()
+	for seq, ch := range l.waiters {
+		if seq > w && seq < marshal.CtrlSeqBase && !resubmitting[seq] {
+			delete(l.waiters, seq)
+			l.stats.RetryableFailed++
+			ch <- demuxResult{err: fmt.Errorf("%w: frame not retained (epoch %d)", averr.ErrRetryable, epoch)}
+		}
+	}
+	l.waitMu.Unlock()
+
+	for len(bodies) > 0 {
+		n := len(bodies)
+		if n > l.batchLimit {
+			n = l.batchLimit
+		}
+		frame := marshal.EncodeBatch(bodies[:n])
+		bodies = bodies[n:]
+		l.stats.Batches++
+		l.stats.BytesSent += uint64(len(frame))
+		if err := l.ep.Send(frame); err != nil {
+			return
+		}
+		if transport.SendCopies(l.ep) {
+			framebuf.Put(frame)
+		}
+	}
+}
+
+func (l *Lib) addDiscard(seq uint64) {
+	l.waitMu.Lock()
+	if l.discard == nil {
+		l.discard = make(map[uint64]struct{})
+	}
+	l.discard[seq] = struct{}{}
+	l.waitMu.Unlock()
+}
+
+// failRetryable handles an abandoned recovery: no replacement server will
+// ever answer, so every in-flight and future call fails with ErrRetryable.
+func (l *Lib) failRetryable(epoch uint32) {
+	err := fmt.Errorf("%w: server recovery abandoned (epoch %d)", averr.ErrRetryable, epoch)
+	n := uint64(0)
+	l.waitMu.Lock()
+	if l.recvErr == nil {
+		l.recvErr = err
+	}
+	for seq, ch := range l.waiters {
+		delete(l.waiters, seq)
+		ch <- demuxResult{err: err}
+		n++
+	}
+	l.waitMu.Unlock()
+	l.mu.Lock()
+	l.stats.RetryableFailed += n
+	l.mu.Unlock()
 }
 
 func convertScalar(pd *cava.ParamDesc, arg any) (marshal.Value, error) {

@@ -54,8 +54,13 @@ type VMStats struct {
 	// ShedDenied counts calls denied with StatusOverload by the load
 	// shedder. Included in Denied.
 	ShedDenied uint64
-	Bytes      uint64
-	Stall      time.Duration // time spent rate-limited or unscheduled
+	// StaleEpochDropped counts frames dropped silently because their epoch
+	// predates the VM's current endpoint epoch (failover fencing): they
+	// were addressed to a dead server incarnation, and the guest's
+	// resubmission supplies the authoritative copy. Not included in Denied.
+	StaleEpochDropped uint64
+	Bytes             uint64
+	Stall             time.Duration // time spent rate-limited or unscheduled
 	// BandStall splits Stall by the call's priority band, so per-band QoS
 	// (low bands absorbing the throttling) is observable.
 	BandStall [NumPriorityBands]time.Duration
@@ -78,9 +83,22 @@ type ShedConfig struct {
 	// ShedBands is how many of the lowest priority bands are sheddable;
 	// 0 defaults to 1 (only band 0).
 	ShedBands int
+	// AdaptiveStall derives the stall threshold from the deployment's own
+	// uncontended stall floor instead of a hand-tuned constant: the router
+	// samples an EWMA of admission stalls over a warm-up window, then
+	// sheds when the recent stall reaches StallFloorMult times that floor.
+	// MaxRecentStall, when also set, acts as a lower bound on the derived
+	// threshold (and covers the warm-up window, during which the adaptive
+	// signal is not yet calibrated).
+	AdaptiveStall bool
+	// StallFloorMult is the overload multiple applied to the observed
+	// stall floor; values at or below 1 select the default of 8.
+	StallFloorMult float64
 }
 
-func (sc ShedConfig) enabled() bool { return sc.MaxQueueDepth > 0 || sc.MaxRecentStall > 0 }
+func (sc ShedConfig) enabled() bool {
+	return sc.MaxQueueDepth > 0 || sc.MaxRecentStall > 0 || sc.AdaptiveStall
+}
 
 func (sc ShedConfig) shedBands() int {
 	if sc.ShedBands <= 0 {
@@ -107,6 +125,7 @@ type vmState struct {
 	byteTB *PriorityBuckets
 
 	mu    sync.Mutex
+	epoch uint32 // current endpoint epoch; older frames are fenced
 	stats VMStats
 	// First router-side denial of an async call since the last synchronous
 	// call, held for §4.2's error-deferral contract: async denials cannot
@@ -152,14 +171,29 @@ type Router struct {
 
 	loadMu      sync.Mutex
 	recentStall time.Duration // EWMA of admitted calls' rate-limit+sched stall
+	stallFloor  time.Duration // EWMA of the uncontended stall, sampled at warm-up
+	warmupLeft  int           // admissions left in the adaptive-shed warm-up
 }
 
+// shedWarmupCalls is how many admissions calibrate the adaptive shed
+// threshold's stall floor after SetShedPolicy.
+const shedWarmupCalls = 256
+
 // SetShedPolicy installs (or, with the zero value, removes) the router's
-// load-shedding configuration.
+// load-shedding configuration. Enabling AdaptiveStall (re)starts the
+// warm-up window that calibrates the stall floor.
 func (r *Router) SetShedPolicy(cfg ShedConfig) {
 	r.mu.Lock()
 	r.shed = cfg
 	r.mu.Unlock()
+	r.loadMu.Lock()
+	if cfg.AdaptiveStall {
+		r.warmupLeft = shedWarmupCalls
+		r.stallFloor = 0
+	} else {
+		r.warmupLeft = 0
+	}
+	r.loadMu.Unlock()
 }
 
 func (r *Router) shedConfig() ShedConfig {
@@ -169,10 +203,15 @@ func (r *Router) shedConfig() ShedConfig {
 }
 
 // noteStall folds one admitted call's stall into the router-wide EWMA the
-// load shedder reads (alpha 1/8; stall-free admissions decay it).
+// load shedder reads (alpha 1/8; stall-free admissions decay it). During
+// the adaptive-shed warm-up it also feeds the stall-floor estimate.
 func (r *Router) noteStall(d time.Duration) {
 	r.loadMu.Lock()
 	r.recentStall += (d - r.recentStall) / 8
+	if r.warmupLeft > 0 {
+		r.stallFloor += (d - r.stallFloor) / 8
+		r.warmupLeft--
+	}
 	r.loadMu.Unlock()
 }
 
@@ -183,6 +222,49 @@ func (r *Router) RecentStall() time.Duration {
 	return r.recentStall
 }
 
+// stallThreshold resolves the effective shed-stall threshold: the static
+// MaxRecentStall, or — once the warm-up window has calibrated the floor —
+// the adaptive StallFloorMult multiple of the observed uncontended stall,
+// whichever is larger. ok=false means the stall signal is off (no static
+// threshold and the adaptive one is not yet calibrated).
+func (r *Router) stallThreshold(sc ShedConfig) (time.Duration, bool) {
+	if !sc.AdaptiveStall {
+		return sc.MaxRecentStall, sc.MaxRecentStall > 0
+	}
+	r.loadMu.Lock()
+	warm := r.warmupLeft <= 0
+	floor := r.stallFloor
+	r.loadMu.Unlock()
+	if !warm {
+		return sc.MaxRecentStall, sc.MaxRecentStall > 0
+	}
+	mult := sc.StallFloorMult
+	if mult <= 1 {
+		mult = 8
+	}
+	thr := time.Duration(float64(floor) * mult)
+	if thr < 100*time.Microsecond {
+		// A near-zero floor (in-process transports can admit in
+		// nanoseconds) would make the shedder hair-triggered; clamp to a
+		// minimum overload threshold.
+		thr = 100 * time.Microsecond
+	}
+	if sc.MaxRecentStall > thr {
+		thr = sc.MaxRecentStall
+	}
+	return thr, true
+}
+
+// ShedStallThreshold reports the currently effective shed-stall threshold
+// (0 when the stall signal is off or still calibrating).
+func (r *Router) ShedStallThreshold() time.Duration {
+	thr, ok := r.stallThreshold(r.shedConfig())
+	if !ok {
+		return 0
+	}
+	return thr
+}
+
 // overloaded evaluates the shed thresholds against the scheduler's queue
 // depth and the recent aggregate stall (the larger of the scheduler's gate
 // signal and the router's own rate-limit signal).
@@ -191,14 +273,14 @@ func (r *Router) overloaded(sc ShedConfig) bool {
 	if sc.MaxQueueDepth > 0 && introspective && li.QueueDepth() >= sc.MaxQueueDepth {
 		return true
 	}
-	if sc.MaxRecentStall > 0 {
+	if thr, ok := r.stallThreshold(sc); ok {
 		stall := r.RecentStall()
 		if introspective {
 			if s := li.RecentStall(); s > stall {
 				stall = s
 			}
 		}
-		if stall >= sc.MaxRecentStall {
+		if stall >= thr {
 			return true
 		}
 	}
@@ -246,6 +328,35 @@ func (r *Router) RegisterVM(cfg VMConfig) error {
 		fs.SetWeight(cfg.ID, cfg.Weight)
 	}
 	return nil
+}
+
+// SetEpoch advances a VM's endpoint epoch (monotonic — older values are
+// ignored). Frames stamped with an epoch below the current one are dropped
+// silently: they were addressed to a server incarnation that no longer
+// exists, and the guest's epoch-stamped resubmission supplies the
+// authoritative copy. The failover guardian calls this before replaying
+// state onto a replacement server.
+func (r *Router) SetEpoch(id VMID, epoch uint32) {
+	st, err := r.vm(id)
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	if epoch > st.epoch {
+		st.epoch = epoch
+	}
+	st.mu.Unlock()
+}
+
+// Epoch returns a VM's current endpoint epoch.
+func (r *Router) Epoch(id VMID) uint32 {
+	st, err := r.vm(id)
+	if err != nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epoch
 }
 
 // UnregisterVM removes a VM.
@@ -414,12 +525,27 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 
 	call.VM = id // the hypervisor, not the guest, asserts identity
 
+	// Epoch fencing (failover): a frame stamped with a pre-recovery epoch
+	// was in flight when its server incarnation died. Executing this copy
+	// would race the guest's resubmitted twin, so it is dropped with no
+	// reply — the twin answers the caller.
+	st.mu.Lock()
+	stale := call.Epoch < st.epoch
+	if stale {
+		st.stats.StaleEpochDropped++
+	}
+	st.mu.Unlock()
+	if stale {
+		return false, nil
+	}
+
 	// §4.2 error deferral for router-side denials: if an earlier async call
 	// was denied here, this VM's next synchronous call fails with the
 	// recorded status — mirroring the server's deferred-error contract so
-	// async denials never vanish into a counter. Replayed calls are exempt:
-	// migration restore must not absorb a pre-restore denial.
-	if !async && call.Flags&marshal.FlagReplay == 0 {
+	// async denials never vanish into a counter. Replayed and resubmitted
+	// calls are exempt: migration restore and failover recovery must not
+	// absorb a pre-restore denial.
+	if !async && call.Flags&(marshal.FlagReplay|marshal.FlagResubmit) == 0 {
 		if status, msg, pending := st.takeDeferred(); pending {
 			st.note(func(s *VMStats) { s.Denied++ })
 			return false, &marshal.Reply{
@@ -471,15 +597,17 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 		}
 	}
 
-	// Policy enforcement. Replayed calls (migration restore) bypass rate
-	// limits: they reconstruct state the guest already paid for.
+	// Policy enforcement. Replayed calls (migration restore) and
+	// resubmitted calls (failover recovery) bypass rate limits and quota
+	// charging: they reconstruct state the guest already paid for once.
+	exempt := call.Flags&(marshal.FlagReplay|marshal.FlagResubmit) != 0
 	est := fd.EstimateResources(r.desc.API, call.Args)
-	if len(st.cfg.Quotas) > 0 && len(est) > 0 {
+	if len(st.cfg.Quotas) > 0 && len(est) > 0 && !exempt {
 		if res, limit, used := st.quotaExceeded(est); res != "" {
 			return reject("hv: %s: %s quota exhausted (%d of %d used)", fd.Name, res, used, limit)
 		}
 	}
-	if call.Flags&marshal.FlagReplay == 0 {
+	if !exempt {
 		band := PriorityBand(call.Priority)
 		// Load shedding: under overload, deny sheddable (lowest-band) calls
 		// immediately with StatusOverload rather than stalling them toward
@@ -529,8 +657,10 @@ func (r *Router) police(id VMID, st *vmState, ics []Interceptor, cf []byte) (kee
 	st.note(func(s *VMStats) {
 		s.Forwarded++
 		s.Bytes += uint64(len(cf))
-		for k, v := range est {
-			s.Resources[k] += v
+		if !exempt {
+			for k, v := range est {
+				s.Resources[k] += v
+			}
 		}
 	})
 	return true, nil

@@ -182,6 +182,11 @@ const (
 	// FlagReplay marks a call re-issued by the migration replay engine;
 	// the router must not charge it against rate limits.
 	FlagReplay
+	// FlagResubmit marks a call resubmitted by the guest library after an
+	// API-server failover. Like FlagReplay it is exempt from rate limits
+	// and shedding (the call was already admitted once), and the failover
+	// guardian uses it to apply the exactly-once dedupe rules.
+	FlagResubmit
 )
 
 // FlagsKnown is the set of flag bits this version of the stack assigns
@@ -189,7 +194,21 @@ const (
 // the router and server test individual known bits and never reject or mask
 // the rest — so a newer guest can talk through an older router (forward
 // compatibility on the wire).
-const FlagsKnown = FlagAsync | FlagBatched | FlagReplay
+const FlagsKnown = FlagAsync | FlagBatched | FlagReplay | FlagResubmit
+
+// Reserved sequence-number ranges. Ordinary calls allocate sequence numbers
+// from 1 upward; the failover layer claims the top two quarters of the seq
+// space for frames that must share the reply channel without ever colliding
+// with a real call.
+const (
+	// CtrlSeqBase marks control replies (checkpoint / recover / dead
+	// notices) injected by the failover guardian toward the guest.
+	CtrlSeqBase uint64 = 1 << 62
+	// MarkerSeqBase marks barrier probe calls injected by the failover
+	// guardian toward the server (their error replies double as quiesce
+	// acknowledgements and liveness heartbeats).
+	MarkerSeqBase uint64 = 1 << 63
+)
 
 // Stamps is the per-stage timestamp block a call accumulates as it crosses
 // the stack, the raw material for per-stage latency breakdowns. Each value
@@ -215,6 +234,11 @@ type Call struct {
 	// priority-aware router scheduler; higher is more urgent, 0 is the
 	// default class.
 	Priority uint8
+	// Epoch is the endpoint epoch the guest believes it is talking to.
+	// The failover layer bumps the epoch on every API-server recovery;
+	// the router drops frames stamped with a stale epoch so calls that
+	// raced a failover cannot reach the replacement server twice.
+	Epoch uint32
 	// Deadline is the absolute time (UnixNano) after which the caller no
 	// longer wants the result; 0 means no deadline. It is stamped by the
 	// guest in its own clock domain and re-anchored ("clock-domain-
@@ -239,13 +263,14 @@ type Status uint8
 // to a numeric form, and the guest surfaces the numeric status rather than
 // collapsing it into one of the known codes.
 const (
-	StatusOK       Status = iota // call executed; Ret/Outs valid
-	StatusAPIError               // call executed; API returned a failure code in Ret
-	StatusDenied                 // router rejected the call (policy/verification)
-	StatusInternal               // stack-internal failure; Err describes it
-	StatusDeadline               // the call's deadline expired before completion
-	StatusCanceled               // the call was aborted by a cancellation signal
-	StatusOverload               // the router shed the call under overload; retry later
+	StatusOK        Status = iota // call executed; Ret/Outs valid
+	StatusAPIError                // call executed; API returned a failure code in Ret
+	StatusDenied                  // router rejected the call (policy/verification)
+	StatusInternal                // stack-internal failure; Err describes it
+	StatusDeadline                // the call's deadline expired before completion
+	StatusCanceled                // the call was aborted by a cancellation signal
+	StatusOverload                // the router shed the call under overload; retry later
+	StatusRetryable               // the call was lost to a failover; safe to reissue
 )
 
 func (s Status) String() string {
@@ -264,6 +289,8 @@ func (s Status) String() string {
 		return "canceled"
 	case StatusOverload:
 		return "overloaded"
+	case StatusRetryable:
+		return "retryable"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -282,6 +309,8 @@ func (s Status) Sentinel() error {
 		return averr.ErrCanceled
 	case StatusOverload:
 		return averr.ErrOverloaded
+	case StatusRetryable:
+		return averr.ErrRetryable
 	default:
 		return nil
 	}
@@ -489,11 +518,13 @@ func valueSize(v Value) int {
 // preserving its zero-copy forwarding fast path.
 const (
 	callOffVM       = 8  // after Seq
-	callOffDeadline = 19 // after Func, Flags, Priority
-	callOffAdmit    = 35 // after Stamps.Encode
+	callOffFlags    = 16 // after Func
+	callOffEpoch    = 19 // after Priority
+	callOffDeadline = 23 // after Epoch
+	callOffAdmit    = 39 // after Stamps.Encode
 	// CallHeaderSize is the encoded size of the fixed Call header
 	// (everything before the argument vector).
-	CallHeaderSize = 61
+	CallHeaderSize = 65
 )
 
 // EncodeCall encodes c as a frame body, sized exactly so large buffer
@@ -513,6 +544,7 @@ func AppendCall(b []byte, c *Call) []byte {
 	b = appendUint32(b, c.Func)
 	b = appendUint16(b, c.Flags)
 	b = append(b, c.Priority)
+	b = appendUint32(b, c.Epoch)
 	b = appendUint64(b, uint64(c.Deadline))
 	b = appendStamps(b, c.Stamps)
 	b = appendUint16(b, uint16(len(c.Args)))
@@ -534,6 +566,19 @@ func PatchCallAdmit(frame []byte, vm uint32, deadline, admit int64) {
 	binary.LittleEndian.PutUint32(frame[callOffVM:], vm)
 	binary.LittleEndian.PutUint64(frame[callOffDeadline:], uint64(deadline))
 	binary.LittleEndian.PutUint64(frame[callOffAdmit:], uint64(admit))
+}
+
+// PatchCallResubmit restamps an encoded call frame for resubmission after a
+// failover: the endpoint epoch is rewritten to the recovered epoch and
+// FlagResubmit is set so the router and guardian recognize the retry. The
+// frame must have been validated by DecodeCall first.
+func PatchCallResubmit(frame []byte, epoch uint32) {
+	if len(frame) < CallHeaderSize {
+		return
+	}
+	flags := binary.LittleEndian.Uint16(frame[callOffFlags:])
+	binary.LittleEndian.PutUint16(frame[callOffFlags:], flags|FlagResubmit)
+	binary.LittleEndian.PutUint32(frame[callOffEpoch:], epoch)
 }
 
 func appendStamps(b []byte, s Stamps) []byte {
@@ -574,6 +619,9 @@ func DecodeCall(b []byte) (*Call, error) {
 		return nil, err
 	}
 	if c.Priority, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if c.Epoch, err = r.u32(); err != nil {
 		return nil, err
 	}
 	dl, err := r.u64()

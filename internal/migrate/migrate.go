@@ -96,11 +96,41 @@ func Capture(ctx *server.Context, ad Adapter) (*Snapshot, error) {
 // rebinding recreated objects to the guest's original handle values and
 // restoring device buffer contents. The destination context must be fresh.
 func Restore(snap *Snapshot, dst *server.Server, ctx *server.Context, ad Adapter) error {
+	_, err := RestoreWith(snap, dst, ctx, ad, RestoreOptions{})
+	return err
+}
+
+// RestoreOptions relaxes Restore for callers whose snapshot may be slightly
+// stale — the failover path restores from a periodic checkpoint rather than
+// a freshly quiesced capture, so some recorded objects may have been
+// destroyed since the checkpoint was cut.
+type RestoreOptions struct {
+	// SkipUnknownObjects ignores checkpointed object state whose handle no
+	// longer exists after replay (the object was destroyed after the
+	// checkpoint) instead of failing the restore.
+	SkipUnknownObjects bool
+	// ContinueOnError replays past individual call failures, counting them
+	// in the report, instead of aborting. Entries that fail to replay
+	// contribute no rebinding.
+	ContinueOnError bool
+}
+
+// RestoreReport summarizes what a tolerant restore actually did.
+type RestoreReport struct {
+	Replayed       int // calls re-executed successfully
+	SkippedCalls   int // calls that failed replay (ContinueOnError)
+	SkippedObjects int // stateful objects dropped (SkipUnknownObjects)
+}
+
+// RestoreWith is Restore with explicit tolerance options, returning a
+// report of what was replayed and what was skipped.
+func RestoreWith(snap *Snapshot, dst *server.Server, ctx *server.Context, ad Adapter, opts RestoreOptions) (RestoreReport, error) {
+	var rep RestoreReport
 	desc := dst.Registry().Desc
 	for i, rc := range snap.Log {
 		fd, ok := desc.ByID(rc.Func)
 		if !ok {
-			return fmt.Errorf("migrate: recorded call #%d references unknown function %d", i, rc.Func)
+			return rep, fmt.Errorf("migrate: recorded call #%d references unknown function %d", i, rc.Func)
 		}
 		reply := dst.Execute(ctx, &marshal.Call{
 			Seq:   uint64(i + 1),
@@ -109,27 +139,36 @@ func Restore(snap *Snapshot, dst *server.Server, ctx *server.Context, ad Adapter
 			Args:  rc.Args,
 		})
 		if reply == nil || reply.Status != marshal.StatusOK {
+			if opts.ContinueOnError {
+				rep.SkippedCalls++
+				continue
+			}
 			detail := "no reply"
 			if reply != nil {
 				detail = reply.Err
 			}
-			return fmt.Errorf("migrate: replay of %s failed: %s", fd.Name, detail)
+			return rep, fmt.Errorf("migrate: replay of %s failed: %s", fd.Name, detail)
 		}
 		if err := rebind(ctx, fd, &rc, reply); err != nil {
-			return err
+			return rep, err
 		}
+		rep.Replayed++
 	}
 	// Synthesize the reverse copies: restore each stateful object.
 	for h, state := range snap.Objects {
 		obj, ok := ctx.Handles.Get(h)
 		if !ok {
-			return fmt.Errorf("migrate: restored state for unknown handle %d", h)
+			if opts.SkipUnknownObjects {
+				rep.SkippedObjects++
+				continue
+			}
+			return rep, fmt.Errorf("migrate: restored state for unknown handle %d", h)
 		}
 		if err := ad.RestoreObject(obj, state); err != nil {
-			return fmt.Errorf("migrate: restore handle %d: %w", h, err)
+			return rep, fmt.Errorf("migrate: restore handle %d: %w", h, err)
 		}
 	}
-	return nil
+	return rep, nil
 }
 
 // rebind moves every handle the replayed call created or returned from its

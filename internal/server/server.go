@@ -110,6 +110,29 @@ type RecordedCall struct {
 	Outs []marshal.Value
 	// Created is the guest handle the call produced (TrackCreate only).
 	Created marshal.Handle
+	// Seq is the guest sequence number of the recorded call; the failover
+	// guardian keys its shadow log and checkpoint watermark on it. Logs
+	// recorded before this field existed carry zero, which replay ignores.
+	Seq uint64
+}
+
+// Obsoleted reports whether destroying handle h makes this entry useless
+// for replay: the entry created h, or touches h in its arguments. The
+// record path and the failover guardian's shadow log apply the same rule so
+// both prune identically.
+func (rc *RecordedCall) Obsoleted(h marshal.Handle) bool {
+	if h == 0 {
+		return false
+	}
+	if rc.Created == h {
+		return true
+	}
+	for _, v := range rc.Args {
+		if v.Kind == marshal.KindHandle && v.Handle() == h {
+			return true
+		}
+	}
+	return false
 }
 
 // Context is the per-VM execution context inside the API server.
@@ -256,7 +279,7 @@ func (c *Context) Thaw() {
 // record appends to the migration log per the function's track annotation.
 // Destroy calls prune the created object's history instead of growing the
 // log (the Nooks-style object tracking the paper cites).
-func (c *Context) record(fd *cava.FuncDesc, args []marshal.Value, rep *marshal.Reply, created marshal.Handle) {
+func (c *Context) record(fd *cava.FuncDesc, seq uint64, args []marshal.Value, rep *marshal.Reply, created marshal.Handle) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.recording {
@@ -265,14 +288,15 @@ func (c *Context) record(fd *cava.FuncDesc, args []marshal.Value, rep *marshal.R
 	switch fd.Track.Kind {
 	case spec.TrackConfig, spec.TrackModify:
 		c.log = append(c.log, RecordedCall{
-			Func: fd.ID, Args: cloneValues(args),
-			Ret: rep.Ret, Outs: cloneValues(rep.Outs),
+			Func: fd.ID, Args: CloneValues(args),
+			Ret: rep.Ret, Outs: CloneValues(rep.Outs),
+			Seq: seq,
 		})
 	case spec.TrackCreate:
 		c.log = append(c.log, RecordedCall{
-			Func: fd.ID, Args: cloneValues(args),
-			Ret: rep.Ret, Outs: cloneValues(rep.Outs),
-			Created: created,
+			Func: fd.ID, Args: CloneValues(args),
+			Ret: rep.Ret, Outs: CloneValues(rep.Outs),
+			Created: created, Seq: seq,
 		})
 	case spec.TrackDestroy:
 		if fd.TrackIdx < 0 || fd.TrackIdx >= len(args) {
@@ -280,39 +304,19 @@ func (c *Context) record(fd *cava.FuncDesc, args []marshal.Value, rep *marshal.R
 		}
 		h := args[fd.TrackIdx].Handle()
 		kept := c.log[:0]
-		for _, rc := range c.log {
-			if rc.Created == h && h != 0 {
-				continue // drop the create
+		for i := range c.log {
+			if c.log[i].Obsoleted(h) {
+				continue // drop the create and modifies touching the object
 			}
-			if refsHandle(c.handlesOf(rc), h) {
-				continue // drop modifies touching the destroyed object
-			}
-			kept = append(kept, rc)
+			kept = append(kept, c.log[i])
 		}
 		c.log = kept
 	}
 }
 
-func (c *Context) handlesOf(rc RecordedCall) []marshal.Handle {
-	var hs []marshal.Handle
-	for _, v := range rc.Args {
-		if v.Kind == marshal.KindHandle {
-			hs = append(hs, v.Handle())
-		}
-	}
-	return hs
-}
-
-func refsHandle(hs []marshal.Handle, h marshal.Handle) bool {
-	for _, x := range hs {
-		if x == h && h != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func cloneValues(vs []marshal.Value) []marshal.Value {
+// CloneValues deep-copies a value vector (buffer contents included) so a
+// retained copy cannot alias a transport frame about to be recycled.
+func CloneValues(vs []marshal.Value) []marshal.Value {
 	out := make([]marshal.Value, len(vs))
 	for i, v := range vs {
 		if v.Kind == marshal.KindBytes {
@@ -390,10 +394,16 @@ func (s *Server) Execute(ctx *Context, call *marshal.Call) *marshal.Reply {
 	ctx.mu.Unlock()
 
 	if async {
-		if reply != nil && reply.Status != marshal.StatusOK {
-			ctx.setDeferred(fmt.Sprintf("async %s: %s", s.funcName(call.Func), reply.Err))
-		} else if reply != nil && s.isFailureRet(call.Func, reply.Ret) {
-			ctx.setDeferred(fmt.Sprintf("async %s: API error %s", s.funcName(call.Func), reply.Ret))
+		// Resubmitted asyncs may legitimately fail after a failover (e.g.
+		// they raced a destroy of the object they touch); deferring those
+		// errors would surface phantom failures for calls that already
+		// took effect before the crash.
+		if call.Flags&marshal.FlagResubmit == 0 {
+			if reply != nil && reply.Status != marshal.StatusOK {
+				ctx.setDeferred(fmt.Sprintf("async %s: %s", s.funcName(call.Func), reply.Err))
+			} else if reply != nil && s.isFailureRet(call.Func, reply.Ret) {
+				ctx.setDeferred(fmt.Sprintf("async %s: API error %s", s.funcName(call.Func), reply.Ret))
+			}
 		}
 		return nil
 	}
@@ -546,7 +556,7 @@ func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.
 				created = inv.ret.Handle()
 			}
 		}
-		ctx.record(fd, call.Args, reply, created)
+		ctx.record(fd, call.Seq, call.Args, reply, created)
 	}
 	return reply
 }

@@ -25,12 +25,40 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"ava/internal/framebuf"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrSevered is returned when the link died abruptly — the peer vanished
+// mid-stream (process death, connection reset, ring torn down under a
+// parked frame) rather than shutting down at a frame boundary. The failover
+// layer treats ErrSevered as an API-server failure signal, while ErrClosed
+// stays an orderly teardown; conflating them would turn every crash into a
+// silent end-of-stream.
+var ErrSevered = errors.New("transport: peer severed mid-stream")
+
+// Severer is implemented by endpoints that can cut the link abruptly,
+// simulating peer death: in-flight and queued frames are lost and both
+// sides observe ErrSevered instead of an orderly close. For TCP this is a
+// hard reset (RST); for in-process transports it drops the queue on the
+// floor.
+type Severer interface {
+	Sever() error
+}
+
+// Sever cuts ep abruptly if it supports severing, else falls back to an
+// orderly Close. It is the SIGKILL of the transport layer.
+func Sever(ep Endpoint) error {
+	if s, ok := ep.(Severer); ok {
+		return s.Sever()
+	}
+	return ep.Close()
+}
 
 // MaxFrame bounds a single frame (a call with its largest buffer argument).
 const MaxFrame = 64 << 20
@@ -81,17 +109,21 @@ type inprocEnd struct {
 	send chan<- []byte
 	recv <-chan []byte
 
-	mu     sync.Mutex
-	closed chan struct{}
-	peer   *inprocEnd
+	mu      sync.Mutex
+	closed  chan struct{}
+	severed chan struct{} // shared with the peer: one cut kills both ends
+	sevOnce *sync.Once    // shared with the peer
+	peer    *inprocEnd
 }
 
 // NewInProc returns two connected in-process endpoints.
 func NewInProc() (Endpoint, Endpoint) {
 	ab := make(chan []byte, 64)
 	ba := make(chan []byte, 64)
-	a := &inprocEnd{send: ab, recv: ba, closed: make(chan struct{})}
-	b := &inprocEnd{send: ba, recv: ab, closed: make(chan struct{})}
+	sev := make(chan struct{})
+	once := &sync.Once{}
+	a := &inprocEnd{send: ab, recv: ba, closed: make(chan struct{}), severed: sev, sevOnce: once}
+	b := &inprocEnd{send: ba, recv: ab, closed: make(chan struct{}), severed: sev, sevOnce: once}
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -101,6 +133,8 @@ func (e *inprocEnd) Send(frame []byte) error {
 	// hypercall-page model). Senders must not modify a frame after Send;
 	// every stack component already encodes into a fresh buffer per frame.
 	select {
+	case <-e.severed:
+		return ErrSevered
 	case <-e.closed:
 		return ErrClosed
 	case <-e.peer.closed:
@@ -110,6 +144,8 @@ func (e *inprocEnd) Send(frame []byte) error {
 	select {
 	case e.send <- frame:
 		return nil
+	case <-e.severed:
+		return ErrSevered
 	case <-e.closed:
 		return ErrClosed
 	case <-e.peer.closed:
@@ -118,12 +154,21 @@ func (e *inprocEnd) Send(frame []byte) error {
 }
 
 func (e *inprocEnd) Recv() ([]byte, error) {
+	// A severed pipe reports immediately: queued frames are lost, exactly
+	// as they would be in a dead peer's memory.
+	select {
+	case <-e.severed:
+		return nil, ErrSevered
+	default:
+	}
 	select {
 	case f, ok := <-e.recv:
 		if !ok {
 			return nil, ErrClosed
 		}
 		return f, nil
+	case <-e.severed:
+		return nil, ErrSevered
 	case <-e.closed:
 		return nil, ErrClosed
 	case <-e.peer.closed:
@@ -137,6 +182,13 @@ func (e *inprocEnd) Recv() ([]byte, error) {
 		}
 		return nil, ErrClosed
 	}
+}
+
+// Sever implements Severer: both ends observe ErrSevered and queued frames
+// are abandoned.
+func (e *inprocEnd) Sever() error {
+	e.sevOnce.Do(func() { close(e.severed) })
+	return nil
 }
 
 // SendCopies implements FrameOwnership: Send transfers ownership of the
@@ -173,6 +225,7 @@ type ring struct {
 	tail    int // write position
 	used    int
 	closed  bool
+	severed bool
 }
 
 func newRing(capacity int) *ring {
@@ -191,6 +244,9 @@ func (r *ring) put(frame []byte) error {
 	defer r.mu.Unlock()
 	for len(r.buf)-r.used < need && !r.closed {
 		r.notFull.Wait()
+	}
+	if r.severed {
+		return ErrSevered
 	}
 	if r.closed {
 		return ErrClosed
@@ -222,6 +278,11 @@ func (r *ring) get() ([]byte, error) {
 	for r.used < 4 && !r.closed {
 		r.notEmpt.Wait()
 	}
+	// A severed ring loses whatever sat in shared memory — even complete
+	// queued frames are gone, the same way a dead peer's pages are.
+	if r.severed {
+		return nil, ErrSevered
+	}
 	if r.used < 4 && r.closed {
 		return nil, ErrClosed
 	}
@@ -250,6 +311,16 @@ func (r *ring) read(b []byte) {
 func (r *ring) close() {
 	r.mu.Lock()
 	r.closed = true
+	r.mu.Unlock()
+	r.notFull.Broadcast()
+	r.notEmpt.Broadcast()
+}
+
+func (r *ring) sever() {
+	r.mu.Lock()
+	r.closed = true
+	r.severed = true
+	r.used = 0 // queued frames are lost with the peer
 	r.mu.Unlock()
 	r.notFull.Broadcast()
 	r.notEmpt.Broadcast()
@@ -287,9 +358,19 @@ func (e *ringEnd) Close() error {
 	return nil
 }
 
+// Sever implements Severer: both rings of the pair are torn down abruptly
+// and queued frames are lost, so the peer observes ErrSevered rather than
+// an orderly close.
+func (e *ringEnd) Sever() error {
+	e.tx.sever()
+	e.rx.sever()
+	return nil
+}
+
 // connEnd adapts a net.Conn to Endpoint with 4-byte length prefixes.
 type connEnd struct {
-	conn net.Conn
+	conn    net.Conn
+	severed atomic.Bool
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
@@ -310,7 +391,7 @@ func (e *connEnd) Send(frame []byte) error {
 	// header-only segment for Nagle/delayed-ACK to trip over.
 	bufs := net.Buffers{hdr[:], frame}
 	if _, err := bufs.WriteTo(e.conn); err != nil {
-		return mapNetErr(err)
+		return e.mapErr(err)
 	}
 	return nil
 }
@@ -319,8 +400,13 @@ func (e *connEnd) Recv() ([]byte, error) {
 	e.recvMu.Lock()
 	defer e.recvMu.Unlock()
 	var hdr [4]byte
-	if _, err := io.ReadFull(e.conn, hdr[:]); err != nil {
-		return nil, mapNetErr(err)
+	if n, err := io.ReadFull(e.conn, hdr[:]); err != nil {
+		// EOF cleanly between frames is an orderly close; EOF with a
+		// partial header means the peer died mid-frame.
+		if n > 0 && errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, e.mapErr(io.ErrUnexpectedEOF)
+		}
+		return nil, e.mapErr(err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > MaxFrame {
@@ -328,9 +414,35 @@ func (e *connEnd) Recv() ([]byte, error) {
 	}
 	frame := framebuf.GetLen(int(n))
 	if _, err := io.ReadFull(e.conn, frame); err != nil {
-		return nil, mapNetErr(err)
+		// The length prefix promised a payload: any EOF here — even a
+		// "clean" one at a segment boundary — is a mid-frame death.
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, e.mapErr(err)
 	}
 	return frame, nil
+}
+
+// mapErr maps a net error, preferring ErrSevered when this end was
+// explicitly severed (the raw error is then an uninformative
+// "use of closed network connection").
+func (e *connEnd) mapErr(err error) error {
+	if e.severed.Load() {
+		return ErrSevered
+	}
+	return mapNetErr(err)
+}
+
+// Sever implements Severer: the connection is reset (SO_LINGER 0 → RST on
+// TCP) so the peer observes ECONNRESET, not an orderly FIN. This is the
+// closest a live process gets to simulating a SIGKILL'd server.
+func (e *connEnd) Sever() error {
+	e.severed.Store(true)
+	if tc, ok := e.conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	return e.conn.Close()
 }
 
 // SendCopies implements FrameOwnership: the kernel copies the frame into
@@ -346,6 +458,10 @@ func (e *connEnd) Close() error { return e.conn.Close() }
 func mapNetErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	// Abrupt peer death: a reset connection or a stream cut mid-frame.
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return ErrSevered
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
 		return ErrClosed
