@@ -28,17 +28,19 @@ bench:
 
 # One iteration of every benchmark, no unit tests: catches benchmarks that
 # stopped compiling or panic without paying for a full measurement run.
-# Also exercises the overload-control (E11) and failover (E12) experiments
-# end to end, since their assertions live in the table generation, not in
-# a Benchmark func.
+# Also exercises the overload-control (E11), failover (E12) and cross-host
+# failover (E13) experiments end to end, since their assertions live in the
+# table generation, not in a Benchmark func.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/avabench -exp overload -reps 1
 	$(GO) run ./cmd/avabench -exp failover -reps 1
+	$(GO) run ./cmd/avabench -exp crosshost -reps 1
 
 # Chaos gate: every fault-injection and kill-the-server test under -race,
 # with fixed seeds (the tests pin their own Flaky/backoff seeds), so CI
-# reproduces the same failure schedules run to run.
+# reproduces the same failure schedules run to run. CrossHost covers the
+# whole-machine kill with fleet-registry failover to a peer host.
 chaos:
-	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control' \
+	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control|CrossHost|Rehydration' \
 		./internal/transport/ ./internal/failover/ ./internal/stacktest/

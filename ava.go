@@ -21,7 +21,7 @@
 //	desc := cl.Descriptor()
 //	reg := server.NewRegistry(desc)
 //	cl.BindServer(reg, silo)
-//	stack := ava.NewStack(desc, reg, ava.Config{})
+//	stack := ava.NewStack(desc, reg)
 //	lib, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "guest-vm"})
 //	client := cl.NewRemote(lib)
 package ava
@@ -56,6 +56,9 @@ type (
 	// CallOptions carries per-call deadline and priority metadata
 	// (guest.CallOptions; pass to GuestLib.CallWith or a binding's With).
 	CallOptions = guest.CallOptions
+	// CallOption adjusts one call's forwarding metadata (guest.CallOption;
+	// built with guest.WithTimeout, guest.WithPriority, ...).
+	CallOption = guest.CallOption
 	// ShedConfig tunes the router's load shedder (hv.ShedConfig).
 	ShedConfig = hv.ShedConfig
 )
@@ -121,30 +124,99 @@ const (
 	TransportRing
 )
 
-// Config configures a Stack.
+// Option configures a Stack at construction; pass options to NewStack.
+// Each With* option sets one cohesive knob; WithConfig applies a full
+// Config literal for callers that prefer to build one programmatically.
+type Option func(*Config)
+
+// Config is a Stack's full configuration, grouped by the layer each knob
+// steers. The zero value is a working default (in-process transport, FIFO
+// scheduling, wall clock, no recording, no shedding, no failover).
+// Options populate it; NewStack consumes it.
 type Config struct {
-	// Scheduler for cross-VM contention; nil = FIFO.
+	// Scheduler orders calls across contending VMs; nil = FIFO.
 	Scheduler hv.Scheduler
-	// Clock for policy timing; nil = wall clock.
+	// Clock is the stack-wide time source (guest stamping, router
+	// admission, server dispatch); nil = wall clock.
 	Clock clock.Clock
-	// Transport selects the guest↔router and router↔server transports.
-	Transport TransportKind
-	// RingBytes sizes each ring when Transport == TransportRing.
+	// Transport groups the wiring between guest, router and server.
+	Transport TransportConfig
+	// Router groups hypervisor-side admission control.
+	Router RouterConfig
+	// Server groups API-server execution policy.
+	Server ServerConfig
+	// Guest groups defaults applied to every attached guest library.
+	Guest GuestConfig
+	// Failover enables fault-tolerant remoting for attached VMs: a per-VM
+	// guardian shadows the record log, checkpoints periodically, and on
+	// API-server failure respawns or re-dials the server, replays state,
+	// and directs the guest library to resubmit its unacked calls. Nil
+	// disables.
+	Failover *FailoverConfig
+}
+
+// TransportConfig selects and sizes the remoting transport.
+type TransportConfig struct {
+	// Kind selects the guest↔router and router↔server transports.
+	Kind TransportKind
+	// RingBytes sizes each ring when Kind == TransportRing; 0 = 1MiB.
 	RingBytes int
-	// GuestOptions apply to every attached guest library (e.g.
-	// guest.WithForceSync() for the paper's unoptimized-spec ablation).
-	GuestOptions []guest.Option
+}
+
+// RouterConfig groups hypervisor-side admission policy.
+type RouterConfig struct {
+	// Shed configures the router's load shedder; the zero value leaves
+	// shedding off.
+	Shed hv.ShedConfig
+}
+
+// ServerConfig groups API-server execution policy.
+type ServerConfig struct {
 	// Recording enables the migration record log for attached VMs (§4.3);
 	// off by default because tracking costs time on call-heavy workloads.
 	Recording bool
-	// Shed configures the router's load shedder (hv.ShedConfig); the zero
-	// value leaves shedding off.
-	Shed hv.ShedConfig
-	// Failover enables fault-tolerant remoting for attached VMs: a per-VM
-	// guardian shadows the record log, checkpoints periodically, and on
-	// API-server failure respawns the server, replays state, and directs
-	// the guest library to resubmit its unacked calls. Nil disables.
-	Failover *FailoverConfig
+}
+
+// GuestConfig groups guest-library defaults.
+type GuestConfig struct {
+	// Options apply to every attached guest library (e.g.
+	// guest.WithForceSync() for the paper's unoptimized-spec ablation).
+	Options []guest.Option
+}
+
+// WithConfig replaces the accumulated configuration wholesale.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// WithScheduler sets the cross-VM scheduler.
+func WithScheduler(s hv.Scheduler) Option { return func(c *Config) { c.Scheduler = s } }
+
+// WithClock sets the stack-wide time source.
+func WithClock(clk clock.Clock) Option { return func(c *Config) { c.Clock = clk } }
+
+// WithTransport selects the remoting transport kind.
+func WithTransport(k TransportKind) Option { return func(c *Config) { c.Transport.Kind = k } }
+
+// WithRingTransport selects the shared-memory ring transport sized at n
+// bytes per ring (0 = 1MiB).
+func WithRingTransport(n int) Option {
+	return func(c *Config) { c.Transport = TransportConfig{Kind: TransportRing, RingBytes: n} }
+}
+
+// WithRecording enables the migration record log for attached VMs.
+func WithRecording() Option { return func(c *Config) { c.Server.Recording = true } }
+
+// WithShedding configures the router's load shedder.
+func WithShedding(cfg hv.ShedConfig) Option { return func(c *Config) { c.Router.Shed = cfg } }
+
+// WithGuestDefaults appends options applied to every attached guest
+// library (per-attachment options still override them).
+func WithGuestDefaults(opts ...guest.Option) Option {
+	return func(c *Config) { c.Guest.Options = append(c.Guest.Options, opts...) }
+}
+
+// WithFailover enables fault-tolerant remoting with the given tuning.
+func WithFailover(fc FailoverConfig) Option {
+	return func(c *Config) { c.Failover = &fc }
 }
 
 // FailoverConfig tunes the per-VM failover guardian (see internal/failover).
@@ -153,21 +225,66 @@ type FailoverConfig struct {
 	// migration. Nil disables object-state checkpointing (replay alone
 	// reconstructs objects; stateful contents are lost on recovery).
 	Adapter migrate.Adapter
-	// CheckpointEvery cuts a quiesced checkpoint after this many calls;
-	// 0 disables periodic checkpoints.
-	CheckpointEvery int
-	// HeartbeatEvery probes server liveness when the link has been idle
-	// this long; 0 disables probing (transport errors still detect death).
-	HeartbeatEvery time.Duration
-	// LivenessTimeout bounds quiesce/liveness marker round trips; 0 = 2s.
-	LivenessTimeout time.Duration
+	// Checkpoint groups checkpoint cadence policy.
+	Checkpoint CheckpointConfig
+	// Liveness groups failure-detection timing.
+	Liveness LivenessConfig
 	// Backoff shapes respawn retries and the guest's shared retry budget.
 	Backoff failover.BackoffConfig
 	// Retain caps the guest's retained-call window; 0 = 4096.
 	Retain int
+	// Replication groups shadow-log mirroring and rehydration.
+	Replication ReplicationConfig
+	// Dial, when set, replaces the default in-process server respawn with
+	// a custom server dialer — e.g. a failover.FleetDialer's Dial bound to
+	// a fleet registry for cross-host failover. The guardian calls it
+	// under its respawn backoff budget; each call is one attempt.
+	Dial func(id uint32, name string) (failover.ServerLink, error)
+	// Host, when set alongside Dial, reports the identity of the host the
+	// last successful dial landed on (failover.FleetDialer.Host); the
+	// stack feeds it to the router's serving-host re-fence bookkeeping.
+	// The default in-process dial always reports "local".
+	Host func(id uint32) string
 	// WrapServerLink, when set, wraps each freshly dialed router→server
 	// endpoint — e.g. transport.NewFlaky for fault injection in tests.
+	// Ignored when Dial is set (wrap inside the custom dialer instead).
 	WrapServerLink func(transport.Endpoint) transport.Endpoint
+}
+
+// CheckpointConfig groups the guardian's checkpoint cadence.
+type CheckpointConfig struct {
+	// Every cuts a quiesced checkpoint after this many calls; 0 disables
+	// periodic checkpoints.
+	Every int
+	// Adaptive scales the cadence with device load: a due checkpoint is
+	// deferred while synchronous calls are in flight (the quiesce barrier
+	// would stall them) until the uncheckpointed span approaches half the
+	// retained window, and the heartbeat cuts overdue checkpoints as soon
+	// as the link goes idle.
+	Adaptive bool
+}
+
+// LivenessConfig groups the guardian's failure-detection timing.
+type LivenessConfig struct {
+	// HeartbeatEvery probes server liveness when the link has been idle
+	// this long; 0 disables probing (transport errors still detect death).
+	HeartbeatEvery time.Duration
+	// Timeout bounds quiesce/liveness marker round trips; 0 = 2s.
+	Timeout time.Duration
+}
+
+// ReplicationConfig groups shadow-log mirroring and rehydration, the
+// guardian-crash half of cross-host recovery.
+type ReplicationConfig struct {
+	// Mirror, if set, receives a synchronous stream of the guardian's
+	// shadow-log mutations (failover.LogSink) so replay state survives a
+	// guardian crash, not just an API-server crash.
+	Mirror failover.LogSink
+	// Restore, if set, rehydrates the guardian from a mirrored shadow log
+	// instead of starting empty: on attach the guardian replays the
+	// restored log onto a freshly dialed server and tells the guest to
+	// resubmit everything past the restored watermark.
+	Restore *failover.MirrorState
 }
 
 // Stack is an assembled AvA deployment for one API: one router, one API
@@ -191,7 +308,13 @@ type attachment struct {
 }
 
 // NewStack builds the hypervisor and server halves over a silo registry.
-func NewStack(desc *cava.Descriptor, reg *server.Registry, cfg Config) *Stack {
+func NewStack(desc *cava.Descriptor, reg *server.Registry, opts ...Option) *Stack {
+	var cfg Config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
 	s := &Stack{
 		Desc:   desc,
 		Router: hv.NewRouter(desc, cfg.Scheduler, cfg.Clock),
@@ -199,14 +322,14 @@ func NewStack(desc *cava.Descriptor, reg *server.Registry, cfg Config) *Stack {
 		cfg:    cfg,
 		vms:    make(map[uint32]*attachment),
 	}
-	s.Router.SetShedPolicy(cfg.Shed)
+	s.Router.SetShedPolicy(cfg.Router.Shed)
 	return s
 }
 
 func (s *Stack) pair() (transport.Endpoint, transport.Endpoint) {
-	switch s.cfg.Transport {
+	switch s.cfg.Transport.Kind {
 	case TransportRing:
-		n := s.cfg.RingBytes
+		n := s.cfg.Transport.RingBytes
 		if n <= 0 {
 			n = 1 << 20
 		}
@@ -220,7 +343,7 @@ func (s *Stack) pair() (transport.Endpoint, transport.Endpoint) {
 // wired to the stack's recording policy and clock.
 func (s *Stack) newContext(id uint32, name string) *server.Context {
 	ctx := s.Server.Context(id, name)
-	ctx.SetRecording(s.cfg.Recording)
+	ctx.SetRecording(s.cfg.Server.Recording)
 	if s.cfg.Clock != nil {
 		ctx.SetClock(s.cfg.Clock)
 	}
@@ -248,25 +371,49 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 		var north transport.Endpoint
 		routerServer, north = s.pair()
 		id, name := cfg.ID, cfg.Name
-		dial := func() (failover.ServerLink, error) {
-			south, serverEP := s.pair()
-			if fc.WrapServerLink != nil {
-				south = fc.WrapServerLink(south)
+		var dial func() (failover.ServerLink, error)
+		if fc.Dial != nil {
+			// Custom dialer (e.g. a fleet-registry FleetDialer): every
+			// successful dial updates the router's serving-host record so a
+			// cross-host move re-fences any frames stamped for the old host.
+			dial = func() (failover.ServerLink, error) {
+				link, err := fc.Dial(id, name)
+				if err != nil {
+					return link, err
+				}
+				host := "remote"
+				if fc.Host != nil {
+					host = fc.Host(id)
+				}
+				s.Router.SetServingHost(id, host)
+				return link, nil
 			}
-			// Each server incarnation starts from a clean context; the
-			// guardian replays state into it before traffic resumes.
-			s.Server.DropContext(id)
-			ctx := s.newContext(id, name)
-			go s.Server.ServeVM(ctx, serverEP)
-			return failover.ServerLink{EP: south, Server: s.Server, Ctx: ctx, Adapter: fc.Adapter}, nil
+		} else {
+			dial = func() (failover.ServerLink, error) {
+				south, serverEP := s.pair()
+				if fc.WrapServerLink != nil {
+					south = fc.WrapServerLink(south)
+				}
+				// Each server incarnation starts from a clean context; the
+				// guardian replays state into it before traffic resumes.
+				s.Server.DropContext(id)
+				ctx := s.newContext(id, name)
+				go s.Server.ServeVM(ctx, serverEP)
+				s.Router.SetServingHost(id, "local")
+				return failover.ServerLink{EP: south, Server: s.Server, Ctx: ctx, Adapter: fc.Adapter}, nil
+			}
 		}
 		g = failover.New(s.Desc, north, dial, failover.Config{
-			CheckpointEvery: fc.CheckpointEvery,
-			HeartbeatEvery:  fc.HeartbeatEvery,
-			LivenessTimeout: fc.LivenessTimeout,
-			Backoff:         fc.Backoff,
-			Clock:           s.cfg.Clock,
-			OnEpoch:         func(e uint32) { s.Router.SetEpoch(id, e) },
+			CheckpointEvery:    fc.Checkpoint.Every,
+			AdaptiveCheckpoint: fc.Checkpoint.Adaptive,
+			HeartbeatEvery:     fc.Liveness.HeartbeatEvery,
+			LivenessTimeout:    fc.Liveness.Timeout,
+			Backoff:            fc.Backoff,
+			Retain:             fc.Retain,
+			Mirror:             fc.Replication.Mirror,
+			Restore:            fc.Replication.Restore,
+			Clock:              s.cfg.Clock,
+			OnEpoch:            func(e uint32) { s.Router.SetEpoch(id, e) },
 		})
 		if err := g.Start(); err != nil {
 			s.Router.UnregisterVM(cfg.ID)
@@ -276,6 +423,12 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 			return nil, err
 		}
 		foOpts = append(foOpts, guest.WithFailover(guest.FailoverPolicy{Retain: fc.Retain}))
+		if fc.Replication.Restore != nil {
+			// The mirror's watermark fences the first life's sequence
+			// numbers; a fresh library must number its calls past it or
+			// its first calls would be trimmed as already-covered.
+			foOpts = append(foOpts, guest.WithSequenceBase(fc.Replication.Restore.W))
+		}
 	} else {
 		var serverEP transport.Endpoint
 		routerServer, serverEP = s.pair()
@@ -296,7 +449,7 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 		base = append(base, guest.WithClock(s.cfg.Clock))
 	}
 	base = append(base, foOpts...)
-	opts = append(append(base, s.cfg.GuestOptions...), opts...)
+	opts = append(append(base, s.cfg.Guest.Options...), opts...)
 	lib := guest.New(s.Desc, guestEP, opts...)
 	s.mu.Lock()
 	s.vms[cfg.ID] = &attachment{

@@ -39,7 +39,7 @@ func benchStack(b *testing.B, opts ...guest.Option) (*ava.Stack, *cl.RemoteClien
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, benchSilo())
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "bench-vm"}, opts...)
 	if err != nil {
 		b.Fatal(err)
@@ -82,7 +82,7 @@ func BenchmarkFigure5(b *testing.B) {
 		desc := mvnc.Descriptor()
 		reg := server.NewRegistry(desc)
 		mvnc.BindServer(reg, mvnc.NewSilo(mvnc.Config{}))
-		stack := ava.NewStack(desc, reg, ava.Config{})
+		stack := ava.NewStack(desc, reg)
 		b.Cleanup(stack.Close)
 		lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "ncs"})
 		if err != nil {
@@ -149,7 +149,7 @@ func BenchmarkSharing(b *testing.B) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, benchSilo())
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	b.Cleanup(stack.Close)
 	lib1, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	if err != nil {
@@ -186,7 +186,7 @@ func BenchmarkSwap(b *testing.B) {
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
 	swap.NewManager(silo).Install(reg)
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	b.Cleanup(stack.Close)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 	if err != nil {
@@ -230,7 +230,7 @@ func BenchmarkMigration(b *testing.B) {
 		desc := cl.Descriptor()
 		reg := server.NewRegistry(desc)
 		cl.BindServer(reg, srcSilo)
-		src := ava.NewStack(desc, reg, ava.Config{Recording: true})
+		src := ava.NewStack(desc, reg, ava.WithRecording())
 		lib, err := src.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 		if err != nil {
 			b.Fatal(err)
@@ -252,7 +252,7 @@ func BenchmarkMigration(b *testing.B) {
 		dstSilo := benchSilo()
 		reg2 := server.NewRegistry(desc)
 		cl.BindServer(reg2, dstSilo)
-		dst := ava.NewStack(desc, reg2, ava.Config{Recording: true})
+		dst := ava.NewStack(desc, reg2, ava.WithRecording())
 		dstCtx := dst.Server.Context(1, "vm")
 		b.StartTimer()
 
@@ -285,7 +285,7 @@ func BenchmarkTransports(b *testing.B) {
 		desc := cl.Descriptor()
 		reg := server.NewRegistry(desc)
 		cl.BindServer(reg, benchSilo())
-		stack := ava.NewStack(desc, reg, ava.Config{Transport: kind})
+		stack := ava.NewStack(desc, reg, ava.WithTransport(kind))
 		b.Cleanup(stack.Close)
 		lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 		if err != nil {

@@ -7,7 +7,8 @@
 //	avabench                 # run everything
 //	avabench -exp fig5       # one experiment: fig5, async, fullvirt,
 //	                         # sharing, swap, migrate, effort, transport,
-//	                         # breakdown, pipeline, overload, failover
+//	                         # breakdown, pipeline, overload, failover,
+//	                         # crosshost
 //	avabench -scale 2 -reps 5
 package main
 

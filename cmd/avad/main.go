@@ -8,21 +8,35 @@
 //
 //	avad -listen 127.0.0.1:7272 -api opencl
 //	avad -listen :7272 -api mvnc -sticks 2
+//	avad -listen :7272 -api opencl -announce 127.0.0.1:7400 -id gpu-host-a
 //
-// Each accepted connection serves one VM; the first 4 bytes of the
-// connection are the VM identifier.
+// Each accepted connection serves one VM. The connection opens with a
+// hello preamble (transport.EncodeHello): the VM identifier, optionally
+// followed by the endpoint epoch and VM name — a bare legacy [vm][name]
+// preamble is still accepted.
+//
+// With -announce, avad registers itself with a fleet registry (cmd/avaregd
+// or an in-process fleet.Registry served over TCP) and heartbeats until
+// shutdown, making it a failover target for guardians using a registry-
+// backed dialer. On SIGTERM or SIGINT avad shuts down gracefully: it stops
+// accepting, deregisters from the fleet, drains in-flight connections
+// under the -drain budget, and closes stragglers in order — guests observe
+// an orderly end-of-stream, never a sever.
 package main
 
 import (
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"ava/internal/cl"
 	"ava/internal/devsim"
+	"ava/internal/fleet"
 	"ava/internal/mvnc"
 	"ava/internal/qat"
 	"ava/internal/server"
@@ -33,78 +47,232 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:7272", "address to listen on")
-		api      = flag.String("api", "opencl", "API to serve: opencl or mvnc")
+		api      = flag.String("api", "opencl", "API to serve: opencl, mvnc or qat")
 		memMB    = flag.Uint64("mem", 4096, "device memory in MiB (opencl)")
 		cus      = flag.Int("cus", 8, "compute units (opencl)")
 		sticks   = flag.Int("sticks", 1, "device count (mvnc sticks / qat engines)")
 		withSwap = flag.Bool("swap", true, "enable buffer-granularity memory swapping (opencl)")
+
+		announce  = flag.String("announce", "", "fleet registry address to announce to (empty = standalone)")
+		id        = flag.String("id", "", "fleet member identity (default: the advertised address)")
+		advertise = flag.String("advertise", "", "address peers dial for this host (default: the bound listen address)")
+		every     = flag.Duration("announce-every", 0, "heartbeat interval (default: fleet TTL/4)")
+		drain     = flag.Duration("drain", 5*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
-	var reg *server.Registry
-	switch *api {
-	case "opencl":
-		desc := cl.Descriptor()
-		reg = server.NewRegistry(desc)
-		silo := cl.NewSilo(cl.Config{
-			Devices: []devsim.Config{{
-				Name:         "avad-gpu0",
-				MemoryBytes:  *memMB << 20,
-				ComputeUnits: *cus,
-			}},
-		})
-		cl.BindServer(reg, silo)
-		if *withSwap {
-			swap.NewManager(silo).Install(reg)
-		}
-	case "mvnc":
-		desc := mvnc.Descriptor()
-		reg = server.NewRegistry(desc)
-		mvnc.BindServer(reg, mvnc.NewSilo(mvnc.Config{Sticks: *sticks}))
-	case "qat":
-		desc := qat.Descriptor()
-		reg = server.NewRegistry(desc)
-		qat.BindServer(reg, qat.NewSilo(*sticks))
-	default:
-		fmt.Fprintf(os.Stderr, "avad: unknown -api %q (opencl, mvnc, qat)\n", *api)
+	reg, err := buildRegistry(*api, *memMB, *cus, *sticks, *withSwap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avad: %v\n", err)
 		os.Exit(2)
 	}
 
-	srv := server.New(reg)
 	l, err := transport.Listen(*listen)
 	if err != nil {
 		log.Fatalf("avad: %v", err)
 	}
-	log.Printf("avad: serving %s on %s", *api, l.Addr())
-	for {
-		ep, err := l.Accept()
-		if err != nil {
-			log.Printf("avad: accept: %v", err)
-			return
+	d := newDaemon(server.New(reg), *drain)
+
+	if *announce != "" {
+		addr := *advertise
+		if addr == "" {
+			addr = l.Addr()
 		}
-		go serveConn(srv, ep)
+		member := fleet.Member{ID: *id, Addr: addr, API: *api}
+		if member.ID == "" {
+			member.ID = addr
+		}
+		client := fleet.DialRegistry(*announce)
+		d.announcer = fleet.StartAnnouncer(client, member, *every, nil)
+		d.registry = client
+		log.Printf("avad: announcing %s (%s) to fleet registry %s", member.ID, member.Addr, *announce)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigs
+		log.Printf("avad: %v: draining (budget %v)", s, *drain)
+		d.Shutdown(l)
+	}()
+
+	log.Printf("avad: serving %s on %s", *api, l.Addr())
+	d.Serve(l)
+	d.Wait()
+	log.Printf("avad: shut down cleanly")
+}
+
+// buildRegistry assembles the silo and handler registry for one API. The
+// OpenCL registry carries an object restorer so a guardian failing over
+// from another host can replay mirrored object state into this server
+// (marshal.FuncRestore).
+func buildRegistry(api string, memMB uint64, cus, sticks int, withSwap bool) (*server.Registry, error) {
+	switch api {
+	case "opencl":
+		reg := server.NewRegistry(cl.Descriptor())
+		silo := cl.NewSilo(cl.Config{
+			Devices: []devsim.Config{{
+				Name:         "avad-gpu0",
+				MemoryBytes:  memMB << 20,
+				ComputeUnits: cus,
+			}},
+		})
+		cl.BindServer(reg, silo)
+		reg.Restorer = cl.MigrationAdapter{Silo: silo}
+		if withSwap {
+			swap.NewManager(silo).Install(reg)
+		}
+		return reg, nil
+	case "mvnc":
+		reg := server.NewRegistry(mvnc.Descriptor())
+		mvnc.BindServer(reg, mvnc.NewSilo(mvnc.Config{Sticks: sticks}))
+		return reg, nil
+	case "qat":
+		reg := server.NewRegistry(qat.Descriptor())
+		qat.BindServer(reg, qat.NewSilo(sticks))
+		return reg, nil
+	default:
+		return nil, fmt.Errorf("unknown -api %q (opencl, mvnc, qat)", api)
 	}
 }
 
-// serveConn reads the VM-identification preamble and runs the serve loop.
-func serveConn(srv *server.Server, ep transport.Endpoint) {
-	defer ep.Close()
-	hello, err := ep.Recv()
-	if err != nil || len(hello) < 4 {
-		if err != io.EOF {
-			log.Printf("avad: bad hello: %v", err)
+// daemon tracks the serving state a graceful shutdown must settle: the
+// set of live connections and a waitgroup over their serve loops.
+type daemon struct {
+	srv       *server.Server
+	drain     time.Duration
+	announcer *fleet.Announcer
+	registry  *fleet.Client
+
+	mu     sync.Mutex
+	conns  map[transport.Endpoint]struct{}
+	closed bool
+
+	active   sync.WaitGroup
+	shutOnce sync.Once
+	done     chan struct{}
+}
+
+func newDaemon(srv *server.Server, drain time.Duration) *daemon {
+	return &daemon{
+		srv:   srv,
+		drain: drain,
+		conns: make(map[transport.Endpoint]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Serve accepts connections until the listener closes (shutdown or error).
+func (d *daemon) Serve(l *transport.Listener) {
+	for {
+		ep, err := l.Accept()
+		if err != nil {
+			return
 		}
+		if !d.track(ep) {
+			ep.Close() // raced shutdown: refuse, do not serve
+			continue
+		}
+		go func() {
+			defer d.active.Done()
+			defer d.untrack(ep)
+			d.serveConn(ep)
+		}()
+	}
+}
+
+func (d *daemon) track(ep transport.Endpoint) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.conns[ep] = struct{}{}
+	d.active.Add(1)
+	return true
+}
+
+func (d *daemon) untrack(ep transport.Endpoint) {
+	d.mu.Lock()
+	delete(d.conns, ep)
+	d.mu.Unlock()
+}
+
+// Shutdown runs the graceful sequence: stop accepting, leave the fleet so
+// no guardian is steered here, wait out in-flight connections under the
+// drain budget, then orderly-close stragglers (guests see ErrClosed /
+// end-of-stream, never ErrSevered — a drain is not a crash).
+func (d *daemon) Shutdown(l *transport.Listener) {
+	d.shutOnce.Do(func() {
+		if l != nil {
+			l.Close()
+		}
+		if d.announcer != nil {
+			d.announcer.Close()
+		}
+		if d.registry != nil {
+			d.registry.Close()
+		}
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+
+		go func() {
+			defer close(d.done)
+			drained := make(chan struct{})
+			go func() {
+				d.active.Wait()
+				close(drained)
+			}()
+			select {
+			case <-drained:
+				return
+			case <-time.After(d.drain):
+			}
+			d.mu.Lock()
+			n := len(d.conns)
+			for ep := range d.conns {
+				ep.Close()
+			}
+			d.mu.Unlock()
+			if n > 0 {
+				log.Printf("avad: drain budget spent, closed %d lingering connection(s)", n)
+			}
+			<-drained
+		}()
+	})
+}
+
+// Wait blocks until a Shutdown completes its drain.
+func (d *daemon) Wait() {
+	d.Shutdown(nil) // no-op if a signal already started it; covers Accept errors
+	<-d.done
+}
+
+// serveConn reads the VM-identification hello preamble and runs the serve
+// loop. The preamble is either the legacy [vm u32][name] form or the
+// extended form carrying the guardian's endpoint epoch (transport.Hello),
+// which a failover dial stamps so logs tie a connection to the recovery
+// generation that produced it.
+func (d *daemon) serveConn(ep transport.Endpoint) {
+	defer ep.Close()
+	frame, err := ep.Recv()
+	if err != nil {
 		return
 	}
-	vm := binary.LittleEndian.Uint32(hello)
-	name := fmt.Sprintf("tcp-vm%d", vm)
-	if len(hello) > 4 {
-		name = string(hello[4:])
+	h, err := transport.DecodeHello(frame)
+	if err != nil {
+		log.Printf("avad: bad hello: %v", err)
+		return
 	}
-	ctx := srv.Context(vm, name)
-	log.Printf("avad: VM %d (%s) connected", vm, name)
-	if err := srv.ServeVM(ctx, ep); err != nil {
-		log.Printf("avad: VM %d: %v", vm, err)
+	name := h.Name
+	if name == "" {
+		name = fmt.Sprintf("tcp-vm%d", h.VM)
 	}
-	log.Printf("avad: VM %d disconnected", vm)
+	ctx := d.srv.Context(h.VM, name)
+	log.Printf("avad: VM %d (%s) connected, epoch %d", h.VM, name, h.Epoch)
+	if err := d.srv.ServeVM(ctx, ep); err != nil {
+		log.Printf("avad: VM %d: %v", h.VM, err)
+	}
+	log.Printf("avad: VM %d disconnected", h.VM)
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"testing"
+	"time"
 
 	"ava/internal/cl"
 	"ava/internal/devsim"
@@ -11,40 +13,46 @@ import (
 	"ava/internal/transport"
 )
 
-func newServer(t *testing.T) *server.Server {
+func newTestDaemon(t *testing.T, drain time.Duration) *daemon {
 	t.Helper()
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, cl.NewSilo(cl.Config{
 		Devices: []devsim.Config{{Name: "avad-test-gpu", MemoryBytes: 16 << 20}},
 	}))
-	return server.New(reg)
+	return newDaemon(server.New(reg), drain)
 }
 
-// hello builds the VM-identification preamble.
-func hello(vm uint32, name string) []byte {
+// legacyHello builds the bare [vm][name] preamble older dialers send.
+func legacyHello(vm uint32, name string) []byte {
 	b := make([]byte, 4+len(name))
 	binary.LittleEndian.PutUint32(b, vm)
 	copy(b[4:], name)
 	return b
 }
 
-func TestServeConnHelloAndCall(t *testing.T) {
-	srv := newServer(t)
-	client, sv := transport.NewInProc()
-	go serveConn(srv, sv)
-
-	if err := client.Send(hello(7, "tcp-guest")); err != nil {
-		t.Fatal(err)
+func platformCountCall(t *testing.T, seq uint64) []byte {
+	t.Helper()
+	fd, ok := cl.Descriptor().Lookup("clGetPlatformIDs")
+	if !ok {
+		t.Fatal("clGetPlatformIDs missing")
 	}
-	// One sync call: clGetPlatformIDs count query.
-	desc := cl.Descriptor()
-	fd, _ := desc.Lookup("clGetPlatformIDs")
 	call := marshal.EncodeCall(&marshal.Call{
-		Seq: 1, Func: fd.ID,
+		Seq: seq, Func: fd.ID,
 		Args: []marshal.Value{marshal.Uint(0), marshal.Null(), marshal.Len(4)},
 	})
-	if err := client.Send(marshal.EncodeBatch([][]byte{call})); err != nil {
+	return marshal.EncodeBatch([][]byte{call})
+}
+
+func TestServeConnHelloAndCall(t *testing.T) {
+	d := newTestDaemon(t, time.Second)
+	client, sv := transport.NewInProc()
+	go d.serveConn(sv)
+
+	if err := client.Send(legacyHello(7, "tcp-guest")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(platformCountCall(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	frame, err := client.Recv()
@@ -59,19 +67,50 @@ func TestServeConnHelloAndCall(t *testing.T) {
 		t.Fatalf("reply = %+v", rep)
 	}
 	// The context carries the announced identity.
-	ctx := srv.Context(7, "")
+	ctx := d.srv.Context(7, "")
 	if ctx.Name != "tcp-guest" {
 		t.Fatalf("context name = %q", ctx.Name)
 	}
 	client.Close()
 }
 
+// The extended preamble (VM + epoch + name) must identify the VM the same
+// way a failover dialer's hello does.
+func TestServeConnExtendedHello(t *testing.T) {
+	d := newTestDaemon(t, time.Second)
+	client, sv := transport.NewInProc()
+	go d.serveConn(sv)
+
+	h := transport.EncodeHello(transport.Hello{VM: 9, Epoch: 3, Name: "failover-guest"})
+	if err := client.Send(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(platformCountCall(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := marshal.DecodeReply(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != marshal.StatusOK {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if ctx := d.srv.Context(9, ""); ctx.Name != "failover-guest" {
+		t.Fatalf("context name = %q", ctx.Name)
+	}
+	client.Close()
+}
+
 func TestServeConnShortHello(t *testing.T) {
-	srv := newServer(t)
+	d := newTestDaemon(t, time.Second)
 	client, sv := transport.NewInProc()
 	done := make(chan struct{})
 	go func() {
-		serveConn(srv, sv)
+		d.serveConn(sv)
 		close(done)
 	}()
 	if err := client.Send([]byte{1, 2}); err != nil {
@@ -79,4 +118,89 @@ func TestServeConnShortHello(t *testing.T) {
 	}
 	<-done // short hello: connection dropped, no panic
 	client.Close()
+}
+
+// A graceful shutdown drains in-flight connections and ends them with an
+// orderly close: the guest must observe ErrClosed (end-of-stream), never
+// ErrSevered — the failover layer treats a sever as a server crash and
+// would trigger a pointless recovery against a host that is merely
+// restarting for maintenance.
+func TestShutdownDrainIsNotSever(t *testing.T) {
+	d := newTestDaemon(t, 300*time.Millisecond)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(l)
+
+	client, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(transport.EncodeHello(transport.Hello{VM: 1, Name: "drain-guest"})); err != nil {
+		t.Fatal(err)
+	}
+	// One in-flight call, then shut down before reading the reply: the
+	// drain must deliver the reply before the close lands.
+	if err := client.Send(platformCountCall(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := client.Recv()
+	if err != nil {
+		t.Fatalf("in-flight reply lost to shutdown: %v", err)
+	}
+	if rep, err := marshal.DecodeReply(frame); err != nil || rep.Status != marshal.StatusOK {
+		t.Fatalf("reply = %+v, err %v", rep, err)
+	}
+
+	d.Shutdown(l)
+	d.Wait()
+
+	// After the drain the daemon closed its side in order: the guest sees
+	// end-of-stream, not a severed link.
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("recv after shutdown succeeded, want closed")
+	} else if errors.Is(err, transport.ErrSevered) {
+		t.Fatalf("drain surfaced as sever: %v", err)
+	}
+
+	// New connections are refused once draining.
+	if ep, err := transport.Dial(l.Addr()); err == nil {
+		ep.Close()
+		t.Fatal("dial after shutdown succeeded, want refused")
+	}
+}
+
+// A connection still streaming when the budget expires is closed, not
+// severed, and Wait returns promptly after the budget.
+func TestShutdownBudgetClosesStragglers(t *testing.T) {
+	d := newTestDaemon(t, 50*time.Millisecond)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(l)
+
+	client, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(transport.EncodeHello(transport.Hello{VM: 2, Name: "straggler"})); err != nil {
+		t.Fatal(err)
+	}
+	// Never send a call and never close: the serve loop sits in Recv until
+	// the drain budget forces the close.
+	start := time.Now()
+	d.Shutdown(l)
+	d.Wait()
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("drain took %v, budget was 50ms", waited)
+	}
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("straggler recv succeeded after forced close")
+	} else if errors.Is(err, transport.ErrSevered) {
+		t.Fatalf("forced close surfaced as sever: %v", err)
+	}
 }

@@ -1,0 +1,64 @@
+// Command avaregd is the fleet registry daemon: the discovery service
+// behind cross-host failover. avad instances announce themselves here
+// (-announce on avad); registry-backed failover dialers query it for the
+// best live peer when a serving host dies.
+//
+// Usage:
+//
+//	avaregd -listen 127.0.0.1:7400
+//	avaregd -listen :7400 -ttl 5s
+//
+// The registry is soft state: members expire when their heartbeats stop,
+// so a restarted avaregd repopulates within one announce interval and
+// announcers redial transparently (fleet.Client). Nothing is persisted.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ava/internal/fleet"
+	"ava/internal/transport"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7400", "address to listen on")
+		ttl    = flag.Duration("ttl", 0, "member liveness TTL (default: fleet.DefaultTTL)")
+		sweep  = flag.Duration("sweep", time.Minute, "how often to reclaim expired members")
+	)
+	flag.Parse()
+
+	reg := fleet.NewRegistry(*ttl, nil)
+	l, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatalf("avaregd: %v", err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigs
+		log.Printf("avaregd: %v: shutting down", s)
+		l.Close()
+	}()
+
+	// Queries already ignore expired members; the sweep just reclaims
+	// table space so a long-lived registry doesn't accrete dead entries.
+	go func() {
+		for {
+			time.Sleep(*sweep)
+			if n := reg.Expire(); n > 0 {
+				log.Printf("avaregd: reclaimed %d expired member(s)", n)
+			}
+		}
+	}()
+
+	log.Printf("avaregd: serving fleet registry on %s", l.Addr())
+	fleet.Serve(l, reg)
+	log.Printf("avaregd: shut down cleanly")
+}

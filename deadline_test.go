@@ -32,7 +32,7 @@ type deadlineStack struct {
 	release chan struct{} // lets a parked slow handler finish normally
 }
 
-func newDeadlineStack(t *testing.T, cfg ava.Config) *deadlineStack {
+func newDeadlineStack(t *testing.T, opts ...ava.Option) *deadlineStack {
 	t.Helper()
 	desc, err := ava.CompileSpec(deadlineSpec)
 	if err != nil {
@@ -59,8 +59,7 @@ func newDeadlineStack(t *testing.T, cfg ava.Config) *deadlineStack {
 			return nil
 		}
 	})
-	cfg.Clock = ds.clk
-	ds.stack = ava.NewStack(desc, reg, cfg)
+	ds.stack = ava.NewStack(desc, reg, append([]ava.Option{ava.WithClock(ds.clk)}, opts...)...)
 	t.Cleanup(ds.stack.Close)
 	return ds
 }
@@ -82,7 +81,7 @@ func wantDeadlineErr(t *testing.T, err error) *guest.APIError {
 // stall (burst 1 at 10 calls/sec on the virtual clock), so the router
 // rejects it with StatusDeadline after charging the stall.
 func TestStackRouterDeniesExpiredDeadline(t *testing.T) {
-	ds := newDeadlineStack(t, ava.Config{})
+	ds := newDeadlineStack(t)
 	lib, err := ds.stack.AttachVM(ava.VMConfig{
 		ID: 1, Name: "vm1", CallsPerSec: 10, CallBurst: 1,
 	})
@@ -114,7 +113,7 @@ func TestStackRouterDeniesExpiredDeadline(t *testing.T) {
 // reaches the parked handler through Invocation.Done, and the guest gets
 // StatusDeadline.
 func TestStackInFlightCallAborts(t *testing.T) {
-	ds := newDeadlineStack(t, ava.Config{})
+	ds := newDeadlineStack(t)
 	lib, err := ds.stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +148,7 @@ func TestStackInFlightCallAborts(t *testing.T) {
 // A deadline that has already passed fails in the guest before any
 // marshalling: nothing is forwarded, nothing reaches the router or silo.
 func TestStackGuestFailsFast(t *testing.T) {
-	ds := newDeadlineStack(t, ava.Config{})
+	ds := newDeadlineStack(t)
 	lib, err := ds.stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	if err != nil {
 		t.Fatal(err)
@@ -192,10 +191,9 @@ func TestStackPrioritySchedulerSmoke(t *testing.T) {
 		v.SetStatus(0)
 		return nil
 	})
-	stack := ava.NewStack(desc, reg, ava.Config{
-		Clock:     clk,
-		Scheduler: hv.NewPriorityScheduler(clk, 10*time.Millisecond),
-	})
+	stack := ava.NewStack(desc, reg,
+		ava.WithClock(clk),
+		ava.WithScheduler(hv.NewPriorityScheduler(clk, 10*time.Millisecond)))
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"}, guest.WithPriority(7))
 	if err != nil {

@@ -30,7 +30,7 @@ func newStack() (*ava.Stack, *cl.Silo) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
-	return ava.NewStack(desc, reg, ava.Config{Recording: true}), silo
+	return ava.NewStack(desc, reg, ava.WithRecording()), silo
 }
 
 func must(err error) {

@@ -30,7 +30,7 @@ func main() {
 	cl.BindServer(reg, silo)
 
 	sched := hv.NewFairScheduler(5 * time.Millisecond)
-	stack := ava.NewStack(desc, reg, ava.Config{Scheduler: sched})
+	stack := ava.NewStack(desc, reg, ava.WithScheduler(sched))
 	defer stack.Close()
 
 	vms := []ava.VMConfig{

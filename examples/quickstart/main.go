@@ -113,7 +113,7 @@ func main() {
 	})
 
 	// Step 4: assemble the stack and use the API from a guest VM.
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "quickstart-vm"})
 	if err != nil {

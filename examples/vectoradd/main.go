@@ -45,7 +45,7 @@ func main() {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, newSilo())
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vectoradd-vm"})
 	if err != nil {

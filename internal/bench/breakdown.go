@@ -114,7 +114,7 @@ func Breakdown(opts Options) (*Table, error) {
 		{"inproc", ava.TransportInProc},
 		{"shm-ring", ava.TransportRing},
 	} {
-		stack := clStack(gpuSilo(0), ava.Config{Transport: tr.kind}, false)
+		stack := clStack(gpuSilo(0), false, ava.WithTransport(tr.kind))
 		c, err := clRemote(stack, 1, guest.WithForceSync())
 		if err != nil {
 			stack.Close()

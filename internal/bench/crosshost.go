@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ava"
+	"ava/internal/cl"
+	"ava/internal/failover"
+	"ava/internal/fleet"
+	"ava/internal/rodinia"
+	"ava/internal/server"
+	"ava/internal/transport"
+)
+
+// crossHostServer is one standalone API-server "machine" in the E13
+// mini-fleet: its own silo, its own server, a TCP listener, and a fleet
+// registration. It is the in-process equivalent of one avad host.
+type crossHostServer struct {
+	id   string
+	silo *cl.Silo
+	srv  *server.Server
+	l    *transport.Listener
+
+	mu   sync.Mutex
+	eps  []transport.Endpoint
+	dead bool
+}
+
+func newCrossHostServer(id string, loc *fleet.Registry, load int) (*crossHostServer, error) {
+	silo := gpuSilo(0)
+	reg := server.NewRegistry(cl.Descriptor())
+	cl.BindServer(reg, silo)
+	// A guardian failing over from a peer host replays mirrored object
+	// snapshots as marshal.FuncRestore calls; the restorer rebuilds them.
+	reg.Restorer = cl.MigrationAdapter{Silo: silo}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &crossHostServer{id: id, silo: silo, srv: server.New(reg), l: l}
+	go h.accept()
+	loc.Announce(fleet.Member{ID: id, Addr: l.Addr(), API: "opencl", Load: load})
+	return h, nil
+}
+
+func (h *crossHostServer) accept() {
+	for {
+		ep, err := h.l.Accept()
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		if h.dead {
+			h.mu.Unlock()
+			ep.Close()
+			continue
+		}
+		h.eps = append(h.eps, ep)
+		h.mu.Unlock()
+		go h.serve(ep)
+	}
+}
+
+func (h *crossHostServer) serve(ep transport.Endpoint) {
+	defer ep.Close()
+	frame, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	hello, err := transport.DecodeHello(frame)
+	if err != nil {
+		return
+	}
+	// Each accepted connection is one server incarnation for the VM: the
+	// guardian replays state into a clean context before traffic resumes.
+	h.srv.DropContext(hello.VM)
+	h.srv.ServeVM(h.srv.Context(hello.VM, hello.Name), ep)
+}
+
+// kill is the SIGKILL of a whole machine: the host leaves the fleet, stops
+// accepting, and every live connection is severed mid-stream (not closed —
+// a crash must look like a crash to the guardian's failure detector).
+func (h *crossHostServer) kill(loc *fleet.Registry) {
+	loc.Deregister(h.id)
+	h.mu.Lock()
+	h.dead = true
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	h.l.Close()
+	for _, ep := range eps {
+		transport.Sever(ep)
+	}
+}
+
+func (h *crossHostServer) close() {
+	h.mu.Lock()
+	h.dead = true
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	h.l.Close()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// CrossHost is E13: kill the entire machine serving the VM mid-gaussian —
+// listener, connections and silo all gone — and complete the workload on a
+// peer host selected through the fleet registry, byte-identical to an
+// undisturbed run. This is the cross-host extension of E12: the guardian's
+// respawn budget fails against the dead endpoint, the registry-backed
+// dialer excludes the dead host and picks the best live peer, and the
+// record-log replay reconstructs every buffer on the peer's fresh silo.
+func CrossHost(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "E13/CrossHost",
+		Title:  "Cross-host failover: serving machine killed mid-gaussian, replay on a fleet peer",
+		Header: []string{"transport", "undisturbed", "with kill", "recovery pause", "identical", "served-by"},
+	}
+	w, ok := rodinia.ByName("gaussian")
+	if !ok {
+		return nil, fmt.Errorf("bench: gaussian workload missing")
+	}
+	scale := opts.scale()
+
+	type result struct {
+		dur     time.Duration
+		sum     float64
+		gs      failover.Stats
+		retry   uint64
+		changes int
+		host    string
+	}
+	run := func(kind ava.TransportKind, killAfter time.Duration) (result, error) {
+		var r result
+		loc := fleet.NewRegistry(0, nil)
+		// host-a carries the lighter load, so the health-ranked registry
+		// steers the first dial there deterministically; host-b is the
+		// failover target.
+		hostA, err := newCrossHostServer("host-a", loc, 0)
+		if err != nil {
+			return r, err
+		}
+		defer hostA.close()
+		hostB, err := newCrossHostServer("host-b", loc, 1)
+		if err != nil {
+			return r, err
+		}
+		defer hostB.close()
+
+		dialer := failover.NewFleetDialer(loc, failover.FleetDialConfig{
+			API: "opencl", VM: 1, Name: "e13-vm",
+		})
+		// The guest-side stack has no local server to fall back on: every
+		// server incarnation is dialed out of the fleet.
+		desc := cl.Descriptor()
+		stack := ava.NewStack(desc, server.NewRegistry(desc),
+			ava.WithTransport(kind),
+			ava.WithFailover(ava.FailoverConfig{
+				Checkpoint: ava.CheckpointConfig{Every: 64},
+				Backoff:    failover.BackoffConfig{Seed: 13},
+				Dial: func(id uint32, name string) (failover.ServerLink, error) {
+					return dialer.Dial()
+				},
+				Host: func(uint32) string { return dialer.Host() },
+			}))
+		defer stack.Close()
+		lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "e13-vm"})
+		if err != nil {
+			return r, err
+		}
+		dialer.SetEpochSource(stack.Guardian(1).Epoch)
+		c := cl.NewRemote(lib)
+		if killAfter > 0 {
+			go func() {
+				time.Sleep(killAfter)
+				hostA.kill(loc)
+			}()
+		}
+		start := time.Now()
+		r.sum, err = w.Run(c, scale)
+		r.dur = time.Since(start)
+		if err != nil {
+			return r, err
+		}
+		r.gs = stack.Guardian(1).Stats()
+		r.retry = lib.Stats().RetryableFailed
+		r.changes = dialer.HostChanges()
+		r.host = dialer.Host()
+		return r, nil
+	}
+
+	// The guest↔router hop varies (hypercall-like vs shared-memory rings);
+	// the router↔server hop is a real TCP socket to the fleet host in both.
+	for _, tr := range []struct {
+		name string
+		kind ava.TransportKind
+	}{
+		{"inproc+tcp", ava.TransportInProc},
+		{"shm-ring+tcp", ava.TransportRing},
+	} {
+		base, err := run(tr.kind, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s undisturbed: %w", tr.name, err)
+		}
+		killAt := base.dur / 3
+		if killAt < time.Millisecond {
+			killAt = time.Millisecond
+		}
+		killed, err := run(tr.kind, killAt)
+		if err != nil {
+			return nil, fmt.Errorf("%s killed run: %w", tr.name, err)
+		}
+		identical := math.Float64bits(killed.sum) == math.Float64bits(base.sum) &&
+			killed.retry == 0 && killed.gs.Recoveries >= 1 && killed.changes >= 1
+		t.Add(tr.name, ms(base.dur), ms(killed.dur), ms(killed.gs.LastRecoveryPause),
+			fmt.Sprintf("%v", identical), killed.host)
+	}
+	t.Note("identical = bitwise-equal checksum vs the undisturbed run, >=1 recovery, >=1 cross-host move, zero calls dropped (E13 acceptance)")
+	t.Note("the killed run finishes on a different machine with a cold silo: replay rebuilds every buffer from the shadow log")
+	return t, nil
+}

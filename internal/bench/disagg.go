@@ -18,13 +18,13 @@ import (
 
 // clStackSwap assembles an OpenCL stack with a swap manager installed and
 // returns both.
-func clStackSwap(silo *cl.Silo, cfg ava.Config) (*ava.Stack, *swap.Manager) {
+func clStackSwap(silo *cl.Silo, opts ...ava.Option) (*ava.Stack, *swap.Manager) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
 	mgr := swap.NewManager(silo)
 	mgr.Install(reg)
-	return ava.NewStack(desc, reg, cfg), mgr
+	return ava.NewStack(desc, reg, opts...), mgr
 }
 
 // f32bytes aliases the conversion used throughout the workloads.
@@ -121,6 +121,7 @@ func All(opts Options) ([]*Table, error) {
 		{"pipeline", Pipeline},
 		{"overload", Overload},
 		{"failover", Failover},
+		{"crosshost", CrossHost},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -158,7 +159,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return Overload(opts)
 	case "failover", "chaos":
 		return Failover(opts)
+	case "crosshost", "fleet":
+		return CrossHost(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost)", name)
 	}
 }

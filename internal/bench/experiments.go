@@ -57,7 +57,7 @@ func Figure5(opts Options) (*Table, error) {
 			return nil, fmt.Errorf("%s native: %w", w.Name, err)
 		}
 		remote, err := timeIt(opts.reps(), func() error {
-			stack := clStack(gpuSilo(0), ava.Config{}, false)
+			stack := clStack(gpuSilo(0), false)
 			defer stack.Close()
 			c, err := clRemote(stack, 1)
 			if err != nil {
@@ -85,7 +85,7 @@ func Figure5(opts Options) (*Table, error) {
 		return nil, fmt.Errorf("inception native: %w", err)
 	}
 	remote, err := timeIt(opts.reps(), func() error {
-		stack, _ := mvncStack(ava.Config{})
+		stack, _ := mvncStack()
 		defer stack.Close()
 		lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "ncs-vm"})
 		if err != nil {
@@ -130,7 +130,7 @@ func AsyncAblation(opts Options) (*Table, error) {
 			return nil, err
 		}
 		syncOnly, err := timeIt(opts.reps(), func() error {
-			stack := clStack(gpuSilo(0), ava.Config{}, false)
+			stack := clStack(gpuSilo(0), false)
 			defer stack.Close()
 			c, err := clRemote(stack, 1, guest.WithForceSync())
 			if err != nil {
@@ -143,7 +143,7 @@ func AsyncAblation(opts Options) (*Table, error) {
 			return nil, err
 		}
 		async, err := timeIt(opts.reps(), func() error {
-			stack := clStack(gpuSilo(0), ava.Config{}, false)
+			stack := clStack(gpuSilo(0), false)
 			defer stack.Close()
 			c, err := clRemote(stack, 1)
 			if err != nil {
@@ -189,7 +189,7 @@ func FullVirtBaseline(opts Options) (*Table, error) {
 			return nil, err
 		}
 		remote, err := timeIt(opts.reps(), func() error {
-			stack := clStack(gpuSilo(0), ava.Config{}, false)
+			stack := clStack(gpuSilo(0), false)
 			defer stack.Close()
 			c, err := clRemote(stack, 1)
 			if err != nil {
@@ -296,7 +296,7 @@ func Sharing(opts Options) (*Table, error) {
 
 	run := func(sched hv.Scheduler) ([2]uint64, [2]time.Duration, error) {
 		silo := gpuSilo(0)
-		stack := clStack(silo, ava.Config{Scheduler: sched}, false)
+		stack := clStack(silo, false, ava.WithScheduler(sched))
 		defer stack.Close()
 		c1, err := clRemote(stack, 1)
 		if err != nil {
@@ -341,7 +341,7 @@ func Sharing(opts Options) (*Table, error) {
 	// Rate limiting: vm2 capped hard; its stall time dominates.
 	{
 		silo := gpuSilo(0)
-		stack := clStack(silo, ava.Config{}, false)
+		stack := clStack(silo, false)
 		lib1, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 		if err != nil {
 			return nil, err
@@ -388,7 +388,7 @@ func Swap(opts Options) (*Table, error) {
 	for _, factor := range []int{1, 2, 4} {
 		count := factor * devMem / bufSize
 		silo := gpuSilo(devMem)
-		stack, mgr := clStackSwap(silo, ava.Config{})
+		stack, mgr := clStackSwap(silo)
 		c, err := clRemote(stack, 1)
 		if err != nil {
 			return nil, err
@@ -472,7 +472,7 @@ func Migration(opts Options) (*Table, error) {
 
 func migrationRun(bufCount, bufSize int) ([]string, error) {
 	srcSilo := gpuSilo(0)
-	src := clStack(srcSilo, ava.Config{Recording: true}, false)
+	src := clStack(srcSilo, false, ava.WithRecording())
 	defer src.Close()
 	c, err := clRemote(src, 3)
 	if err != nil {
@@ -513,7 +513,7 @@ func migrationRun(bufCount, bufSize int) ([]string, error) {
 	captureTime := time.Since(start)
 
 	dstSilo := gpuSilo(0)
-	dst := clStack(dstSilo, ava.Config{}, false)
+	dst := clStack(dstSilo, false)
 	defer dst.Close()
 	dstCtx := dst.Server.Context(3, "vm3")
 	start = time.Now()
@@ -582,7 +582,7 @@ func Transports(opts Options) (*Table, error) {
 		{"shm-ring", ava.TransportRing},
 	} {
 		remote, err := timeIt(opts.reps(), func() error {
-			stack := clStack(gpuSilo(0), ava.Config{Transport: tr.kind}, false)
+			stack := clStack(gpuSilo(0), false, ava.WithTransport(tr.kind))
 			defer stack.Close()
 			c, err := clRemote(stack, 1)
 			if err != nil {

@@ -41,17 +41,17 @@ func Failover(opts Options) (*Table, error) {
 		resub uint64
 		retry uint64
 	}
-	foCfg := func(silo *cl.Silo) *ava.FailoverConfig {
-		return &ava.FailoverConfig{
-			Adapter:         cl.MigrationAdapter{Silo: silo},
-			CheckpointEvery: 64,
-			Backoff:         failover.BackoffConfig{Seed: 12},
+	foCfg := func(silo *cl.Silo) ava.FailoverConfig {
+		return ava.FailoverConfig{
+			Adapter:    cl.MigrationAdapter{Silo: silo},
+			Checkpoint: ava.CheckpointConfig{Every: 64},
+			Backoff:    failover.BackoffConfig{Seed: 12},
 		}
 	}
 	stackRun := func(kind ava.TransportKind, killAfter time.Duration) (result, error) {
 		var r result
 		silo := gpuSilo(0)
-		stack := clStack(silo, ava.Config{Transport: kind, Failover: foCfg(silo)}, false)
+		stack := clStack(silo, false, ava.WithTransport(kind), ava.WithFailover(foCfg(silo)))
 		defer stack.Close()
 		lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "e12-vm"})
 		if err != nil {

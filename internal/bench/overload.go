@@ -64,13 +64,12 @@ func overloadRun(calls int) (*overloadResult, error) {
 		inv.SetStatus(0)
 		return nil
 	})
-	stack := ava.NewStack(desc, reg, ava.Config{
-		Scheduler: hv.NewPriorityScheduler(nil, 0),
-		Shed: hv.ShedConfig{
+	stack := ava.NewStack(desc, reg,
+		ava.WithScheduler(hv.NewPriorityScheduler(nil, 0)),
+		ava.WithShedding(hv.ShedConfig{
 			MaxQueueDepth:  64,
 			MaxRecentStall: 2 * time.Millisecond,
-		},
-	})
+		}))
 	defer stack.Close()
 
 	// The probe VM runs in the top priority band with no rate limit.

@@ -45,7 +45,7 @@ func pipelineClient(kind string) (*cl.RemoteClient, func(), error) {
 		if kind == "shm-ring" {
 			tr = ava.TransportRing
 		}
-		stack := clStack(pipelineSilo(), ava.Config{Transport: tr}, false)
+		stack := clStack(pipelineSilo(), false, ava.WithTransport(tr))
 		c, err := clRemote(stack, 1)
 		if err != nil {
 			stack.Close()

@@ -35,14 +35,14 @@ func gpuSilo(memBytes uint64) *cl.Silo {
 }
 
 // clStack assembles a full OpenCL AvA deployment and returns the stack.
-func clStack(silo *cl.Silo, cfg ava.Config, withSwap bool) *ava.Stack {
+func clStack(silo *cl.Silo, withSwap bool, opts ...ava.Option) *ava.Stack {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
 	if withSwap {
 		swap.NewManager(silo).Install(reg)
 	}
-	return ava.NewStack(desc, reg, cfg)
+	return ava.NewStack(desc, reg, opts...)
 }
 
 // clRemote attaches one VM and returns its remote client.
@@ -59,10 +59,10 @@ func vmName(id uint32) string {
 }
 
 // mvncStack assembles an MVNC deployment.
-func mvncStack(cfg ava.Config) (*ava.Stack, *mvnc.Silo) {
+func mvncStack(opts ...ava.Option) (*ava.Stack, *mvnc.Silo) {
 	silo := mvnc.NewSilo(mvnc.Config{Sticks: 1})
 	desc := mvnc.Descriptor()
 	reg := server.NewRegistry(desc)
 	mvnc.BindServer(reg, silo)
-	return ava.NewStack(desc, reg, cfg), silo
+	return ava.NewStack(desc, reg, opts...), silo
 }

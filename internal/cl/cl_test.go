@@ -33,7 +33,7 @@ func clients(t *testing.T) map[string]cl.Client {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "test-vm"})
 	if err != nil {
 		t.Fatal(err)
@@ -464,7 +464,7 @@ func TestRemoteAsyncCallsActuallyBatched(t *testing.T) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	defer stack.Close()
 	lib, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 	c := cl.NewRemote(lib)

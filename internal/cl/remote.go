@@ -23,12 +23,14 @@ func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
 // Lib exposes the underlying stub engine (stats, flush).
 func (c *RemoteClient) Lib() *guest.Lib { return c.lib }
 
-// With returns a client whose calls carry opts (deadline, priority); the
-// receiver is unchanged, so clients for different urgency classes can
-// share one attached library.
-func (c *RemoteClient) With(opts guest.CallOptions) *RemoteClient {
+// With returns a client whose calls also carry opts (deadline, priority,
+// overload retry, flush slack); the receiver is unchanged, so clients for
+// different urgency classes can share one attached library. Options fold
+// over the receiver's set; pass a guest.CallOptions literal to replace it
+// wholesale.
+func (c *RemoteClient) With(opts ...guest.CallOption) *RemoteClient {
 	d := *c
-	d.opts = opts
+	d.opts = guest.ApplyCallOptions(d.opts, opts...)
 	return &d
 }
 

@@ -1,0 +1,73 @@
+package failover
+
+import "testing"
+
+// newCadenceGuardian builds just enough guardian state to drive the
+// checkpoint-cadence policy directly; no pumps run.
+func newCadenceGuardian(cfg Config) *Guardian {
+	return &Guardian{cfg: cfg, inflightSync: make(map[uint64]struct{})}
+}
+
+// The adaptive policy must never add a stall to a hot workload: a due
+// checkpoint is deferred while sync calls are in flight, because the
+// quiesce barrier would hold those calls hostage.
+func TestAdaptiveCheckpointDefersWhileBusy(t *testing.T) {
+	g := newCadenceGuardian(Config{CheckpointEvery: 8, AdaptiveCheckpoint: true, Retain: 4096})
+	g.sinceCkpt = 8
+	g.maxSeq, g.ckptW = 8, 0
+
+	if !g.checkpointDueLocked() {
+		t.Fatal("idle link at cadence: checkpoint must be due")
+	}
+	g.inflightSync[1] = struct{}{}
+	if g.checkpointDueLocked() {
+		t.Fatal("sync call in flight: a due checkpoint must be deferred, not stall the caller")
+	}
+	delete(g.inflightSync, 1)
+	if !g.checkpointDueLocked() {
+		t.Fatal("link drained: the deferred checkpoint must become due again")
+	}
+}
+
+// Deferral is bounded two ways: the uncheckpointed span approaching half
+// the guest's retained window, or the deferral reaching 4x the cadence.
+// Past either bound the checkpoint cuts even under load, because the guest
+// can no longer trim frames and recovery replay grows without limit.
+func TestAdaptiveCheckpointDeferralBounds(t *testing.T) {
+	g := newCadenceGuardian(Config{CheckpointEvery: 8, AdaptiveCheckpoint: true, Retain: 64})
+	g.inflightSync[1] = struct{}{}
+
+	g.sinceCkpt = 8
+	g.maxSeq, g.ckptW = 8, 0
+	if g.checkpointDueLocked() {
+		t.Fatal("span well inside the window: must defer")
+	}
+
+	// Span reaches retain/2.
+	g.maxSeq = 32
+	if !g.checkpointDueLocked() {
+		t.Fatal("span at half the retained window: must cut despite load")
+	}
+
+	// Deferral reaches 4x cadence with a small span.
+	g.maxSeq = 8
+	g.sinceCkpt = 32
+	if !g.checkpointDueLocked() {
+		t.Fatal("deferral at 4x cadence: must cut despite load")
+	}
+}
+
+// Without AdaptiveCheckpoint the legacy behavior is unchanged: cadence
+// alone decides, busy or not.
+func TestFixedCadenceIgnoresLoad(t *testing.T) {
+	g := newCadenceGuardian(Config{CheckpointEvery: 8})
+	g.sinceCkpt = 8
+	g.inflightSync[1] = struct{}{}
+	if !g.checkpointDueLocked() {
+		t.Fatal("fixed cadence must cut at CheckpointEvery regardless of load")
+	}
+	g.sinceCkpt = 7
+	if g.checkpointDueLocked() {
+		t.Fatal("below cadence: not due")
+	}
+}

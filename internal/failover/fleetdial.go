@@ -1,0 +1,198 @@
+package failover
+
+import (
+	"fmt"
+	"sync"
+
+	"ava/internal/fleet"
+	"ava/internal/transport"
+)
+
+// FleetDialConfig tunes a FleetDialer.
+type FleetDialConfig struct {
+	// API is the accelerator API the VM needs; only fleet members serving
+	// it are candidates.
+	API string
+	// VM and Name identify the guest in the dial-time hello preamble.
+	VM   uint32
+	Name string
+	// PerHostAttempts is how many consecutive dial failures against the
+	// current host are tolerated before the dialer gives up on it and
+	// fails over to a peer; 0 means 2. A transient blip (server restart
+	// on the same host) is far cheaper to ride out than a cross-host
+	// replay.
+	PerHostAttempts int
+	// Epoch supplies the current endpoint epoch for the hello preamble;
+	// nil stamps 0. Wire it to Guardian.Epoch so the serving host can
+	// observe reconnects across failovers.
+	Epoch func() uint32
+	// Resolve turns a fleet member into a live ServerLink. Nil uses the
+	// default: TCP-dial m.Addr, send the hello preamble, and return a
+	// WireReplay link.
+	Resolve func(m fleet.Member, epoch uint32) (ServerLink, error)
+}
+
+// FleetDialer is a registry-backed implementation of the guardian's dial
+// closure: it serves cross-host failover by retrying the current host under
+// a small attempt budget and then moving to the best live peer the fleet
+// registry knows, excluding hosts that already failed. Pass its Dial method
+// as the Guardian's dial function.
+type FleetDialer struct {
+	loc fleet.Locator
+	cfg FleetDialConfig
+
+	mu          sync.Mutex
+	host        string // member ID currently (or last) serving this VM
+	attempts    int    // consecutive dial failures against host
+	failed      map[string]bool
+	hostChanges int
+}
+
+// NewFleetDialer builds a dialer over loc.
+func NewFleetDialer(loc fleet.Locator, cfg FleetDialConfig) *FleetDialer {
+	if cfg.PerHostAttempts <= 0 {
+		cfg.PerHostAttempts = 2
+	}
+	return &FleetDialer{loc: loc, cfg: cfg, failed: make(map[string]bool)}
+}
+
+// Host returns the fleet member ID currently serving this VM ("" before the
+// first successful dial).
+func (d *FleetDialer) Host() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.host
+}
+
+// HostChanges counts successful dials that landed on a different host than
+// the previous one — the number of cross-host failovers.
+func (d *FleetDialer) HostChanges() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hostChanges
+}
+
+// SetEpochSource installs the epoch supplier after construction (the
+// guardian that owns the epoch is usually built after its dialer).
+func (d *FleetDialer) SetEpochSource(f func() uint32) {
+	d.mu.Lock()
+	d.cfg.Epoch = f
+	d.mu.Unlock()
+}
+
+// Dial implements the guardian's dial closure. Each call is one attempt;
+// the guardian's backoff series paces retries between calls.
+func (d *FleetDialer) Dial() (ServerLink, error) {
+	d.mu.Lock()
+	cur, tried := d.host, d.attempts
+	epochFn := d.cfg.Epoch
+	d.mu.Unlock()
+	var epoch uint32
+	if epochFn != nil {
+		epoch = epochFn()
+	}
+
+	if cur != "" && tried < d.cfg.PerHostAttempts {
+		// Spend the current host's attempt budget before moving: the state
+		// already lives there if the failure was a blip.
+		d.mu.Lock()
+		d.attempts++
+		d.mu.Unlock()
+		if m, ok := d.lookup(cur); ok {
+			if link, err := d.resolve(m, epoch); err == nil {
+				d.noteSuccess(m.ID)
+				return link, nil
+			}
+		}
+		return ServerLink{}, fmt.Errorf("failover: host %s unreachable (attempt %d/%d)",
+			cur, tried+1, d.cfg.PerHostAttempts)
+	}
+
+	// The current host's budget is spent (or there is no host yet): pick
+	// the best live peer, excluding everything that already failed.
+	d.mu.Lock()
+	if cur != "" {
+		d.failed[cur] = true
+	}
+	exclude := make([]string, 0, len(d.failed))
+	for id := range d.failed {
+		exclude = append(exclude, id)
+	}
+	d.mu.Unlock()
+
+	ms, err := d.loc.Live(d.cfg.API, exclude...)
+	if err != nil {
+		return ServerLink{}, fmt.Errorf("failover: fleet query: %w", err)
+	}
+	if len(ms) == 0 && len(exclude) > 0 {
+		// Every known host has failed at least once. Hosts other than the
+		// one that just died may have recovered since — clear their marks
+		// and try again rather than abandoning the VM.
+		d.mu.Lock()
+		d.failed = make(map[string]bool)
+		if cur != "" {
+			d.failed[cur] = true
+		}
+		d.mu.Unlock()
+		ms, err = d.loc.Live(d.cfg.API, cur)
+		if err != nil {
+			return ServerLink{}, fmt.Errorf("failover: fleet query: %w", err)
+		}
+	}
+	var lastErr error
+	for _, m := range ms {
+		link, err := d.resolve(m, epoch)
+		if err == nil {
+			d.noteSuccess(m.ID)
+			return link, nil
+		}
+		lastErr = err
+		d.mu.Lock()
+		d.failed[m.ID] = true
+		d.mu.Unlock()
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no live members")
+	}
+	return ServerLink{}, fmt.Errorf("failover: no reachable %q host in fleet: %w", d.cfg.API, lastErr)
+}
+
+func (d *FleetDialer) lookup(id string) (fleet.Member, bool) {
+	ms, err := d.loc.Live(d.cfg.API)
+	if err != nil {
+		return fleet.Member{}, false
+	}
+	for _, m := range ms {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return fleet.Member{}, false
+}
+
+func (d *FleetDialer) resolve(m fleet.Member, epoch uint32) (ServerLink, error) {
+	if d.cfg.Resolve != nil {
+		return d.cfg.Resolve(m, epoch)
+	}
+	ep, err := transport.Dial(m.Addr)
+	if err != nil {
+		return ServerLink{}, err
+	}
+	hello := transport.EncodeHello(transport.Hello{VM: d.cfg.VM, Epoch: epoch, Name: d.cfg.Name})
+	if err := ep.Send(hello); err != nil {
+		ep.Close()
+		return ServerLink{}, err
+	}
+	return ServerLink{EP: ep, WireReplay: true}, nil
+}
+
+func (d *FleetDialer) noteSuccess(id string) {
+	d.mu.Lock()
+	if d.host != "" && d.host != id {
+		d.hostChanges++
+	}
+	d.host = id
+	d.attempts = 0
+	delete(d.failed, id)
+	d.mu.Unlock()
+}

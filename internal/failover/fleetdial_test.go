@@ -1,0 +1,165 @@
+package failover
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ava/internal/fleet"
+)
+
+// fakeLocator serves a fixed ranked member list and honors exclusions.
+type fakeLocator struct {
+	members []fleet.Member
+	queries int
+}
+
+func (f *fakeLocator) Announce(fleet.Member) error { return nil }
+func (f *fakeLocator) Deregister(string) error     { return nil }
+func (f *fakeLocator) Live(api string, exclude ...string) ([]fleet.Member, error) {
+	f.queries++
+	skip := make(map[string]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	var out []fleet.Member
+	for _, m := range f.members {
+		if m.API == api && !skip[m.ID] {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// scriptedResolver fails hosts by name and records the order of attempts.
+type scriptedResolver struct {
+	down     map[string]bool
+	attempts []string
+	epochs   []uint32
+}
+
+func (r *scriptedResolver) resolve(m fleet.Member, epoch uint32) (ServerLink, error) {
+	r.attempts = append(r.attempts, m.ID)
+	r.epochs = append(r.epochs, epoch)
+	if r.down[m.ID] {
+		return ServerLink{}, fmt.Errorf("host %s down", m.ID)
+	}
+	return ServerLink{WireReplay: true}, nil
+}
+
+func newTestDialer(loc fleet.Locator, res *scriptedResolver, attempts int) *FleetDialer {
+	return NewFleetDialer(loc, FleetDialConfig{
+		API: "opencl", VM: 1, Name: "test-vm",
+		PerHostAttempts: attempts,
+		Resolve:         res.resolve,
+	})
+}
+
+func TestFleetDialerPicksBestLivePeer(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{
+		{ID: "a", API: "opencl"},
+		{ID: "b", API: "opencl"},
+		{ID: "m", API: "mvnc"},
+	}}
+	res := &scriptedResolver{}
+	d := newTestDialer(loc, res, 2)
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "a" {
+		t.Fatalf("host = %q, want the registry's first rank", d.Host())
+	}
+	if d.HostChanges() != 0 {
+		t.Fatalf("first dial counted as a host change")
+	}
+	if len(res.attempts) != 1 || res.attempts[0] == "m" {
+		t.Fatalf("attempts = %v", res.attempts)
+	}
+}
+
+// The dialer must spend the per-host attempt budget on the current host
+// before failing over: a same-host restart is far cheaper than a cross-host
+// replay.
+func TestFleetDialerPerHostBudgetThenFailover(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{
+		{ID: "a", API: "opencl"},
+		{ID: "b", API: "opencl", Load: 1},
+	}}
+	res := &scriptedResolver{}
+	d := newTestDialer(loc, res, 2)
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host a dies. The next PerHostAttempts dials must target only a.
+	res.down = map[string]bool{"a": true}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Dial(); err == nil {
+			t.Fatalf("dial %d against dead host succeeded", i)
+		} else if !strings.Contains(err.Error(), "a") {
+			t.Fatalf("dial %d error does not blame host a: %v", i, err)
+		}
+	}
+	// Budget spent: the next dial excludes a and lands on b.
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "b" {
+		t.Fatalf("host = %q, want b", d.Host())
+	}
+	if d.HostChanges() != 1 {
+		t.Fatalf("hostChanges = %d, want 1", d.HostChanges())
+	}
+	for _, id := range res.attempts[:len(res.attempts)-1] {
+		if id == "b" {
+			t.Fatalf("dialer moved to b before a's budget was spent: %v", res.attempts)
+		}
+	}
+}
+
+// When every member has failed, the exclusion set must be cleared (except
+// the freshly dead host) so recovered peers get another chance instead of
+// the VM being abandoned.
+func TestFleetDialerRevivesExcludedHosts(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{
+		{ID: "a", API: "opencl"},
+		{ID: "b", API: "opencl", Load: 1},
+	}}
+	res := &scriptedResolver{down: map[string]bool{"a": true, "b": true}}
+	d := newTestDialer(loc, res, 1)
+
+	// Both hosts down: the first dial tries and marks every candidate.
+	if _, err := d.Dial(); err == nil {
+		t.Fatal("dial with the whole fleet down succeeded")
+	}
+	// b comes back. With a still marked failed, the revival path must
+	// clear b's mark and land there.
+	res.down = map[string]bool{"a": true}
+	var err error
+	for i := 0; i < 3 && d.Host() == ""; i++ {
+		_, err = d.Dial()
+	}
+	if d.Host() != "b" {
+		t.Fatalf("host = %q after revival, want b (last err %v)", d.Host(), err)
+	}
+}
+
+// The hello preamble must carry the guardian's current epoch.
+func TestFleetDialerStampsEpoch(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{{ID: "a", API: "opencl"}}}
+	res := &scriptedResolver{}
+	d := newTestDialer(loc, res, 2)
+	epoch := uint32(0)
+	d.SetEpochSource(func() uint32 { return epoch })
+
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	epoch = 7
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.epochs) != 2 || res.epochs[0] != 0 || res.epochs[1] != 7 {
+		t.Fatalf("stamped epochs = %v", res.epochs)
+	}
+}

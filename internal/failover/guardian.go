@@ -85,6 +85,28 @@ type Config struct {
 	OnEpoch func(epoch uint32)
 	// Clock is the time source; nil uses the wall clock.
 	Clock clock.Clock
+	// AdaptiveCheckpoint scales checkpoint cadence with device load
+	// instead of cutting blindly every CheckpointEvery calls: a due
+	// checkpoint is deferred while sync calls are in flight (the quiesce
+	// barrier would stall them), until either the uncheckpointed span
+	// approaches half the guest's retained window or the deferral reaches
+	// 4x CheckpointEvery; the heartbeat cuts overdue checkpoints as soon
+	// as the link goes idle.
+	AdaptiveCheckpoint bool
+	// Retain is the guest's retained-window size, bounding how far an
+	// adaptive checkpoint may be deferred (the guest cannot trim frames
+	// until the watermark advances); 0 means 4096, matching the guest
+	// library's default.
+	Retain int
+	// Mirror, if set, receives a synchronous stream of shadow-log
+	// mutations so replay state survives a guardian crash. See LogSink.
+	Mirror LogSink
+	// Restore, if set, rehydrates the guardian from a mirrored shadow log
+	// instead of starting empty: Start replays the restored log onto a
+	// freshly dialed link (under the backoff budget), bumps the epoch past
+	// the mirrored one, and tells the guest to resubmit everything past
+	// the restored watermark.
+	Restore *MirrorState
 }
 
 // ServerLink is one dialed attachment to an API server. EP carries frames;
@@ -96,6 +118,11 @@ type ServerLink struct {
 	Server  *server.Server
 	Ctx     *server.Context
 	Adapter migrate.Adapter
+	// WireReplay marks a wire-only link (Server/Ctx nil) whose remote end
+	// serves the marshal.FuncRebind/FuncRestore control calls: recovery
+	// then replays the shadow log over the wire instead of reconnecting
+	// without replay. This is how a VM fails over onto a different host.
+	WireReplay bool
 }
 
 // Stats counts guardian activity.
@@ -136,7 +163,7 @@ type Guardian struct {
 
 	markerMu      sync.Mutex
 	markerN       uint64
-	markerWaiters map[uint64]chan struct{}
+	markerWaiters map[uint64]chan *marshal.Reply
 	abort         chan struct{} // closed when recovery starts; remade per link
 
 	lastRecv atomic.Int64 // UnixNano of the last frame received from the server
@@ -184,10 +211,11 @@ func New(desc *cava.Descriptor, north transport.Endpoint, dial func() (ServerLin
 		dial:          dial,
 		northCh:       make(chan []byte, 256),
 		done:          make(chan struct{}),
-		markerWaiters: make(map[uint64]chan struct{}),
+		markerWaiters: make(map[uint64]chan *marshal.Reply),
 		abort:         make(chan struct{}),
 		bySeq:         make(map[uint64]*server.RecordedCall),
 		replySeen:     make(map[uint64]bool),
+		pendingRebind: make(map[uint64]struct{}),
 		destroys:      make(map[uint64]*destroyRec),
 		inflightSync:  make(map[uint64]struct{}),
 	}
@@ -195,12 +223,23 @@ func New(desc *cava.Descriptor, north transport.Endpoint, dial func() (ServerLin
 	return g
 }
 
-// Start dials the initial server link and starts the pump goroutines.
+// Start dials the initial server link and starts the pump goroutines. With
+// Config.Restore set, it first rehydrates the shadow log from the mirrored
+// state and replays it onto the fresh link, so a replacement guardian
+// resumes from the last checkpoint instead of losing all replay state.
 func (g *Guardian) Start() error {
+	if g.cfg.Restore != nil {
+		return g.startRestored(g.cfg.Restore)
+	}
 	link, err := g.dial()
 	if err != nil {
 		return fmt.Errorf("failover: initial dial: %w", err)
 	}
+	g.startPumps(link)
+	return nil
+}
+
+func (g *Guardian) startPumps(link ServerLink) {
 	g.mu.Lock()
 	g.link = link
 	gen := g.linkGen
@@ -212,6 +251,106 @@ func (g *Guardian) Start() error {
 	if g.cfg.HeartbeatEvery > 0 {
 		go g.heartbeat()
 	}
+}
+
+// startRestored seeds the shadow log from a mirrored snapshot and brings a
+// replacement server to the snapshot's watermark before any traffic flows:
+// dial under the backoff budget, replay the filtered log plus checkpointed
+// object state, then announce a fresh epoch north so the guest resubmits
+// everything past the watermark. The epoch advances past the mirrored one
+// so frames the old guardian had in flight are fenced at the router.
+func (g *Guardian) startRestored(st *MirrorState) error {
+	g.mu.Lock()
+	w := st.W
+	g.epoch = st.Epoch + 1
+	epoch := g.epoch
+	for i := range st.Entries {
+		rc := &st.Entries[i]
+		fd, ok := g.desc.ByID(rc.Func)
+		if !ok {
+			continue
+		}
+		keep := false
+		seen := st.ReplySeen[rc.Seq]
+		switch fd.Track.Kind {
+		case spec.TrackCreate, spec.TrackConfig:
+			// Same rules as finishRecovery: completed creates/configs past
+			// the watermark keep their recorded replies but re-execute when
+			// resubmitted, rebinding fresh handles to the recorded values.
+			keep = seen
+			if keep && rc.Seq > w {
+				g.pendingRebind[rc.Seq] = struct{}{}
+			}
+		case spec.TrackModify:
+			keep = rc.Seq <= w
+		}
+		if !keep {
+			continue
+		}
+		cp := &server.RecordedCall{
+			Func:    rc.Func,
+			Args:    server.CloneValues(rc.Args),
+			Ret:     rc.Ret,
+			Outs:    server.CloneValues(rc.Outs),
+			Created: rc.Created,
+			Seq:     rc.Seq,
+		}
+		g.entries = append(g.entries, cp)
+		g.bySeq[cp.Seq] = cp
+		if seen {
+			g.replySeen[cp.Seq] = true
+		}
+	}
+	g.ckptW = w
+	g.maxSeq = w
+	g.ckptObjects = make(map[marshal.Handle][]byte, len(st.Objects))
+	for h, state := range st.Objects {
+		g.ckptObjects[h] = append([]byte(nil), state...)
+	}
+	objects := g.ckptObjects
+	log := g.filteredLogLocked(w)
+	if g.cfg.Mirror != nil {
+		// Seed the (possibly fresh) mirror so the next crash rehydrates too.
+		for _, rc := range g.entries {
+			g.cfg.Mirror.MirrorAppend(rc)
+			if g.replySeen[rc.Seq] {
+				g.cfg.Mirror.MirrorReply(rc)
+			}
+		}
+		g.cfg.Mirror.MirrorCheckpoint(epoch, w, objects)
+	}
+	g.mu.Unlock()
+
+	if g.cfg.OnEpoch != nil {
+		g.cfg.OnEpoch(epoch)
+	}
+	series := g.bo.Series()
+	var link ServerLink
+	for {
+		l, err := g.dial()
+		if err == nil {
+			err = g.replayOnto(l, log, objects)
+			if err != nil && l.EP != nil {
+				transport.Sever(l.EP)
+			}
+		}
+		if err == nil {
+			link = l
+			break
+		}
+		d, ok := series.Next()
+		if !ok {
+			return fmt.Errorf("failover: rehydration abandoned after %v (last: %w)", series.Spent(), err)
+		}
+		g.clk.Sleep(d)
+	}
+	g.mu.Lock()
+	g.stats.LastWatermark = w
+	g.mu.Unlock()
+	g.startPumps(link)
+	// Announce after the pumps are live: the resubmission batch this
+	// triggers must find a working path.
+	g.sendNorth(EncodeControl(CtrlRecover, epoch, w))
 	return nil
 }
 
@@ -409,14 +548,39 @@ func (g *Guardian) handleUplinkFrame(frame []byte) {
 			framebuf.Put(frame)
 		}
 	}
-	if g.cfg.CheckpointEvery > 0 {
-		g.mu.Lock()
-		due := g.sinceCkpt >= g.cfg.CheckpointEvery && !g.recovering && !g.dead
-		g.mu.Unlock()
-		if due {
-			g.checkpoint()
-		}
+	g.mu.Lock()
+	due := g.checkpointDueLocked()
+	g.mu.Unlock()
+	if due {
+		g.checkpoint()
 	}
+}
+
+// checkpointDueLocked decides whether to cut a checkpoint now. With
+// AdaptiveCheckpoint the cadence scales to load: while sync calls are in
+// flight the quiesce barrier would stall them, so a due checkpoint is
+// deferred until the uncheckpointed span approaches half the guest's
+// retained window (past that, the guest cannot trim frames and recovery
+// replay grows unboundedly) or the deferral reaches 4x CheckpointEvery.
+// The heartbeat cuts overdue checkpoints once the link goes idle.
+func (g *Guardian) checkpointDueLocked() bool {
+	if g.cfg.CheckpointEvery <= 0 || g.recovering || g.dead || g.closed {
+		return false
+	}
+	if g.sinceCkpt < g.cfg.CheckpointEvery {
+		return false
+	}
+	if !g.cfg.AdaptiveCheckpoint || len(g.inflightSync) == 0 {
+		return true
+	}
+	retain := g.cfg.Retain
+	if retain <= 0 {
+		retain = 4096
+	}
+	if g.maxSeq-g.ckptW >= uint64(retain/2) {
+		return true
+	}
+	return g.sinceCkpt >= 4*g.cfg.CheckpointEvery
 }
 
 // admit applies epoch fencing, the resubmission dedupe rules and shadow
@@ -481,6 +645,9 @@ func (g *Guardian) admit(call *marshal.Call, epoch uint32) bool {
 				}
 				g.entries = append(g.entries, rc)
 				g.bySeq[call.Seq] = rc
+				if g.cfg.Mirror != nil {
+					g.cfg.Mirror.MirrorAppend(rc)
+				}
 			}
 		case spec.TrackDestroy:
 			if fd.TrackIdx >= 0 && fd.TrackIdx < len(call.Args) {
@@ -522,6 +689,9 @@ func (g *Guardian) pruneLocked(h marshal.Handle) {
 		kept = append(kept, rc)
 	}
 	g.entries = kept
+	if g.cfg.Mirror != nil {
+		g.cfg.Mirror.MirrorPrune(h)
+	}
 }
 
 // synthesizeOKLocked answers a resubmitted, already-effective destroy with
@@ -576,11 +746,24 @@ func (g *Guardian) downlink(link ServerLink, gen int) {
 		seq := peekSeq(frame)
 		if seq >= marshal.MarkerSeqBase {
 			g.markerMu.Lock()
-			if ch, ok := g.markerWaiters[seq]; ok {
+			ch, ok := g.markerWaiters[seq]
+			if ok {
 				delete(g.markerWaiters, seq)
-				close(ch)
 			}
 			g.markerMu.Unlock()
+			if ok {
+				// Deep-copy the reply before recycling the frame (DecodeReply
+				// keeps references into it): a snapshot control reply carries
+				// a byte payload the waiter reads after this loop moves on.
+				if rep, err := marshal.DecodeReply(frame); err == nil {
+					if rep.Ret.Kind == marshal.KindBytes {
+						rep.Ret.Bytes = append([]byte(nil), rep.Ret.Bytes...)
+					}
+					rep.Outs = server.CloneValues(rep.Outs)
+					ch <- rep
+				}
+				close(ch)
+			}
 			if recvOwned {
 				framebuf.Put(frame)
 			}
@@ -643,18 +826,34 @@ func (g *Guardian) noteReply(seq uint64, frame []byte) {
 		// watermark: keep the RECORDED reply (the guest holds its handles)
 		// and move the freshly created object under the recorded handle
 		// values in the server's table.
-		g.syncDoneLocked(seq)
 		delete(g.pendingRebind, seq)
 		if rep.Status != marshal.StatusOK {
 			// Re-execution failed: the object no longer exists on the new
 			// server. Forget it so neither replay nor short-circuiting
 			// claims otherwise.
+			g.syncDoneLocked(seq)
 			g.dropEntryLocked(seq)
 			return
 		}
-		if fd, ok := g.desc.ByID(rc.Func); ok {
-			g.rebindRecordedLocked(fd, rc, rep)
+		fd, ok := g.desc.ByID(rc.Func)
+		if !ok {
+			g.syncDoneLocked(seq)
+			return
 		}
+		if g.link.Ctx != nil {
+			g.syncDoneLocked(seq)
+			g.rebindRecordedLocked(fd, rc, rep)
+			return
+		}
+		if g.link.WireReplay && g.link.EP != nil {
+			// Wire-only link: the rebind travels as a FuncRebind control
+			// call. The sync-drain release waits for its confirmation (in
+			// wireRebind) so the next resubmitted call cannot race it.
+			pairs := rebindPairs(fd, rc, rep)
+			go g.wireRebind(g.link, pairs, seq)
+			return
+		}
+		g.syncDoneLocked(seq)
 		return
 	}
 	if rep.Status != marshal.StatusOK {
@@ -671,6 +870,9 @@ func (g *Guardian) noteReply(seq uint64, frame []byte) {
 	g.replySeen[seq] = true
 	if rc.Ret.Kind == marshal.KindBytes {
 		rc.Ret.Bytes = append([]byte(nil), rc.Ret.Bytes...)
+	}
+	if g.cfg.Mirror != nil {
+		g.cfg.Mirror.MirrorReply(rc)
 	}
 }
 
@@ -714,6 +916,9 @@ func (g *Guardian) dropEntryLocked(seq uint64) {
 			break
 		}
 	}
+	if g.cfg.Mirror != nil {
+		g.cfg.Mirror.MirrorDrop(seq)
+	}
 }
 
 // rebindRecordedLocked moves the handles a re-executed create/config just
@@ -726,11 +931,45 @@ func (g *Guardian) rebindRecordedLocked(fd *cava.FuncDesc, rc *server.RecordedCa
 	if ctx == nil {
 		return
 	}
-	type pair struct{ old, new marshal.Handle }
-	var pairs []pair
-	add := func(old, new marshal.Handle) {
-		if old != 0 && new != 0 && old != new {
-			pairs = append(pairs, pair{old, new})
+	pairs := rebindPairs(fd, rc, rep)
+	// Two phases so fresh handles that collide with original values within
+	// one reply cannot shadow each other.
+	objs := make([]any, len(pairs))
+	for i, p := range pairs {
+		obj, ok := ctx.Handles.Remove(p.fresh)
+		if !ok {
+			objs[i] = nil
+			continue
+		}
+		objs[i] = obj
+	}
+	for i, p := range pairs {
+		if objs[i] == nil {
+			continue
+		}
+		if err := ctx.Handles.InsertAt(p.recorded, objs[i]); err != nil {
+			// The original slot is occupied (exotic handle reuse); leave the
+			// object under its fresh value so server state stays consistent.
+			_ = ctx.Handles.InsertAt(p.fresh, objs[i])
+			continue
+		}
+		ctx.RemapRecorded(p.fresh, p.recorded)
+	}
+}
+
+// handlePair relates a handle value from a call's original execution (the
+// one the guest holds) to the value its re-execution produced.
+type handlePair struct{ recorded, fresh marshal.Handle }
+
+// rebindPairs diffs a call's recorded reply against its re-execution reply
+// and returns the handle moves required to put recreated objects back under
+// the guest's handle values. Shared by the local-table rebind, the wire
+// rebind, and the wire replay.
+func rebindPairs(fd *cava.FuncDesc, rc *server.RecordedCall, rep *marshal.Reply) []handlePair {
+	var pairs []handlePair
+	add := func(recorded, fresh marshal.Handle) {
+		if recorded != 0 && fresh != 0 && recorded != fresh {
+			pairs = append(pairs, handlePair{recorded, fresh})
 		}
 	}
 	if rc.Ret.Kind == marshal.KindHandle && rep.Ret.Kind == marshal.KindHandle {
@@ -757,29 +996,93 @@ func (g *Guardian) rebindRecordedLocked(fd *cava.FuncDesc, rc *server.RecordedCa
 			}
 		}
 	}
-	// Two phases so fresh handles that collide with original values within
-	// one reply cannot shadow each other.
-	objs := make([]any, len(pairs))
-	for i, p := range pairs {
-		obj, ok := ctx.Handles.Remove(p.new)
-		if !ok {
-			objs[i] = nil
-			continue
+	return pairs
+}
+
+// wireRebind moves re-executed objects back under their recorded handles on
+// a wire-only link, then releases the sync-drain slot so the resubmission
+// stream can proceed. Best-effort like the local path: a failed move leaves
+// the object under its fresh handle; a dead link is the pumps' problem.
+func (g *Guardian) wireRebind(link ServerLink, pairs []handlePair, seq uint64) {
+	for _, p := range pairs {
+		st, err := g.ctrlCall(link, marshal.FuncRebind, []marshal.Value{
+			marshal.HandleVal(p.fresh), marshal.HandleVal(p.recorded),
+		})
+		if err != nil || st != marshal.StatusOK {
+			break
 		}
-		objs[i] = obj
 	}
-	for i, p := range pairs {
-		if objs[i] == nil {
-			continue
-		}
-		if err := ctx.Handles.InsertAt(p.old, objs[i]); err != nil {
-			// The original slot is occupied (exotic handle reuse); leave the
-			// object under its fresh value so server state stays consistent.
-			_ = ctx.Handles.InsertAt(p.new, objs[i])
-			continue
-		}
-		ctx.RemapRecorded(p.new, p.old)
+	g.mu.Lock()
+	g.syncDoneLocked(seq)
+	g.mu.Unlock()
+}
+
+// ctrlCall round-trips one control call on a link whose downlink pump is
+// running, returning just the reply status.
+func (g *Guardian) ctrlCall(link ServerLink, fn uint32, args []marshal.Value) (marshal.Status, error) {
+	rep, err := g.ctrlCallReply(link, fn, args)
+	if err != nil {
+		return 0, err
 	}
+	return rep.Status, nil
+}
+
+// ctrlCallReply round-trips one control call on a link whose downlink pump
+// is running, using the marker-waiter channel to claim the full reply.
+func (g *Guardian) ctrlCallReply(link ServerLink, fn uint32, args []marshal.Value) (*marshal.Reply, error) {
+	g.mu.Lock()
+	abort := g.abort
+	g.mu.Unlock()
+	id, ch := g.newMarkerWaiter()
+	cleanup := func() {
+		g.markerMu.Lock()
+		delete(g.markerWaiters, id)
+		g.markerMu.Unlock()
+	}
+	frame := marshal.EncodeCall(&marshal.Call{Seq: id, Func: fn, Args: args})
+	if err := g.sendSouth(link, marshal.EncodeBatch([][]byte{frame})); err != nil {
+		cleanup()
+		return nil, err
+	}
+	timeout := make(chan struct{})
+	stop := g.clk.AfterFunc(g.cfg.LivenessTimeout, func() { close(timeout) })
+	defer stop()
+	select {
+	case rep := <-ch:
+		if rep == nil {
+			return nil, fmt.Errorf("failover: control call reply undecodable")
+		}
+		return rep, nil
+	case <-timeout:
+		cleanup()
+		return nil, fmt.Errorf("failover: control call unanswered after %v", g.cfg.LivenessTimeout)
+	case <-abort:
+		cleanup()
+		return nil, fmt.Errorf("failover: control call aborted by recovery")
+	case <-g.done:
+		cleanup()
+		return nil, fmt.Errorf("failover: guardian closed")
+	}
+}
+
+// wireSnapshot checkpoints the serving host's stateful objects over the
+// wire: one FuncSnapshot control call returns every object's serialized
+// state. It is the wire-only link's substitute for walking the handle table
+// through an in-process Adapter — without it a cross-host failover could
+// replay tracked creates and configs but would lose untracked device state
+// (buffer contents mutated by kernels and writes).
+func (g *Guardian) wireSnapshot(link ServerLink) (map[marshal.Handle][]byte, error) {
+	rep, err := g.ctrlCallReply(link, marshal.FuncSnapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != marshal.StatusOK {
+		return nil, fmt.Errorf("failover: wire snapshot: %s", rep.Err)
+	}
+	if rep.Ret.Kind != marshal.KindBytes {
+		return nil, fmt.Errorf("failover: wire snapshot: reply carries no payload")
+	}
+	return marshal.DecodeObjectStates(rep.Ret.Bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -829,10 +1132,25 @@ func (g *Guardian) checkpoint() error {
 		if snapErr != nil {
 			return fmt.Errorf("failover: checkpoint snapshot: %w", snapErr)
 		}
+	} else if link.WireReplay && link.EP != nil {
+		// Wire-only link: the objects live on a remote host — snapshot them
+		// with a control call so a cross-host failover can restore untracked
+		// device state (buffer contents) on the replacement.
+		var err error
+		if objects, err = g.wireSnapshot(link); err != nil {
+			return fmt.Errorf("failover: checkpoint: %w", err)
+		}
 	}
 
 	g.mu.Lock()
-	if g.linkGen != gen {
+	// Recheck the full steady-state condition, not just the link generation:
+	// a recovery that started after the snapshot round-trip completed has
+	// already captured the OLD watermark for replay, but linkGen only
+	// advances when the replacement link is installed. Committing (and
+	// announcing) the new watermark here would make the guest trim retained
+	// frames the in-flight replay does not cover — losing their effects on
+	// the replacement server.
+	if g.recovering || g.dead || g.closed || g.linkGen != gen {
 		g.mu.Unlock()
 		return fmt.Errorf("failover: checkpoint aborted by recovery")
 	}
@@ -849,6 +1167,9 @@ func (g *Guardian) checkpoint() error {
 		}
 	}
 	epoch := g.epoch
+	if g.cfg.Mirror != nil {
+		g.cfg.Mirror.MirrorCheckpoint(epoch, w, objects)
+	}
 	g.mu.Unlock()
 
 	g.sendNorth(EncodeControl(CtrlCheckpoint, epoch, w))
@@ -899,18 +1220,26 @@ func (g *Guardian) waitSyncDrain(gen int) error {
 	}
 }
 
+// newMarkerWaiter allocates a marker-space sequence number and registers a
+// reply waiter for it. The channel is buffered so the downlink's reply
+// delivery never blocks on a waiter that timed out.
+func (g *Guardian) newMarkerWaiter() (uint64, chan *marshal.Reply) {
+	g.markerMu.Lock()
+	g.markerN++
+	id := marshal.MarkerSeqBase + g.markerN
+	ch := make(chan *marshal.Reply, 1)
+	g.markerWaiters[id] = ch
+	g.markerMu.Unlock()
+	return id, ch
+}
+
 // probeMarker sends one marker call south and waits for its reply within
 // the liveness timeout; a recovery starting meanwhile aborts the wait.
 func (g *Guardian) probeMarker(link ServerLink) error {
 	g.mu.Lock()
 	abort := g.abort
 	g.mu.Unlock()
-	g.markerMu.Lock()
-	g.markerN++
-	id := marshal.MarkerSeqBase + g.markerN
-	ch := make(chan struct{})
-	g.markerWaiters[id] = ch
-	g.markerMu.Unlock()
+	id, ch := g.newMarkerWaiter()
 
 	cleanup := func() {
 		g.markerMu.Lock()
@@ -967,6 +1296,24 @@ func (g *Guardian) heartbeat() {
 		idle := g.clk.Now().UnixNano()-g.lastRecv.Load() >= int64(g.cfg.HeartbeatEvery)
 		if !idle {
 			continue
+		}
+		if g.cfg.AdaptiveCheckpoint {
+			// An idle link is the cheapest moment to cut a checkpoint that
+			// was deferred while the device was busy. Its marker barrier
+			// doubles as the liveness probe.
+			g.mu.Lock()
+			overdue := g.cfg.CheckpointEvery > 0 && g.sinceCkpt >= g.cfg.CheckpointEvery &&
+				!g.recovering && !g.dead && !g.closed
+			g.mu.Unlock()
+			if overdue {
+				g.quiesceMu.Lock()
+				err := g.checkpoint()
+				g.quiesceMu.Unlock()
+				if err != nil {
+					g.recover(gen, err)
+				}
+				continue
+			}
 		}
 		if err := g.probeMarker(link); err != nil {
 			// A deaf link (silent drops) produces no transport error; the
@@ -1088,7 +1435,10 @@ func (g *Guardian) filteredLogLocked(w uint64) []server.RecordedCall {
 // re-execute and rebind, then stateful objects restore from the checkpoint.
 func (g *Guardian) replayOnto(link ServerLink, log []server.RecordedCall, objects map[marshal.Handle][]byte) error {
 	if link.Server == nil || link.Ctx == nil {
-		return nil // wire-only link: reconnect without replay
+		if link.WireReplay && link.EP != nil {
+			return g.replayWire(link, log, objects)
+		}
+		return nil // wire-only link without replay support: reconnect only
 	}
 	snap := &migrate.Snapshot{
 		VM:      link.Ctx.VM,
@@ -1102,6 +1452,77 @@ func (g *Guardian) replayOnto(link ServerLink, log []server.RecordedCall, object
 		SkipUnknownObjects: true,
 	})
 	return err
+}
+
+// replayWire is migrate.RestoreWith spoken over the wire: the recorded log
+// re-executes on the remote server call by call, FuncRebind control calls
+// move each recreated object back under the guest's handle values, and
+// FuncRestore pushes the checkpointed object state. It runs before the
+// link's pumps start, so it owns the endpoint and round-trips directly.
+// All frames use marker-space sequence numbers: a reply that somehow
+// outlives this phase is dropped by the downlink's marker filter instead
+// of surfacing as a phantom guest reply.
+func (g *Guardian) replayWire(link ServerLink, log []server.RecordedCall, objects map[marshal.Handle][]byte) error {
+	roundTrip := func(fn uint32, flags uint16, args []marshal.Value) (*marshal.Reply, error) {
+		g.markerMu.Lock()
+		g.markerN++
+		id := marshal.MarkerSeqBase + g.markerN
+		g.markerMu.Unlock()
+		call := &marshal.Call{Seq: id, Func: fn, Flags: flags, Args: args}
+		if err := link.EP.Send(marshal.EncodeBatch([][]byte{marshal.EncodeCall(call)})); err != nil {
+			return nil, err
+		}
+		for {
+			frame, err := link.EP.Recv()
+			if err != nil {
+				return nil, err
+			}
+			rep, err := marshal.DecodeReply(frame)
+			if err != nil || rep.Seq != id {
+				continue // residue from the link's previous life; skip
+			}
+			return rep, nil
+		}
+	}
+	for i := range log {
+		rc := &log[i]
+		fd, ok := g.desc.ByID(rc.Func)
+		if !ok {
+			continue
+		}
+		rep, err := roundTrip(rc.Func, marshal.FlagReplay, rc.Args)
+		if err != nil {
+			return err
+		}
+		if rep.Status != marshal.StatusOK {
+			return fmt.Errorf("failover: wire replay of %s failed: %s", fd.Name, rep.Err)
+		}
+		for _, p := range rebindPairs(fd, rc, rep) {
+			rrep, err := roundTrip(marshal.FuncRebind, 0, []marshal.Value{
+				marshal.HandleVal(p.fresh), marshal.HandleVal(p.recorded),
+			})
+			if err != nil {
+				return err
+			}
+			if rrep.Status != marshal.StatusOK {
+				return fmt.Errorf("failover: wire rebind %d->%d failed: %s", p.fresh, p.recorded, rrep.Err)
+			}
+		}
+	}
+	for h, state := range objects {
+		rep, err := roundTrip(marshal.FuncRestore, 0, []marshal.Value{
+			marshal.HandleVal(h), marshal.BytesVal(state),
+		})
+		if err != nil {
+			return err
+		}
+		// Ret 0 means the handle no longer exists (destroyed after the
+		// checkpoint) — the SkipUnknownObjects rule, not a failure.
+		if rep.Status != marshal.StatusOK {
+			return fmt.Errorf("failover: wire restore of handle %d failed: %s", h, rep.Err)
+		}
+	}
+	return nil
 }
 
 // finishRecovery installs the fresh link and rebuilds shadow state to match
@@ -1159,6 +1580,11 @@ func (g *Guardian) finishRecovery(link ServerLink, epoch uint32, w uint64, start
 	g.recovering = false
 	g.stats.Recoveries++
 	g.stats.LastRecoveryPause = g.clk.Since(start)
+	if g.cfg.Mirror != nil {
+		// Entries the rebuild discarded stay in the mirror; rehydration
+		// applies the same keep rules, so they filter out again there.
+		g.cfg.Mirror.MirrorEpoch(epoch, w)
+	}
 	g.mu.Unlock()
 
 	g.lastRecv.Store(g.clk.Now().UnixNano())

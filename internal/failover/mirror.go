@@ -1,0 +1,200 @@
+package failover
+
+import (
+	"sync"
+
+	"ava/internal/marshal"
+	"ava/internal/server"
+)
+
+// LogSink receives a live stream of the guardian's shadow-log mutations so
+// replay state survives a guardian (host-stack) crash, not just an API
+// server crash. Every method is invoked synchronously under the guardian's
+// state lock — implementations must return quickly and must never call back
+// into the guardian. A remote mirror wraps MemoryMirror behind its own
+// transport pump.
+type LogSink interface {
+	// MirrorAppend records a newly admitted tracked call. The same seq may
+	// be appended again after a recovery (a modify past the watermark being
+	// re-recorded by resubmission): upsert by Seq.
+	MirrorAppend(rc *server.RecordedCall)
+	// MirrorReply attaches the completed reply (Ret/Outs/Created filled in)
+	// to the entry with rc.Seq.
+	MirrorReply(rc *server.RecordedCall)
+	// MirrorDrop removes the entry with this seq (failed call, failed
+	// re-execution).
+	MirrorDrop(seq uint64)
+	// MirrorPrune removes every entry a destroyed handle obsoletes,
+	// mirroring the guardian's prune rule.
+	MirrorPrune(h marshal.Handle)
+	// MirrorCheckpoint advances the watermark and replaces the object
+	// snapshot set after a checkpoint commits.
+	MirrorCheckpoint(epoch uint32, w uint64, objects map[marshal.Handle][]byte)
+	// MirrorEpoch records an epoch advance (recovery or rehydration) and
+	// the watermark it recovered to.
+	MirrorEpoch(epoch uint32, w uint64)
+}
+
+// MirrorState is a point-in-time snapshot of a mirrored shadow log — the
+// payload a replacement guardian rehydrates from (Config.Restore).
+type MirrorState struct {
+	// Entries is the mirrored shadow log in ascending guest seq order.
+	Entries []server.RecordedCall
+	// ReplySeen marks entries whose recorded reply completed.
+	ReplySeen map[uint64]bool
+	// W is the last committed checkpoint watermark.
+	W uint64
+	// Objects is the stateful-object snapshot set cut at W.
+	Objects map[marshal.Handle][]byte
+	// Epoch is the endpoint epoch at snapshot time.
+	Epoch uint32
+}
+
+// MemoryMirror is the in-process LogSink: a deep-copying replica of the
+// guardian's shadow log. In a real deployment it lives in a separate
+// process (or host) from the guardian it shadows; tests and single-host
+// deployments embed it directly.
+type MemoryMirror struct {
+	mu        sync.Mutex
+	entries   []*server.RecordedCall
+	bySeq     map[uint64]*server.RecordedCall
+	replySeen map[uint64]bool
+	w         uint64
+	objects   map[marshal.Handle][]byte
+	epoch     uint32
+}
+
+// NewMemoryMirror builds an empty mirror.
+func NewMemoryMirror() *MemoryMirror {
+	return &MemoryMirror{
+		bySeq:     make(map[uint64]*server.RecordedCall),
+		replySeen: make(map[uint64]bool),
+	}
+}
+
+func cloneRecorded(rc *server.RecordedCall) *server.RecordedCall {
+	return &server.RecordedCall{
+		Func:    rc.Func,
+		Args:    server.CloneValues(rc.Args),
+		Ret:     rc.Ret,
+		Outs:    server.CloneValues(rc.Outs),
+		Created: rc.Created,
+		Seq:     rc.Seq,
+	}
+}
+
+// MirrorAppend implements LogSink.
+func (m *MemoryMirror) MirrorAppend(rc *server.RecordedCall) {
+	cp := cloneRecorded(rc)
+	m.mu.Lock()
+	if old, ok := m.bySeq[rc.Seq]; ok {
+		// Re-recorded seq (resubmission after recovery): replace in place.
+		for i, e := range m.entries {
+			if e == old {
+				m.entries[i] = cp
+				break
+			}
+		}
+		delete(m.replySeen, rc.Seq)
+	} else {
+		m.entries = append(m.entries, cp)
+	}
+	m.bySeq[rc.Seq] = cp
+	m.mu.Unlock()
+}
+
+// MirrorReply implements LogSink.
+func (m *MemoryMirror) MirrorReply(rc *server.RecordedCall) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.bySeq[rc.Seq]
+	if !ok {
+		return
+	}
+	e.Ret = rc.Ret
+	if e.Ret.Kind == marshal.KindBytes {
+		e.Ret.Bytes = append([]byte(nil), e.Ret.Bytes...)
+	}
+	e.Outs = server.CloneValues(rc.Outs)
+	e.Created = rc.Created
+	m.replySeen[rc.Seq] = true
+}
+
+// MirrorDrop implements LogSink.
+func (m *MemoryMirror) MirrorDrop(seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rc, ok := m.bySeq[seq]
+	if !ok {
+		return
+	}
+	delete(m.bySeq, seq)
+	delete(m.replySeen, seq)
+	for i, e := range m.entries {
+		if e == rc {
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			break
+		}
+	}
+}
+
+// MirrorPrune implements LogSink.
+func (m *MemoryMirror) MirrorPrune(h marshal.Handle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.entries[:0]
+	for _, rc := range m.entries {
+		if rc.Obsoleted(h) {
+			delete(m.bySeq, rc.Seq)
+			delete(m.replySeen, rc.Seq)
+			continue
+		}
+		kept = append(kept, rc)
+	}
+	m.entries = kept
+}
+
+// MirrorCheckpoint implements LogSink.
+func (m *MemoryMirror) MirrorCheckpoint(epoch uint32, w uint64, objects map[marshal.Handle][]byte) {
+	cp := make(map[marshal.Handle][]byte, len(objects))
+	for h, state := range objects {
+		cp[h] = append([]byte(nil), state...)
+	}
+	m.mu.Lock()
+	m.epoch = epoch
+	m.w = w
+	m.objects = cp
+	m.mu.Unlock()
+}
+
+// MirrorEpoch implements LogSink.
+func (m *MemoryMirror) MirrorEpoch(epoch uint32, w uint64) {
+	m.mu.Lock()
+	m.epoch = epoch
+	m.w = w
+	m.mu.Unlock()
+}
+
+// State snapshots the mirror for rehydration. The returned state shares
+// nothing with the mirror's internals.
+func (m *MemoryMirror) State() *MirrorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := &MirrorState{
+		Entries:   make([]server.RecordedCall, 0, len(m.entries)),
+		ReplySeen: make(map[uint64]bool, len(m.replySeen)),
+		W:         m.w,
+		Objects:   make(map[marshal.Handle][]byte, len(m.objects)),
+		Epoch:     m.epoch,
+	}
+	for _, rc := range m.entries {
+		st.Entries = append(st.Entries, *cloneRecorded(rc))
+	}
+	for seq := range m.replySeen {
+		st.ReplySeen[seq] = true
+	}
+	for h, state := range m.objects {
+		st.Objects[h] = append([]byte(nil), state...)
+	}
+	return st
+}

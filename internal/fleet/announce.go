@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"ava/internal/clock"
+)
+
+// Announcer keeps one member's registration alive: it announces
+// immediately, re-announces on a heartbeat interval (carrying the current
+// self-reported load), and deregisters on Close — the graceful half of the
+// liveness contract, with the TTL covering crashes.
+type Announcer struct {
+	loc   Locator
+	clk   clock.Clock
+	every time.Duration
+
+	mu   sync.Mutex
+	m    Member
+	done chan struct{}
+	once sync.Once
+}
+
+// StartAnnouncer registers m with loc and starts the heartbeat goroutine.
+// every <= 0 selects DefaultTTL/4; clk nil uses the wall clock. Announce
+// failures are retried on the next beat (the registry may be restarting),
+// never fatal.
+func StartAnnouncer(loc Locator, m Member, every time.Duration, clk clock.Clock) *Announcer {
+	if every <= 0 {
+		every = DefaultTTL / 4
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	if m.ID == "" {
+		m.ID = m.Addr
+	}
+	a := &Announcer{loc: loc, clk: clk, every: every, m: m, done: make(chan struct{})}
+	a.loc.Announce(m)
+	go a.loop()
+	return a
+}
+
+func (a *Announcer) loop() {
+	for {
+		a.clk.Sleep(a.every)
+		select {
+		case <-a.done:
+			return
+		default:
+		}
+		a.mu.Lock()
+		m := a.m
+		a.mu.Unlock()
+		a.loc.Announce(m)
+	}
+}
+
+// SetLoad updates the load the next heartbeat reports.
+func (a *Announcer) SetLoad(n int) {
+	a.mu.Lock()
+	a.m.Load = n
+	a.mu.Unlock()
+}
+
+// Member returns the announced member record.
+func (a *Announcer) Member() Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m
+}
+
+// Close stops the heartbeat and deregisters the member.
+func (a *Announcer) Close() {
+	a.once.Do(func() {
+		close(a.done)
+		a.loc.Deregister(a.m.ID)
+	})
+}

@@ -1,0 +1,182 @@
+// Package fleet is the tiny discovery service behind cross-host failover:
+// a registry of live avad API servers, fed by periodic announcements and
+// queried by the failover dialer when it must move a VM's serving host.
+//
+// The registry is deliberately minimal — an in-process table with a
+// heartbeat TTL and a health-ranked Live query — because the paper's
+// disaggregated deployment (§4.1) only needs to answer one question: which
+// peer avad can take over this VM's API right now? A thin JSON wire
+// protocol (Serve/Dial in wire.go) lets real avad processes announce over
+// TCP; in-process deployments and tests use the Registry directly. Both
+// sides of that split implement Locator, so the failover dialer does not
+// care which it was given.
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ava/internal/clock"
+)
+
+// DefaultTTL is how long an announcement stays live without a refresh.
+// Announcers default to re-announcing every DefaultTTL/4.
+const DefaultTTL = 3 * time.Second
+
+// Member is one announced avad instance.
+type Member struct {
+	// ID names the instance uniquely across the fleet (avad defaults to
+	// its advertised address).
+	ID string `json:"id"`
+	// Addr is the address peers dial to reach the instance's API server.
+	Addr string `json:"addr"`
+	// API is the accelerator API the instance serves ("opencl", "mvnc",
+	// "qat"); Live matches on it so a VM never fails over onto a host
+	// serving a different silo.
+	API string `json:"api"`
+	// Load is the instance's self-reported load (active VM connections);
+	// Live ranks lighter hosts first.
+	Load int `json:"load"`
+}
+
+// Status is a member plus its registry-side liveness bookkeeping.
+type Status struct {
+	Member
+	// LastBeat is when the member last announced.
+	LastBeat time.Time
+	// Live reports whether the member's TTL had not expired at query time.
+	Live bool
+}
+
+// Locator is the discovery surface the failover dialer consumes: the
+// in-process Registry and the TCP Client both implement it.
+type Locator interface {
+	// Announce upserts a member and refreshes its heartbeat.
+	Announce(m Member) error
+	// Deregister removes a member immediately (graceful shutdown).
+	Deregister(id string) error
+	// Live returns the live members serving api, health-ranked (lightest
+	// load first, freshest heartbeat breaking ties), excluding the given
+	// member IDs.
+	Live(api string, exclude ...string) ([]Member, error)
+}
+
+type entry struct {
+	m    Member
+	beat time.Time
+}
+
+// Registry is the in-process fleet table.
+type Registry struct {
+	clk clock.Clock
+	ttl time.Duration
+
+	mu      sync.Mutex
+	members map[string]*entry
+}
+
+// NewRegistry builds a registry. ttl <= 0 selects DefaultTTL; clk nil uses
+// the wall clock.
+func NewRegistry(ttl time.Duration, clk clock.Clock) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Registry{clk: clk, ttl: ttl, members: make(map[string]*entry)}
+}
+
+// Announce implements Locator.
+func (r *Registry) Announce(m Member) error {
+	if m.ID == "" {
+		m.ID = m.Addr
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	if e, ok := r.members[m.ID]; ok {
+		e.m = m
+		e.beat = now
+	} else {
+		r.members[m.ID] = &entry{m: m, beat: now}
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Deregister implements Locator.
+func (r *Registry) Deregister(id string) error {
+	r.mu.Lock()
+	delete(r.members, id)
+	r.mu.Unlock()
+	return nil
+}
+
+// Live implements Locator: live members serving api, ranked lightest load
+// first with the freshest heartbeat breaking ties, excluding the given IDs.
+func (r *Registry) Live(api string, exclude ...string) ([]Member, error) {
+	skip := make(map[string]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	type ranked struct {
+		m    Member
+		beat time.Time
+	}
+	out := make([]ranked, 0, len(r.members))
+	for id, e := range r.members {
+		if skip[id] || e.m.API != api || now.Sub(e.beat) > r.ttl {
+			continue
+		}
+		out = append(out, ranked{m: e.m, beat: e.beat})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].m.Load != out[j].m.Load {
+			return out[i].m.Load < out[j].m.Load
+		}
+		if !out[i].beat.Equal(out[j].beat) {
+			return out[i].beat.After(out[j].beat)
+		}
+		return out[i].m.ID < out[j].m.ID
+	})
+	ms := make([]Member, len(out))
+	for i := range out {
+		ms[i] = out[i].m
+	}
+	return ms, nil
+}
+
+// Members returns every registered member with its liveness status
+// (expired entries included), sorted by ID — the fleet's admin view.
+func (r *Registry) Members() []Status {
+	now := r.clk.Now()
+	r.mu.Lock()
+	out := make([]Status, 0, len(r.members))
+	for _, e := range r.members {
+		out = append(out, Status{Member: e.m, LastBeat: e.beat, Live: now.Sub(e.beat) <= r.ttl})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Expire drops every member whose TTL has lapsed and returns how many were
+// dropped. Queries already ignore expired members; Expire just reclaims
+// the table space (long-running registries call it opportunistically).
+func (r *Registry) Expire() int {
+	now := r.clk.Now()
+	n := 0
+	r.mu.Lock()
+	for id, e := range r.members {
+		if now.Sub(e.beat) > r.ttl {
+			delete(r.members, id)
+			n++
+		}
+	}
+	r.mu.Unlock()
+	return n
+}

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"ava/internal/clock"
+	"ava/internal/transport"
+)
+
+func TestRegistryLiveRankingAndExclusion(t *testing.T) {
+	clk := clock.NewVirtual()
+	r := NewRegistry(time.Second, clk)
+	r.Announce(Member{ID: "a", Addr: "1:1", API: "opencl", Load: 2})
+	r.Announce(Member{ID: "b", Addr: "2:2", API: "opencl", Load: 0})
+	r.Announce(Member{ID: "c", Addr: "3:3", API: "opencl", Load: 1})
+	r.Announce(Member{ID: "d", Addr: "4:4", API: "mvnc", Load: 0})
+
+	ms, err := r.Live("opencl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0].ID != "b" || ms[1].ID != "c" || ms[2].ID != "a" {
+		t.Fatalf("health ranking wrong: %+v", ms)
+	}
+
+	ms, _ = r.Live("opencl", "b")
+	if len(ms) != 2 || ms[0].ID != "c" {
+		t.Fatalf("exclusion ignored: %+v", ms)
+	}
+	if ms, _ := r.Live("mvnc"); len(ms) != 1 || ms[0].ID != "d" {
+		t.Fatalf("API filter wrong: %+v", ms)
+	}
+}
+
+func TestRegistryTTLExpiryAndHeartbeat(t *testing.T) {
+	clk := clock.NewVirtual()
+	r := NewRegistry(time.Second, clk)
+	r.Announce(Member{ID: "a", Addr: "1:1", API: "opencl"})
+	r.Announce(Member{ID: "b", Addr: "2:2", API: "opencl"})
+
+	clk.Advance(900 * time.Millisecond)
+	r.Announce(Member{ID: "a", Addr: "1:1", API: "opencl"}) // heartbeat
+	clk.Advance(500 * time.Millisecond)
+
+	ms, _ := r.Live("opencl")
+	if len(ms) != 1 || ms[0].ID != "a" {
+		t.Fatalf("TTL expiry wrong: %+v", ms)
+	}
+	sts := r.Members()
+	if len(sts) != 2 {
+		t.Fatalf("Members() hid expired entries: %+v", sts)
+	}
+	if n := r.Expire(); n != 1 {
+		t.Fatalf("Expire() dropped %d entries, want 1", n)
+	}
+	if sts := r.Members(); len(sts) != 1 {
+		t.Fatalf("expired entry survived Expire: %+v", sts)
+	}
+}
+
+func TestRegistryDeregister(t *testing.T) {
+	r := NewRegistry(0, nil)
+	r.Announce(Member{ID: "a", Addr: "1:1", API: "opencl"})
+	r.Deregister("a")
+	if ms, _ := r.Live("opencl"); len(ms) != 0 {
+		t.Fatalf("deregistered member still live: %+v", ms)
+	}
+}
+
+func TestWireClientRoundTrip(t *testing.T) {
+	reg := NewRegistry(time.Minute, nil)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, reg)
+
+	c := DialRegistry(l.Addr())
+	defer c.Close()
+	if err := c.Announce(Member{ID: "h1", Addr: "1.2.3.4:7272", API: "opencl", Load: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Announce(Member{ID: "h2", Addr: "1.2.3.5:7272", API: "opencl", Load: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Live("opencl", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].ID != "h1" || ms[0].Load != 3 {
+		t.Fatalf("Live over the wire: %+v", ms)
+	}
+	if err := c.Deregister("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if ms, _ := c.Live("opencl"); len(ms) != 1 || ms[0].ID != "h2" {
+		t.Fatalf("Deregister over the wire: %+v", ms)
+	}
+}
+
+func TestWireClientRedialsAfterRegistryRestart(t *testing.T) {
+	reg := NewRegistry(time.Minute, nil)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	go Serve(l, reg)
+
+	c := DialRegistry(addr)
+	defer c.Close()
+	if err := c.Announce(Member{ID: "h1", Addr: "x", API: "opencl"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Restart the registry on the same address; the client's next request
+	// rides a fresh connection.
+	l2, err := transport.Listen(addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go Serve(l2, reg)
+	if err := c.Announce(Member{ID: "h1", Addr: "x", API: "opencl"}); err != nil {
+		t.Fatalf("redial failed: %v", err)
+	}
+}
+
+func TestAnnouncerHeartbeatAndClose(t *testing.T) {
+	reg := NewRegistry(200*time.Millisecond, nil)
+	a := StartAnnouncer(reg, Member{Addr: "1:1", API: "opencl"}, 50*time.Millisecond, nil)
+	if ms, _ := reg.Live("opencl"); len(ms) != 1 || ms[0].ID != "1:1" {
+		t.Fatalf("initial announce missing: %+v", ms)
+	}
+	a.SetLoad(7)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ms, _ := reg.Live("opencl")
+		if len(ms) == 1 && ms[0].Load == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat never carried updated load: %+v", ms)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.Close()
+	if ms, _ := reg.Live("opencl"); len(ms) != 0 {
+		t.Fatalf("Close did not deregister: %+v", ms)
+	}
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"ava/internal/transport"
+)
+
+// The wire protocol is one JSON request frame per operation, answered by
+// one JSON response frame, over the same length-prefixed transport the
+// call path uses. Discovery traffic is tiny and rare next to call traffic,
+// so readability wins over marshalling speed here.
+
+type wireReq struct {
+	Op      string   `json:"op"` // "announce", "deregister", "live"
+	Member  Member   `json:"member,omitempty"`
+	ID      string   `json:"id,omitempty"`
+	API     string   `json:"api,omitempty"`
+	Exclude []string `json:"exclude,omitempty"`
+}
+
+type wireResp struct {
+	OK      bool     `json:"ok"`
+	Err     string   `json:"err,omitempty"`
+	Members []Member `json:"members,omitempty"`
+}
+
+// Serve answers registry requests on l until the listener closes. Each
+// connection may issue any number of requests; avad's announcer keeps one
+// open for its heartbeat stream.
+func Serve(l *transport.Listener, reg *Registry) {
+	for {
+		ep, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(ep, reg)
+	}
+}
+
+func serveConn(ep transport.Endpoint, reg *Registry) {
+	defer ep.Close()
+	for {
+		frame, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		var req wireReq
+		resp := wireResp{OK: true}
+		if err := json.Unmarshal(frame, &req); err != nil {
+			resp = wireResp{Err: fmt.Sprintf("malformed request: %v", err)}
+		} else {
+			switch req.Op {
+			case "announce":
+				reg.Announce(req.Member)
+			case "deregister":
+				reg.Deregister(req.ID)
+			case "live":
+				resp.Members, _ = reg.Live(req.API, req.Exclude...)
+			default:
+				resp = wireResp{Err: fmt.Sprintf("unknown op %q", req.Op)}
+			}
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := ep.Send(out); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a Locator over a TCP connection to a served registry. It
+// redials transparently after a connection failure, so a registry restart
+// does not kill every announcer in the fleet.
+type Client struct {
+	addr string
+
+	mu sync.Mutex
+	ep transport.Endpoint
+}
+
+// DialRegistry connects to a registry served at addr. The connection is
+// established lazily on the first request.
+func DialRegistry(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+// Close releases the client's connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ep != nil {
+		c.ep.Close()
+		c.ep = nil
+	}
+}
+
+// roundTrip sends one request and awaits its response, redialing once if
+// the cached connection has gone stale.
+func (c *Client) roundTrip(req wireReq) (wireResp, error) {
+	frame, err := json.Marshal(req)
+	if err != nil {
+		return wireResp{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.ep == nil {
+			ep, err := transport.Dial(c.addr)
+			if err != nil {
+				return wireResp{}, fmt.Errorf("fleet: dial registry %s: %w", c.addr, err)
+			}
+			c.ep = ep
+		}
+		if err := c.ep.Send(frame); err == nil {
+			if reply, err := c.ep.Recv(); err == nil {
+				var resp wireResp
+				if err := json.Unmarshal(reply, &resp); err != nil {
+					return wireResp{}, fmt.Errorf("fleet: malformed registry response: %w", err)
+				}
+				if resp.Err != "" {
+					return wireResp{}, fmt.Errorf("fleet: registry: %s", resp.Err)
+				}
+				return resp, nil
+			}
+		}
+		c.ep.Close()
+		c.ep = nil
+		if attempt > 0 {
+			return wireResp{}, fmt.Errorf("fleet: registry %s unreachable", c.addr)
+		}
+	}
+}
+
+// Announce implements Locator.
+func (c *Client) Announce(m Member) error {
+	_, err := c.roundTrip(wireReq{Op: "announce", Member: m})
+	return err
+}
+
+// Deregister implements Locator.
+func (c *Client) Deregister(id string) error {
+	_, err := c.roundTrip(wireReq{Op: "deregister", ID: id})
+	return err
+}
+
+// Live implements Locator.
+func (c *Client) Live(api string, exclude ...string) ([]Member, error) {
+	resp, err := c.roundTrip(wireReq{Op: "live", API: api, Exclude: exclude})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}

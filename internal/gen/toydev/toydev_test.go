@@ -120,7 +120,7 @@ func TestGeneratedStackEndToEnd(t *testing.T) {
 	if missing := reg.Unregistered(); len(missing) != 0 {
 		t.Fatalf("generated Register missed: %v", missing)
 	}
-	stack := ava.NewStack(desc, reg, ava.Config{Recording: true})
+	stack := ava.NewStack(desc, reg, ava.WithRecording())
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 	if err != nil {

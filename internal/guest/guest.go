@@ -125,55 +125,127 @@ type Stats struct {
 	StageReply           time.Duration
 }
 
-// Option configures a Lib.
-type Option func(*Lib)
+// Option configures a Lib at construction time. Options that express a
+// per-call knob (WithTimeout, WithPriority, WithDeadlineSlack,
+// WithOverloadRetry) are DualOptions: handed to New they set the
+// library-wide default, handed to a call site (or a generated binding's
+// With) they adjust that one call. The two surfaces share one vocabulary
+// on purpose — a knob is spelled the same wherever it is turned.
+type Option interface {
+	applyLib(*Lib)
+}
+
+// CallOption adjusts one call's forwarding metadata. Collect options into
+// an effective CallOptions with ApplyCallOptions, or pass them straight to
+// a generated binding's With.
+type CallOption interface {
+	applyCall(*CallOptions)
+}
+
+// DualOption is an option meaningful at both scopes: library-wide default
+// (as an Option to New) and per-call override (as a CallOption).
+type DualOption interface {
+	Option
+	CallOption
+}
+
+// libOption is a construction-only option.
+type libOption func(*Lib)
+
+func (f libOption) applyLib(l *Lib) { f(l) }
+
+// callOption is a per-call-only option.
+type callOption func(*CallOptions)
+
+func (f callOption) applyCall(o *CallOptions) { f(o) }
+
+// dualOption applies at either scope.
+type dualOption struct {
+	lib  func(*Lib)
+	call func(*CallOptions)
+}
+
+func (d dualOption) applyLib(l *Lib)          { d.lib(l) }
+func (d dualOption) applyCall(o *CallOptions) { d.call(o) }
 
 // WithBatchLimit caps the async queue length before a forced flush.
 func WithBatchLimit(n int) Option {
-	return func(l *Lib) {
+	return libOption(func(l *Lib) {
 		if n > 0 {
 			l.batchLimit = n
 		}
-	}
+	})
 }
 
 // WithForceSync disables asynchronous forwarding and batching; every call
 // is forwarded synchronously. This is the "unoptimized specification"
 // configuration from the paper's §5 ablation.
 func WithForceSync() Option {
-	return func(l *Lib) { l.forceSync = true }
+	return libOption(func(l *Lib) { l.forceSync = true })
+}
+
+// WithSequenceBase starts the library's call numbering after base instead
+// of at 1. A fresh library attaching to a guardian rehydrated from a
+// mirrored shadow log (Config.Restore) must start past the mirror's
+// watermark: sequence numbers at or below it belong to the first life's
+// calls — the guardian fences them and the resubmission protocol trims
+// them from the retained window, so a call issued under one would hang its
+// caller forever.
+func WithSequenceBase(base uint64) Option {
+	return libOption(func(l *Lib) {
+		if base > l.seq {
+			l.seq = base
+		}
+	})
 }
 
 // WithClock overrides the library's time source, used for deadline
 // stamping and fail-fast checks (virtual clocks in tests).
 func WithClock(clk clock.Clock) Option {
-	return func(l *Lib) {
+	return libOption(func(l *Lib) {
 		if clk != nil {
 			l.clk = clk
 		}
+	})
+}
+
+// WithPriority sets the priority stamped on calls (higher is more urgent;
+// 0 is the default class): the library-wide default when given to New, one
+// call's priority when given to a call site.
+func WithPriority(p uint8) DualOption {
+	return dualOption{
+		lib:  func(l *Lib) { l.defPriority = p },
+		call: func(o *CallOptions) { o.Priority = p },
 	}
 }
 
-// WithPriority sets the library-wide default priority stamped on every
-// call (higher is more urgent; 0 is the default class).
-func WithPriority(p uint8) Option {
-	return func(l *Lib) { l.defPriority = p }
+// WithTimeout bounds calls with a deadline of now+d at encode time: the
+// default for every call without an explicit deadline when given to New,
+// one call's budget when given to a call site. Zero disables the default.
+func WithTimeout(d time.Duration) DualOption {
+	return dualOption{
+		lib:  func(l *Lib) { l.defTimeout = d },
+		call: func(o *CallOptions) { o.Timeout = d },
+	}
 }
 
-// WithTimeout sets a library-wide default per-call deadline: every call
-// without an explicit CallOptions deadline is stamped with now+d at encode
-// time. Zero disables the default.
-func WithTimeout(d time.Duration) Option {
-	return func(l *Lib) { l.defTimeout = d }
+// WithDeadline sets one call's absolute deadline on the library's clock —
+// the per-call-only sibling of WithTimeout.
+func WithDeadline(t time.Time) CallOption {
+	return callOption(func(o *CallOptions) { o.Deadline = t })
 }
 
 // WithDeadlineSlack tunes deadline-aware batching: an asynchronous append
-// forces a flush when any batched call's remaining deadline budget falls
-// to d or below, so the batch reaches the server while its calls can
-// still run. Zero or negative disables the early flush (expired batched
-// calls are still dropped locally at flush time). The default is 200µs.
-func WithDeadlineSlack(d time.Duration) Option {
-	return func(l *Lib) { l.deadlineSlack = d }
+// forces a flush when a batched call's remaining deadline budget falls to
+// d or below, so the batch reaches the server while its calls can still
+// run. Negative disables the early flush (expired batched calls are still
+// dropped locally at flush time). The library default is 200µs; given to a
+// call site, d governs just that call's pressure on the batch.
+func WithDeadlineSlack(d time.Duration) DualOption {
+	return dualOption{
+		lib:  func(l *Lib) { l.deadlineSlack = d },
+		call: func(o *CallOptions) { o.DeadlineSlack = d },
+	}
 }
 
 // FailoverPolicy configures guest-side participation in API-server
@@ -192,7 +264,7 @@ type FailoverPolicy struct {
 
 // WithFailover enables transparent resubmission after server recovery.
 func WithFailover(p FailoverPolicy) Option {
-	return func(l *Lib) {
+	return libOption(func(l *Lib) {
 		if p.Retain <= 0 {
 			p.Retain = 4096
 		}
@@ -202,15 +274,20 @@ func WithFailover(p FailoverPolicy) Option {
 			ctrl:   make(chan ctrlMsg, 16),
 			done:   make(chan struct{}),
 		}
-	}
+	})
 }
 
 // WithOverloadRetry enables transparent retry of synchronous calls denied
 // with StatusOverload: each denied call draws jittered delays from its own
 // backoff series until the call succeeds, its deadline would pass mid-sleep,
-// or the series' budget is spent (the denial then surfaces as usual).
-func WithOverloadRetry(cfg failover.BackoffConfig) Option {
-	return func(l *Lib) { l.retryB = failover.NewBackoff(cfg) }
+// or the series' budget is spent (the denial then surfaces as usual). Given
+// to New it covers every call; given to a call site it enables (or retunes)
+// retry for that call alone.
+func WithOverloadRetry(cfg failover.BackoffConfig) DualOption {
+	return dualOption{
+		lib:  func(l *Lib) { l.retryB = failover.NewBackoff(cfg) },
+		call: func(o *CallOptions) { c := cfg; o.Retry = &c },
+	}
 }
 
 // retained is one call's resubmission record: an owned copy of its encoded
@@ -243,7 +320,9 @@ type foState struct {
 }
 
 // CallOptions carries per-call forwarding metadata. The zero value means
-// "use the library defaults".
+// "use the library defaults". A CallOptions value is itself a CallOption
+// that replaces the accumulated set wholesale, so pre-built literals and
+// the With* combinators compose through the same variadic surface.
 type CallOptions struct {
 	// Deadline is an absolute deadline on the library's clock; the zero
 	// time means none (Timeout, then the library default, applies).
@@ -255,16 +334,36 @@ type CallOptions struct {
 	// the shared default class, so per-call demotion to 0 is expressed by
 	// not raising the library default instead).
 	Priority uint8
+	// DeadlineSlack overrides the library's deadline-aware flush slack for
+	// this call when non-zero; negative disables the early flush for it.
+	DeadlineSlack time.Duration
+	// Retry, when non-nil, gives this call its own overload-retry backoff
+	// (replacing or enabling the library-wide WithOverloadRetry setting).
+	Retry *failover.BackoffConfig
+}
+
+func (o CallOptions) applyCall(dst *CallOptions) { *dst = o }
+
+// ApplyCallOptions folds opts over base and returns the effective set.
+// Generated bindings use it to resolve their variadic With arguments.
+func ApplyCallOptions(base CallOptions, opts ...CallOption) CallOptions {
+	for _, o := range opts {
+		if o != nil {
+			o.applyCall(&base)
+		}
+	}
+	return base
 }
 
 // pendingCall is the batcher's per-call metadata: where the call's
 // length-prefixed frame sits in pendingBuf, and the deadline bookkeeping
 // that lets takePending excise calls that expired while batched.
 type pendingCall struct {
-	off, end int    // [off, end) segment of pendingBuf (incl. length prefix)
-	deadline int64  // absolute UnixNano on the library clock; 0 = none
-	async    bool   // only async calls may be dropped locally
-	seq      uint64 // ties the segment to its retained entry
+	off, end int           // [off, end) segment of pendingBuf (incl. length prefix)
+	deadline int64         // absolute UnixNano on the library clock; 0 = none
+	slack    time.Duration // this call's deadline-flush slack; <=0 = no early flush
+	async    bool          // only async calls may be dropped locally
+	seq      uint64        // ties the segment to its retained entry
 }
 
 func (pc *pendingCall) expired(now int64) bool {
@@ -329,7 +428,9 @@ type Lib struct {
 func New(desc *cava.Descriptor, ep transport.Endpoint, opts ...Option) *Lib {
 	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal(), deadlineSlack: 200 * time.Microsecond}
 	for _, o := range opts {
-		o(l)
+		if o != nil {
+			o.applyLib(l)
+		}
 	}
 	if l.fo != nil {
 		// Control notices can arrive before the first synchronous call
@@ -484,6 +585,14 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 	// their own calls over the same endpoint meanwhile. Synchronous calls
 	// loop: an overload denial re-sends the call (fresh sequence number and
 	// encode stamp) after a jittered backoff when WithOverloadRetry is on.
+	retryB := l.retryB
+	if opts.Retry != nil {
+		retryB = failover.NewBackoff(*opts.Retry)
+	}
+	slack := l.deadlineSlack
+	if opts.DeadlineSlack != 0 {
+		slack = opts.DeadlineSlack
+	}
 	var series *failover.Series
 	for {
 		l.mu.Lock()
@@ -503,7 +612,7 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 			if l.pendingN > 0 {
 				call.Flags |= marshal.FlagBatched
 			}
-			l.appendPending(fd, call, deadline, true)
+			l.appendPending(fd, call, deadline, slack, true)
 			l.stats.AsyncCalls++
 			var err error
 			if l.pendingN >= l.batchLimit {
@@ -525,7 +634,7 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 		}
 
 		l.stats.SyncCalls++
-		l.appendPending(fd, call, deadline, false)
+		l.appendPending(fd, call, deadline, slack, false)
 		batch, _ := l.takePending()
 
 		l.stats.Batches++
@@ -592,9 +701,9 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 			l.markDoneLocked(call.Seq)
 			if reply.Status == marshal.StatusOverload {
 				l.stats.OverloadDenied++
-				if l.retryB != nil {
+				if retryB != nil {
 					if series == nil {
-						series = l.retryB.Series()
+						series = retryB.Series()
 					}
 					if d, ok := series.Next(); ok &&
 						(deadline == 0 || l.clk.Now().UnixNano()+int64(d) < deadline) {
@@ -746,14 +855,16 @@ func (l *Lib) failWaiters(err error) {
 }
 
 // deadlinePressure reports whether any batched call's remaining deadline
-// budget is within the flush slack. Called with l.mu held.
+// budget is within its flush slack (per-call, defaulting to the library's
+// WithDeadlineSlack setting). Called with l.mu held.
 func (l *Lib) deadlinePressure(now time.Time) bool {
-	if l.deadlineSlack <= 0 {
-		return false
-	}
 	nowN := now.UnixNano()
 	for i := range l.pendingMeta {
-		if d := l.pendingMeta[i].deadline; d != 0 && d-nowN <= int64(l.deadlineSlack) {
+		pc := &l.pendingMeta[i]
+		if pc.slack <= 0 {
+			continue
+		}
+		if d := pc.deadline; d != 0 && d-nowN <= int64(pc.slack) {
 			return true
 		}
 	}
@@ -765,7 +876,7 @@ func (l *Lib) deadlinePressure(now time.Time) bool {
 // transport will carry. The buffer is drawn from the frame pool; it
 // returns there after a copying transport sends it, or cycles through the
 // server's dispatch refcount on ownership-transferring transports.
-func (l *Lib) appendPending(fd *cava.FuncDesc, call *marshal.Call, deadline int64, async bool) {
+func (l *Lib) appendPending(fd *cava.FuncDesc, call *marshal.Call, deadline int64, slack time.Duration, async bool) {
 	if l.pendingN == 0 {
 		if l.pendingBuf == nil {
 			l.pendingBuf = framebuf.Get(64)
@@ -782,7 +893,7 @@ func (l *Lib) appendPending(fd *cava.FuncDesc, call *marshal.Call, deadline int6
 	l.pendingBuf[start+2] = byte(n >> 16)
 	l.pendingBuf[start+3] = byte(n >> 24)
 	l.pendingMeta = append(l.pendingMeta, pendingCall{
-		off: start, end: len(l.pendingBuf), deadline: deadline, async: async, seq: call.Seq,
+		off: start, end: len(l.pendingBuf), deadline: deadline, slack: slack, async: async, seq: call.Seq,
 	})
 	l.pendingN++
 	if l.fo != nil {
@@ -987,6 +1098,13 @@ func (l *Lib) resubmit(epoch uint32, w uint64) {
 	}
 	l.epoch = epoch
 	l.stats.Reconnects++
+	if w > l.seq {
+		// A fresh library attached to a guardian rehydrated from a mirrored
+		// log (Config.Restore) starts its sequence space at zero, but the
+		// restored watermark already covers mirrored seqs: jump past them so
+		// new calls never collide with replayed entries.
+		l.seq = w
+	}
 
 	// Un-flushed batched calls were encoded under the old epoch; patch
 	// them in place so the router does not fence them when they flush.

@@ -59,8 +59,11 @@ type VMStats struct {
 	// were addressed to a dead server incarnation, and the guest's
 	// resubmission supplies the authoritative copy. Not included in Denied.
 	StaleEpochDropped uint64
-	Bytes             uint64
-	Stall             time.Duration // time spent rate-limited or unscheduled
+	// HostChanges counts serving-host moves recorded via SetServingHost —
+	// the number of cross-host failovers this VM has ridden through.
+	HostChanges uint64
+	Bytes       uint64
+	Stall       time.Duration // time spent rate-limited or unscheduled
 	// BandStall splits Stall by the call's priority band, so per-band QoS
 	// (low bands absorbing the throttling) is observable.
 	BandStall [NumPriorityBands]time.Duration
@@ -124,9 +127,11 @@ type vmState struct {
 	callTB *PriorityBuckets
 	byteTB *PriorityBuckets
 
-	mu    sync.Mutex
-	epoch uint32 // current endpoint epoch; older frames are fenced
-	stats VMStats
+	mu        sync.Mutex
+	epoch     uint32 // current endpoint epoch; older frames are fenced
+	host      string // fleet member ID currently serving this VM
+	hostEpoch uint32 // epoch at the last SetServingHost
+	stats     VMStats
 	// First router-side denial of an async call since the last synchronous
 	// call, held for §4.2's error-deferral contract: async denials cannot
 	// be replied to (the guest is not waiting), so the VM's next sync call
@@ -346,6 +351,42 @@ func (r *Router) SetEpoch(id VMID, epoch uint32) {
 		st.epoch = epoch
 	}
 	st.mu.Unlock()
+}
+
+// SetServingHost records which fleet member now serves a VM's API. On a
+// host change it counts the move and defensively re-fences: if the epoch
+// has not advanced since the previous host was recorded, the router bumps
+// it itself, so frames addressed to the old host can never reach the new
+// one even if a buggy dial path forgot to advance the epoch first.
+func (r *Router) SetServingHost(id VMID, host string) {
+	st, err := r.vm(id)
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	if host != st.host {
+		if st.host != "" {
+			st.stats.HostChanges++
+			if st.epoch == st.hostEpoch {
+				st.epoch++
+			}
+		}
+		st.host = host
+	}
+	st.hostEpoch = st.epoch
+	st.mu.Unlock()
+}
+
+// ServingHost returns the fleet member ID recorded as serving the VM (""
+// if never recorded).
+func (r *Router) ServingHost(id VMID) string {
+	st, err := r.vm(id)
+	if err != nil {
+		return ""
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.host
 }
 
 // Epoch returns a VM's current endpoint epoch.

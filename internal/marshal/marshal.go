@@ -210,6 +210,31 @@ const (
 	MarkerSeqBase uint64 = 1 << 63
 )
 
+// Reserved function indices. Ordinary functions index into the API's
+// StackDescriptor from 0; the top of the Func space is claimed by stack
+// control calls so they can share the call channel with any API. ^uint32(0)
+// itself stays unassigned on purpose: the failover guardian's barrier
+// markers use it precisely because the server rejects it as unknown.
+const (
+	// FuncRebind asks the server to move a live object from a fresh replay
+	// handle back under its recorded handle: args are [fresh, recorded]
+	// Handle values. Issued by the failover guardian after a wire replay so
+	// the guest's saved handles stay valid on the replacement host.
+	FuncRebind uint32 = ^uint32(0) - 1
+	// FuncRestore asks the server to overwrite an object's stateful payload
+	// from a checkpoint snapshot: args are [Handle, Bytes]. Ret is Int(1)
+	// when the object was restored and Int(0) when the handle is unknown
+	// (the snapshot outlived the object — skipped, not fatal).
+	FuncRestore uint32 = ^uint32(0) - 2
+	// FuncSnapshot asks the server to serialize every stateful object in
+	// the VM's handle table: no args, Ret is a Bytes value holding an
+	// EncodeObjectStates payload. Issued by the failover guardian at each
+	// checkpoint over a wire-only link, where it has no in-process access
+	// to the serving host's objects; the captured states later replay onto
+	// a replacement host as FuncRestore calls.
+	FuncSnapshot uint32 = ^uint32(0) - 3
+)
+
 // Stamps is the per-stage timestamp block a call accumulates as it crosses
 // the stack, the raw material for per-stage latency breakdowns. Each value
 // is absolute nanoseconds (UnixNano) on the clock of the layer that stamped

@@ -23,7 +23,7 @@ func newStack(t *testing.T) (*ava.Stack, *cl.Silo) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
-	stack := ava.NewStack(desc, reg, ava.Config{Recording: true})
+	stack := ava.NewStack(desc, reg, ava.WithRecording())
 	t.Cleanup(stack.Close)
 	return stack, silo
 }
@@ -283,7 +283,7 @@ func TestMVNCMigrationByReplay(t *testing.T) {
 		desc := mvnc.Descriptor()
 		reg := server.NewRegistry(desc)
 		mvnc.BindServer(reg, silo)
-		st := ava.NewStack(desc, reg, ava.Config{Recording: true})
+		st := ava.NewStack(desc, reg, ava.WithRecording())
 		t.Cleanup(st.Close)
 		return st, silo
 	}

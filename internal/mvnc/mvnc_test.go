@@ -22,7 +22,7 @@ func clients(t *testing.T) map[string]mvnc.Client {
 	desc := mvnc.Descriptor()
 	reg := server.NewRegistry(desc)
 	mvnc.BindServer(reg, mvnc.NewSilo(mvnc.Config{Sticks: 2}))
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "ncs-vm"})
 	if err != nil {
 		t.Fatal(err)

@@ -226,11 +226,13 @@ type RemoteClient struct {
 // NewRemote wraps an attached guest library speaking the QAT Spec.
 func NewRemote(lib *guest.Lib) *RemoteClient { return &RemoteClient{lib: lib} }
 
-// With returns a client whose calls carry opts (deadline, priority); the
-// receiver is unchanged.
-func (c *RemoteClient) With(opts guest.CallOptions) *RemoteClient {
+// With returns a client whose calls also carry opts (deadline, priority,
+// overload retry, flush slack); the receiver is unchanged. Options fold
+// over the receiver's set; pass a guest.CallOptions literal to replace it
+// wholesale.
+func (c *RemoteClient) With(opts ...guest.CallOption) *RemoteClient {
 	d := *c
-	d.opts = opts
+	d.opts = guest.ApplyCallOptions(d.opts, opts...)
 	return &d
 }
 

@@ -21,7 +21,7 @@ func clients(t *testing.T) map[string]qat.Client {
 	desc := qat.Descriptor()
 	reg := server.NewRegistry(desc)
 	qat.BindServer(reg, qat.NewSilo(2))
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	t.Cleanup(stack.Close)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "qat-vm"})
 	if err != nil {

@@ -23,7 +23,7 @@ func remoteClient(t testing.TB) cl.Client {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, newSilo())
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "rodinia-vm"})
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestRemoteAsyncHeavyWorkloadUsesFewRoundTrips(t *testing.T) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, newSilo())
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 	if err != nil {
@@ -199,7 +199,7 @@ func TestRingTransportWorkload(t *testing.T) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, newSilo())
-	stack := ava.NewStack(desc, reg, ava.Config{Transport: ava.TransportRing, RingBytes: 8 << 20})
+	stack := ava.NewStack(desc, reg, ava.WithRingTransport(8<<20))
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "ring-vm"})
 	if err != nil {

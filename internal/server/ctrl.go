@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+
+	"ava/internal/marshal"
+)
+
+// executeControl serves the reserved control functions the failover
+// guardian's wire replay issues after re-running the record log against a
+// replacement host. They share the ordinary call channel (and the per-VM
+// handle isolation boundary) but never touch the API descriptor, so any
+// silo accepts them.
+func (s *Server) executeControl(ctx *Context, call *marshal.Call) *marshal.Reply {
+	fail := func(st marshal.Status, format string, args ...any) *marshal.Reply {
+		return &marshal.Reply{Seq: call.Seq, Status: st, Err: fmt.Sprintf(format, args...)}
+	}
+	switch call.Func {
+	case marshal.FuncRebind:
+		// Args: [fresh, recorded] — move the object a replayed call created
+		// under the fresh handle back to the handle the guest holds.
+		if len(call.Args) != 2 ||
+			call.Args[0].Kind != marshal.KindHandle || call.Args[1].Kind != marshal.KindHandle {
+			return fail(marshal.StatusDenied, "rebind: want [fresh Handle, recorded Handle]")
+		}
+		fresh, recorded := call.Args[0].Handle(), call.Args[1].Handle()
+		if fresh == recorded {
+			return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK}
+		}
+		obj, ok := ctx.Handles.Remove(fresh)
+		if !ok {
+			return fail(marshal.StatusInternal, "rebind: handle %d unknown", fresh)
+		}
+		if err := ctx.Handles.InsertAt(recorded, obj); err != nil {
+			// Undo so a failed rebind does not leak the object.
+			ctx.Handles.InsertAt(fresh, obj)
+			return fail(marshal.StatusInternal, "rebind: %v", err)
+		}
+		ctx.RemapRecorded(fresh, recorded)
+		return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK}
+
+	case marshal.FuncRestore:
+		// Args: [Handle, Bytes] — overwrite the object's stateful payload
+		// from a checkpoint snapshot. An unknown handle is not fatal (the
+		// object was destroyed after the checkpoint): Ret reports 0.
+		if len(call.Args) != 2 ||
+			call.Args[0].Kind != marshal.KindHandle || call.Args[1].Kind != marshal.KindBytes {
+			return fail(marshal.StatusDenied, "restore: want [Handle, Bytes]")
+		}
+		obj, ok := ctx.Handles.Get(call.Args[0].Handle())
+		if !ok {
+			return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK, Ret: marshal.Int(0)}
+		}
+		if s.reg.Restorer == nil {
+			return fail(marshal.StatusInternal, "restore: no ObjectRestorer registered")
+		}
+		if err := s.reg.Restorer.RestoreObject(obj, call.Args[1].Bytes); err != nil {
+			return fail(marshal.StatusInternal, "restore handle %d: %v", call.Args[0].Handle(), err)
+		}
+		return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK, Ret: marshal.Int(1)}
+
+	case marshal.FuncSnapshot:
+		// No args — serialize every stateful object in the VM's handle
+		// table so a remote guardian can checkpoint without in-process
+		// access. Ret is an EncodeObjectStates payload.
+		snap, ok := s.reg.Restorer.(ObjectSnapshotter)
+		if !ok {
+			return fail(marshal.StatusInternal, "snapshot: no ObjectSnapshotter registered")
+		}
+		objects := make(map[marshal.Handle][]byte)
+		var snapErr error
+		ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+			if snapErr != nil {
+				return
+			}
+			state, stateful, err := snap.SnapshotObject(obj)
+			if err != nil {
+				snapErr = err
+				return
+			}
+			if stateful {
+				objects[h] = state
+			}
+		})
+		if snapErr != nil {
+			return fail(marshal.StatusInternal, "snapshot: %v", snapErr)
+		}
+		return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK,
+			Ret: marshal.BytesVal(marshal.EncodeObjectStates(objects))}
+	}
+	return fail(marshal.StatusDenied, "unknown control function #%d", call.Func)
+}

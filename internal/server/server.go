@@ -39,6 +39,26 @@ type Registry struct {
 	// OnOOM, if set, is invoked when a handler fails with ErrDeviceOOM;
 	// returning true retries the call once.
 	OnOOM func(ctx *Context, fd *cava.FuncDesc) bool
+	// Restorer, if set, serves marshal.FuncRestore control calls: the
+	// failover guardian's wire replay uses it to push checkpointed object
+	// state onto a replacement host without in-process access to the
+	// destination server. A migrate.Adapter satisfies it directly.
+	Restorer ObjectRestorer
+}
+
+// ObjectRestorer overwrites an object's stateful payload from a snapshot.
+// It mirrors the restore half of migrate.Adapter (redeclared here because
+// migrate imports server).
+type ObjectRestorer interface {
+	RestoreObject(obj any, state []byte) error
+}
+
+// ObjectSnapshotter is the optional snapshot half: a Restorer that also
+// implements it serves marshal.FuncSnapshot, letting a remote guardian
+// checkpoint this host's object state over the wire. A migrate.Adapter
+// satisfies both.
+type ObjectSnapshotter interface {
+	SnapshotObject(obj any) (state []byte, stateful bool, err error)
 }
 
 // NewRegistry creates an empty registry for d.
@@ -442,6 +462,10 @@ func (s *Server) isFailureRet(id uint32, ret marshal.Value) bool {
 func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.Reply {
 	fail := func(st marshal.Status, format string, args ...any) *marshal.Reply {
 		return &marshal.Reply{Seq: call.Seq, Status: st, Err: fmt.Sprintf(format, args...)}
+	}
+	if call.Func == marshal.FuncRebind || call.Func == marshal.FuncRestore ||
+		call.Func == marshal.FuncSnapshot {
+		return s.executeControl(ctx, call)
 	}
 	fd, ok := s.reg.Desc.ByID(call.Func)
 	if !ok {

@@ -37,18 +37,18 @@ func foSilo() *cl.Silo {
 	})
 }
 
-func foStack(silo *cl.Silo, cfg ava.Config) *ava.Stack {
+func foStack(silo *cl.Silo, opts ...ava.Option) *ava.Stack {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
-	return ava.NewStack(desc, reg, cfg)
+	return ava.NewStack(desc, reg, opts...)
 }
 
-func foConfig(silo *cl.Silo) *ava.FailoverConfig {
-	return &ava.FailoverConfig{
-		Adapter:         cl.MigrationAdapter{Silo: silo},
-		CheckpointEvery: 64,
-		Backoff:         failover.BackoffConfig{Seed: 42},
+func foConfig(silo *cl.Silo) ava.FailoverConfig {
+	return ava.FailoverConfig{
+		Adapter:    cl.MigrationAdapter{Silo: silo},
+		Checkpoint: ava.CheckpointConfig{Every: 64},
+		Backoff:    failover.BackoffConfig{Seed: 42},
 	}
 }
 
@@ -77,7 +77,7 @@ func TestFailoverKillMidRodinia(t *testing.T) {
 
 	// Undisturbed baseline, also timing the run so the kill can land
 	// mid-workload rather than after it.
-	base := foStack(foSilo(), ava.Config{})
+	base := foStack(foSilo())
 	c, err := clRemoteClient(base, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +99,7 @@ func TestFailoverKillMidRodinia(t *testing.T) {
 	} {
 		t.Run(tr.name, func(t *testing.T) {
 			silo := foSilo()
-			stack := foStack(silo, ava.Config{Transport: tr.kind, Failover: foConfig(silo)})
+			stack := foStack(silo, ava.WithTransport(tr.kind), ava.WithFailover(foConfig(silo)))
 			defer stack.Close()
 			lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "chaos-vm"})
 			if err != nil {
@@ -248,8 +248,8 @@ func TestFailoverKillMidWorkloadTCP(t *testing.T) {
 func TestFailoverReconnectRaceStress(t *testing.T) {
 	silo := foSilo()
 	cfg := foConfig(silo)
-	cfg.CheckpointEvery = 32
-	stack := foStack(silo, ava.Config{Failover: cfg})
+	cfg.Checkpoint.Every = 32
+	stack := foStack(silo, ava.WithFailover(cfg))
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "race-vm"})
 	if err != nil {
@@ -364,19 +364,21 @@ func TestFailoverReconnectRaceStress(t *testing.T) {
 func TestFailoverFlakyLivenessDetection(t *testing.T) {
 	silo := foSilo()
 	var dials atomic.Int32
-	stack := foStack(silo, ava.Config{Failover: &ava.FailoverConfig{
-		Adapter:        cl.MigrationAdapter{Silo: silo},
-		HeartbeatEvery: 3 * time.Millisecond,
-		// Keep the marker wait short so detection is fast.
-		LivenessTimeout: 40 * time.Millisecond,
-		Backoff:         failover.BackoffConfig{Seed: 9},
+	stack := foStack(silo, ava.WithFailover(ava.FailoverConfig{
+		Adapter: cl.MigrationAdapter{Silo: silo},
+		Liveness: ava.LivenessConfig{
+			HeartbeatEvery: 3 * time.Millisecond,
+			// Keep the marker wait short so detection is fast.
+			Timeout: 40 * time.Millisecond,
+		},
+		Backoff: failover.BackoffConfig{Seed: 9},
 		WrapServerLink: func(ep transport.Endpoint) transport.Endpoint {
 			if dials.Add(1) == 1 {
 				return transport.NewFlaky(ep, transport.FlakyConfig{Seed: 1, DropAfterSends: 4})
 			}
 			return ep
 		},
-	}})
+	}))
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "deaf-vm"})
 	if err != nil {

@@ -27,7 +27,7 @@ func remoteWithSwap(t *testing.T) (cl.Client, *swap.Manager, *cl.Silo) {
 	cl.BindServer(reg, silo)
 	mgr := swap.NewManager(silo)
 	mgr.Install(reg)
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	t.Cleanup(stack.Close)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	if err != nil {
@@ -95,7 +95,7 @@ func TestOversubscriptionFailsWithoutSwap(t *testing.T) {
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo) // no swap manager installed
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	t.Cleanup(stack.Close)
 	lib, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	c := cl.NewRemote(lib)

@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Hello is the connection preamble a dialer sends as the first frame to a
+// remote API server (avad): which VM the connection serves, the endpoint
+// epoch it is dialing under (so a reconnect after failover is observable
+// host-side), and a display name.
+//
+// The legacy preamble was just [vm u32 LE][name bytes]; the extended form
+// inserts a magic tag so the two stay distinguishable on the wire:
+//
+//	[vm u32 LE] 'A' 'V' 'A' '1' [epoch u32 LE] [name bytes]
+//
+// DecodeHello accepts both, reporting epoch 0 for legacy frames.
+type Hello struct {
+	VM    uint32
+	Epoch uint32
+	Name  string
+}
+
+var helloMagic = [4]byte{'A', 'V', 'A', '1'}
+
+// EncodeHello serializes the extended preamble.
+func EncodeHello(h Hello) []byte {
+	b := make([]byte, 12, 12+len(h.Name))
+	binary.LittleEndian.PutUint32(b, h.VM)
+	copy(b[4:], helloMagic[:])
+	binary.LittleEndian.PutUint32(b[8:], h.Epoch)
+	return append(b, h.Name...)
+}
+
+// DecodeHello parses a preamble frame, legacy or extended.
+func DecodeHello(frame []byte) (Hello, error) {
+	if len(frame) < 4 {
+		return Hello{}, fmt.Errorf("transport: hello frame of %d bytes", len(frame))
+	}
+	h := Hello{VM: binary.LittleEndian.Uint32(frame)}
+	rest := frame[4:]
+	if len(rest) >= 8 && [4]byte(rest[:4]) == helloMagic {
+		h.Epoch = binary.LittleEndian.Uint32(rest[4:])
+		rest = rest[8:]
+	}
+	h.Name = string(rest)
+	return h, nil
+}

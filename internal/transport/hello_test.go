@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := Hello{VM: 7, Epoch: 3, Name: "vm-7"}
+	out, err := DecodeHello(EncodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestHelloLegacyFallback(t *testing.T) {
+	legacy := make([]byte, 4)
+	binary.LittleEndian.PutUint32(legacy, 9)
+	legacy = append(legacy, "old-vm"...)
+	h, err := DecodeHello(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.VM != 9 || h.Epoch != 0 || h.Name != "old-vm" {
+		t.Fatalf("legacy decode: %+v", h)
+	}
+}
+
+func TestHelloEmptyNameAndShortFrame(t *testing.T) {
+	h, err := DecodeHello(EncodeHello(Hello{VM: 1, Epoch: 2}))
+	if err != nil || h.Name != "" || h.Epoch != 2 {
+		t.Fatalf("empty name: %+v, %v", h, err)
+	}
+	if _, err := DecodeHello([]byte{1, 2}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}

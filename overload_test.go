@@ -21,7 +21,7 @@ func clQuotaStack(t *testing.T, quotas map[string]int64) (*ava.Stack, *cl.Remote
 	desc := cl.Descriptor()
 	reg := server.NewRegistry(desc)
 	cl.BindServer(reg, silo)
-	stack := ava.NewStack(desc, reg, ava.Config{})
+	stack := ava.NewStack(desc, reg)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "guest", Quotas: quotas})
 	if err != nil {
 		t.Fatal(err)
@@ -102,10 +102,9 @@ st ping(uint32_t v);
 		inv.SetStatus(0)
 		return nil
 	})
-	stack := ava.NewStack(desc, reg, ava.Config{
-		Scheduler: overloadedSched{},
-		Shed:      ava.ShedConfig{MaxQueueDepth: 1},
-	})
+	stack := ava.NewStack(desc, reg,
+		ava.WithScheduler(overloadedSched{}),
+		ava.WithShedding(ava.ShedConfig{MaxQueueDepth: 1}))
 	defer stack.Close()
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "guest"})
 	if err != nil {

@@ -22,7 +22,7 @@ st poke(obj o, uint32_t v) { async; }
 st count(uint32_t *n) { parameter(n) { out; element; } }
 `
 
-func newToyStack(t *testing.T, cfg ava.Config) *ava.Stack {
+func newToyStack(t *testing.T, opts ...ava.Option) *ava.Stack {
 	t.Helper()
 	desc, err := ava.CompileSpec(stackSpec)
 	if err != nil {
@@ -45,13 +45,13 @@ func newToyStack(t *testing.T, cfg ava.Config) *ava.Stack {
 		v.SetStatus(0)
 		return nil
 	})
-	stack := ava.NewStack(desc, reg, cfg)
+	stack := ava.NewStack(desc, reg, opts...)
 	t.Cleanup(stack.Close)
 	return stack
 }
 
 func TestStackAttachDetach(t *testing.T) {
-	stack := newToyStack(t, ava.Config{})
+	stack := newToyStack(t)
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestStackAttachDetach(t *testing.T) {
 }
 
 func TestStackDuplicateAttach(t *testing.T) {
-	stack := newToyStack(t, ava.Config{})
+	stack := newToyStack(t)
 	if _, err := stack.AttachVM(ava.VMConfig{ID: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestStackDuplicateAttach(t *testing.T) {
 }
 
 func TestStackMultipleVMsIsolated(t *testing.T) {
-	stack := newToyStack(t, ava.Config{})
+	stack := newToyStack(t)
 	lib1, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	lib2, _ := stack.AttachVM(ava.VMConfig{ID: 2, Name: "vm2"})
 	var h1, h2 marshal.Handle
@@ -105,7 +105,7 @@ func TestStackMultipleVMsIsolated(t *testing.T) {
 }
 
 func TestStackRingTransport(t *testing.T) {
-	stack := newToyStack(t, ava.Config{Transport: ava.TransportRing, RingBytes: 1 << 16})
+	stack := newToyStack(t, ava.WithRingTransport(1<<16))
 	lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm1"})
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +129,7 @@ func TestStackRingTransport(t *testing.T) {
 }
 
 func TestStackAsyncByDefault(t *testing.T) {
-	stack := newToyStack(t, ava.Config{})
+	stack := newToyStack(t)
 	lib, _ := stack.AttachVM(ava.VMConfig{ID: 1, Name: "vm"})
 	var h marshal.Handle
 	lib.Call("make", uint32(0), &h)
@@ -170,7 +170,7 @@ func TestInferSpecWorkflow(t *testing.T) {
 }
 
 func TestStackContextAccess(t *testing.T) {
-	stack := newToyStack(t, ava.Config{Recording: true})
+	stack := newToyStack(t, ava.WithRecording())
 	lib, _ := stack.AttachVM(ava.VMConfig{ID: 5, Name: "vm5"})
 	var h marshal.Handle
 	lib.Call("make", uint32(0), &h)
