@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke chaos
+.PHONY: check fmt vet build test bench bench-smoke bench-json chaos
 
 check: fmt vet build test bench-smoke
 
@@ -28,14 +28,22 @@ bench:
 
 # One iteration of every benchmark, no unit tests: catches benchmarks that
 # stopped compiling or panic without paying for a full measurement run.
-# Also exercises the overload-control (E11), failover (E12) and cross-host
-# failover (E13) experiments end to end, since their assertions live in the
-# table generation, not in a Benchmark func.
+# Also exercises the overload-control (E11), failover (E12), cross-host
+# failover (E13) and zero-copy/copy-cost (E14) experiments end to end,
+# since their assertions live in the table generation, not in a Benchmark
+# func.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/avabench -exp overload -reps 1
 	$(GO) run ./cmd/avabench -exp failover -reps 1
 	$(GO) run ./cmd/avabench -exp crosshost -reps 1
+	$(GO) run ./cmd/avabench -exp copycost -reps 1
+
+# Full experiment sweep with machine-readable output: one BENCH_<exp>.json
+# per experiment lands in bench-out/ alongside the printed tables.
+bench-json:
+	mkdir -p bench-out
+	$(GO) run ./cmd/avabench -json bench-out
 
 # Chaos gate: every fault-injection and kill-the-server test under -race,
 # with fixed seeds (the tests pin their own Flaky/backoff seeds), so CI

@@ -294,7 +294,8 @@ type Stack struct {
 	Router *hv.Router
 	Server *server.Server
 
-	cfg Config
+	cfg  Config
+	breg *transport.BufRegistry // shared-address-space deployments only
 
 	mu  sync.Mutex
 	vms map[uint32]*attachment
@@ -323,8 +324,20 @@ func NewStack(desc *cava.Descriptor, reg *server.Registry, opts ...Option) *Stac
 		vms:    make(map[uint32]*attachment),
 	}
 	s.Router.SetShedPolicy(cfg.Router.Shed)
+	// Both built-in transports keep guest and server in one address space
+	// (InProc channels; the ring simulates hypervisor shared memory), so
+	// the registered-buffer fast path applies: one registry, shared by the
+	// guest libraries and the server. A cross-machine deployment (TCP,
+	// assembled manually) never gets one.
+	s.breg = transport.NewBufRegistry()
+	s.Server.SetBufRegistry(s.breg)
 	return s
 }
+
+// BufRegistry returns the stack's shared registered-buffer registry.
+// Applications register transfer regions through the guest library
+// (GuestLib.RegisterBuffer); direct access is for tests and tools.
+func (s *Stack) BufRegistry() *transport.BufRegistry { return s.breg }
 
 func (s *Stack) pair() (transport.Endpoint, transport.Endpoint) {
 	switch s.cfg.Transport.Kind {
@@ -444,7 +457,7 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 	// The configured clock reaches every layer: guest deadline stamping
 	// and fail-fast run on the same time source as router admission and
 	// server dispatch (options may still override per attachment).
-	base := []guest.Option(nil)
+	base := []guest.Option{guest.WithBufRegistry(s.breg)}
 	if s.cfg.Clock != nil {
 		base = append(base, guest.WithClock(s.cfg.Clock))
 	}

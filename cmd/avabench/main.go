@@ -8,8 +8,9 @@
 //	avabench -exp fig5       # one experiment: fig5, async, fullvirt,
 //	                         # sharing, swap, migrate, effort, transport,
 //	                         # breakdown, pipeline, overload, failover,
-//	                         # crosshost
+//	                         # crosshost, copycost
 //	avabench -scale 2 -reps 5
+//	avabench -json out/     # also write machine-readable BENCH_<exp>.json
 package main
 
 import (
@@ -22,27 +23,31 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (default: all)")
-		scale = flag.Int("scale", 1, "workload problem-size multiplier")
-		reps  = flag.Int("reps", 3, "repetitions per measurement (minimum reported)")
+		exp     = flag.String("exp", "", "experiment to run (default: all)")
+		scale   = flag.Int("scale", 1, "workload problem-size multiplier")
+		reps    = flag.Int("reps", 3, "repetitions per measurement (minimum reported)")
+		jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json files into (default: tables only)")
 	)
 	flag.Parse()
 	opts := bench.Options{Scale: *scale, Reps: *reps}
 
+	names := bench.Experiments()
 	if *exp != "" {
-		tbl, err := bench.ByName(*exp, opts)
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		tbl, err := bench.ByName(name, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(tbl)
-		return
-	}
-	tables, err := bench.All(opts)
-	for _, tbl := range tables {
-		fmt.Println(tbl)
-	}
-	if err != nil {
-		fatal(err)
+		if *jsonDir != "" {
+			path, err := bench.WriteJSON(*jsonDir, name, tbl)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "avabench: wrote %s\n", path)
+		}
 	}
 }
 

@@ -274,5 +274,9 @@ func (d *daemon) serveConn(ep transport.Endpoint) {
 	if err := d.srv.ServeVM(ctx, ep); err != nil {
 		log.Printf("avad: VM %d: %v", h.VM, err)
 	}
+	st := ctx.Stats()
+	log.Printf("avad: VM %d stats: calls=%d (async %d, errors %d, replays %d) bytes in=%d out=%d copied=%d borrowed=%d exec=%v",
+		h.VM, st.Calls, st.AsyncCalls, st.Errors, st.Replays,
+		st.BytesIn, st.BytesOut, st.BytesCopied, st.BytesBorrowed, st.ExecTime)
 	log.Printf("avad: VM %d disconnected", h.VM)
 }

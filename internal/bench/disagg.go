@@ -122,6 +122,7 @@ func All(opts Options) ([]*Table, error) {
 		{"overload", Overload},
 		{"failover", Failover},
 		{"crosshost", CrossHost},
+		{"copycost", CopyCost},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -161,7 +162,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return Failover(opts)
 	case "crosshost", "fleet":
 		return CrossHost(opts)
+	case "copycost", "zerocopy":
+		return CopyCost(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost, copycost)", name)
 	}
 }

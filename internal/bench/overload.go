@@ -212,6 +212,12 @@ func Overload(opts Options) (*Table, error) {
 		fmt.Sprintf("%.2fx", float64(best.contP99)/float64(best.soloP99)),
 		fmt.Sprint(best.loOK), fmt.Sprint(best.loShed), fmt.Sprint(best.loDeadline),
 		ms(best.shedP50), ms(best.shedP99))
+	t.AddMetric("hi-solo-p50", "ns", float64(best.soloP50))
+	t.AddMetric("hi-solo-p99", "ns", float64(best.soloP99))
+	t.AddMetric("hi-contended-p50", "ns", float64(best.contP50))
+	t.AddMetric("hi-contended-p99", "ns", float64(best.contP99))
+	t.AddMetric("shed-p50", "ns", float64(best.shedP50))
+	t.AddMetric("shed-p99", "ns", float64(best.shedP99))
 	t.Note("%d low-priority VMs x %d threads flood sync calls (%.0fms deadline) against 100/s per-VM buckets; shed thresholds: queue depth 64 or 2ms recent stall",
 		overloadLoVMs, overloadLoThreads, overloadDeadline.Seconds()*1e3)
 	t.Note("shed denials carry StatusOverload (ava.ErrOverloaded) at admission time — no timeout-based discovery; high band is never shed (hi ShedDenied=%d)",

@@ -14,15 +14,30 @@ import (
 
 // Table is one experiment's result in printable form.
 type Table struct {
-	ID     string // experiment id from DESIGN.md (e.g. "E1")
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID      string // experiment id from DESIGN.md (e.g. "E1")
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Metrics []Metric // machine-readable values for the BENCH_*.json output
+}
+
+// Metric is one machine-readable measurement attached to a table. The
+// string cells in Rows are for humans; tooling consumes these instead
+// (avabench -json writes them into BENCH_<exp>.json).
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
 }
 
 // Add appends a row.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddMetric attaches a machine-readable measurement.
+func (t *Table) AddMetric(name, unit string, value float64) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Unit: unit, Value: value})
+}
 
 // Note appends a footnote.
 func (t *Table) Note(format string, args ...any) {

@@ -1,0 +1,109 @@
+package cl
+
+// Coarse dirty-range tracking for buffer objects. Every write path through
+// the silo (EnqueueWriteBuffer, EnqueueFillBuffer, EnqueueCopyBuffer's
+// destination, kernel launches that bind the buffer, RestoreBuffer) marks
+// the written byte range; SnapshotBufferDelta drains the accumulated set,
+// so a checkpoint ships only the bytes touched since the previous one
+// instead of the buffer's full footprint.
+//
+// The tracking is deliberately coarse: ranges are rounded out to
+// dirtyGranule-sized blocks and the set is capped at maxDirtyRanges merged
+// ranges — past the cap the whole buffer degrades to dirty, trading delta
+// precision for O(1) bookkeeping on pathological scatter patterns. Kernel
+// launches mark every bound buffer wholly dirty, because kernels receive
+// raw device memory slices and the silo cannot see which bytes they write.
+
+// dirtyGranule is the rounding unit for tracked ranges.
+const dirtyGranule = 4096
+
+// maxDirtyRanges caps the merged range list per buffer.
+const maxDirtyRanges = 32
+
+// dirtyRange is one half-open written byte range [off, end).
+type dirtyRange struct{ off, end uint64 }
+
+// dirtySet accumulates written ranges between delta watermarks. The zero
+// value is clean. Callers synchronize through the silo mutex.
+type dirtySet struct {
+	all    bool         // whole buffer dirty: overflow or an untracked write
+	ranges []dirtyRange // sorted by off, non-overlapping, non-adjacent
+}
+
+// markAll degrades the whole buffer to dirty.
+func (d *dirtySet) markAll() {
+	d.all = true
+	d.ranges = d.ranges[:0]
+}
+
+// reset clears the set (watermark advance).
+func (d *dirtySet) reset() {
+	d.all = false
+	d.ranges = d.ranges[:0]
+}
+
+// clean reports whether nothing has been written since the last reset.
+func (d *dirtySet) clean() bool { return !d.all && len(d.ranges) == 0 }
+
+// mark records a write of n bytes at off into a size-byte buffer, rounded
+// out to granule boundaries and merged into the sorted range set.
+func (d *dirtySet) mark(off, n, size uint64) {
+	if d.all || n == 0 {
+		return
+	}
+	if off >= size {
+		return // the device copy will fail; nothing real was written
+	}
+	end := off + n
+	if end > size || end < off {
+		end = size
+	}
+	off -= off % dirtyGranule
+	if rem := end % dirtyGranule; rem != 0 {
+		end += dirtyGranule - rem
+	}
+	if end > size {
+		end = size
+	}
+
+	// Insert keeping sort order, then merge overlapping/adjacent ranges in
+	// one pass. The list is tiny (≤ maxDirtyRanges), so linear is fine.
+	idx := len(d.ranges)
+	for i := range d.ranges {
+		if d.ranges[i].off > off {
+			idx = i
+			break
+		}
+	}
+	d.ranges = append(d.ranges, dirtyRange{})
+	copy(d.ranges[idx+1:], d.ranges[idx:])
+	d.ranges[idx] = dirtyRange{off: off, end: end}
+
+	merged := d.ranges[:1]
+	for _, r := range d.ranges[1:] {
+		last := &merged[len(merged)-1]
+		if r.off <= last.end {
+			if r.end > last.end {
+				last.end = r.end
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	d.ranges = merged
+	if len(d.ranges) > maxDirtyRanges {
+		d.markAll()
+	}
+}
+
+// dirtyBytes sums the tracked range lengths (size when wholly dirty).
+func (d *dirtySet) dirtyBytes(size uint64) uint64 {
+	if d.all {
+		return size
+	}
+	var n uint64
+	for _, r := range d.ranges {
+		n += r.end - r.off
+	}
+	return n
+}

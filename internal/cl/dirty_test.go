@@ -1,0 +1,88 @@
+package cl
+
+import "testing"
+
+func TestDirtySetMarkMergesRanges(t *testing.T) {
+	const size = 64 * dirtyGranule
+	var d dirtySet
+	if !d.clean() {
+		t.Fatal("zero value not clean")
+	}
+
+	// Two disjoint writes stay two granule-rounded ranges.
+	d.mark(1, 1, size)
+	d.mark(10*dirtyGranule+5, 10, size)
+	want := []dirtyRange{
+		{0, dirtyGranule},
+		{10 * dirtyGranule, 11 * dirtyGranule},
+	}
+	if len(d.ranges) != len(want) {
+		t.Fatalf("ranges = %v, want %v", d.ranges, want)
+	}
+	for i, r := range want {
+		if d.ranges[i] != r {
+			t.Fatalf("range %d = %v, want %v", i, d.ranges[i], r)
+		}
+	}
+	if got := d.dirtyBytes(size); got != 2*dirtyGranule {
+		t.Fatalf("dirtyBytes = %d, want %d", got, 2*dirtyGranule)
+	}
+
+	// A write bridging the gap merges everything into one range.
+	d.mark(dirtyGranule, 9*dirtyGranule, size)
+	if len(d.ranges) != 1 || d.ranges[0] != (dirtyRange{0, 11 * dirtyGranule}) {
+		t.Fatalf("after bridge: ranges = %v", d.ranges)
+	}
+
+	// Adjacent (touching) ranges merge too.
+	d.mark(11*dirtyGranule, 1, size)
+	if len(d.ranges) != 1 || d.ranges[0] != (dirtyRange{0, 12 * dirtyGranule}) {
+		t.Fatalf("after adjacent: ranges = %v", d.ranges)
+	}
+}
+
+func TestDirtySetMarkClampsToSize(t *testing.T) {
+	const size = 2*dirtyGranule + 100 // deliberately not granule-aligned
+	var d dirtySet
+
+	d.mark(size-1, 50, size) // runs past the end: clamp, don't round past size
+	if len(d.ranges) != 1 || d.ranges[0].end != size {
+		t.Fatalf("ranges = %v, want end clamped to %d", d.ranges, size)
+	}
+	d.reset()
+
+	d.mark(size+10, 1, size) // fully out of bounds: the device copy fails too
+	if !d.clean() {
+		t.Fatalf("out-of-bounds mark dirtied the set: %v", d.ranges)
+	}
+	d.mark(0, 0, size) // zero-length write
+	if !d.clean() {
+		t.Fatal("zero-length mark dirtied the set")
+	}
+}
+
+func TestDirtySetOverflowDegradesToAll(t *testing.T) {
+	const size = 1 << 30
+	var d dirtySet
+	// Alternating granules never merge; past maxDirtyRanges the set must
+	// degrade to wholly dirty rather than grow without bound.
+	for i := 0; i < maxDirtyRanges+1; i++ {
+		d.mark(uint64(2*i)*dirtyGranule, 1, size)
+	}
+	if !d.all {
+		t.Fatalf("set did not degrade to all after %d scattered marks (len %d)",
+			maxDirtyRanges+1, len(d.ranges))
+	}
+	if got := d.dirtyBytes(size); got != size {
+		t.Fatalf("dirtyBytes = %d, want full size %d", got, size)
+	}
+	// Further marks on a degraded set are no-ops.
+	d.mark(0, 1, size)
+	if len(d.ranges) != 0 {
+		t.Fatal("mark on degraded set grew ranges")
+	}
+	d.reset()
+	if !d.clean() {
+		t.Fatal("reset did not clean a degraded set")
+	}
+}

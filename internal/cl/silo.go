@@ -143,6 +143,11 @@ type Mem struct {
 	resident bool
 	stash    []byte // host copy while evicted (swap) — nil when resident
 	lastUse  int64  // monotonic use counter for LRU eviction
+
+	// dirty tracks byte ranges written since the last delta watermark
+	// (SnapshotBufferDelta); a fresh buffer starts clean. Guarded by the
+	// silo mutex like the rest of the object.
+	dirty dirtySet
 }
 
 // Size returns the buffer's size in bytes.
@@ -417,6 +422,9 @@ func (s *Silo) CreateBuffer(c *Context, flags uint64, size uint64) (*Mem, Status
 	}
 	s.useTick++
 	m := &Mem{ctx: c, size: size, flags: flags, refs: 1, addr: addr, resident: true, lastUse: s.useTick}
+	// A buffer no delta snapshot has seen must ship in full the first time
+	// (the checkpoint consumer holds no base to compose onto).
+	m.dirty.markAll()
 	s.live[m] = struct{}{}
 	return m, Success
 }
@@ -474,11 +482,69 @@ func (s *Silo) RestoreBuffer(m *Mem, data []byte) error {
 	if uint64(len(data)) != m.size {
 		return fmt.Errorf("cl: restore of %d bytes into %d-byte buffer", len(data), m.size)
 	}
+	m.dirty.markAll()
 	if !m.resident {
 		copy(m.stash, data)
 		return nil
 	}
 	return m.ctx.devices[0].sim.CopyIn(m.addr, 0, data)
+}
+
+// SnapshotBufferDelta drains the buffer's dirty-range tracking: it returns
+// the buffer's logical size plus copies of the byte ranges written since
+// the previous call (the delta watermark), and clears the tracking. full
+// is true when the whole buffer must travel — tracking overflowed, an
+// untracked write (kernel launch, restore) touched it, or every byte is
+// dirty — in which case ranges is one range covering everything. A clean
+// buffer returns no ranges. SnapshotBuffer (migration capture) does not
+// interact with the watermark, so a full capture between checkpoints
+// never loses delta coverage.
+func (s *Silo) SnapshotBufferDelta(m *Mem) (size uint64, full bool, ranges []BufRange, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m == nil || m.dead {
+		return 0, false, nil, fmt.Errorf("cl: delta snapshot of dead buffer")
+	}
+	size = m.size
+	if m.dirty.all {
+		var data []byte
+		if !m.resident {
+			data = append([]byte(nil), m.stash...)
+		} else if data, err = m.ctx.devices[0].sim.Snapshot(m.addr); err != nil {
+			return 0, false, nil, err
+		}
+		m.dirty.reset()
+		return size, true, []BufRange{{Off: 0, Data: data}}, nil
+	}
+	for _, r := range m.dirty.ranges {
+		data := make([]byte, r.end-r.off)
+		if !m.resident {
+			copy(data, m.stash[r.off:r.end])
+		} else if err = m.ctx.devices[0].sim.CopyOut(m.addr, r.off, data); err != nil {
+			return 0, false, nil, err
+		}
+		ranges = append(ranges, BufRange{Off: r.off, Data: data})
+	}
+	m.dirty.reset()
+	return size, false, ranges, nil
+}
+
+// BufRange is one written byte range of a buffer's contents, as drained by
+// SnapshotBufferDelta.
+type BufRange struct {
+	Off  uint64
+	Data []byte
+}
+
+// DirtyBytes reports the buffer's currently tracked dirty volume (its full
+// size when tracking degraded to whole-buffer), without draining it.
+func (s *Silo) DirtyBytes(m *Mem) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m == nil || m.dead {
+		return 0
+	}
+	return m.dirty.dirtyBytes(m.size)
 }
 
 // touch updates LRU state; callers hold s.mu.
@@ -811,6 +877,7 @@ func (s *Silo) EnqueueWriteBuffer(q *Queue, m *Mem, offset uint64, data []byte) 
 		return nil, st
 	}
 	s.touch(m)
+	m.dirty.mark(offset, uint64(len(data)), m.size)
 	sim := m.ctx.devices[0].sim // buffer memory lives on its owning device
 	addr := m.addr
 	s.mu.Unlock()
@@ -870,6 +937,7 @@ func (s *Silo) EnqueueCopyBuffer(q *Queue, src, dst *Mem, srcOff, dstOff, size u
 	}
 	s.touch(src)
 	s.touch(dst)
+	dst.dirty.mark(dstOff, size, dst.size)
 	sim := src.ctx.devices[0].sim // same-context copy on the owning device
 	sa, da := src.addr, dst.addr
 	s.mu.Unlock()
@@ -900,6 +968,7 @@ func (s *Silo) EnqueueFillBuffer(q *Queue, m *Mem, pattern []byte, offset, size 
 		return nil, st
 	}
 	s.touch(m)
+	m.dirty.mark(offset, size, m.size)
 	sim := m.ctx.devices[0].sim
 	addr := m.addr
 	s.mu.Unlock()
@@ -951,6 +1020,10 @@ func (s *Silo) EnqueueNDRangeKernel(q *Queue, k *Kernel, global, local []uint64)
 				return nil, st
 			}
 			s.touch(a.buf)
+			// A kernel receives the raw device memory slice, so the silo
+			// cannot see which bytes it writes: the whole buffer turns
+			// dirty for delta-checkpoint purposes.
+			a.buf.dirty.markAll()
 			// Kernels execute on the queue's device but address buffer
 			// memory on its owning device (shared-context memory model).
 			memBytes, err := a.buf.ctx.devices[0].sim.Mem(a.buf.addr)

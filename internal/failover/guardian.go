@@ -101,6 +101,10 @@ type Config struct {
 	// Mirror, if set, receives a synchronous stream of shadow-log
 	// mutations so replay state survives a guardian crash. See LogSink.
 	Mirror LogSink
+	// FullCheckpoints disables incremental checkpoints: every checkpoint
+	// ships complete object state even when the silo adapter (or the
+	// remote server) supports dirty-range deltas.
+	FullCheckpoints bool
 	// Restore, if set, rehydrates the guardian from a mirrored shadow log
 	// instead of starting empty: Start replays the restored log onto a
 	// freshly dialed link (under the backoff budget), bumps the epoch past
@@ -125,6 +129,18 @@ type ServerLink struct {
 	WireReplay bool
 }
 
+// DeltaSnapshotter is the optional incremental-capture extension of
+// migrate.Adapter: an adapter that also implements it lets checkpoints
+// drain each stateful object's dirty-range tracking into a delta, so
+// checkpoint cost scales with the bytes written since the previous
+// checkpoint rather than the object footprint. Draining advances the
+// silo's dirty watermark, so a captured delta must be committed — the
+// guardian forces the next checkpoint to be full whenever a delta capture
+// does not commit.
+type DeltaSnapshotter interface {
+	SnapshotObjectDelta(obj any) (delta marshal.ObjectDelta, stateful bool, err error)
+}
+
 // Stats counts guardian activity.
 type Stats struct {
 	Recoveries          uint64
@@ -133,6 +149,9 @@ type Stats struct {
 	SynthesizedDestroys uint64 // resubmitted destroys answered with synthetic success
 	StaleDropped        uint64 // frames dropped for a stale epoch
 	ResubmitForwarded   uint64 // resubmitted calls re-executed on the new server
+	DeltaCheckpoints    uint64 // checkpoints captured incrementally (dirty ranges only)
+	LastCkptBytes       uint64 // payload bytes the most recent checkpoint shipped
+	LastCkptFootprint   uint64 // full object-state bytes the most recent checkpoint covers
 	LastRecoveryPause   time.Duration
 	LastWatermark       uint64
 }
@@ -187,6 +206,8 @@ type Guardian struct {
 	sinceCkpt     int
 	ckptObjects   map[marshal.Handle][]byte
 	ckptW         uint64 // checkpoint watermark: state covers seq <= ckptW
+	ckptGen       int    // linkGen when ckptObjects was committed
+	forceFull     bool   // next checkpoint must capture full state (uncommitted delta drain)
 	stats         Stats
 }
 
@@ -1100,6 +1121,18 @@ func (g *Guardian) checkpoint() error {
 	link := g.link
 	gen := g.linkGen
 	w := g.maxSeq
+	base := g.ckptObjects
+	// Delta-capable capture always goes through the delta snapshotter (so
+	// every checkpoint advances the silo's dirty watermark), but non-Full
+	// deltas may only compose onto the previous committed checkpoint while
+	// that base is current: same link generation and no uncommitted
+	// dirty-range drain in between. Without a usable base, partial deltas
+	// fall back to full per-object state.
+	deltaOK := !g.cfg.FullCheckpoints
+	canCompose := base != nil && g.ckptGen == gen && !g.forceFull
+	if !canCompose {
+		base = nil
+	}
 	g.mu.Unlock()
 
 	if err := g.waitSyncDrain(gen); err != nil {
@@ -1113,32 +1146,51 @@ func (g *Guardian) checkpoint() error {
 	}
 
 	var objects map[marshal.Handle][]byte
+	var deltas []marshal.ObjectDelta // non-nil when the capture was incremental
 	if link.Ctx != nil && link.Adapter != nil {
-		objects = make(map[marshal.Handle][]byte)
-		var snapErr error
-		link.Ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+		if ds, ok := link.Adapter.(DeltaSnapshotter); ok && deltaOK {
+			// Draining dirty ranges moves the silo's watermark, so if this
+			// checkpoint does not commit the next one must not compose.
+			g.mu.Lock()
+			g.forceFull = true
+			g.mu.Unlock()
+			objects, deltas = g.localDeltaSnapshot(link, ds, base)
+		}
+		if objects == nil {
+			objects = make(map[marshal.Handle][]byte)
+			var snapErr error
+			link.Ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+				if snapErr != nil {
+					return
+				}
+				state, stateful, err := link.Adapter.SnapshotObject(obj)
+				if err != nil {
+					snapErr = err
+					return
+				}
+				if stateful {
+					objects[h] = state
+				}
+			})
 			if snapErr != nil {
-				return
+				return fmt.Errorf("failover: checkpoint snapshot: %w", snapErr)
 			}
-			state, stateful, err := link.Adapter.SnapshotObject(obj)
-			if err != nil {
-				snapErr = err
-				return
-			}
-			if stateful {
-				objects[h] = state
-			}
-		})
-		if snapErr != nil {
-			return fmt.Errorf("failover: checkpoint snapshot: %w", snapErr)
 		}
 	} else if link.WireReplay && link.EP != nil {
 		// Wire-only link: the objects live on a remote host — snapshot them
 		// with a control call so a cross-host failover can restore untracked
 		// device state (buffer contents) on the replacement.
-		var err error
-		if objects, err = g.wireSnapshot(link); err != nil {
-			return fmt.Errorf("failover: checkpoint: %w", err)
+		if deltaOK {
+			g.mu.Lock()
+			g.forceFull = true
+			g.mu.Unlock()
+			objects, deltas = g.wireSnapshotDelta(link, base)
+		}
+		if objects == nil {
+			var err error
+			if objects, err = g.wireSnapshot(link); err != nil {
+				return fmt.Errorf("failover: checkpoint: %w", err)
+			}
 		}
 	}
 
@@ -1156,9 +1208,27 @@ func (g *Guardian) checkpoint() error {
 	}
 	g.ckptObjects = objects
 	g.ckptW = w
+	g.ckptGen = gen
+	g.forceFull = false
 	g.sinceCkpt = 0
 	g.stats.Checkpoints++
 	g.stats.LastWatermark = w
+	var footprint uint64
+	for _, state := range objects {
+		footprint += uint64(len(state))
+	}
+	shipped := footprint
+	if deltas != nil {
+		shipped = 0
+		for _, d := range deltas {
+			shipped += uint64(d.DeltaBytes())
+		}
+		if canCompose {
+			g.stats.DeltaCheckpoints++
+		}
+	}
+	g.stats.LastCkptBytes = shipped
+	g.stats.LastCkptFootprint = footprint
 	// Destroy records at or below the watermark can never be resubmitted
 	// (the guest trims its window to seq > w); drop them.
 	for seq, d := range g.destroys {
@@ -1168,12 +1238,98 @@ func (g *Guardian) checkpoint() error {
 	}
 	epoch := g.epoch
 	if g.cfg.Mirror != nil {
-		g.cfg.Mirror.MirrorCheckpoint(epoch, w, objects)
+		sent := false
+		if deltas != nil {
+			// A delta-capable sink applies the ranges to its own held base,
+			// so mirror traffic scales with touched bytes too; a sink that
+			// cannot compose (missing base) reports false and gets the
+			// composed full set instead.
+			if ds, ok := g.cfg.Mirror.(DeltaSink); ok {
+				sent = ds.MirrorCheckpointDelta(epoch, w, deltas)
+			}
+		}
+		if !sent {
+			g.cfg.Mirror.MirrorCheckpoint(epoch, w, objects)
+		}
 	}
 	g.mu.Unlock()
 
 	g.sendNorth(EncodeControl(CtrlCheckpoint, epoch, w))
 	return nil
+}
+
+// localDeltaSnapshot captures an incremental checkpoint through the
+// in-process adapter: each stateful object's dirty ranges drain into a
+// delta that composes onto the previous checkpoint's state for that
+// handle. An object absent from the base (created since the last
+// checkpoint) that does not self-report Full snapshots in full. Any
+// failure returns nil — the caller falls back to a full capture, which is
+// always safe because a drain only moves the silo's dirty watermark
+// earlier than the full snapshot that subsumes it.
+func (g *Guardian) localDeltaSnapshot(link ServerLink, ds DeltaSnapshotter, base map[marshal.Handle][]byte) (map[marshal.Handle][]byte, []marshal.ObjectDelta) {
+	objects := make(map[marshal.Handle][]byte)
+	deltas := make([]marshal.ObjectDelta, 0, len(base))
+	ok := true
+	link.Ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+		if !ok {
+			return
+		}
+		d, stateful, err := ds.SnapshotObjectDelta(obj)
+		if err != nil {
+			ok = false
+			return
+		}
+		if !stateful {
+			return
+		}
+		d.Handle = h
+		if _, has := base[h]; !has && !d.Full {
+			state, stateful2, serr := link.Adapter.SnapshotObject(obj)
+			if serr != nil || !stateful2 {
+				ok = false
+				return
+			}
+			d = marshal.FullDelta(h, state)
+		}
+		state, aerr := marshal.ApplyObjectDelta(base[h], d)
+		if aerr != nil {
+			ok = false
+			return
+		}
+		objects[h] = state
+		deltas = append(deltas, d)
+	})
+	if !ok {
+		return nil, nil
+	}
+	return objects, deltas
+}
+
+// wireSnapshotDelta captures an incremental checkpoint over the wire: one
+// FuncSnapshotDelta control call returns every stateful object's dirty
+// ranges, composed here onto the previous checkpoint's state. Any failure
+// — including StatusDenied from a server without delta support and a
+// missing base for a freshly created object — returns nil and the caller
+// falls back to a full wire snapshot (safe for the same drain-subsumption
+// reason as the local path).
+func (g *Guardian) wireSnapshotDelta(link ServerLink, base map[marshal.Handle][]byte) (map[marshal.Handle][]byte, []marshal.ObjectDelta) {
+	rep, err := g.ctrlCallReply(link, marshal.FuncSnapshotDelta, nil)
+	if err != nil || rep.Status != marshal.StatusOK || rep.Ret.Kind != marshal.KindBytes {
+		return nil, nil
+	}
+	deltas, err := marshal.DecodeObjectDeltas(rep.Ret.Bytes)
+	if err != nil {
+		return nil, nil
+	}
+	objects := make(map[marshal.Handle][]byte, len(deltas))
+	for _, d := range deltas {
+		state, aerr := marshal.ApplyObjectDelta(base[d.Handle], d)
+		if aerr != nil {
+			return nil, nil
+		}
+		objects[d.Handle] = state
+	}
+	return objects, deltas
 }
 
 // drainSyncs waits until every forwarded sync call has been answered,

@@ -35,6 +35,18 @@ type LogSink interface {
 	MirrorEpoch(epoch uint32, w uint64)
 }
 
+// DeltaSink is the optional incremental extension of LogSink: a sink that
+// also implements it receives checkpoint deltas (dirty ranges only) and
+// composes them onto the object states it already holds, so a remote
+// mirror's checkpoint traffic scales with touched bytes. The sink must
+// replace its object set with exactly the handles the delta set names —
+// an absent handle means the object was destroyed. Returning false (the
+// sink cannot compose, e.g. a missing or mismatched base) makes the
+// guardian fall back to MirrorCheckpoint with the composed full set.
+type DeltaSink interface {
+	MirrorCheckpointDelta(epoch uint32, w uint64, deltas []marshal.ObjectDelta) bool
+}
+
 // MirrorState is a point-in-time snapshot of a mirrored shadow log — the
 // payload a replacement guardian rehydrates from (Config.Restore).
 type MirrorState struct {
@@ -165,6 +177,27 @@ func (m *MemoryMirror) MirrorCheckpoint(epoch uint32, w uint64, objects map[mars
 	m.w = w
 	m.objects = cp
 	m.mu.Unlock()
+}
+
+// MirrorCheckpointDelta implements DeltaSink: it composes the deltas onto
+// the mirror's held object states. All-or-nothing — a single object that
+// fails to compose rejects the whole delta set, leaving the previous
+// checkpoint intact for the guardian's full-set fallback.
+func (m *MemoryMirror) MirrorCheckpointDelta(epoch uint32, w uint64, deltas []marshal.ObjectDelta) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make(map[marshal.Handle][]byte, len(deltas))
+	for _, d := range deltas {
+		state, err := marshal.ApplyObjectDelta(m.objects[d.Handle], d)
+		if err != nil {
+			return false
+		}
+		cp[d.Handle] = state
+	}
+	m.epoch = epoch
+	m.w = w
+	m.objects = cp
+	return true
 }
 
 // MirrorEpoch implements LogSink.

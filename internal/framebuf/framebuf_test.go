@@ -47,3 +47,31 @@ func BenchmarkGetPut(b *testing.B) {
 		Put(buf[:cap(buf)])
 	}
 }
+
+// TestPutCapsPooledEntrySize is the regression test for the pool's
+// entry-size cap: an oversized Put must never make it into the pool, so
+// no later Get can observe a buffer above maxPooled — one huge DMA frame
+// must not stay pinned for the process lifetime. sync.Pool may drop
+// entries at will, so the assertion is one-directional: Get may return
+// smaller, never bigger.
+func TestPutCapsPooledEntrySize(t *testing.T) {
+	big := make([]byte, 0, maxPooled+1)
+	for i := 0; i < 256; i++ {
+		Put(big)
+		if b := Get(1); cap(b) > maxPooled {
+			t.Fatalf("Get returned pooled capacity %d > maxPooled %d after oversized Put", cap(b), maxPooled)
+		}
+	}
+	// The boundary value is still poolable: exactly maxPooled is served
+	// usable (recycled or fresh — sync.Pool does not promise which).
+	Put(make([]byte, 0, maxPooled))
+	if b := Get(maxPooled); cap(b) < maxPooled {
+		t.Fatalf("Get(maxPooled) returned capacity %d", cap(b))
+	}
+	// Degenerate Puts are dropped without poisoning later Gets.
+	Put(nil)
+	Put(make([]byte, 0))
+	if b := Get(32); len(b) != 0 || cap(b) < 32 {
+		t.Fatalf("Get(32) after degenerate Puts: len %d cap %d", len(b), cap(b))
+	}
+}

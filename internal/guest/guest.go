@@ -70,6 +70,14 @@ type Stats struct {
 	Batches    uint64 // transport frames sent
 	BytesSent  uint64
 	BytesRecv  uint64
+	// BytesCopied counts buffer-argument payload bytes marshalled by copy
+	// into call frames; BytesBorrowed counts payload bytes that skipped
+	// that copy — lent to a vectored (scatter-gather) transport send, or
+	// passed as a registered-buffer reference on a shared-address-space
+	// deployment. Together they decompose the data-plane volume the
+	// copycost experiment (E14) reports.
+	BytesCopied   uint64
+	BytesBorrowed uint64
 	// DeadlineFailFast counts calls failed locally because their deadline
 	// had already passed at encode time; they never touch the transport.
 	DeadlineFailFast uint64
@@ -182,6 +190,25 @@ func WithBatchLimit(n int) Option {
 // configuration from the paper's §5 ablation.
 func WithForceSync() Option {
 	return libOption(func(l *Lib) { l.forceSync = true })
+}
+
+// WithZeroCopy toggles the zero-copy data plane (on by default): borrowed
+// scatter-gather sends over transports with a vectored write path, and
+// registered-buffer references where a BufRegistry is wired. Turning it
+// off forces every buffer argument through the copying marshal path — the
+// baseline configuration the copycost experiment (E14) compares against.
+func WithZeroCopy(on bool) Option {
+	return libOption(func(l *Lib) { l.zeroCopy = on })
+}
+
+// WithBufRegistry wires the stack's shared registered-buffer registry into
+// the library. Only meaningful when the guest and the API server share an
+// address space (InProc and the simulated shm ring transports): large
+// buffer arguments inside a registered region then travel as 21-byte
+// references instead of payload copies. The stack assembler passes the
+// same registry to the server side.
+func WithBufRegistry(r *transport.BufRegistry) Option {
+	return libOption(func(l *Lib) { l.reg = r })
 }
 
 // WithSequenceBase starts the library's call numbering after base instead
@@ -397,13 +424,16 @@ type Lib struct {
 	defPriority   uint8
 	defTimeout    time.Duration
 	deadlineSlack time.Duration
+	zeroCopy      bool
+	reg           *transport.BufRegistry // nil unless WithBufRegistry
 
 	mu          sync.Mutex
 	seq         uint64
-	epoch       uint32        // current endpoint epoch, stamped on every call
-	pendingBuf  []byte        // batch frame under construction (async calls)
-	pendingN    int           // calls in pendingBuf
-	pendingMeta []pendingCall // one entry per call in pendingBuf
+	epoch       uint32            // current endpoint epoch, stamped on every call
+	pendingBuf  []byte            // batch frame under construction (async calls)
+	pendingN    int               // calls in pendingBuf
+	pendingMeta []pendingCall     // one entry per call in pendingBuf
+	pendingSegs []marshal.Segment // borrowed segments of pendingBuf's final (sync) call
 	deferred    error
 	stats       Stats
 	fo          *foState          // nil unless WithFailover
@@ -426,7 +456,7 @@ type Lib struct {
 
 // New creates a guest library over an established transport endpoint.
 func New(desc *cava.Descriptor, ep transport.Endpoint, opts ...Option) *Lib {
-	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal(), deadlineSlack: 200 * time.Microsecond}
+	l := &Lib{desc: desc, ep: ep, batchLimit: 128, clk: clock.NewReal(), deadlineSlack: 200 * time.Microsecond, zeroCopy: true}
 	for _, o := range opts {
 		if o != nil {
 			o.applyLib(l)
@@ -455,6 +485,29 @@ func (l *Lib) Stats() Stats {
 	return s
 }
 
+// RegisterBuffer registers region with the stack's shared buffer registry
+// and returns its id. Subsequent large buffer arguments that lie inside
+// region (any subslice) are passed by reference instead of copied, for
+// synchronous calls on deployments where guest and server share an address
+// space. Returns 0 when no registry is wired (e.g. a TCP deployment) —
+// callers need no fallback logic, unregistered buffers simply take the
+// copying path. The caller must not free or shrink the region while calls
+// referencing it are in flight; Unregister it when done.
+func (l *Lib) RegisterBuffer(region []byte) uint32 {
+	if l.reg == nil {
+		return 0
+	}
+	return l.reg.Register(region)
+}
+
+// UnregisterBuffer removes a region registered with RegisterBuffer. A
+// zero id (RegisterBuffer's "no registry" answer) is a no-op.
+func (l *Lib) UnregisterBuffer(id uint32) {
+	if l.reg != nil && id != 0 {
+		l.reg.Unregister(id)
+	}
+}
+
 // DeferredError returns and clears the stored failure of an earlier
 // asynchronously forwarded call.
 func (l *Lib) DeferredError() error {
@@ -467,9 +520,10 @@ func (l *Lib) DeferredError() error {
 
 // outBinding scatters one reply output into caller memory.
 type outBinding struct {
-	param int
-	buf   []byte // destination for out/inout buffers
-	dst   any    // pointer destination for out elements
+	param  int
+	buf    []byte // destination for out/inout buffers
+	dst    any    // pointer destination for out elements
+	regref bool   // buf is a registered region: server writes in place, reply carries a length
 }
 
 // Call invokes the named API function. Arguments must match the
@@ -579,6 +633,47 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 		sync = true
 	}
 
+	// Registered-buffer fast path: on a shared-address-space deployment
+	// (InProc or the simulated shm ring) large buffer arguments living
+	// inside a registered region travel as 21-byte references instead of
+	// payload copies — the server reads or writes the region in place.
+	// Only synchronous calls qualify, because the caller's borrow of the
+	// region must end when its call returns; and guest-side retention
+	// disables the path, because a retained frame must hold the original
+	// bytes for exactly-once resubmission after a crash.
+	var borrowedRef uint64
+	if sync && l.zeroCopy && l.reg != nil && l.fo == nil {
+		for i := range fd.Params {
+			pd := &fd.Params[i]
+			if !pd.IsPointer || pd.IsElement {
+				continue
+			}
+			switch {
+			case pd.Dir == spec.DirIn && values[i].Kind == marshal.KindBytes &&
+				len(values[i].Bytes) >= marshal.SegmentThreshold:
+				if id, off, ok := l.reg.Locate(values[i].Bytes); ok {
+					n := uint64(len(values[i].Bytes))
+					values[i] = marshal.RegRefVal(id, off, n)
+					borrowedRef += n
+				}
+			case pd.Dir == spec.DirOut && values[i].Kind == marshal.KindLen &&
+				values[i].Uint >= marshal.SegmentThreshold:
+				for oi := range outs {
+					ob := &outs[oi]
+					if ob.param != i || ob.buf == nil {
+						continue
+					}
+					if id, off, ok := l.reg.Locate(ob.buf); ok {
+						values[i] = marshal.RegRefVal(id, off, uint64(len(ob.buf)))
+						ob.regref = true
+						borrowedRef += uint64(len(ob.buf))
+					}
+					break
+				}
+			}
+		}
+	}
+
 	// Short critical section: sequence allocation, encode into the batch
 	// frame, and (for sync calls) waiter registration plus send. The reply
 	// round trip happens outside the lock, so other goroutines pipeline
@@ -593,6 +688,13 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 	if opts.DeadlineSlack != 0 {
 		slack = opts.DeadlineSlack
 	}
+	// Borrowed scatter-gather sends: over a transport with a vectored
+	// write path (TCP writev), a synchronous call's large in-buffer
+	// payloads stay in the caller's memory and are interleaved with the
+	// frame pieces at send time. The borrow is sound because the vectored
+	// send is synchronous and completes inside this call; retention
+	// disables it for the same reason as the registered-buffer path.
+	vec, _ := l.ep.(transport.VectoredSender)
 	var series *failover.Series
 	for {
 		l.mu.Lock()
@@ -614,6 +716,7 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 			}
 			l.appendPending(fd, call, deadline, slack, true)
 			l.stats.AsyncCalls++
+			l.stats.BytesCopied += bytesPayload(values)
 			var err error
 			if l.pendingN >= l.batchLimit {
 				err = l.flushLocked()
@@ -634,16 +737,29 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 		}
 
 		l.stats.SyncCalls++
-		l.appendPending(fd, call, deadline, slack, false)
-		batch, _ := l.takePending()
+		if l.zeroCopy && l.fo == nil && vec != nil && hasLargeBytes(values) {
+			l.appendPendingSegs(call, deadline, slack)
+		} else {
+			l.appendPending(fd, call, deadline, slack, false)
+		}
+		batch, _, segs := l.takePending()
 
+		segBytes := uint64(marshal.SegmentsLen(segs))
 		l.stats.Batches++
-		l.stats.BytesSent += uint64(len(batch))
+		l.stats.BytesSent += uint64(len(batch)) + segBytes
+		l.stats.BytesBorrowed += segBytes + borrowedRef
+		l.stats.BytesCopied += bytesPayload(values) - segBytes
 		// Register before Send: the reply may race back before this goroutine
 		// would otherwise get around to waiting for it.
 		ch, err := l.register(call.Seq)
 		if err == nil {
-			if serr := l.ep.Send(batch); serr != nil {
+			var serr error
+			if len(segs) > 0 {
+				serr = sendVecSegs(vec, batch, segs)
+			} else {
+				serr = l.ep.Send(batch)
+			}
+			if serr != nil {
 				l.unregister(call.Seq)
 				err = serr
 			} else if transport.SendCopies(l.ep) {
@@ -911,6 +1027,39 @@ func (l *Lib) appendPending(fd *cava.FuncDesc, call *marshal.Call, deadline int6
 	}
 }
 
+// appendPendingSegs is appendPending for the borrowed scatter-gather
+// path: the call is encoded with AppendCallSegments, so large in-buffer
+// payloads stay in the caller's memory and are recorded as segments whose
+// offsets are absolute in pendingBuf. The per-call length prefix holds
+// the virtual length — physical bytes plus borrowed segment bytes —
+// because that is the frame the receiver sees once the vectored send has
+// interleaved the payloads. Only a synchronous call flushed inside the
+// same critical section may borrow (the caller's buffers are stable only
+// until its call returns), so the segments always belong to the batch's
+// final call, and retention is never active on this path.
+func (l *Lib) appendPendingSegs(call *marshal.Call, deadline int64, slack time.Duration) {
+	if l.pendingN == 0 {
+		if l.pendingBuf == nil {
+			l.pendingBuf = framebuf.Get(64)
+		}
+		l.pendingBuf = append(l.pendingBuf[:0], 0, 0) // count patched at flush
+	}
+	start := len(l.pendingBuf)
+	l.pendingBuf = append(l.pendingBuf, 0, 0, 0, 0)
+	var segs []marshal.Segment
+	l.pendingBuf, segs = marshal.AppendCallSegments(l.pendingBuf, call, 0)
+	n := len(l.pendingBuf) - start - 4 + marshal.SegmentsLen(segs)
+	l.pendingBuf[start] = byte(n)
+	l.pendingBuf[start+1] = byte(n >> 8)
+	l.pendingBuf[start+2] = byte(n >> 16)
+	l.pendingBuf[start+3] = byte(n >> 24)
+	l.pendingSegs = segs
+	l.pendingMeta = append(l.pendingMeta, pendingCall{
+		off: start, end: len(l.pendingBuf), deadline: deadline, slack: slack, async: false, seq: call.Seq,
+	})
+	l.pendingN++
+}
+
 // retainTrimLocked evicts the oldest retained entries once the window
 // overflows its cap. Evicting an entry whose result is still outstanding
 // makes that call unrecoverable — counted, never silent.
@@ -940,12 +1089,15 @@ func (l *Lib) markDoneLocked(seq uint64) {
 }
 
 // takePending finalizes and detaches the batch frame, returning it with
-// the count of calls it carries. Batched asynchronous calls whose
-// deadline passed while they waited are excised — dropped locally and
-// counted — rather than forwarded to be denied upstream. The transport
-// takes ownership of the returned frame, so the next batch starts fresh.
-func (l *Lib) takePending() ([]byte, int) {
-	b, n := l.pendingBuf, l.pendingN
+// the count of calls it carries and any borrowed segments of its final
+// (synchronous) call. Batched asynchronous calls whose deadline passed
+// while they waited are excised — dropped locally and counted — rather
+// than forwarded to be denied upstream; an excision rebuilds the frame by
+// copying, so borrowed segments are spliced in then (the copy fallback)
+// and the rebuilt frame is returned segment-free. The transport takes
+// ownership of the returned frame, so the next batch starts fresh.
+func (l *Lib) takePending() ([]byte, int, []marshal.Segment) {
+	b, n, segs := l.pendingBuf, l.pendingN, l.pendingSegs
 	nowN := l.clk.Now().UnixNano()
 	drop := 0
 	for i := range l.pendingMeta {
@@ -964,16 +1116,26 @@ func (l *Lib) takePending() ([]byte, int) {
 		}
 	}
 	if drop > 0 {
-		kept := framebuf.Get(len(b))
+		kept := framebuf.Get(len(b) + marshal.SegmentsLen(segs))
 		kept = append(kept, 0, 0)
 		for i := range l.pendingMeta {
-			if l.pendingMeta[i].expired(nowN) {
+			m := &l.pendingMeta[i]
+			if m.expired(nowN) {
 				continue
 			}
-			kept = append(kept, b[l.pendingMeta[i].off:l.pendingMeta[i].end]...)
+			if len(segs) > 0 && !m.async {
+				rel := make([]marshal.Segment, len(segs))
+				for j, s := range segs {
+					rel[j] = marshal.Segment{Off: s.Off - m.off, Bytes: s.Bytes}
+				}
+				kept = marshal.SpliceSegments(kept, b[m.off:m.end], rel)
+				continue
+			}
+			kept = append(kept, b[m.off:m.end]...)
 		}
 		framebuf.Put(b)
 		b = kept
+		segs = nil
 		n -= drop
 		l.stats.BatchExpiredDrops += uint64(drop)
 	}
@@ -984,7 +1146,46 @@ func (l *Lib) takePending() ([]byte, int) {
 	l.pendingBuf = nil
 	l.pendingN = 0
 	l.pendingMeta = l.pendingMeta[:0]
-	return b, n
+	l.pendingSegs = nil
+	return b, n, segs
+}
+
+// sendVecSegs hands a segmented batch to the transport's vectored send:
+// the physical frame is split at each segment offset and the borrowed
+// payload slices interleaved, so one writev carries the virtual frame
+// without it ever being assembled in user space.
+func sendVecSegs(vec transport.VectoredSender, frame []byte, segs []marshal.Segment) error {
+	parts := make([][]byte, 0, 2*len(segs)+1)
+	prev := 0
+	for _, s := range segs {
+		parts = append(parts, frame[prev:s.Off], s.Bytes)
+		prev = s.Off
+	}
+	parts = append(parts, frame[prev:])
+	return vec.SendVec(parts, len(frame)+marshal.SegmentsLen(segs))
+}
+
+// bytesPayload sums one call's KindBytes argument payloads — the bytes
+// the copying marshal path memcpys into the frame.
+func bytesPayload(values []marshal.Value) uint64 {
+	var n uint64
+	for i := range values {
+		if values[i].Kind == marshal.KindBytes {
+			n += uint64(len(values[i].Bytes))
+		}
+	}
+	return n
+}
+
+// hasLargeBytes reports whether any argument payload is big enough for
+// the borrowed scatter-gather path to beat the copy.
+func hasLargeBytes(values []marshal.Value) bool {
+	for i := range values {
+		if values[i].Kind == marshal.KindBytes && len(values[i].Bytes) >= marshal.SegmentThreshold {
+			return true
+		}
+	}
+	return false
 }
 
 // Flush transmits all queued asynchronous calls without waiting for any
@@ -999,7 +1200,10 @@ func (l *Lib) flushLocked() error {
 	if l.pendingN == 0 {
 		return nil
 	}
-	batch, n := l.takePending()
+	// Only the synchronous path creates borrowed segments, and it takes
+	// its batch inside the same critical section, so a flush never sees
+	// any: async-only batches are always fully materialized.
+	batch, n, _ := l.takePending()
 	if n == 0 {
 		// Every batched call expired while queued; nothing to send.
 		framebuf.Put(batch)
@@ -1337,6 +1541,15 @@ func scatter(fd *cava.FuncDesc, reply *marshal.Reply, outs []outBinding) error {
 			continue
 		}
 		if ob.buf != nil {
+			if ob.regref && v.Kind == marshal.KindLen {
+				// Registered-buffer out: the server wrote the bytes into
+				// the shared region in place; the reply carries only the
+				// length written.
+				if v.Uint != uint64(len(ob.buf)) {
+					return fmt.Errorf("%w: %s: regref out wrote %d bytes, want %d", ErrProtocol, fd.Name, v.Uint, len(ob.buf))
+				}
+				continue
+			}
 			if v.Kind != marshal.KindBytes || len(v.Bytes) != len(ob.buf) {
 				return fmt.Errorf("%w: %s: out buffer %d bytes, want %d", ErrProtocol, fd.Name, len(v.Bytes), len(ob.buf))
 			}

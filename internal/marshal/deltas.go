@@ -1,0 +1,153 @@
+package marshal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Delta object-state encoding: the incremental counterpart of
+// EncodeObjectStates. A checkpoint that knows the previous checkpoint's
+// state per object ships only the byte ranges written since (the silo's
+// dirty-range tracking supplies them) and the consumer composes them onto
+// its held base with ApplyObjectDelta. An object whose tracking overflowed
+// or that has no usable base travels as Full: one range covering
+// everything.
+
+// DeltaRange is one written byte range of an object's state.
+type DeltaRange struct {
+	Off   uint64
+	Bytes []byte
+}
+
+// ObjectDelta is the incremental state of one object since a watermark.
+type ObjectDelta struct {
+	Handle  Handle
+	BaseLen uint64 // full logical size of the object's state
+	Full    bool   // Ranges hold the complete state, base not required
+	Ranges  []DeltaRange
+}
+
+// FullDelta wraps a complete state snapshot as a Full delta.
+func FullDelta(h Handle, state []byte) ObjectDelta {
+	return ObjectDelta{
+		Handle:  h,
+		BaseLen: uint64(len(state)),
+		Full:    true,
+		Ranges:  []DeltaRange{{Off: 0, Bytes: state}},
+	}
+}
+
+// DeltaBytes sums the payload bytes a delta carries — the quantity E14
+// compares against the object footprint.
+func (d ObjectDelta) DeltaBytes() int {
+	n := 0
+	for _, r := range d.Ranges {
+		n += len(r.Bytes)
+	}
+	return n
+}
+
+// EncodeObjectDeltas packs deltas into a FuncSnapshotDelta reply payload:
+// [count u32] then per object, in ascending handle order,
+// [handle u64][baseLen u64][full u8][rangeCount u32] followed by
+// rangeCount records of [off u64][len u32][bytes].
+func EncodeObjectDeltas(deltas []ObjectDelta) []byte {
+	sorted := append([]ObjectDelta(nil), deltas...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Handle < sorted[j].Handle })
+	n := 4
+	for _, d := range sorted {
+		n += 21
+		for _, r := range d.Ranges {
+			n += 12 + len(r.Bytes)
+		}
+	}
+	out := make([]byte, 0, n)
+	out = appendUint32(out, uint32(len(sorted)))
+	for _, d := range sorted {
+		out = appendUint64(out, uint64(d.Handle))
+		out = appendUint64(out, d.BaseLen)
+		if d.Full {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = appendUint32(out, uint32(len(d.Ranges)))
+		for _, r := range d.Ranges {
+			out = appendUint64(out, r.Off)
+			out = appendUint32(out, uint32(len(r.Bytes)))
+			out = append(out, r.Bytes...)
+		}
+	}
+	return out
+}
+
+// DecodeObjectDeltas unpacks an EncodeObjectDeltas payload. The returned
+// range contents are copies and do not alias b.
+func DecodeObjectDeltas(b []byte) ([]ObjectDelta, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("marshal: object deltas truncated: %d bytes", len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if int64(count) > int64(maxValues) {
+		return nil, ErrTooLarge
+	}
+	out := make([]ObjectDelta, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 21 {
+			return nil, fmt.Errorf("marshal: object delta %d truncated", i)
+		}
+		d := ObjectDelta{
+			Handle:  Handle(binary.LittleEndian.Uint64(b)),
+			BaseLen: binary.LittleEndian.Uint64(b[8:]),
+			Full:    b[16] != 0,
+		}
+		rc := binary.LittleEndian.Uint32(b[17:])
+		b = b[21:]
+		if int64(rc) > int64(maxValues) {
+			return nil, ErrTooLarge
+		}
+		for j := uint32(0); j < rc; j++ {
+			if len(b) < 12 {
+				return nil, fmt.Errorf("marshal: object delta %d range %d truncated", i, j)
+			}
+			off := binary.LittleEndian.Uint64(b)
+			n := binary.LittleEndian.Uint32(b[8:])
+			b = b[12:]
+			if uint32(len(b)) < n {
+				return nil, fmt.Errorf("marshal: object delta %d range %d short: want %d bytes, have %d", i, j, n, len(b))
+			}
+			d.Ranges = append(d.Ranges, DeltaRange{Off: off, Bytes: append([]byte(nil), b[:n]...)})
+			b = b[n:]
+		}
+		out = append(out, d)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("marshal: %d trailing bytes in object deltas", len(b))
+	}
+	return out, nil
+}
+
+// ApplyObjectDelta composes a delta onto the base state of the same
+// object, returning the new full state (a fresh slice; base is not
+// modified). A Full delta needs no base. A non-Full delta requires a base
+// of exactly BaseLen bytes — a mismatch means the caller's base is from a
+// different life of the object and the composition would corrupt state.
+func ApplyObjectDelta(base []byte, d ObjectDelta) ([]byte, error) {
+	out := make([]byte, d.BaseLen)
+	if !d.Full {
+		if uint64(len(base)) != d.BaseLen {
+			return nil, fmt.Errorf("marshal: delta for handle %d: base %d bytes, want %d", d.Handle, len(base), d.BaseLen)
+		}
+		copy(out, base)
+	}
+	for _, r := range d.Ranges {
+		if r.Off > d.BaseLen || uint64(len(r.Bytes)) > d.BaseLen-r.Off {
+			return nil, fmt.Errorf("marshal: delta for handle %d: range [%d,+%d) exceeds %d-byte state",
+				d.Handle, r.Off, len(r.Bytes), d.BaseLen)
+		}
+		copy(out[r.Off:], r.Bytes)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package marshal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedCalls are hand-built frames covering every Value kind, the
+// segment threshold boundary, and unknown (future) flag bits; they seed
+// the fuzzer and double as the checked-in corpus under testdata/fuzz.
+func fuzzSeedCalls() [][]byte {
+	big := make([]byte, SegmentThreshold+17)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	calls := []*Call{
+		{},
+		{Seq: 1, VM: 2, Func: 3, Flags: FlagAsync, Priority: 9, Epoch: 4,
+			Deadline: 1 << 40, Stamps: Stamps{Encode: 1, Admit: 2, Dispatch: 3, Done: 4}},
+		{Seq: 7, Func: 1, Args: []Value{
+			Null(), Int(-5), Uint(5), Float(1.5), Bool(true), Str("kernel"),
+			BytesVal([]byte{1, 2, 3}), Len(64), HandleVal(12), RegRefVal(3, 8, 4096),
+		}},
+		{Seq: 8, Func: 2, Flags: FlagBatched | 0x4000, // unknown high bit
+			Args: []Value{BytesVal(big)}},
+	}
+	frames := make([][]byte, len(calls))
+	for i, c := range calls {
+		frames[i] = EncodeCall(c)
+	}
+	return frames
+}
+
+// FuzzDecodeCall checks that DecodeCall never panics on arbitrary bytes
+// and that every frame it accepts round-trips losslessly through both
+// encoders: AppendCall, and AppendCallSegments + SpliceSegments (the
+// scatter-gather path must be byte-for-byte the copying encoding).
+func FuzzDecodeCall(f *testing.F) {
+	for _, seed := range fuzzSeedCalls() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCall(data)
+		if err != nil {
+			return
+		}
+		enc := AppendCall(nil, c)
+		// Unknown flag bits must survive re-encoding (forward compat:
+		// FlagsKnown is advisory, not a mask applied on decode).
+		if c2, err := DecodeCall(enc); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		} else if !callsEqual(c, c2) {
+			t.Fatalf("round-trip mismatch:\n  in:  %+v\n  out: %+v", c, c2)
+		}
+		// Segmented encoding, forced (minSeg 1) and at the default
+		// threshold, must splice back to the exact copying encoding.
+		for _, minSeg := range []int{1, 0} {
+			frame, segs := AppendCallSegments(nil, c, minSeg)
+			if len(frame)+SegmentsLen(segs) != len(enc) {
+				t.Fatalf("minSeg %d: virtual length %d, want %d",
+					minSeg, len(frame)+SegmentsLen(segs), len(enc))
+			}
+			if got := SpliceSegments(nil, frame, segs); !bytes.Equal(got, enc) {
+				t.Fatalf("minSeg %d: spliced segmented encoding differs from AppendCall", minSeg)
+			}
+		}
+	})
+}
+
+func callsEqual(a, b *Call) bool {
+	if a.Seq != b.Seq || a.VM != b.VM || a.Func != b.Func ||
+		a.Flags != b.Flags || a.Priority != b.Priority || a.Epoch != b.Epoch ||
+		a.Deadline != b.Deadline || a.Stamps != b.Stamps || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeReply checks DecodeReply against arbitrary bytes, including
+// unknown Status values, which must round-trip unmodified.
+func FuzzDecodeReply(f *testing.F) {
+	for _, rep := range []*Reply{
+		{},
+		{Seq: 3, Status: StatusAPIError, Err: "boom", Ret: Int(-1)},
+		{Seq: 4, Status: Status(200), Ret: BytesVal([]byte("x")),
+			Outs: []Value{Len(9), BytesVal(make([]byte, 64))}},
+	} {
+		f.Add(EncodeReply(rep))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReply(data)
+		if err != nil {
+			return
+		}
+		enc := AppendReply(nil, rep)
+		rep2, err := DecodeReply(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if rep.Seq != rep2.Seq || rep.Status != rep2.Status || rep.Err != rep2.Err ||
+			rep.Stamps != rep2.Stamps || !rep.Ret.Equal(rep2.Ret) || len(rep.Outs) != len(rep2.Outs) {
+			t.Fatalf("round-trip mismatch:\n  in:  %+v\n  out: %+v", rep, rep2)
+		}
+		for i := range rep.Outs {
+			if !rep.Outs[i].Equal(rep2.Outs[i]) {
+				t.Fatalf("out %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeObjectDeltas checks the delta-checkpoint payload decoder
+// against arbitrary bytes: no panics, and accepted payloads re-encode to
+// a stable canonical form (EncodeObjectDeltas sorts by handle, so the
+// check is idempotence after one normalization, not byte equality with
+// the input).
+func FuzzDecodeObjectDeltas(f *testing.F) {
+	f.Add(EncodeObjectDeltas(nil))
+	f.Add(EncodeObjectDeltas([]ObjectDelta{FullDelta(7, []byte("state"))}))
+	f.Add(EncodeObjectDeltas([]ObjectDelta{
+		{Handle: 9, BaseLen: 64, Ranges: []DeltaRange{
+			{Off: 0, Bytes: []byte{1}}, {Off: 63, Bytes: []byte{2}},
+		}},
+		FullDelta(2, nil),
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := DecodeObjectDeltas(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeObjectDeltas(ds)
+		ds2, err := DecodeObjectDeltas(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(ds2) != len(ds) {
+			t.Fatalf("re-decode count %d, want %d", len(ds2), len(ds))
+		}
+		if enc2 := EncodeObjectDeltas(ds2); !bytes.Equal(enc2, enc) {
+			t.Fatalf("canonical encoding not idempotent")
+		}
+		total := 0
+		for _, d := range ds {
+			total += d.DeltaBytes()
+		}
+		total2 := 0
+		for _, d := range ds2 {
+			total2 += d.DeltaBytes()
+		}
+		if total != total2 {
+			t.Fatalf("payload bytes %d, want %d", total2, total)
+		}
+	})
+}

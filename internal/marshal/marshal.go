@@ -37,6 +37,7 @@ const (
 	KindBytes              // opaque byte buffer (with contents)
 	KindLen                // buffer placeholder: length only, no contents
 	KindHandle             // opaque object handle
+	KindRegRef             // registered-buffer reference: {region id, offset, length}
 )
 
 func (k Kind) String() string {
@@ -59,6 +60,8 @@ func (k Kind) String() string {
 		return "len"
 	case KindHandle:
 		return "handle"
+	case KindRegRef:
+		return "regref"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -68,15 +71,27 @@ func (k Kind) String() string {
 // kernel, graph, ...). Zero is never a valid handle.
 type Handle uint64
 
+// RegRef locates a byte range inside a registered buffer region: the
+// zero-copy argument form for transports whose two ends share memory. The
+// guest registers a region once (transport.BufRegistry), then passes
+// {region id, offset} pairs instead of buffer contents; the server resolves
+// the reference against the same registry and reads or writes the region
+// in place. The byte length travels in Value.Uint, mirroring KindLen.
+type RegRef struct {
+	ID  uint32 // region identifier assigned at registration
+	Off uint64 // byte offset of the range within the region
+}
+
 // Value is one tagged argument or result on the wire.
 type Value struct {
 	Kind  Kind
 	Int   int64   // KindInt
-	Uint  uint64  // KindUint, KindHandle, KindLen (length)
+	Uint  uint64  // KindUint, KindHandle, KindLen (length), KindRegRef (length)
 	Float float64 // KindFloat
 	Bool  bool    // KindBool
 	Str   string  // KindString
 	Bytes []byte  // KindBytes
+	Ref   RegRef  // KindRegRef
 }
 
 // Constructors for each value kind.
@@ -108,6 +123,12 @@ func Len(n uint64) Value { return Value{Kind: KindLen, Uint: n} }
 // HandleVal returns a handle value.
 func HandleVal(h Handle) Value { return Value{Kind: KindHandle, Uint: uint64(h)} }
 
+// RegRefVal returns a registered-buffer reference value: n bytes at offset
+// off within registered region id.
+func RegRefVal(id uint32, off, n uint64) Value {
+	return Value{Kind: KindRegRef, Uint: n, Ref: RegRef{ID: id, Off: off}}
+}
+
 // Handle extracts the handle from a KindHandle value.
 func (v Value) Handle() Handle { return Handle(v.Uint) }
 
@@ -126,6 +147,8 @@ func (v Value) Equal(o Value) bool {
 		return v.Int == o.Int
 	case KindUint, KindHandle, KindLen:
 		return v.Uint == o.Uint
+	case KindRegRef:
+		return v.Uint == o.Uint && v.Ref == o.Ref
 	case KindFloat:
 		return v.Float == o.Float || (math.IsNaN(v.Float) && math.IsNaN(o.Float))
 	case KindBool:
@@ -167,6 +190,8 @@ func (v Value) String() string {
 		return fmt.Sprintf("len[%d]", v.Uint)
 	case KindHandle:
 		return fmt.Sprintf("h#%d", v.Uint)
+	case KindRegRef:
+		return fmt.Sprintf("regref[%d@%d+%d]", v.Ref.ID, v.Ref.Off, v.Uint)
 	default:
 		return v.Kind.String()
 	}
@@ -233,6 +258,13 @@ const (
 	// to the serving host's objects; the captured states later replay onto
 	// a replacement host as FuncRestore calls.
 	FuncSnapshot uint32 = ^uint32(0) - 3
+	// FuncSnapshotDelta is the incremental form of FuncSnapshot: no args,
+	// Ret is a Bytes value holding an EncodeObjectDeltas payload covering
+	// only the ranges written since the previous delta cut. The caller must
+	// hold the composed base state from an earlier FuncSnapshot (or delta
+	// chain) on the same server incarnation; a server that cannot produce
+	// deltas answers StatusDenied and the caller falls back to FuncSnapshot.
+	FuncSnapshotDelta uint32 = ^uint32(0) - 4
 )
 
 // Stamps is the per-stage timestamp block a call accumulates as it crosses
@@ -405,6 +437,10 @@ func AppendValue(b []byte, v Value) []byte {
 	case KindBytes:
 		b = appendUint32(b, uint32(len(v.Bytes)))
 		b = append(b, v.Bytes...)
+	case KindRegRef:
+		b = appendUint32(b, v.Ref.ID)
+		b = appendUint64(b, v.Ref.Off)
+		b = appendUint64(b, v.Uint)
 	}
 	return b
 }
@@ -516,6 +552,21 @@ func (r *reader) value() (Value, error) {
 		// retains buffer contents past the call (the record log, device
 		// memory) copies explicitly, so the hot path pays no extra copy.
 		v.Bytes = raw
+	case KindRegRef:
+		id, err := r.u32()
+		if err != nil {
+			return Value{}, err
+		}
+		off, err := r.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := r.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		v.Ref = RegRef{ID: id, Off: off}
+		v.Uint = n
 	default:
 		return Value{}, fmt.Errorf("%w: %d", ErrBadKind, k)
 	}
@@ -533,6 +584,8 @@ func valueSize(v Value) int {
 		return 5 + len(v.Str)
 	case KindBytes:
 		return 5 + len(v.Bytes)
+	case KindRegRef:
+		return 21
 	default:
 		return 9
 	}

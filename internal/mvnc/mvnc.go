@@ -178,6 +178,15 @@ type Graph struct {
 	results [][]float32 // FIFO of pending inference results
 	timeout uint32
 	dead    bool
+
+	// gen is the write generation: bumped whenever the graph's mutable
+	// state (results FIFO, options) changes. snapGen remembers gen at the
+	// last delta snapshot, so a checkpoint can skip graphs that have not
+	// changed since the previous one. The graph's state is a few KiB at
+	// most, so unlike cl buffers there is no per-range tracking — the
+	// delta is all-or-nothing.
+	gen     uint64
+	snapGen uint64
 }
 
 // Silo is the simulated NCS pool plus the MVNC implementation.
@@ -284,7 +293,9 @@ func (s *Silo) AllocateGraph(d *Device, name string, blob []byte) (*Graph, int32
 		d.sim.FreeMem(addr)
 		return nil, ErrError
 	}
-	return &Graph{dev: d, net: builder(seed, classes), classes: classes, addr: addr}, OK
+	// gen starts ahead of snapGen so a graph no delta snapshot has seen
+	// ships in full the first time.
+	return &Graph{dev: d, net: builder(seed, classes), classes: classes, addr: addr, gen: 1}, OK
 }
 
 // DeallocateGraph frees a graph.
@@ -329,6 +340,7 @@ func (s *Silo) LoadTensor(g *Graph, tensor []byte) int32 {
 	}
 	s.mu.Lock()
 	g.results = append(g.results, out.Data)
+	g.gen++
 	s.mu.Unlock()
 	return OK
 }
@@ -345,6 +357,7 @@ func (s *Silo) GetResult(g *Graph, dst []byte) int32 {
 	}
 	res := g.results[0]
 	g.results = g.results[1:]
+	g.gen++
 	if len(dst) < 4*len(res) {
 		return ErrInvalidParams
 	}
@@ -365,6 +378,7 @@ func (s *Silo) SetGraphOption(g *Graph, option, value uint32) int32 {
 		return ErrInvalidParams
 	}
 	g.timeout = value
+	g.gen++
 	return OK
 }
 

@@ -87,6 +87,37 @@ func (s *Server) executeControl(ctx *Context, call *marshal.Call) *marshal.Reply
 		}
 		return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK,
 			Ret: marshal.BytesVal(marshal.EncodeObjectStates(objects))}
+
+	case marshal.FuncSnapshotDelta:
+		// No args — the incremental form of FuncSnapshot: drain each
+		// stateful object's dirty-range tracking into a delta. Denied (not
+		// an internal error) when the silo lacks delta support, so the
+		// guardian falls back to a full FuncSnapshot.
+		snap, ok := s.reg.Restorer.(ObjectDeltaSnapshotter)
+		if !ok {
+			return fail(marshal.StatusDenied, "snapshot-delta: no ObjectDeltaSnapshotter registered")
+		}
+		var deltas []marshal.ObjectDelta
+		var snapErr error
+		ctx.Handles.ForEach(func(h marshal.Handle, obj any) {
+			if snapErr != nil {
+				return
+			}
+			d, stateful, err := snap.SnapshotObjectDelta(obj)
+			if err != nil {
+				snapErr = err
+				return
+			}
+			if stateful {
+				d.Handle = h
+				deltas = append(deltas, d)
+			}
+		})
+		if snapErr != nil {
+			return fail(marshal.StatusInternal, "snapshot-delta: %v", snapErr)
+		}
+		return &marshal.Reply{Seq: call.Seq, Status: marshal.StatusOK,
+			Ret: marshal.BytesVal(marshal.EncodeObjectDeltas(deltas))}
 	}
 	return fail(marshal.StatusDenied, "unknown control function #%d", call.Func)
 }

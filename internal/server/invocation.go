@@ -21,10 +21,11 @@ type Invocation struct {
 	Desc *cava.FuncDesc
 	Ctx  *Context
 
-	args []marshal.Value // verified arguments; out buffers pre-allocated
-	outs []marshal.Value // out-element results, indexed by out slot
-	ret  marshal.Value
-	env  spec.Env
+	args   []marshal.Value // verified arguments; out buffers pre-allocated
+	outs   []marshal.Value // out-element results, indexed by out slot
+	ret    marshal.Value
+	env    spec.Env
+	regOut []bool // out buffers backed by a registered region (reply carries a length)
 
 	// Cancellation: armed by the dispatcher when the call carries a
 	// deadline. cancel is closed at most once, by the deadline timer or an
@@ -220,6 +221,10 @@ func (inv *Invocation) finishOuts() []marshal.Value {
 		switch {
 		case inv.args[i].Kind == marshal.KindNull:
 			outs = append(outs, marshal.Null())
+		case pd.IsBuffer && inv.regOut != nil && inv.regOut[i]:
+			// Registered-buffer out: the handler wrote the guest's region
+			// in place, so the reply carries only the length written.
+			outs = append(outs, marshal.Len(uint64(len(inv.args[i].Bytes))))
 		case pd.IsBuffer:
 			outs = append(outs, marshal.BytesVal(inv.args[i].Bytes))
 		default: // element
@@ -234,7 +239,11 @@ func (inv *Invocation) finishOuts() []marshal.Value {
 // and allocates out-buffer space. It returns an error for malformed or
 // mendacious frames (wrong arity, buffer lengths disagreeing with the
 // size expressions) — the server must not trust the guest library.
-func verifyAndPrepare(d *cava.Descriptor, fd *cava.FuncDesc, args []marshal.Value) (*Invocation, error) {
+// regOut carries resolved registered-region slices for out-buffer
+// parameters (by index): those become the out buffer directly instead of
+// freshly allocated space, so the handler writes the guest's memory in
+// place; nil when the call carried no registered-buffer references.
+func verifyAndPrepare(d *cava.Descriptor, fd *cava.FuncDesc, args []marshal.Value, regOut map[int][]byte) (*Invocation, error) {
 	if len(args) != len(fd.Params) {
 		return nil, fmt.Errorf("server: %s: %d args, want %d", fd.Name, len(args), len(fd.Params))
 	}
@@ -280,7 +289,18 @@ func verifyAndPrepare(d *cava.Descriptor, fd *cava.FuncDesc, args []marshal.Valu
 				return nil, fmt.Errorf("server: %s(%s): out length %d, want %d", fd.Name, pd.Name, v.Uint, want)
 			}
 			if pd.IsBuffer {
-				*v = marshal.BytesVal(make([]byte, want))
+				if region, ok := regOut[i]; ok {
+					if len(region) != want {
+						return nil, fmt.Errorf("server: %s(%s): regref out %d bytes, want %d", fd.Name, pd.Name, len(region), want)
+					}
+					*v = marshal.BytesVal(region)
+					if inv.regOut == nil {
+						inv.regOut = make([]bool, len(fd.Params))
+					}
+					inv.regOut[i] = true
+				} else {
+					*v = marshal.BytesVal(make([]byte, want))
+				}
 			}
 			// Out elements keep the placeholder; handlers use SetOut*.
 		}

@@ -61,6 +61,15 @@ type ObjectSnapshotter interface {
 	SnapshotObject(obj any) (state []byte, stateful bool, err error)
 }
 
+// ObjectDeltaSnapshotter is the incremental extension of ObjectSnapshotter:
+// a Restorer that also implements it serves marshal.FuncSnapshotDelta,
+// draining each stateful object's dirty-range tracking into a delta so a
+// remote guardian's checkpoint traffic scales with the bytes touched since
+// the previous checkpoint instead of the device-state footprint.
+type ObjectDeltaSnapshotter interface {
+	SnapshotObjectDelta(obj any) (delta marshal.ObjectDelta, stateful bool, err error)
+}
+
 // NewRegistry creates an empty registry for d.
 func NewRegistry(d *cava.Descriptor) *Registry {
 	return &Registry{Desc: d, handlers: make([]Handler, len(d.Funcs))}
@@ -107,6 +116,13 @@ type Stats struct {
 	BytesIn    uint64
 	BytesOut   uint64
 	ExecTime   time.Duration
+	// BytesCopied counts in/inout buffer payload bytes that arrived inline
+	// in call frames (marshalled by copy); BytesBorrowed counts payload
+	// bytes that took a zero-copy path instead — registered-buffer
+	// references resolved against the shared region. The per-VM mirror of
+	// the guest library's counters, for the copycost (E14) breakdown.
+	BytesCopied   uint64
+	BytesBorrowed uint64
 	// DeadlineAborts counts calls ended with StatusDeadline: expired at
 	// dispatch, aborted in flight through the cancellation signal, or
 	// finished only after their budget was spent. CanceledCalls counts
@@ -349,7 +365,8 @@ func CloneValues(vs []marshal.Value) []marshal.Value {
 
 // Server executes forwarded calls for a set of VM contexts.
 type Server struct {
-	reg *Registry
+	reg  *Registry
+	breg *transport.BufRegistry // nil unless SetBufRegistry
 
 	mu   sync.Mutex
 	ctxs map[uint32]*Context
@@ -362,6 +379,14 @@ func New(reg *Registry) *Server {
 
 // Registry returns the silo registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// SetBufRegistry wires the stack's shared registered-buffer registry: calls
+// carrying marshal.KindRegRef arguments resolve them against it, reading
+// and writing the guest's registered region in place. Only meaningful when
+// guest and server share an address space (the stack assembler wires it for
+// InProc and shm-ring transports, never TCP); without one, regref calls are
+// denied. Set before serving begins.
+func (s *Server) SetBufRegistry(r *transport.BufRegistry) { s.breg = r }
 
 // Context returns (creating on first use) the per-VM context.
 func (s *Server) Context(vm uint32, name string) *Context {
@@ -464,7 +489,7 @@ func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.
 		return &marshal.Reply{Seq: call.Seq, Status: st, Err: fmt.Sprintf(format, args...)}
 	}
 	if call.Func == marshal.FuncRebind || call.Func == marshal.FuncRestore ||
-		call.Func == marshal.FuncSnapshot {
+		call.Func == marshal.FuncSnapshot || call.Func == marshal.FuncSnapshotDelta {
 		return s.executeControl(ctx, call)
 	}
 	fd, ok := s.reg.Desc.ByID(call.Func)
@@ -482,7 +507,49 @@ func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.
 		}
 	}
 
-	inv, err := verifyAndPrepare(s.reg.Desc, fd, call.Args)
+	// Data-plane accounting and registered-buffer resolution. Inline
+	// in-buffer payloads were marshalled by copy through the frame; a
+	// KindRegRef argument instead references a region the guest registered
+	// in the shared BufRegistry, and is resolved in place here — reads
+	// alias the region, out-direction writes land in it directly and the
+	// reply carries only a length. Resolution rewrites call.Args, so the
+	// migration record log sees the materialized bytes (in) or the plain
+	// length placeholder (out) and replays without the region.
+	var regOut map[int][]byte
+	var copied, borrowed uint64
+	for i := range call.Args {
+		v := &call.Args[i]
+		switch v.Kind {
+		case marshal.KindBytes:
+			copied += uint64(len(v.Bytes))
+		case marshal.KindRegRef:
+			if s.breg == nil {
+				return fail(marshal.StatusDenied, "%s: registered-buffer reference without a registry", fd.Name)
+			}
+			region, rerr := s.breg.Resolve(v.Ref.ID, v.Ref.Off, v.Uint)
+			if rerr != nil {
+				return fail(marshal.StatusDenied, "%s: %v", fd.Name, rerr)
+			}
+			borrowed += v.Uint
+			if i < len(fd.Params) && fd.Params[i].IsPointer && fd.Params[i].Dir == spec.DirOut {
+				if regOut == nil {
+					regOut = make(map[int][]byte)
+				}
+				regOut[i] = region
+				*v = marshal.Len(v.Uint)
+			} else {
+				*v = marshal.BytesVal(region)
+			}
+		}
+	}
+	if copied != 0 || borrowed != 0 {
+		ctx.mu.Lock()
+		ctx.stats.BytesCopied += copied
+		ctx.stats.BytesBorrowed += borrowed
+		ctx.mu.Unlock()
+	}
+
+	inv, err := verifyAndPrepare(s.reg.Desc, fd, call.Args, regOut)
 	if err != nil {
 		return fail(marshal.StatusDenied, "%v", err)
 	}

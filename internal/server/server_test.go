@@ -353,7 +353,7 @@ func TestInvocationAccessors(t *testing.T) {
 	inv, err := verifyAndPrepare(desc, fd, []marshal.Value{
 		marshal.HandleVal(5), marshal.Int(-3), marshal.Uint(9), marshal.Float(2.5),
 		marshal.Bool(true), marshal.Str("name"), marshal.BytesVal([]byte{1, 2}), marshal.Uint(2),
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

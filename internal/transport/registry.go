@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// BufRegistry is the registered-buffer fast path for transports whose two
+// ends share an address space (InProc and the simulated shared-memory
+// ring). A guest registers a buffer region once; subsequent large H2D/D2H
+// transfers carry a marshal.KindRegRef — {region id, offset, length} —
+// instead of the bytes, and the server resolves the reference against the
+// same registry to read or write the region in place. This is the
+// RDMA-style "register once, reference thereafter" protocol: the setup
+// cost (registration) is paid once, the per-transfer cost drops to a
+// 21-byte wire record.
+//
+// The registry deliberately is not an Endpoint method: whether two ends
+// share memory is a property of the deployment, not of the pipe, so the
+// stack assembler wires one registry to both sides only when the whole
+// guest→server path stays in one address space. A TCP hop never gets one.
+//
+// Holding a region in the registry keeps its backing array reachable, so
+// resolved slices never dangle. Go's GC does not move heap objects, which
+// makes the pointer-identity containment test in Locate sound.
+type BufRegistry struct {
+	mu      sync.RWMutex
+	regions map[uint32][]byte
+	next    uint32
+}
+
+// NewBufRegistry returns an empty registry.
+func NewBufRegistry() *BufRegistry {
+	return &BufRegistry{regions: make(map[uint32][]byte)}
+}
+
+// Register adds a buffer region and returns its id. The caller must keep
+// the region's contents stable for the duration of any call referencing
+// it (the usual zero-copy contract: don't scribble on a buffer you handed
+// to an in-flight transfer).
+func (r *BufRegistry) Register(region []byte) uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	id := r.next
+	r.regions[id] = region
+	return id
+}
+
+// Unregister removes a region; outstanding references to it fail to
+// resolve afterwards.
+func (r *BufRegistry) Unregister(id uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.regions, id)
+}
+
+// Resolve returns the n-byte range at off within region id, aliasing the
+// registered memory. The capacity is clipped so a resolver cannot grow the
+// slice beyond its range.
+func (r *BufRegistry) Resolve(id uint32, off, n uint64) ([]byte, error) {
+	r.mu.RLock()
+	region, ok := r.regions[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unregistered buffer region %d", id)
+	}
+	if off > uint64(len(region)) || n > uint64(len(region))-off {
+		return nil, fmt.Errorf("transport: regref [%d,+%d) exceeds %d-byte region %d", off, n, len(region), id)
+	}
+	return region[off : off+n : off+n], nil
+}
+
+// Locate reports whether b lies entirely inside a registered region,
+// returning the region id and b's offset within it. The test compares
+// backing-array pointers, so it finds subslices of the registered region
+// (the common case: an application slicing transfer windows out of one
+// registered staging buffer), not merely equal slices.
+func (r *BufRegistry) Locate(b []byte) (id uint32, off uint64, ok bool) {
+	if len(b) == 0 {
+		return 0, 0, false
+	}
+	p := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for rid, region := range r.regions {
+		if len(region) == 0 {
+			continue
+		}
+		base := uintptr(unsafe.Pointer(unsafe.SliceData(region)))
+		if p >= base && p+uintptr(len(b)) <= base+uintptr(len(region)) {
+			return rid, uint64(p - base), true
+		}
+	}
+	return 0, 0, false
+}

@@ -76,6 +76,17 @@ type Endpoint interface {
 	Close() error
 }
 
+// VectoredSender is an optional Endpoint refinement for scatter-gather
+// sends. SendVec transmits the concatenation of parts as one frame —
+// byte-for-byte what Send(concat(parts)) would put on the wire — without
+// the caller having to materialize the concatenation. total must equal the
+// summed length of parts; it sizes the frame's length prefix. The borrowed
+// part slices are released when SendVec returns (the write is synchronous),
+// so a caller may reuse or recycle them immediately afterwards.
+type VectoredSender interface {
+	SendVec(parts [][]byte, total int) error
+}
+
 // FrameOwnership is an optional Endpoint refinement describing who owns a
 // frame's backing buffer across Send and Recv. The frame-pooling layers
 // (guest library, API server) consult it before recycling buffers through
@@ -390,6 +401,32 @@ func (e *connEnd) Send(frame []byte) error {
 	// One writev for header+payload: a single syscall per frame, and no
 	// header-only segment for Nagle/delayed-ACK to trip over.
 	bufs := net.Buffers{hdr[:], frame}
+	if _, err := bufs.WriteTo(e.conn); err != nil {
+		return e.mapErr(err)
+	}
+	return nil
+}
+
+// SendVec implements VectoredSender: one writev covers the length prefix,
+// the frame pieces, and the borrowed payload segments, so large buffer
+// arguments flow from the caller's memory straight into the socket without
+// ever being copied into a frame. The receiver sees an ordinary
+// length-prefixed frame, identical to a copying Send.
+func (e *connEnd) SendVec(parts [][]byte, total int) error {
+	if total > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
+	}
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(total))
+	bufs := make(net.Buffers, 0, len(parts)+1)
+	bufs = append(bufs, hdr[:])
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
 	if _, err := bufs.WriteTo(e.conn); err != nil {
 		return e.mapErr(err)
 	}
