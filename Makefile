@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke bench-json chaos
+.PHONY: check fmt vet build test bench bench-smoke bench-json chaos ctl-smoke
 
-check: fmt vet build test bench-smoke
+check: fmt vet build test bench-smoke ctl-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -38,6 +38,11 @@ bench-smoke:
 	$(GO) run ./cmd/avabench -exp failover -reps 1
 	$(GO) run ./cmd/avabench -exp crosshost -reps 1
 	$(GO) run ./cmd/avabench -exp copycost -reps 1
+
+# Operability smoke: boot a real avad with -ctl, scrape it with avactl,
+# drain it over HTTP, and require a clean exit (scripts/ctl_smoke.sh).
+ctl-smoke:
+	GO="$(GO)" sh scripts/ctl_smoke.sh
 
 # Full experiment sweep with machine-readable output: one BENCH_<exp>.json
 # per experiment lands in bench-out/ alongside the printed tables.

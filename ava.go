@@ -28,6 +28,7 @@ package ava
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -475,6 +476,30 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 	return lib, nil
 }
 
+// VMs returns the IDs of currently attached VMs, sorted ascending.
+func (s *Stack) VMs() []uint32 {
+	s.mu.Lock()
+	out := make([]uint32, 0, len(s.vms))
+	for id := range s.vms {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GuestLib returns the guest library of an attached VM, or nil for an
+// unknown VM — the handle observability surfaces use to read guest-side
+// counters without holding an attachment reference of their own.
+func (s *Stack) GuestLib(id uint32) *guest.Lib {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at := s.vms[id]; at != nil {
+		return at.lib
+	}
+	return nil
+}
+
 // Guardian returns the failover guardian for an attached VM, or nil when
 // failover is disabled or the VM is unknown.
 func (s *Stack) Guardian(id uint32) *failover.Guardian {
@@ -491,7 +516,7 @@ func (s *Stack) Guardian(id uint32) *failover.Guardian {
 func (s *Stack) KillServer(id uint32) error {
 	g := s.Guardian(id)
 	if g == nil {
-		return fmt.Errorf("ava: VM %d has no failover guardian", id)
+		return fmt.Errorf("%w: VM %d has no failover guardian", averr.ErrUnknownVM, id)
 	}
 	g.KillServer()
 	return nil

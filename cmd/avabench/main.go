@@ -11,14 +11,28 @@
 //	                         # crosshost, copycost
 //	avabench -scale 2 -reps 5
 //	avabench -json out/     # also write machine-readable BENCH_<exp>.json
+//	avabench -exp failover -ctl 127.0.0.1:7273   # scrape the run live
+//
+// With -ctl, avabench serves the HTTP control endpoint (internal/ctlplane)
+// over whichever stack the current experiment is running, so
+// `avactl stats -host <addr>` mid-run reads live router/server/guest
+// counters and — during failover experiments — guardian epoch, watermark
+// and delta-checkpoint counts. `avactl checkpoint <vm>` forces a
+// checkpoint; `avactl migrate <vm>` checkpoints then kills the serving
+// link so the guardian fails the VM over.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"sync"
 
+	"ava"
 	"ava/internal/bench"
+	"ava/internal/ctlplane"
+	"ava/internal/server"
 )
 
 func main() {
@@ -27,9 +41,20 @@ func main() {
 		scale   = flag.Int("scale", 1, "workload problem-size multiplier")
 		reps    = flag.Int("reps", 3, "repetitions per measurement (minimum reported)")
 		jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json files into (default: tables only)")
+		ctl     = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
 	)
 	flag.Parse()
 	opts := bench.Options{Scale: *scale, Reps: *reps}
+
+	if *ctl != "" {
+		cs := ctlplane.New(benchCtlConfig())
+		addr, err := cs.Start(*ctl)
+		if err != nil {
+			fatal(err)
+		}
+		defer cs.Close()
+		log.Printf("avabench: ctl listening on %s", addr)
+	}
 
 	names := bench.Experiments()
 	if *exp != "" {
@@ -54,4 +79,95 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "avabench:", err)
 	os.Exit(1)
+}
+
+// benchCtlConfig builds a control-endpoint config whose sources follow
+// the experiment currently running: bench.SetStackObserver hands us each
+// stack as an experiment assembles it, and every source func re-reads
+// the current pointer, so a scraper polling /stats mid-run sees the live
+// stack of the moment (and empty sections between experiments).
+func benchCtlConfig() ctlplane.Config {
+	var (
+		mu  sync.Mutex
+		cur *ava.Stack
+	)
+	bench.SetStackObserver(func(s *ava.Stack) {
+		mu.Lock()
+		cur = s
+		mu.Unlock()
+	})
+	current := func() *ava.Stack {
+		mu.Lock()
+		defer mu.Unlock()
+		return cur
+	}
+	return ctlplane.Config{
+		Ident: ctlplane.Ident{Service: "avabench"},
+		Router: func() *ctlplane.RouterInfo {
+			s := current()
+			if s == nil {
+				return nil
+			}
+			return ctlplane.RouterSource(s.Router)()
+		},
+		Server: func() []server.VMSnapshot {
+			s := current()
+			if s == nil {
+				return nil
+			}
+			return s.Server.Snapshot()
+		},
+		Guests: func() []ctlplane.GuestSnapshot {
+			s := current()
+			if s == nil {
+				return nil
+			}
+			var out []ctlplane.GuestSnapshot
+			for _, id := range s.VMs() {
+				if lib := s.GuestLib(id); lib != nil {
+					out = append(out, ctlplane.GuestSnapshot{VM: id, Stats: lib.Stats()})
+				}
+			}
+			return out
+		},
+		Guardians: func() []ctlplane.GuardianSnapshot {
+			s := current()
+			if s == nil {
+				return nil
+			}
+			var out []ctlplane.GuardianSnapshot
+			for _, id := range s.VMs() {
+				if g := s.Guardian(id); g != nil {
+					out = append(out, ctlplane.GuardianSource(id, g))
+				}
+			}
+			return out
+		},
+		Checkpoint: func(vm uint32) error {
+			s := current()
+			if s == nil {
+				return fmt.Errorf("no experiment is running")
+			}
+			g := s.Guardian(vm)
+			if g == nil {
+				return fmt.Errorf("VM %d has no failover guardian", vm)
+			}
+			return g.CheckpointNow()
+		},
+		Migrate: func(vm uint32, target string) error {
+			// In-process migration: checkpoint, then sever the serving link
+			// so the guardian fails the VM over to the next host its dialer
+			// picks (the registry's lightest live peer; target is advisory).
+			s := current()
+			if s == nil {
+				return fmt.Errorf("no experiment is running")
+			}
+			if g := s.Guardian(vm); g != nil {
+				if err := g.CheckpointNow(); err != nil {
+					return err
+				}
+			}
+			return s.KillServer(vm)
+		},
+	}
 }

@@ -1,0 +1,214 @@
+// Command avactl inspects and controls a live AvA process over its HTTP
+// control endpoint (internal/ctlplane, avad's -ctl flag).
+//
+// Usage:
+//
+//	avactl -host 127.0.0.1:7273 stats
+//	avactl -host 127.0.0.1:7273 vms
+//	avactl -host 127.0.0.1:7273 drain
+//	avactl -host 127.0.0.1:7273 checkpoint 1
+//	avactl -host 127.0.0.1:7273 migrate 1 gpu-host-b
+//
+// `stats` prints every section the process serves (router policy
+// counters, live server byte/queue counters, guardian checkpoint state,
+// fleet membership); `vms` prints the compact per-VM join. -json emits
+// the raw endpoint payload for scripts. Control errors come back in the
+// stack's categorized taxonomy and exit non-zero.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"ava/internal/ctlplane"
+)
+
+func main() {
+	var (
+		host    = flag.String("host", "127.0.0.1:7273", "control endpoint address (avad -ctl)")
+		asJSON  = flag.Bool("json", false, "emit raw JSON instead of tables")
+		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	c := ctlplane.NewClient(*host)
+	_ = timeout // the client's default timeout covers interactive use
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "health":
+		if err = c.Health(); err == nil {
+			fmt.Println("ok")
+		}
+	case "stats":
+		err = cmdStats(c, *asJSON)
+	case "vms":
+		err = cmdVMs(c, *asJSON)
+	case "drain":
+		if err = c.Drain(); err == nil {
+			fmt.Println("draining")
+		}
+	case "checkpoint":
+		var vm uint64
+		if vm, err = vmArg(); err == nil {
+			if err = c.Checkpoint(uint32(vm)); err == nil {
+				fmt.Printf("checkpointed VM %d\n", vm)
+			}
+		}
+	case "migrate":
+		var vm uint64
+		if vm, err = vmArg(); err == nil {
+			target := flag.Arg(2)
+			if err = c.Migrate(uint32(vm), target); err == nil {
+				if target == "" {
+					target = "lightest live peer"
+				}
+				fmt.Printf("migrating VM %d to %s\n", vm, target)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "avactl: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		report(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: avactl [-host addr] [-json] <command> [args]
+
+commands:
+  stats                  full telemetry snapshot
+  vms                    compact per-VM table (router + server counters)
+  drain                  begin a graceful drain of the process
+  checkpoint <vm>        force a checkpoint of one VM now
+  migrate <vm> [target]  move one VM (no target = lightest live peer)
+  health                 liveness probe
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func vmArg() (uint64, error) {
+	if flag.NArg() < 2 {
+		return 0, errors.New("avactl: missing <vm> argument")
+	}
+	vm, err := strconv.ParseUint(flag.Arg(1), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("avactl: bad vm %q: %v", flag.Arg(1), err)
+	}
+	return vm, nil
+}
+
+// report prints an error with its taxonomy, when it crossed the ctl
+// boundary carrying one, and exits non-zero.
+func report(err error) {
+	var re *ctlplane.RemoteError
+	if errors.As(err, &re) && re.Code != "" {
+		fmt.Fprintf(os.Stderr, "avactl: %s (category=%s code=%s status=%s)\n",
+			re.Msg, re.Category, re.Code, re.Status)
+	} else {
+		fmt.Fprintf(os.Stderr, "avactl: %v\n", err)
+	}
+	os.Exit(1)
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cmdStats(c *ctlplane.Client, asJSON bool) error {
+	snap, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(snap)
+	}
+	fmt.Printf("%s", renderStats(snap))
+	return nil
+}
+
+func renderStats(snap *ctlplane.Snapshot) string {
+	out := fmt.Sprintf("service %s", snap.Ident.Service)
+	if snap.Ident.ID != "" {
+		out += " id " + snap.Ident.ID
+	}
+	if snap.Ident.API != "" {
+		out += " api " + snap.Ident.API
+	}
+	if snap.Ident.Addr != "" {
+		out += " addr " + snap.Ident.Addr
+	}
+	out += "\n"
+	if r := snap.Router; r != nil {
+		out += fmt.Sprintf("router: recent stall %v, shed threshold %v\n", r.RecentStall, r.ShedStallThreshold)
+		for _, vm := range r.VMs {
+			out += fmt.Sprintf("  vm %d (%s): forwarded=%d denied=%d shed=%d deadline-denied=%d stall=%v host=%q epoch=%d\n",
+				vm.ID, vm.Name, vm.Stats.Forwarded, vm.Stats.Denied, vm.Stats.ShedDenied,
+				vm.Stats.DeadlineDenied, vm.Stats.Stall, vm.Host, vm.Epoch)
+			out += fmt.Sprintf("    band stall [0..3]: %v %v %v %v\n",
+				vm.Stats.BandStall[0], vm.Stats.BandStall[1], vm.Stats.BandStall[2], vm.Stats.BandStall[3])
+		}
+	}
+	for _, vm := range snap.Server {
+		out += fmt.Sprintf("server vm %d (%s): calls=%d errors=%d queue=%d copied=%d borrowed=%d in=%d out=%d exec=%v\n",
+			vm.VM, vm.Name, vm.Stats.Calls, vm.Stats.Errors, vm.QueueDepth,
+			vm.Stats.BytesCopied, vm.Stats.BytesBorrowed, vm.Stats.BytesIn, vm.Stats.BytesOut, vm.Stats.ExecTime)
+	}
+	for _, g := range snap.Guests {
+		out += fmt.Sprintf("guest vm %d: calls=%d copied=%d borrowed=%d overload-denied=%d\n",
+			g.VM, g.Stats.Calls, g.Stats.BytesCopied, g.Stats.BytesBorrowed, g.Stats.OverloadDenied)
+	}
+	for _, g := range snap.Guardians {
+		out += fmt.Sprintf("guardian vm %d: epoch=%d watermark=%d checkpoints=%d (delta %d, last %dB) recoveries=%d",
+			g.VM, g.Epoch, g.Watermark, g.Stats.Checkpoints, g.Stats.DeltaCheckpoints,
+			g.Stats.LastCkptBytes, g.Stats.Recoveries)
+		if g.Dead != "" {
+			out += " DEAD: " + g.Dead
+		}
+		out += "\n"
+	}
+	for _, m := range snap.Fleet {
+		live := "live"
+		if !m.Live {
+			live = "expired"
+		}
+		out += fmt.Sprintf("fleet %s (%s): addr=%s load=%d %s\n", m.ID, m.API, m.Addr, m.Load, live)
+	}
+	return out
+}
+
+func cmdVMs(c *ctlplane.Client, asJSON bool) error {
+	rows, err := c.VMs()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(rows)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "VM\tNAME\tHOST\tEPOCH\tFWD\tDENIED\tSHED\tCALLS\tERRS\tQUEUE\tCOPIED\tBORROWED\tEXEC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			r.ID, r.Name, r.Host, r.Epoch, r.Forwarded, r.Denied, r.ShedDenied,
+			r.Calls, r.Errors, r.QueueDepth, r.BytesCopied, r.BytesBorrowed, r.ExecTime)
+	}
+	return w.Flush()
+}

@@ -22,9 +22,19 @@
 // accepting, deregisters from the fleet, drains in-flight connections
 // under the -drain budget, and closes stragglers in order — guests observe
 // an orderly end-of-stream, never a sever.
+//
+// With -ctl, avad serves the HTTP control/metrics endpoint
+// (internal/ctlplane) on the given address — conventionally :7273 — so
+// `avactl stats -host <addr>` reads live per-VM counters and
+// `avactl drain` triggers the same graceful sequence as SIGTERM. The
+// counters are read from the live server contexts, so a connection that
+// dies severed (guest crash, network partition) keeps its byte counters
+// visible; they are not lost the way a log-at-disconnect-only scheme
+// would lose them on SIGKILL.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"ava/internal/cl"
+	"ava/internal/ctlplane"
 	"ava/internal/devsim"
 	"ava/internal/fleet"
 	"ava/internal/mvnc"
@@ -58,6 +69,7 @@ func main() {
 		advertise = flag.String("advertise", "", "address peers dial for this host (default: the bound listen address)")
 		every     = flag.Duration("announce-every", 0, "heartbeat interval (default: fleet TTL/4)")
 		drain     = flag.Duration("drain", 5*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
+		ctl       = flag.String("ctl", "", "HTTP control/metrics endpoint address, e.g. :7273 (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -73,6 +85,7 @@ func main() {
 	}
 	d := newDaemon(server.New(reg), *drain)
 
+	memberID := ""
 	if *announce != "" {
 		addr := *advertise
 		if addr == "" {
@@ -85,7 +98,18 @@ func main() {
 		client := fleet.DialRegistry(*announce)
 		d.announcer = fleet.StartAnnouncer(client, member, *every, nil)
 		d.registry = client
+		memberID = member.ID
 		log.Printf("avad: announcing %s (%s) to fleet registry %s", member.ID, member.Addr, *announce)
+	}
+
+	var cs *ctlplane.Server
+	if *ctl != "" {
+		cs = ctlplane.New(d.ctlConfig(*api, memberID, l))
+		ctlAddr, err := cs.Start(*ctl)
+		if err != nil {
+			log.Fatalf("avad: %v", err)
+		}
+		log.Printf("avad: ctl listening on %s", ctlAddr)
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -99,7 +123,43 @@ func main() {
 	log.Printf("avad: serving %s on %s", *api, l.Addr())
 	d.Serve(l)
 	d.Wait()
+	if cs != nil {
+		// Closed after the drain completes, so a drain acknowledgement
+		// flushes and final counters stay scrapeable to the very end.
+		cs.Close()
+	}
 	log.Printf("avad: shut down cleanly")
+}
+
+// ctlConfig wires the control endpoint over the daemon's live state: the
+// server's per-VM contexts (counters survive severed links — they live in
+// the context, not the connection), the fleet's live peer view when
+// announced, and a drain hook running the same graceful sequence as
+// SIGTERM.
+func (d *daemon) ctlConfig(api, memberID string, l *transport.Listener) ctlplane.Config {
+	cfg := ctlplane.Config{
+		Ident:  ctlplane.Ident{Service: "avad", ID: memberID, API: api, Addr: l.Addr()},
+		Server: ctlplane.ServerSource(d.srv),
+		Drain: func() error {
+			log.Printf("avad: ctl drain requested (budget %v)", d.drain)
+			d.Shutdown(l)
+			return nil
+		},
+	}
+	if d.registry != nil {
+		cfg.Fleet = func() []fleet.Status {
+			ms, err := d.registry.Live(api)
+			if err != nil {
+				return nil
+			}
+			out := make([]fleet.Status, len(ms))
+			for i, m := range ms {
+				out[i] = fleet.Status{Member: m, Live: true}
+			}
+			return out
+		}
+	}
+	return cfg
 }
 
 // buildRegistry assembles the silo and handler registry for one API. The
@@ -271,12 +331,23 @@ func (d *daemon) serveConn(ep transport.Endpoint) {
 	}
 	ctx := d.srv.Context(h.VM, name)
 	log.Printf("avad: VM %d (%s) connected, epoch %d", h.VM, name, h.Epoch)
+	// The stats summary is emitted however the connection ends — orderly
+	// end-of-stream, severed mid-flight, or protocol error — and tagged
+	// with the reason, so a SIGKILL'd guest's byte counters land in the
+	// log as well as staying live on the ctl endpoint (the counters
+	// belong to the server context, which outlives the connection).
+	reason := "orderly"
 	if err := d.srv.ServeVM(ctx, ep); err != nil {
+		if errors.Is(err, transport.ErrSevered) {
+			reason = "severed"
+		} else {
+			reason = "error"
+		}
 		log.Printf("avad: VM %d: %v", h.VM, err)
 	}
 	st := ctx.Stats()
 	log.Printf("avad: VM %d stats: calls=%d (async %d, errors %d, replays %d) bytes in=%d out=%d copied=%d borrowed=%d exec=%v",
 		h.VM, st.Calls, st.AsyncCalls, st.Errors, st.Replays,
 		st.BytesIn, st.BytesOut, st.BytesCopied, st.BytesBorrowed, st.ExecTime)
-	log.Printf("avad: VM %d disconnected", h.VM)
+	log.Printf("avad: VM %d disconnected (%s)", h.VM, reason)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ava/internal/cl"
+	"ava/internal/ctlplane"
 	"ava/internal/devsim"
 	"ava/internal/marshal"
 	"ava/internal/server"
@@ -169,6 +170,123 @@ func TestShutdownDrainIsNotSever(t *testing.T) {
 	if ep, err := transport.Dial(l.Addr()); err == nil {
 		ep.Close()
 		t.Fatal("dial after shutdown succeeded, want refused")
+	}
+}
+
+// A guest whose connection dies severed — SIGKILL, network partition —
+// must not take its byte counters with it. The counters live in the
+// server context, which outlives the connection, so both the
+// at-disconnect log path and the ctl endpoint still see them. This is
+// the regression test for the logged-only-on-orderly-disconnect bug.
+func TestSeveredConnStatsSurvive(t *testing.T) {
+	d := newTestDaemon(t, time.Second)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go d.Serve(l)
+
+	client, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(transport.EncodeHello(transport.Hello{VM: 5, Name: "doomed-guest"})); err != nil {
+		t.Fatal(err)
+	}
+	const calls = 3
+	for i := uint64(1); i <= calls; i++ {
+		if err := client.Send(platformCountCall(t, i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// SIGKILL the guest: a hard reset, not an orderly close.
+	transport.Sever(client)
+
+	// The serve loop must notice the sever and return; the counters must
+	// still be there afterward, served by the same snapshot the ctl
+	// endpoint reads.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snaps := d.srv.Snapshot()
+		if len(snaps) == 1 && snaps[0].VM == 5 &&
+			snaps[0].Stats.Calls == calls && snaps[0].Stats.BytesIn > 0 && snaps[0].Stats.BytesOut > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("severed VM's counters not observable: %+v", snaps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// An `avactl drain` round trip against a live daemon: the drain travels
+// over the ctl endpoint, guests observe an orderly end-of-stream
+// (ErrClosed, never ErrSevered), and final per-VM counters stay
+// scrapeable until the ctl server itself closes.
+func TestCtlDrainRoundTrip(t *testing.T) {
+	d := newTestDaemon(t, 300*time.Millisecond)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(l)
+
+	cs := ctlplane.New(d.ctlConfig("opencl", "", l))
+	ctlAddr, err := cs.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	c := ctlplane.NewClient(ctlAddr)
+
+	client, err := transport.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(transport.EncodeHello(transport.Hello{VM: 3, Name: "ctl-drain-guest"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(platformCountCall(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ident.Service != "avad" || len(snap.Server) != 1 || snap.Server[0].Stats.Calls != 1 {
+		t.Fatalf("pre-drain snapshot = %+v", snap)
+	}
+
+	if err := c.Drain(); err != nil {
+		t.Fatalf("avactl-style drain failed: %v", err)
+	}
+	d.Wait()
+
+	// The drain must land as an orderly close on the guest.
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("recv after drain succeeded, want closed")
+	} else if errors.Is(err, transport.ErrSevered) {
+		t.Fatalf("ctl drain surfaced as sever: %v", err)
+	}
+
+	// Final counters remain scrapeable after the drain (the ctl server
+	// closes only when the process exits).
+	snap, err = c.Stats()
+	if err != nil {
+		t.Fatalf("post-drain scrape failed: %v", err)
+	}
+	if len(snap.Server) != 1 || snap.Server[0].Stats.Calls != 1 {
+		t.Fatalf("post-drain counters lost: %+v", snap.Server)
 	}
 }
 

@@ -11,6 +11,12 @@
 // The registry is soft state: members expire when their heartbeats stop,
 // so a restarted avaregd repopulates within one announce interval and
 // announcers redial transparently (fleet.Client). Nothing is persisted.
+//
+// With -ctl, avaregd serves the HTTP control endpoint (internal/ctlplane):
+// GET /stats returns the registry's full admin table — every member with
+// liveness, not just the live set a dialer queries — so
+// `avactl stats -host <addr>` is the fleet-wide inspection entry point,
+// and `avactl drain` stops the registry gracefully.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"ava/internal/ctlplane"
 	"ava/internal/fleet"
 	"ava/internal/transport"
 )
@@ -30,6 +37,7 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:7400", "address to listen on")
 		ttl    = flag.Duration("ttl", 0, "member liveness TTL (default: fleet.DefaultTTL)")
 		sweep  = flag.Duration("sweep", time.Minute, "how often to reclaim expired members")
+		ctl    = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -37,6 +45,24 @@ func main() {
 	l, err := transport.Listen(*listen)
 	if err != nil {
 		log.Fatalf("avaregd: %v", err)
+	}
+
+	var cs *ctlplane.Server
+	if *ctl != "" {
+		cs = ctlplane.New(ctlplane.Config{
+			Ident: ctlplane.Ident{Service: "avaregd", Addr: l.Addr()},
+			Fleet: reg.Members,
+			Drain: func() error {
+				log.Printf("avaregd: ctl drain requested")
+				l.Close()
+				return nil
+			},
+		})
+		ctlAddr, err := cs.Start(*ctl)
+		if err != nil {
+			log.Fatalf("avaregd: %v", err)
+		}
+		log.Printf("avaregd: ctl listening on %s", ctlAddr)
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -60,5 +86,8 @@ func main() {
 
 	log.Printf("avaregd: serving fleet registry on %s", l.Addr())
 	fleet.Serve(l, reg)
+	if cs != nil {
+		cs.Close()
+	}
 	log.Printf("avaregd: shut down cleanly")
 }

@@ -1,45 +1,124 @@
-// Package averr defines the sentinel errors shared across the AvA stack.
+// Package averr defines the categorized sentinel errors shared across the
+// AvA stack.
 //
 // Every layer of the remoting path — the guest stub engine, the hypervisor
 // router and the API server — used to mint its own ad-hoc errors for the
 // same conditions, which made `errors.Is` useless across layer boundaries.
 // The sentinels here are the single source of truth: layers wrap them with
 // `fmt.Errorf("...: %w", ...)` for context, and the guest library maps
-// deadline/cancellation reply statuses back onto them, so a caller can test
+// reply statuses back onto them, so a caller can test
 // `errors.Is(err, averr.ErrDeadlineExceeded)` no matter which layer denied
 // or aborted the call.
+//
+// Each sentinel is an *Error carrying a stable Category and Code so every
+// reporting surface — wire status, the ctl endpoint, logs — speaks one
+// taxonomy. CategoryOf and CodeOf extract them from arbitrarily wrapped
+// errors; both identity (errors.Is against the sentinel) and classification
+// (errors.As against *Error) survive any number of %w wraps.
 package averr
 
 import "errors"
 
-// Sentinels, ordered roughly by where on the call path they arise.
+// Category names the broad class of a stack error. Categories are coarse
+// and stable: operational surfaces group and alert on them, while Code
+// stays unique per sentinel.
+type Category string
+
+// Categories, ordered roughly by where on the call path they arise.
+const (
+	CatArgument Category = "argument" // caller-supplied values failed verification
+	CatProtocol Category = "protocol" // internal wire-protocol violation
+	CatRouting  Category = "routing"  // VM/endpoint resolution failures
+	CatDenied   Category = "denied"   // policy rejected the call outright
+	CatDeadline Category = "deadline" // call ran out of time budget
+	CatCanceled Category = "canceled" // caller withdrew the call
+	CatOverload Category = "overload" // shed by overload control; back off
+	CatFailover Category = "failover" // lost to recovery; safe to reissue
+	CatAPI      Category = "api"      // the virtualized API itself failed
+	CatInternal Category = "internal" // stack bug or unrecoverable state
+)
+
+// Error is a categorized sentinel. The stack compares sentinels by
+// identity (errors.Is falls back to pointer equality), so the categorized
+// representation changes nothing about existing error handling — it only
+// adds Category/Code for surfaces that report errors rather than branch
+// on them.
+type Error struct {
+	Cat  Category // coarse class, shared by related sentinels
+	Code string   // stable unique slug, e.g. "deadline-exceeded"
+	msg  string
+}
+
+// New mints a categorized sentinel. Packages outside averr may mint their
+// own (e.g. a binding-specific denial) and still participate in
+// CategoryOf/CodeOf extraction.
+func New(cat Category, code, msg string) *Error {
+	return &Error{Cat: cat, Code: code, msg: msg}
+}
+
+func (e *Error) Error() string { return e.msg }
+
+// CategoryOf reports the Category of the first categorized sentinel in
+// err's wrap chain, or "" if the chain holds none.
+func CategoryOf(err error) Category {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Cat
+	}
+	return ""
+}
+
+// CodeOf reports the Code of the first categorized sentinel in err's wrap
+// chain, or "" if the chain holds none.
+func CodeOf(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}
+
+// Sentinels, ordered roughly by where on the call path they arise. The
+// message strings are load-bearing: they appear in wire Reply.Err fields
+// and logs, and must stay stable across releases.
 var (
 	// ErrBadArg reports an argument vector that does not match the API
 	// specification (guest-side conversion or server-side verification).
-	ErrBadArg = errors.New("ava: argument does not match specification")
+	ErrBadArg = New(CatArgument, "bad-arg", "ava: argument does not match specification")
 	// ErrProtocol reports a violation of the stack's internal wire
 	// protocol (mismatched reply sequence, malformed out vector).
-	ErrProtocol = errors.New("ava: protocol violation")
+	ErrProtocol = New(CatProtocol, "protocol", "ava: protocol violation")
 	// ErrUnknownVM reports routing or stats for a VM that was never
 	// registered with the hypervisor.
-	ErrUnknownVM = errors.New("ava: unknown VM")
+	ErrUnknownVM = New(CatRouting, "unknown-vm", "ava: unknown VM")
+	// ErrDenied reports a call the router or server rejected by policy or
+	// verification before execution. Reply status StatusDenied maps to it.
+	ErrDenied = New(CatDenied, "denied", "ava: call denied by policy")
 	// ErrDeadlineExceeded reports a call whose deadline passed before it
 	// completed: failed fast in the guest, denied at the router, or
 	// aborted at the server. Reply status StatusDeadline maps to it.
-	ErrDeadlineExceeded = errors.New("ava: deadline exceeded")
+	ErrDeadlineExceeded = New(CatDeadline, "deadline-exceeded", "ava: deadline exceeded")
 	// ErrCanceled reports a call aborted by an explicit cancellation
 	// signal rather than a deadline. Reply status StatusCanceled maps
 	// to it.
-	ErrCanceled = errors.New("ava: call canceled")
+	ErrCanceled = New(CatCanceled, "canceled", "ava: call canceled")
 	// ErrOverloaded reports a call shed by the router's overload control
 	// before it consumed any device resources; the caller should back off
 	// and retry. Reply status StatusOverload maps to it.
-	ErrOverloaded = errors.New("ava: overloaded")
+	ErrOverloaded = New(CatOverload, "overloaded", "ava: overloaded")
 	// ErrRetryable reports a call lost to an API-server failover that the
 	// stack could not transparently resubmit (its retained frame had been
 	// trimmed, or recovery was abandoned). The accelerator state has been
 	// reconstructed from the record log, so the caller may safely reissue
 	// the call; the wrapping error carries the endpoint epoch at which the
 	// loss happened. Reply status StatusRetryable maps to it.
-	ErrRetryable = errors.New("ava: call lost to failover, reissue")
+	ErrRetryable = New(CatFailover, "retryable", "ava: call lost to failover, reissue")
+	// ErrAPIFailure reports a call that executed but whose virtualized API
+	// returned a failure code; the code itself travels in the reply's Ret
+	// value. Reply status StatusAPIError maps to it.
+	ErrAPIFailure = New(CatAPI, "api-failure", "ava: API returned failure status")
+	// ErrInternal reports a stack-internal failure — a bug or state the
+	// stack cannot recover from — described by the wrapping error. Reply
+	// status StatusInternal maps to it.
+	ErrInternal = New(CatInternal, "internal", "ava: internal stack failure")
 )

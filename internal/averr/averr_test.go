@@ -1,0 +1,76 @@
+package averr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Every sentinel must keep errors.Is identity through wrapping, expose a
+// unique non-empty code, and carry a category — this is what lets the
+// wire status, the ctl endpoint, and logs share one taxonomy.
+func TestSentinelTaxonomy(t *testing.T) {
+	sentinels := []*Error{
+		ErrBadArg, ErrProtocol, ErrUnknownVM, ErrDenied,
+		ErrDeadlineExceeded, ErrCanceled, ErrOverloaded, ErrRetryable,
+		ErrAPIFailure, ErrInternal,
+	}
+	codes := make(map[string]*Error)
+	for _, s := range sentinels {
+		if s.Cat == "" {
+			t.Errorf("%v: empty category", s)
+		}
+		if s.Code == "" {
+			t.Errorf("%v: empty code", s)
+		}
+		if prev, dup := codes[s.Code]; dup {
+			t.Errorf("code %q shared by %v and %v", s.Code, prev, s)
+		}
+		codes[s.Code] = s
+
+		wrapped := fmt.Errorf("layer: detail: %w", s)
+		if !errors.Is(wrapped, s) {
+			t.Errorf("%v: errors.Is lost through wrapping", s)
+		}
+		if got := CategoryOf(wrapped); got != s.Cat {
+			t.Errorf("%v: CategoryOf(wrapped) = %q, want %q", s, got, s.Cat)
+		}
+		if got := CodeOf(wrapped); got != s.Code {
+			t.Errorf("%v: CodeOf(wrapped) = %q, want %q", s, got, s.Code)
+		}
+		// Sentinels are distinct: no cross-identity.
+		for _, other := range sentinels {
+			if other != s && errors.Is(s, other) {
+				t.Errorf("%v unexpectedly Is %v", s, other)
+			}
+		}
+	}
+}
+
+// Errors outside the taxonomy classify as uncategorized, not as a
+// default bucket — the mapping to "internal" happens at the wire layer.
+func TestUncategorized(t *testing.T) {
+	plain := errors.New("boom")
+	if got := CategoryOf(plain); got != "" {
+		t.Errorf("CategoryOf(plain) = %q, want \"\"", got)
+	}
+	if got := CodeOf(plain); got != "" {
+		t.Errorf("CodeOf(plain) = %q, want \"\"", got)
+	}
+	if CategoryOf(nil) != "" || CodeOf(nil) != "" {
+		t.Error("nil error classified")
+	}
+}
+
+// Packages may mint their own categorized sentinels and still participate
+// in extraction.
+func TestExternalSentinel(t *testing.T) {
+	mine := New(CatDenied, "quota", "binding: quota exhausted")
+	wrapped := fmt.Errorf("vm 7: %w", mine)
+	if !errors.Is(wrapped, mine) {
+		t.Error("identity lost")
+	}
+	if CategoryOf(wrapped) != CatDenied || CodeOf(wrapped) != "quota" {
+		t.Errorf("classification lost: %q/%q", CategoryOf(wrapped), CodeOf(wrapped))
+	}
+}

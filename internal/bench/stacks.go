@@ -34,6 +34,23 @@ func gpuSilo(memBytes uint64) *cl.Silo {
 	})
 }
 
+// stackObserver, when set, sees every stack a benchmark assembles, for
+// the lifetime of that experiment. avabench's -ctl wiring uses it to
+// point the control endpoint at whichever stack is currently running, so
+// `avactl stats` mid-experiment reads live counters.
+var stackObserver func(*ava.Stack)
+
+// SetStackObserver installs fn as the stack observer. Call before any
+// experiment runs; experiments themselves run serially.
+func SetStackObserver(fn func(*ava.Stack)) { stackObserver = fn }
+
+func observe(stack *ava.Stack) *ava.Stack {
+	if stackObserver != nil {
+		stackObserver(stack)
+	}
+	return stack
+}
+
 // clStack assembles a full OpenCL AvA deployment and returns the stack.
 func clStack(silo *cl.Silo, withSwap bool, opts ...ava.Option) *ava.Stack {
 	desc := cl.Descriptor()
@@ -42,7 +59,7 @@ func clStack(silo *cl.Silo, withSwap bool, opts ...ava.Option) *ava.Stack {
 	if withSwap {
 		swap.NewManager(silo).Install(reg)
 	}
-	return ava.NewStack(desc, reg, opts...)
+	return observe(ava.NewStack(desc, reg, opts...))
 }
 
 // clRemote attaches one VM and returns its remote client.
@@ -64,5 +81,5 @@ func mvncStack(opts ...ava.Option) (*ava.Stack, *mvnc.Silo) {
 	desc := mvnc.Descriptor()
 	reg := server.NewRegistry(desc)
 	mvnc.BindServer(reg, silo)
-	return ava.NewStack(desc, reg, opts...), silo
+	return observe(ava.NewStack(desc, reg, opts...)), silo
 }

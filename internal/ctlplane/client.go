@@ -1,0 +1,145 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ava/internal/averr"
+)
+
+// RemoteError is a control-endpoint error reconstructed on the client
+// side. It preserves the categorized taxonomy across the HTTP boundary:
+// errors.Is(err, averr.ErrUnknownVM) holds for a 404 the far side built
+// from that sentinel, the same way wire statuses preserve errors.Is on
+// the data plane.
+type RemoteError struct {
+	HTTPStatus int    // HTTP response code
+	Category   string // averr category reported by the server
+	Code       string // averr code reported by the server
+	Status     string // marshal wire-status name reported by the server
+	Msg        string // server's error text
+}
+
+func (e *RemoteError) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("ctl: http %d", e.HTTPStatus)
+}
+
+// Is matches a RemoteError against categorized sentinels by code, so the
+// taxonomy survives serialization.
+func (e *RemoteError) Is(target error) bool {
+	t, ok := target.(*averr.Error)
+	return ok && t.Code != "" && t.Code == e.Code
+}
+
+// Client speaks to a ctlplane endpoint.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for host, which may be "host:port" or a full
+// http:// base URL.
+func NewClient(host string) *Client {
+	base := host
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Host returns the endpoint's host:port.
+func (c *Client) Host() string {
+	if u, err := url.Parse(c.base); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return c.base
+}
+
+// do issues one request and decodes the JSON response into out (ignored
+// when out is nil). Non-2xx responses decode into a RemoteError.
+func (c *Client) do(method, path string, out any) error {
+	req, err := http.NewRequest(method, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("ctl: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("ctl: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("ctl: %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		re := &RemoteError{HTTPStatus: resp.StatusCode}
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			re.Category, re.Code, re.Status, re.Msg = eb.Category, eb.Code, eb.Status, eb.Error
+		} else {
+			re.Msg = fmt.Sprintf("ctl: %s %s: http %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("ctl: %s %s: decode: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil)
+}
+
+// Stats fetches the full snapshot.
+func (c *Client) Stats() (*Snapshot, error) {
+	var s Snapshot
+	if err := c.do(http.MethodGet, "/stats", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// VMs fetches the compact per-VM rows.
+func (c *Client) VMs() ([]VMRow, error) {
+	var rows []VMRow
+	if err := c.do(http.MethodGet, "/vms", &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Drain begins a graceful drain of the process.
+func (c *Client) Drain() error {
+	return c.do(http.MethodPost, "/drain", nil)
+}
+
+// Checkpoint forces a checkpoint of vm now.
+func (c *Client) Checkpoint(vm uint32) error {
+	return c.do(http.MethodPost, "/checkpoint?vm="+strconv.FormatUint(uint64(vm), 10), nil)
+}
+
+// Migrate asks the process to move vm to target (empty = lightest peer).
+func (c *Client) Migrate(vm uint32, target string) error {
+	path := "/migrate?vm=" + strconv.FormatUint(uint64(vm), 10)
+	if target != "" {
+		path += "&target=" + url.QueryEscape(target)
+	}
+	return c.do(http.MethodPost, path, nil)
+}

@@ -70,12 +70,17 @@ type Stats struct {
 	Batches    uint64 // transport frames sent
 	BytesSent  uint64
 	BytesRecv  uint64
-	// BytesCopied counts buffer-argument payload bytes marshalled by copy
-	// into call frames; BytesBorrowed counts payload bytes that skipped
-	// that copy — lent to a vectored (scatter-gather) transport send, or
-	// passed as a registered-buffer reference on a shared-address-space
-	// deployment. Together they decompose the data-plane volume the
-	// copycost experiment (E14) reports.
+	// BytesCopied counts buffer payload bytes moved by copy in either
+	// direction: in/inout payloads marshalled into call frames, plus
+	// out/inout payloads scattered from reply frames back into caller
+	// buffers (each direction of an inout buffer is a separate copy and
+	// counts once). BytesBorrowed counts payload bytes that skipped the
+	// copy — lent to a vectored (scatter-gather) transport send, passed
+	// as a registered-buffer reference on a shared-address-space
+	// deployment, or written by the server directly into a registered
+	// out-buffer (counted when the reply confirms the in-place write).
+	// Together they decompose the data-plane volume the copycost
+	// experiment (E14) reports, D2H as well as H2D.
 	BytesCopied   uint64
 	BytesBorrowed uint64
 	// DeadlineFailFast counts calls failed locally because their deadline
@@ -665,8 +670,11 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 					}
 					if id, off, ok := l.reg.Locate(ob.buf); ok {
 						values[i] = marshal.RegRefVal(id, off, uint64(len(ob.buf)))
+						// The out-direction borrow is charged at reply
+						// time, when the server has confirmed the
+						// in-place write (see scatter) — the reply path
+						// is where those bytes move, or rather don't.
 						ob.regref = true
-						borrowedRef += uint64(len(ob.buf))
 					}
 					break
 				}
@@ -838,9 +846,11 @@ func (l *Lib) call(fd *cava.FuncDesc, opts CallOptions, args []any) (marshal.Val
 			}
 			return marshal.Null(), &APIError{Func: fd.Name, Status: reply.Status, Detail: reply.Err}
 		}
-		err = scatter(fd, reply, outs)
+		replyCopied, replyBorrowed, err := scatter(fd, reply, outs)
 		l.mu.Lock()
 		l.markDoneLocked(call.Seq)
+		l.stats.BytesCopied += replyCopied
+		l.stats.BytesBorrowed += replyBorrowed
 		if reply.Err != "" {
 			l.deferred = fmt.Errorf("guest: %s", reply.Err)
 		}
@@ -1518,13 +1528,18 @@ func convertElement(pd *cava.ParamDesc, i int, arg any) (marshal.Value, *outBind
 	return marshal.Null(), nil, fmt.Errorf("want pointer destination for out element, got %T", arg)
 }
 
-// scatter writes reply outputs back into the caller's memory.
-func scatter(fd *cava.FuncDesc, reply *marshal.Reply, outs []outBinding) error {
+// scatter writes reply outputs back into the caller's memory. It returns
+// the reply-side data-plane decomposition: copied counts out-payload
+// bytes duplicated from the reply frame into caller buffers, borrowed
+// counts registered-buffer outputs the server wrote in place (the reply
+// carried only a length) — the D2H halves of Stats.BytesCopied and
+// Stats.BytesBorrowed.
+func scatter(fd *cava.FuncDesc, reply *marshal.Reply, outs []outBinding) (copied, borrowed uint64, err error) {
 	if fd.NumOuts == 0 {
-		return nil
+		return 0, 0, nil
 	}
 	if len(reply.Outs) != fd.NumOuts {
-		return fmt.Errorf("%w: %s: %d outs, want %d", ErrProtocol, fd.Name, len(reply.Outs), fd.NumOuts)
+		return 0, 0, fmt.Errorf("%w: %s: %d outs, want %d", ErrProtocol, fd.Name, len(reply.Outs), fd.NumOuts)
 	}
 	// Map param index -> out slot.
 	slot := make(map[int]int, fd.NumOuts)
@@ -1546,21 +1561,23 @@ func scatter(fd *cava.FuncDesc, reply *marshal.Reply, outs []outBinding) error {
 				// the shared region in place; the reply carries only the
 				// length written.
 				if v.Uint != uint64(len(ob.buf)) {
-					return fmt.Errorf("%w: %s: regref out wrote %d bytes, want %d", ErrProtocol, fd.Name, v.Uint, len(ob.buf))
+					return copied, borrowed, fmt.Errorf("%w: %s: regref out wrote %d bytes, want %d", ErrProtocol, fd.Name, v.Uint, len(ob.buf))
 				}
+				borrowed += v.Uint
 				continue
 			}
 			if v.Kind != marshal.KindBytes || len(v.Bytes) != len(ob.buf) {
-				return fmt.Errorf("%w: %s: out buffer %d bytes, want %d", ErrProtocol, fd.Name, len(v.Bytes), len(ob.buf))
+				return copied, borrowed, fmt.Errorf("%w: %s: out buffer %d bytes, want %d", ErrProtocol, fd.Name, len(v.Bytes), len(ob.buf))
 			}
 			copy(ob.buf, v.Bytes)
+			copied += uint64(len(v.Bytes))
 			continue
 		}
 		if err := storeElement(ob.dst, v); err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrProtocol, fd.Name, err)
+			return copied, borrowed, fmt.Errorf("%w: %s: %v", ErrProtocol, fd.Name, err)
 		}
 	}
-	return nil
+	return copied, borrowed, nil
 }
 
 func storeElement(dst any, v marshal.Value) error {

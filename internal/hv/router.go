@@ -3,6 +3,7 @@ package hv
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -320,7 +321,7 @@ func (r *Router) RegisterVM(cfg VMConfig) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.vms[cfg.ID]; dup {
-		return fmt.Errorf("hv: VM %d already registered", cfg.ID)
+		return fmt.Errorf("%w: hv: VM %d already registered", averr.ErrBadArg, cfg.ID)
 	}
 	st := &vmState{
 		cfg:    cfg,
@@ -423,6 +424,52 @@ func (r *Router) Stats(id VMID) (VMStats, error) {
 		out.Resources[k] = v
 	}
 	return out, nil
+}
+
+// VMSnapshot is one VM's router-side view for observability surfaces:
+// identity, placement, and a consistent copy of the policy counters.
+type VMSnapshot struct {
+	ID    VMID
+	Name  string
+	Host  string // fleet member currently serving this VM ("" = configured endpoint)
+	Epoch uint32 // endpoint epoch (bumped per recovery)
+	Stats VMStats
+}
+
+// Snapshot returns a point-in-time copy of every registered VM's router
+// state, sorted by VM ID. Each VM is copied under its own lock, so the
+// snapshot is per-VM consistent (not cross-VM atomic) and never blocks
+// the data path for longer than one stats copy.
+func (r *Router) Snapshot() []VMSnapshot {
+	r.mu.Lock()
+	ids := make([]VMID, 0, len(r.vms))
+	states := make(map[VMID]*vmState, len(r.vms))
+	for id, st := range r.vms {
+		ids = append(ids, id)
+		states[id] = st
+	}
+	r.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	out := make([]VMSnapshot, 0, len(ids))
+	for _, id := range ids {
+		st := states[id]
+		st.mu.Lock()
+		snap := VMSnapshot{
+			ID:    id,
+			Name:  st.cfg.Name,
+			Host:  st.host,
+			Epoch: st.epoch,
+			Stats: st.stats,
+		}
+		snap.Stats.Resources = make(map[string]int64, len(st.stats.Resources))
+		for k, v := range st.stats.Resources {
+			snap.Stats.Resources[k] = v
+		}
+		st.mu.Unlock()
+		out = append(out, snap)
+	}
+	return out
 }
 
 func (r *Router) vm(id VMID) (*vmState, error) {

@@ -353,13 +353,21 @@ func (s Status) String() string {
 	}
 }
 
-// Sentinel maps a status to the stack-wide sentinel error it represents,
-// or nil for statuses (including unknown future ones) with no sentinel.
-// Guest-side errors unwrap to this, so errors.Is(err,
-// averr.ErrDeadlineExceeded) holds end to end no matter which layer
-// expired the call.
+// Sentinel maps a status to the stack-wide categorized sentinel it
+// represents, or nil for StatusOK and unknown future statuses. Guest-side
+// errors unwrap to this, so errors.Is(err, averr.ErrDeadlineExceeded)
+// holds end to end no matter which layer expired the call, and
+// averr.CategoryOf classifies any wire error for reporting surfaces.
+// Every non-OK known status maps to exactly one sentinel and back
+// (StatusFor inverts this mapping).
 func (s Status) Sentinel() error {
 	switch s {
+	case StatusAPIError:
+		return averr.ErrAPIFailure
+	case StatusDenied:
+		return averr.ErrDenied
+	case StatusInternal:
+		return averr.ErrInternal
 	case StatusDeadline:
 		return averr.ErrDeadlineExceeded
 	case StatusCanceled:
@@ -370,6 +378,38 @@ func (s Status) Sentinel() error {
 		return averr.ErrRetryable
 	default:
 		return nil
+	}
+}
+
+// StatusFor inverts Sentinel: it maps an error (arbitrarily %w-wrapped)
+// to the wire status that represents it, for layers that turn a local
+// error into a Reply. nil maps to StatusOK. Sentinels with no status of
+// their own collapse into the nearest wire meaning: ErrBadArg,
+// ErrProtocol and ErrUnknownVM are all denials of the call as posed, so
+// they travel as StatusDenied (the detail string preserves the specific
+// sentinel message for the far side's logs). Unrecognized errors are
+// stack-internal by definition.
+func StatusFor(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, averr.ErrAPIFailure):
+		return StatusAPIError
+	case errors.Is(err, averr.ErrDeadlineExceeded):
+		return StatusDeadline
+	case errors.Is(err, averr.ErrCanceled):
+		return StatusCanceled
+	case errors.Is(err, averr.ErrOverloaded):
+		return StatusOverload
+	case errors.Is(err, averr.ErrRetryable):
+		return StatusRetryable
+	case errors.Is(err, averr.ErrDenied),
+		errors.Is(err, averr.ErrBadArg),
+		errors.Is(err, averr.ErrProtocol),
+		errors.Is(err, averr.ErrUnknownVM):
+		return StatusDenied
+	default:
+		return StatusInternal
 	}
 }
 

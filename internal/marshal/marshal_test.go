@@ -2,6 +2,7 @@ package marshal
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -339,17 +340,77 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 	}
 }
 
+// TestStatusSentinels is the round-trip contract between the wire status
+// space and the categorized averr taxonomy: every non-OK known status maps
+// to exactly one categorized sentinel, and StatusFor maps that sentinel —
+// bare or %w-wrapped — back to the same status. Unknown future statuses
+// stay sentinel-free so they keep their numeric identity end to end.
 func TestStatusSentinels(t *testing.T) {
-	if !errors.Is(StatusDeadline.Sentinel(), averr.ErrDeadlineExceeded) {
-		t.Error("StatusDeadline does not map to ErrDeadlineExceeded")
+	cases := []struct {
+		status   Status
+		sentinel error
+		cat      averr.Category
+		code     string
+	}{
+		{StatusAPIError, averr.ErrAPIFailure, averr.CatAPI, "api-failure"},
+		{StatusDenied, averr.ErrDenied, averr.CatDenied, "denied"},
+		{StatusInternal, averr.ErrInternal, averr.CatInternal, "internal"},
+		{StatusDeadline, averr.ErrDeadlineExceeded, averr.CatDeadline, "deadline-exceeded"},
+		{StatusCanceled, averr.ErrCanceled, averr.CatCanceled, "canceled"},
+		{StatusOverload, averr.ErrOverloaded, averr.CatOverload, "overloaded"},
+		{StatusRetryable, averr.ErrRetryable, averr.CatFailover, "retryable"},
 	}
-	if !errors.Is(StatusCanceled.Sentinel(), averr.ErrCanceled) {
-		t.Error("StatusCanceled does not map to ErrCanceled")
+	seen := make(map[error]Status)
+	for _, tc := range cases {
+		s := tc.status.Sentinel()
+		if !errors.Is(s, tc.sentinel) {
+			t.Errorf("%v: Sentinel() = %v, want %v", tc.status, s, tc.sentinel)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("%v and %v share sentinel %v", tc.status, prev, s)
+		}
+		seen[s] = tc.status
+		if got := averr.CategoryOf(s); got != tc.cat {
+			t.Errorf("%v: category = %q, want %q", tc.status, got, tc.cat)
+		}
+		if got := averr.CodeOf(s); got != tc.code {
+			t.Errorf("%v: code = %q, want %q", tc.status, got, tc.code)
+		}
+		// Round trip: bare and wrapped sentinels map back to the status.
+		if got := StatusFor(s); got != tc.status {
+			t.Errorf("StatusFor(%v) = %v, want %v", s, got, tc.status)
+		}
+		wrapped := fmt.Errorf("router: vm 3: %w", s)
+		if got := StatusFor(wrapped); got != tc.status {
+			t.Errorf("StatusFor(wrapped %v) = %v, want %v", s, got, tc.status)
+		}
+		if got := averr.CategoryOf(wrapped); got != tc.cat {
+			t.Errorf("wrapped %v: category = %q, want %q", s, got, tc.cat)
+		}
 	}
-	for _, s := range []Status{StatusOK, StatusAPIError, StatusDenied, StatusInternal, Status(200)} {
+	// Statuses with no sentinel of their own.
+	if StatusOK.Sentinel() != nil {
+		t.Error("StatusOK unexpectedly maps to a sentinel")
+	}
+	if StatusFor(nil) != StatusOK {
+		t.Error("StatusFor(nil) != StatusOK")
+	}
+	for _, s := range []Status{Status(100), Status(200)} {
 		if s.Sentinel() != nil {
 			t.Errorf("%v unexpectedly maps to a sentinel", s)
 		}
+	}
+	// Sentinels without a wire status of their own collapse to the
+	// denial status (the call as posed was rejected, not mis-executed).
+	for _, e := range []error{averr.ErrBadArg, averr.ErrProtocol, averr.ErrUnknownVM} {
+		if got := StatusFor(e); got != StatusDenied {
+			t.Errorf("StatusFor(%v) = %v, want %v", e, got, StatusDenied)
+		}
+	}
+	// Errors outside the taxonomy are internal by definition.
+	if got := StatusFor(errors.New("boom")); got != StatusInternal {
+		t.Errorf("StatusFor(unknown) = %v, want %v", got, StatusInternal)
 	}
 }
 

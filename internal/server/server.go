@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,10 +80,10 @@ func NewRegistry(d *cava.Descriptor) *Registry {
 func (r *Registry) Register(name string, h Handler) error {
 	fd, ok := r.Desc.Lookup(name)
 	if !ok {
-		return fmt.Errorf("server: register %q: no such function in %s", name, r.Desc.Name)
+		return fmt.Errorf("%w: server: register %q: no such function in %s", averr.ErrBadArg, name, r.Desc.Name)
 	}
 	if r.handlers[fd.ID] != nil {
-		return fmt.Errorf("server: register %q: already registered", name)
+		return fmt.Errorf("%w: server: register %q: already registered", averr.ErrBadArg, name)
 	}
 	r.handlers[fd.ID] = h
 	return nil
@@ -116,11 +117,15 @@ type Stats struct {
 	BytesIn    uint64
 	BytesOut   uint64
 	ExecTime   time.Duration
-	// BytesCopied counts in/inout buffer payload bytes that arrived inline
-	// in call frames (marshalled by copy); BytesBorrowed counts payload
-	// bytes that took a zero-copy path instead — registered-buffer
-	// references resolved against the shared region. The per-VM mirror of
-	// the guest library's counters, for the copycost (E14) breakdown.
+	// BytesCopied counts buffer payload bytes moved by copy in either
+	// direction: in/inout payloads that arrived inline in call frames,
+	// plus out/inout payloads returned inline in reply frames. Each
+	// direction of an inout buffer is a separate copy and counts once.
+	// BytesBorrowed counts payload bytes that took a zero-copy path
+	// instead — registered-buffer references resolved against the shared
+	// region, whether the call read the region in place or wrote its
+	// output into it. The per-VM mirror of the guest library's counters,
+	// for the copycost (E14) breakdown.
 	BytesCopied   uint64
 	BytesBorrowed uint64
 	// DeadlineAborts counts calls ended with StatusDeadline: expired at
@@ -191,6 +196,11 @@ type Context struct {
 	stats     Stats
 	frozen    bool // suspended for migration
 
+	// queued gauges the ServeVM dispatch backlog: tasks handed to a
+	// worker queue and not yet completed. Atomic (not under mu) so the
+	// hot enqueue path never contends with stats readers.
+	queued atomic.Int64
+
 	clk clock.Clock
 }
 
@@ -225,6 +235,11 @@ func (c *Context) Stats() Stats {
 	defer c.mu.Unlock()
 	return c.stats
 }
+
+// QueueDepth reports the current ServeVM dispatch backlog: calls handed
+// to a worker queue (or blocked entering one) that have not completed.
+// Zero for contexts driven through Execute directly.
+func (c *Context) QueueDepth() int { return int(c.queued.Load()) }
 
 // DeferredError returns and clears the pending async-error note.
 func (c *Context) DeferredError() string {
@@ -405,6 +420,40 @@ func (s *Server) DropContext(vm uint32) {
 	s.mu.Lock()
 	delete(s.ctxs, vm)
 	s.mu.Unlock()
+}
+
+// VMSnapshot is one VM's server-side view for observability surfaces.
+// Counters are read live from the context, so a snapshot taken after a
+// connection died still carries everything the VM did — stats do not
+// wait for an orderly disconnect.
+type VMSnapshot struct {
+	VM         uint32
+	Name       string
+	QueueDepth int // current dispatch backlog (see Context.QueueDepth)
+	Stats      Stats
+}
+
+// Snapshot returns a point-in-time copy of every known VM context,
+// sorted by VM ID. Each context is copied under its own lock.
+func (s *Server) Snapshot() []VMSnapshot {
+	s.mu.Lock()
+	ctxs := make([]*Context, 0, len(s.ctxs))
+	for _, c := range s.ctxs {
+		ctxs = append(ctxs, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(ctxs, func(i, j int) bool { return ctxs[i].VM < ctxs[j].VM })
+
+	out := make([]VMSnapshot, 0, len(ctxs))
+	for _, c := range ctxs {
+		out = append(out, VMSnapshot{
+			VM:         c.VM,
+			Name:       c.Name,
+			QueueDepth: c.QueueDepth(),
+			Stats:      c.Stats(),
+		})
+	}
+	return out
 }
 
 // Execute runs one decoded call and returns the reply, or nil for
@@ -635,6 +684,23 @@ func (s *Server) execute(ctx *Context, call *marshal.Call, async bool) *marshal.
 		Outs:   inv.finishOuts(),
 	})
 
+	// Reply-side data-plane accounting: out/inout payloads returned inline
+	// travel (and land in the caller's buffer) by copy; out-direction
+	// regref writes already hit the registered region in place and were
+	// counted as borrowed at resolution, and their reply carries only a
+	// length, so nothing double-counts here.
+	var replyCopied uint64
+	for _, v := range reply.Outs {
+		if v.Kind == marshal.KindBytes {
+			replyCopied += uint64(len(v.Bytes))
+		}
+	}
+	if replyCopied != 0 {
+		ctx.mu.Lock()
+		ctx.stats.BytesCopied += replyCopied
+		ctx.mu.Unlock()
+	}
+
 	// Record for migration replay, capturing the created handle if any.
 	// call.Args is the pristine wire form (verifyAndPrepare works on a
 	// copy), so the recorded call can be re-executed verbatim.
@@ -773,6 +839,7 @@ func (s *Server) ServeVM(ctx *Context, ep transport.Endpoint) error {
 					<-d
 				}
 				s.dispatch(ctx, t, replyCh)
+				ctx.queued.Add(-1)
 				close(t.done)
 			}
 		}()
@@ -893,6 +960,7 @@ recv:
 				}
 				outstanding = append(outstanding, t.done)
 			}
+			ctx.queued.Add(1)
 			queues[w] <- t
 		}
 	}

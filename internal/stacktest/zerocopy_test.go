@@ -73,9 +73,28 @@ func zcRoundTrip(t *testing.T, lib *guest.Lib, registered bool) {
 		t.Fatal("zero-copy round-trip corrupted the payload")
 	}
 	after := lib.Stats()
-	if borrowed := after.BytesBorrowed - before.BytesBorrowed; borrowed < n {
+	borrowed := after.BytesBorrowed - before.BytesBorrowed
+	copied := after.BytesCopied - before.BytesCopied
+	if borrowed < n {
 		t.Fatalf("zero-copy path did not engage: borrowed %d bytes, want >= %d (copied %d)",
-			borrowed, n, after.BytesCopied-before.BytesCopied)
+			borrowed, n, copied)
+	}
+	if registered {
+		// Both directions ride the registered region: the write borrows n
+		// at send (DirIn regref) and the read borrows n at reply (DirOut
+		// regref, charged when the reply scatters). Anything under 2n means
+		// the reply side went unaccounted — the bug where Stats only
+		// counted send-side payloads.
+		if borrowed < 2*n {
+			t.Fatalf("reply-side borrow unaccounted: borrowed %d bytes, want >= %d", borrowed, 2*n)
+		}
+	} else {
+		// Scatter-gather TCP: the write borrows its segments at send, but
+		// the read-back reply arrives as inline bytes the guest must copy
+		// out — a real n-byte copy that must land in BytesCopied.
+		if copied < n {
+			t.Fatalf("reply-side copy unaccounted: copied %d bytes, want >= %d", copied, n)
+		}
 	}
 }
 

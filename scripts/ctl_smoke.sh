@@ -1,0 +1,63 @@
+#!/bin/sh
+# ctl_smoke.sh — end-to-end smoke of the operability front door: start a
+# real avad with its HTTP control endpoint, scrape it with avactl, drain
+# it via avactl, and require a clean exit. Run from the repo root
+# (`make ctl-smoke` does). Everything binds to port 0, so parallel CI
+# runs do not collide.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; [ -n "${avad_pid:-}" ] && kill "$avad_pid" 2>/dev/null || true' EXIT
+
+echo "ctl-smoke: building avad + avactl"
+$GO build -o "$workdir/avad" ./cmd/avad
+$GO build -o "$workdir/avactl" ./cmd/avactl
+
+"$workdir/avad" -listen 127.0.0.1:0 -ctl 127.0.0.1:0 >"$workdir/avad.log" 2>&1 &
+avad_pid=$!
+
+# The daemon logs its bound ctl address; poll for it.
+ctl_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    ctl_addr=$(sed -n 's/.*avad: ctl listening on //p' "$workdir/avad.log" | head -1)
+    [ -n "$ctl_addr" ] && break
+    kill -0 "$avad_pid" 2>/dev/null || { echo "ctl-smoke: avad died:"; cat "$workdir/avad.log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ctl_addr" ]; then
+    echo "ctl-smoke: avad never announced its ctl address:"
+    cat "$workdir/avad.log"
+    exit 1
+fi
+echo "ctl-smoke: avad up, ctl at $ctl_addr"
+
+"$workdir/avactl" -host "$ctl_addr" health
+"$workdir/avactl" -host "$ctl_addr" stats
+"$workdir/avactl" -host "$ctl_addr" vms
+"$workdir/avactl" -host "$ctl_addr" -json stats | grep -q '"service": "avad"' || {
+    echo "ctl-smoke: stats JSON missing ident"; exit 1
+}
+
+echo "ctl-smoke: draining via avactl"
+"$workdir/avactl" -host "$ctl_addr" drain
+
+# The drain must take avad down cleanly on its own.
+i=0
+while kill -0 "$avad_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ $i -gt 100 ]; then
+        echo "ctl-smoke: avad still running 10s after drain:"
+        cat "$workdir/avad.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$avad_pid" || { echo "ctl-smoke: avad exited non-zero:"; cat "$workdir/avad.log"; exit 1; }
+avad_pid=""
+grep -q "avad: shut down cleanly" "$workdir/avad.log" || {
+    echo "ctl-smoke: no clean-shutdown log line:"; cat "$workdir/avad.log"; exit 1
+}
+echo "ctl-smoke: OK"
