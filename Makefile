@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke bench-json chaos ctl-smoke
+.PHONY: check fmt vet build test bench bench-smoke bench-json chaos ctl-smoke sched-smoke
 
-check: fmt vet build test bench-smoke ctl-smoke
+check: fmt vet build test bench-smoke ctl-smoke sched-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -29,20 +29,27 @@ bench:
 # One iteration of every benchmark, no unit tests: catches benchmarks that
 # stopped compiling or panic without paying for a full measurement run.
 # Also exercises the overload-control (E11), failover (E12), cross-host
-# failover (E13) and zero-copy/copy-cost (E14) experiments end to end,
-# since their assertions live in the table generation, not in a Benchmark
-# func.
+# failover (E13), zero-copy/copy-cost (E14) and cluster-rebalancing (E15)
+# experiments end to end, since their assertions live in the table
+# generation, not in a Benchmark func.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/avabench -exp overload -reps 1
 	$(GO) run ./cmd/avabench -exp failover -reps 1
 	$(GO) run ./cmd/avabench -exp crosshost -reps 1
 	$(GO) run ./cmd/avabench -exp copycost -reps 1
+	$(GO) run ./cmd/avabench -exp rebalance -reps 1
 
 # Operability smoke: boot a real avad with -ctl, scrape it with avactl,
 # drain it over HTTP, and require a clean exit (scripts/ctl_smoke.sh).
 ctl-smoke:
 	GO="$(GO)" sh scripts/ctl_smoke.sh
+
+# Scheduling smoke: boot a real avaregd and two announced avads, run the
+# avaplace probe, and require exactly one placement decision
+# (scripts/sched_smoke.sh).
+sched-smoke:
+	GO="$(GO)" sh scripts/sched_smoke.sh
 
 # Full experiment sweep with machine-readable output: one BENCH_<exp>.json
 # per experiment lands in bench-out/ alongside the printed tables.
@@ -53,7 +60,9 @@ bench-json:
 # Chaos gate: every fault-injection and kill-the-server test under -race,
 # with fixed seeds (the tests pin their own Flaky/backoff seeds), so CI
 # reproduces the same failure schedules run to run. CrossHost covers the
-# whole-machine kill with fleet-registry failover to a peer host.
+# whole-machine kill with fleet-registry failover to a peer host;
+# Rebalance covers skewed-load live migration (fixed skew, deterministic
+# decisions) through the same guardian machinery.
 chaos:
-	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control|CrossHost|Rehydration' \
-		./internal/transport/ ./internal/failover/ ./internal/stacktest/
+	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control|CrossHost|Rehydration|Rebalance' \
+		./internal/transport/ ./internal/failover/ ./internal/stacktest/ ./internal/sched/ ./internal/bench/ .

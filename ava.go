@@ -36,9 +36,11 @@ import (
 	"ava/internal/cava"
 	"ava/internal/clock"
 	"ava/internal/failover"
+	"ava/internal/fleet"
 	"ava/internal/guest"
 	"ava/internal/hv"
 	"ava/internal/migrate"
+	"ava/internal/sched"
 	"ava/internal/server"
 	"ava/internal/spec"
 	"ava/internal/transport"
@@ -62,6 +64,13 @@ type (
 	CallOption = guest.CallOption
 	// ShedConfig tunes the router's load shedder (hv.ShedConfig).
 	ShedConfig = hv.ShedConfig
+	// SchedPolicy orders placement candidates for a VM (sched.Policy;
+	// built-ins: sched.LeastLoad, sched.NewSpreadByVMCount).
+	SchedPolicy = sched.Policy
+	// SchedDecision is one recorded scheduling choice (sched.Decision).
+	SchedDecision = sched.Decision
+	// RebalanceConfig tunes the background rebalancer (sched.Config).
+	RebalanceConfig = sched.Config
 )
 
 // Stack-wide sentinel errors (internal/averr), usable with errors.Is on
@@ -154,6 +163,17 @@ type Config struct {
 	// and directs the guest library to resubmit its unacked calls. Nil
 	// disables.
 	Failover *FailoverConfig
+	// Placement enables admission-time placement: every attached VM dials
+	// the fleet registry through a per-VM FleetDialer ranked by the
+	// configured policy, and each landing is recorded in the scheduling
+	// decision log. Implies failover (a zero FailoverConfig is assumed
+	// when Failover is nil). Nil disables.
+	Placement *PlacementConfig
+	// Rebalance starts the background rebalancer over the placement
+	// fleet: sustained load skew live-migrates VMs off hot hosts through
+	// the guardian's checkpoint/migrate machinery. Requires Placement.
+	// Nil disables.
+	Rebalance *RebalanceConfig
 }
 
 // TransportConfig selects and sizes the remoting transport.
@@ -218,6 +238,44 @@ func WithGuestDefaults(opts ...guest.Option) Option {
 // WithFailover enables fault-tolerant remoting with the given tuning.
 func WithFailover(fc FailoverConfig) Option {
 	return func(c *Config) { c.Failover = &fc }
+}
+
+// WithPlacement enables registry-backed admission-time placement.
+func WithPlacement(pc PlacementConfig) Option {
+	return func(c *Config) { c.Placement = &pc }
+}
+
+// WithRebalance starts the background rebalancer; requires WithPlacement.
+// An Interval of 0 builds the rebalancer in manual mode — no background
+// loop; Stack.Rebalancer().Tick()/Kick() drive it — which is what
+// deterministic tests and operator-triggered-only deployments want.
+func WithRebalance(rc RebalanceConfig) Option {
+	return func(c *Config) { c.Rebalance = &rc }
+}
+
+// PlacementConfig wires a stack to a fleet registry for admission-time
+// placement (see internal/sched). Every attached VM gets a FleetDialer
+// over Locator whose candidate ranking is delegated to Policy; landings
+// feed the decision log and, for history-tracking policies, the policy's
+// observed placements.
+type PlacementConfig struct {
+	// Locator is the fleet registry handle (fleet.Registry in-process, or
+	// a fleet.Client over TCP). Required.
+	Locator fleet.Locator
+	// API names the accelerator API requested from the registry; "" uses
+	// the stack descriptor's name.
+	API string
+	// Policy ranks live candidates per VM; nil = sched.LeastLoad.
+	Policy sched.Policy
+	// PerHostAttempts is the dialer's same-host retry budget; 0 = 2.
+	PerHostAttempts int
+	// Resolve overrides how a chosen member becomes a live ServerLink for
+	// one VM; nil = TCP dial to m.Addr with the hello preamble (the avad
+	// wire). Tests use it to simulate a fleet in-process.
+	Resolve func(vm uint32, m fleet.Member, epoch uint32) (failover.ServerLink, error)
+	// Log receives placement/failover/rebalance decisions; nil builds a
+	// fresh log (read it back via Stack.SchedLog).
+	Log *sched.Log
 }
 
 // FailoverConfig tunes the per-VM failover guardian (see internal/failover).
@@ -298,8 +356,13 @@ type Stack struct {
 	cfg  Config
 	breg *transport.BufRegistry // shared-address-space deployments only
 
-	mu  sync.Mutex
-	vms map[uint32]*attachment
+	policy     sched.Policy // placement ranking; nil without Placement
+	schedLog   *sched.Log   // decision log; nil without Placement
+	rebalancer *sched.Rebalancer
+
+	mu         sync.Mutex
+	vms        map[uint32]*attachment
+	relocating map[uint32]bool // VMs with a rebalance move in flight
 }
 
 type attachment struct {
@@ -307,6 +370,7 @@ type attachment struct {
 	eps      []transport.Endpoint
 	done     chan struct{}
 	guardian *failover.Guardian
+	dialer   *failover.FleetDialer // placement-built dialer, else nil
 }
 
 // NewStack builds the hypervisor and server halves over a silo registry.
@@ -318,13 +382,41 @@ func NewStack(desc *cava.Descriptor, reg *server.Registry, opts ...Option) *Stac
 		}
 	}
 	s := &Stack{
-		Desc:   desc,
-		Router: hv.NewRouter(desc, cfg.Scheduler, cfg.Clock),
-		Server: server.New(reg),
-		cfg:    cfg,
-		vms:    make(map[uint32]*attachment),
+		Desc:       desc,
+		Router:     hv.NewRouter(desc, cfg.Scheduler, cfg.Clock),
+		Server:     server.New(reg),
+		cfg:        cfg,
+		vms:        make(map[uint32]*attachment),
+		relocating: make(map[uint32]bool),
 	}
 	s.Router.SetShedPolicy(cfg.Router.Shed)
+	if pc := cfg.Placement; pc != nil && pc.Locator != nil {
+		s.policy = pc.Policy
+		if s.policy == nil {
+			s.policy = sched.LeastLoad{}
+		}
+		s.schedLog = pc.Log
+		if s.schedLog == nil {
+			s.schedLog = sched.NewLog()
+		}
+		if rc := cfg.Rebalance; rc != nil {
+			background := rc.Interval > 0
+			rcv := *rc
+			if rcv.Policy == nil {
+				rcv.Policy = s.policy
+			}
+			if rcv.Log == nil {
+				rcv.Log = s.schedLog
+			}
+			if rcv.Clock == nil {
+				rcv.Clock = cfg.Clock
+			}
+			s.rebalancer = sched.New(rcv, s.hostLoads, s.MigrateVM)
+			if background {
+				s.rebalancer.Start()
+			}
+		}
+	}
 	// Both built-in transports keep guest and server in one address space
 	// (InProc channels; the ring simulates hypervisor shared memory), so
 	// the registered-buffer fast path applies: one registry, shared by the
@@ -379,14 +471,36 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 	var (
 		routerServer transport.Endpoint
 		g            *failover.Guardian
+		placed       *failover.FleetDialer
 		foOpts       []guest.Option
 	)
-	if fc := s.cfg.Failover; fc != nil {
+	fc := s.cfg.Failover
+	if fc == nil && s.policy != nil {
+		// Placement implies failover: the placed dialer becomes the
+		// guardian's dial closure, with default guardian tuning.
+		fc = &FailoverConfig{}
+	}
+	if fc != nil {
 		var north transport.Endpoint
 		routerServer, north = s.pair()
 		id, name := cfg.ID, cfg.Name
 		var dial func() (failover.ServerLink, error)
-		if fc.Dial != nil {
+		switch {
+		case s.policy != nil && fc.Dial == nil:
+			// Registry-backed placement: a per-VM FleetDialer ranked by
+			// the stack's policy. Every landing updates the router's
+			// serving-host record so a cross-host move re-fences any
+			// frames stamped for the old host.
+			placed = s.newPlacedDialer(id, name)
+			dial = func() (failover.ServerLink, error) {
+				link, err := placed.Dial()
+				if err != nil {
+					return link, err
+				}
+				s.Router.SetServingHost(id, placed.Host())
+				return link, nil
+			}
+		case fc.Dial != nil:
 			// Custom dialer (e.g. a fleet-registry FleetDialer): every
 			// successful dial updates the router's serving-host record so a
 			// cross-host move re-fences any frames stamped for the old host.
@@ -402,7 +516,7 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 				s.Router.SetServingHost(id, host)
 				return link, nil
 			}
-		} else {
+		default:
 			dial = func() (failover.ServerLink, error) {
 				south, serverEP := s.pair()
 				if fc.WrapServerLink != nil {
@@ -429,6 +543,11 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 			Clock:              s.cfg.Clock,
 			OnEpoch:            func(e uint32) { s.Router.SetEpoch(id, e) },
 		})
+		if placed != nil {
+			// The dialer stamps the guardian's epoch into the hello
+			// preamble; wire the source before the first (Start) dial.
+			placed.SetEpochSource(g.Epoch)
+		}
 		if err := g.Start(); err != nil {
 			s.Router.UnregisterVM(cfg.ID)
 			for _, ep := range []transport.Endpoint{guestEP, routerGuest, routerServer, north} {
@@ -471,10 +590,150 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 		eps:      []transport.Endpoint{guestEP, routerGuest, routerServer},
 		done:     done,
 		guardian: g,
+		dialer:   placed,
 	}
 	s.mu.Unlock()
 	return lib, nil
 }
+
+// newPlacedDialer builds the per-VM registry dialer placement uses.
+func (s *Stack) newPlacedDialer(id uint32, name string) *failover.FleetDialer {
+	pc := s.cfg.Placement
+	var resolve func(m fleet.Member, epoch uint32) (failover.ServerLink, error)
+	if pc.Resolve != nil {
+		resolve = func(m fleet.Member, epoch uint32) (failover.ServerLink, error) {
+			return pc.Resolve(id, m, epoch)
+		}
+	}
+	return failover.NewFleetDialer(pc.Locator, failover.FleetDialConfig{
+		API:             s.placementAPI(),
+		VM:              id,
+		Name:            name,
+		PerHostAttempts: pc.PerHostAttempts,
+		Resolve:         resolve,
+		Rank:            s.policy.Rank,
+		OnDial:          s.noteDial,
+	})
+}
+
+func (s *Stack) placementAPI() string {
+	if api := s.cfg.Placement.API; api != "" {
+		return api
+	}
+	return s.Desc.Name
+}
+
+// noteDial observes every successful placed dial: history-tracking
+// policies follow the move, and the decision log records admissions and
+// failover landings (rebalance moves are logged by the rebalancer itself,
+// so a relocation in flight is not double-counted as a failover).
+func (s *Stack) noteDial(vm uint32, host, prev string) {
+	if obs, ok := s.policy.(interface{ Observe(uint32, string) }); ok {
+		obs.Observe(vm, host)
+	}
+	s.mu.Lock()
+	reloc := s.relocating[vm]
+	delete(s.relocating, vm)
+	s.mu.Unlock()
+	switch {
+	case prev == "":
+		s.schedLog.Add(sched.Decision{
+			Time: s.now(), Kind: "place", VM: vm, To: host,
+			Policy: s.policy.Name(), Reason: "admission",
+		})
+	case host != prev && !reloc:
+		s.schedLog.Add(sched.Decision{
+			Time: s.now(), Kind: "failover", VM: vm, From: prev, To: host,
+			Policy: s.policy.Name(), Reason: "host failure",
+		})
+	}
+}
+
+func (s *Stack) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock.Now()
+	}
+	return time.Now()
+}
+
+// hostLoads joins the registry's live view with the stack's per-VM
+// serving hosts — the rebalancer's load source.
+func (s *Stack) hostLoads() []sched.HostLoad {
+	ms, err := s.cfg.Placement.Locator.Live(s.placementAPI())
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	byHost := make(map[string][]uint32)
+	for id, at := range s.vms {
+		if at.dialer == nil {
+			continue
+		}
+		if h := at.dialer.Host(); h != "" {
+			byHost[h] = append(byHost[h], id)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]sched.HostLoad, 0, len(ms))
+	for _, m := range ms {
+		vms := byHost[m.ID]
+		sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+		out = append(out, sched.HostLoad{Member: m, VMs: vms})
+	}
+	return out
+}
+
+// MigrateVM live-migrates a placed VM: cut a quiesced checkpoint through
+// the guardian, direct the dialer off its current host (toward target, or
+// the policy's best peer when target is ""), and sever the serving link
+// so the guardian's recovery dials — and lands — elsewhere under epoch
+// fencing. The rebalancer calls this; the control plane's POST /migrate
+// may too. Recovery is asynchronous: the call returns once the migration
+// is irrevocably started.
+func (s *Stack) MigrateVM(id uint32, target string) error {
+	s.mu.Lock()
+	at := s.vms[id]
+	s.mu.Unlock()
+	if at == nil || at.guardian == nil || at.dialer == nil {
+		return fmt.Errorf("%w: VM %d is not under placement", averr.ErrUnknownVM, id)
+	}
+	if err := at.guardian.CheckpointNow(); err != nil {
+		return fmt.Errorf("migrate vm %d: checkpoint: %w", id, err)
+	}
+	s.mu.Lock()
+	s.relocating[id] = true
+	s.mu.Unlock()
+	at.dialer.Relocate(target)
+	at.guardian.KillServer()
+	return nil
+}
+
+// VMHost reports the fleet member currently serving a placed VM ("" for
+// unplaced or unknown VMs).
+func (s *Stack) VMHost(id uint32) string {
+	s.mu.Lock()
+	at := s.vms[id]
+	s.mu.Unlock()
+	if at == nil || at.dialer == nil {
+		return ""
+	}
+	return at.dialer.Host()
+}
+
+// SchedLog returns the scheduling decision log (nil without placement).
+func (s *Stack) SchedLog() *sched.Log { return s.schedLog }
+
+// SchedDecisions returns the retained scheduling decisions, oldest first
+// (empty without placement).
+func (s *Stack) SchedDecisions() []SchedDecision {
+	if s.schedLog == nil {
+		return nil
+	}
+	return s.schedLog.Decisions()
+}
+
+// Rebalancer returns the background rebalancer (nil unless WithRebalance).
+func (s *Stack) Rebalancer() *sched.Rebalancer { return s.rebalancer }
 
 // VMs returns the IDs of currently attached VMs, sorted ascending.
 func (s *Stack) VMs() []uint32 {
@@ -532,7 +791,11 @@ func (s *Stack) DetachVM(id uint32) {
 	s.mu.Lock()
 	at := s.vms[id]
 	delete(s.vms, id)
+	delete(s.relocating, id)
 	s.mu.Unlock()
+	if fg, ok := s.policy.(interface{ Forget(uint32) }); ok {
+		fg.Forget(id)
+	}
 	if at == nil {
 		return
 	}
@@ -548,8 +811,11 @@ func (s *Stack) DetachVM(id uint32) {
 	s.Server.DropContext(id)
 }
 
-// Close tears down every attachment.
+// Close tears down every attachment and stops the rebalancer.
 func (s *Stack) Close() {
+	if s.rebalancer != nil {
+		s.rebalancer.Close()
+	}
 	s.mu.Lock()
 	ids := make([]uint32, 0, len(s.vms))
 	for id := range s.vms {

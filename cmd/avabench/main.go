@@ -32,22 +32,24 @@ import (
 	"ava"
 	"ava/internal/bench"
 	"ava/internal/ctlplane"
+	"ava/internal/sched"
 	"ava/internal/server"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment to run (default: all)")
-		scale   = flag.Int("scale", 1, "workload problem-size multiplier")
-		reps    = flag.Int("reps", 3, "repetitions per measurement (minimum reported)")
-		jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json files into (default: tables only)")
-		ctl     = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
+		exp      = flag.String("exp", "", "experiment to run (default: all)")
+		scale    = flag.Int("scale", 1, "workload problem-size multiplier")
+		reps     = flag.Int("reps", 3, "repetitions per measurement (minimum reported)")
+		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json files into (default: tables only)")
+		ctl      = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
+		ctlToken = flag.String("ctl-token", "", "shared token required on ctl POSTs (empty = open)")
 	)
 	flag.Parse()
 	opts := bench.Options{Scale: *scale, Reps: *reps}
 
 	if *ctl != "" {
-		cs := ctlplane.New(benchCtlConfig())
+		cs := ctlplane.New(benchCtlConfig(*ctlToken))
 		addr, err := cs.Start(*ctl)
 		if err != nil {
 			fatal(err)
@@ -86,7 +88,7 @@ func fatal(err error) {
 // stack as an experiment assembles it, and every source func re-reads
 // the current pointer, so a scraper polling /stats mid-run sees the live
 // stack of the moment (and empty sections between experiments).
-func benchCtlConfig() ctlplane.Config {
+func benchCtlConfig(token string) ctlplane.Config {
 	var (
 		mu  sync.Mutex
 		cur *ava.Stack
@@ -169,5 +171,34 @@ func benchCtlConfig() ctlplane.Config {
 			}
 			return s.KillServer(vm)
 		},
+		Sched: func() []sched.Decision {
+			s := current()
+			if s == nil {
+				return nil
+			}
+			return s.SchedDecisions()
+		},
+		Rebalance: func() (int, error) {
+			s := current()
+			if s == nil {
+				return 0, fmt.Errorf("no experiment is running")
+			}
+			r := s.Rebalancer()
+			if r == nil {
+				return 0, fmt.Errorf("no rebalancer is configured")
+			}
+			return r.Kick(), nil
+		},
+		RebalanceStats: func() sched.Stats {
+			s := current()
+			if s == nil {
+				return sched.Stats{}
+			}
+			if r := s.Rebalancer(); r != nil {
+				return r.Stats()
+			}
+			return sched.Stats{}
+		},
+		Token: token,
 	}
 }

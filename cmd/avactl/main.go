@@ -14,6 +14,10 @@
 // fleet membership); `vms` prints the compact per-VM join. -json emits
 // the raw endpoint payload for scripts. Control errors come back in the
 // stack's categorized taxonomy and exit non-zero.
+//
+// Control (POST) commands against a daemon started with -ctl-token need
+// the matching token, via -token or the AVACTL_TOKEN environment
+// variable. Read-only commands never need one.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 		host    = flag.String("host", "127.0.0.1:7273", "control endpoint address (avad -ctl)")
 		asJSON  = flag.Bool("json", false, "emit raw JSON instead of tables")
 		timeout = flag.Duration("timeout", 10*time.Second, "request timeout")
+		token   = flag.String("token", os.Getenv("AVACTL_TOKEN"), "shared token for control POSTs (default $AVACTL_TOKEN)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -43,6 +48,7 @@ func main() {
 	}
 
 	c := ctlplane.NewClient(*host)
+	c.SetToken(*token)
 	_ = timeout // the client's default timeout covers interactive use
 
 	var err error
@@ -77,6 +83,18 @@ func main() {
 				fmt.Printf("migrating VM %d to %s\n", vm, target)
 			}
 		}
+	case "sched":
+		err = cmdSched(c, *asJSON)
+	case "rebalance":
+		var n int
+		if n, err = c.Rebalance(); err == nil {
+			fmt.Printf("rebalance pass started %d migration(s)\n", n)
+		}
+	case "metrics":
+		var body string
+		if body, err = c.Metrics(); err == nil {
+			fmt.Print(body)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "avactl: unknown command %q\n\n", cmd)
 		usage()
@@ -96,6 +114,9 @@ commands:
   drain                  begin a graceful drain of the process
   checkpoint <vm>        force a checkpoint of one VM now
   migrate <vm> [target]  move one VM (no target = lightest live peer)
+  sched                  scheduling decision log (placements, migrations)
+  rebalance              force one rebalance evaluation pass now
+  metrics                Prometheus exposition dump (GET /metrics)
   health                 liveness probe
 
 flags:
@@ -193,6 +214,23 @@ func renderStats(snap *ctlplane.Snapshot) string {
 		out += fmt.Sprintf("fleet %s (%s): addr=%s load=%d %s\n", m.ID, m.API, m.Addr, m.Load, live)
 	}
 	return out
+}
+
+func cmdSched(c *ctlplane.Client, asJSON bool) error {
+	ds, err := c.Sched()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(ds)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "SEQ\tTIME\tKIND\tVM\tFROM\tTO\tPOLICY\tREASON")
+	for _, d := range ds {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			d.Seq, d.Time.Format(time.RFC3339), d.Kind, d.VM, d.From, d.To, d.Policy, d.Reason)
+	}
+	return w.Flush()
 }
 
 func cmdVMs(c *ctlplane.Client, asJSON bool) error {

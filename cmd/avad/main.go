@@ -40,6 +40,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -50,10 +51,16 @@ import (
 	"ava/internal/fleet"
 	"ava/internal/mvnc"
 	"ava/internal/qat"
+	"ava/internal/sched"
 	"ava/internal/server"
 	"ava/internal/swap"
 	"ava/internal/transport"
 )
+
+// rejectTTL is how long an evicted VM's reconnects are refused: long
+// enough for its guardian to spend the same-host retry budget and land on
+// a peer, short enough that the VM stays schedulable here afterwards.
+const rejectTTL = 30 * time.Second
 
 func main() {
 	var (
@@ -70,6 +77,12 @@ func main() {
 		every     = flag.Duration("announce-every", 0, "heartbeat interval (default: fleet TTL/4)")
 		drain     = flag.Duration("drain", 5*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
 		ctl       = flag.String("ctl", "", "HTTP control/metrics endpoint address, e.g. :7273 (empty = disabled)")
+		ctlToken  = flag.String("ctl-token", "", "shared token required on ctl POSTs (empty = open)")
+
+		rebalance = flag.Bool("rebalance", false, "shed sustained load skew by evicting VMs toward lighter fleet peers (requires -announce)")
+		rebEvery  = flag.Duration("rebalance-interval", 2*time.Second, "rebalance evaluation interval")
+		rebSkew   = flag.Float64("rebalance-skew", 1.5, "load-EWMA-over-fleet-mean ratio that marks this host hot")
+		rebMax    = flag.Int("rebalance-max", 4, "migration budget per sliding window")
 	)
 	flag.Parse()
 
@@ -97,14 +110,34 @@ func main() {
 		}
 		client := fleet.DialRegistry(*announce)
 		d.announcer = fleet.StartAnnouncer(client, member, *every, nil)
+		d.announcer.SetSampler(d.sampleLoad)
 		d.registry = client
 		memberID = member.ID
 		log.Printf("avad: announcing %s (%s) to fleet registry %s", member.ID, member.Addr, *announce)
 	}
 
+	if *rebalance {
+		if d.registry == nil {
+			fmt.Fprintln(os.Stderr, "avad: -rebalance requires -announce")
+			os.Exit(2)
+		}
+		d.schedLog = sched.NewLog()
+		d.rebalancer = sched.New(sched.Config{
+			Interval:     *rebEvery,
+			SkewRatio:    *rebSkew,
+			MaxPerWindow: *rebMax,
+			From:         memberID,
+			Log:          d.schedLog,
+		}, d.hostLoads(*api, memberID), d.evictVM)
+		d.rebalancer.Start()
+		log.Printf("avad: rebalancing enabled (interval %v, skew %.2f, max %d/window)", *rebEvery, *rebSkew, *rebMax)
+	}
+
 	var cs *ctlplane.Server
 	if *ctl != "" {
-		cs = ctlplane.New(d.ctlConfig(*api, memberID, l))
+		cfg := d.ctlConfig(*api, memberID, l)
+		cfg.Token = *ctlToken
+		cs = ctlplane.New(cfg)
 		ctlAddr, err := cs.Start(*ctl)
 		if err != nil {
 			log.Fatalf("avad: %v", err)
@@ -159,6 +192,11 @@ func (d *daemon) ctlConfig(api, memberID string, l *transport.Listener) ctlplane
 			return out
 		}
 	}
+	if d.rebalancer != nil {
+		cfg.Sched = d.schedLog.Decisions
+		cfg.Rebalance = func() (int, error) { return d.rebalancer.Kick(), nil }
+		cfg.RebalanceStats = d.rebalancer.Stats
+	}
 	return cfg
 }
 
@@ -199,14 +237,19 @@ func buildRegistry(api string, memMB uint64, cus, sticks int, withSwap bool) (*s
 // daemon tracks the serving state a graceful shutdown must settle: the
 // set of live connections and a waitgroup over their serve loops.
 type daemon struct {
-	srv       *server.Server
-	drain     time.Duration
-	announcer *fleet.Announcer
-	registry  *fleet.Client
+	srv        *server.Server
+	drain      time.Duration
+	announcer  *fleet.Announcer
+	registry   *fleet.Client
+	rebalancer *sched.Rebalancer
+	schedLog   *sched.Log
 
-	mu     sync.Mutex
-	conns  map[transport.Endpoint]struct{}
-	closed bool
+	mu        sync.Mutex
+	conns     map[transport.Endpoint]struct{}
+	vms       map[uint32]transport.Endpoint // latest serving connection per VM
+	rejected  map[uint32]time.Time          // evicted VMs refused until this instant
+	prevBytes uint64                        // data-plane bytes at the last load sample
+	closed    bool
 
 	active   sync.WaitGroup
 	shutOnce sync.Once
@@ -215,10 +258,129 @@ type daemon struct {
 
 func newDaemon(srv *server.Server, drain time.Duration) *daemon {
 	return &daemon{
-		srv:   srv,
-		drain: drain,
-		conns: make(map[transport.Endpoint]struct{}),
-		done:  make(chan struct{}),
+		srv:      srv,
+		drain:    drain,
+		conns:    make(map[transport.Endpoint]struct{}),
+		vms:      make(map[uint32]transport.Endpoint),
+		rejected: make(map[uint32]time.Time),
+		done:     make(chan struct{}),
+	}
+}
+
+// sampleLoad refreshes the announced load signal in place (announcer
+// sampler): active VM connections, the summed dispatch backlog, and
+// data-plane bytes moved since the previous sample.
+func (d *daemon) sampleLoad(m *fleet.Member) {
+	d.mu.Lock()
+	m.Load = len(d.vms)
+	d.mu.Unlock()
+	var queue int
+	var bytes uint64
+	for _, vm := range d.srv.Snapshot() {
+		queue += vm.QueueDepth
+		bytes += vm.Stats.BytesIn + vm.Stats.BytesOut
+	}
+	m.QueueDepth = queue
+	d.mu.Lock()
+	if bytes >= d.prevBytes {
+		m.BytesInFlight = bytes - d.prevBytes
+	}
+	d.prevBytes = bytes
+	d.mu.Unlock()
+}
+
+// hostLoads builds the self-evict rebalancer's load source: the fleet's
+// announced view, with this host's member joined to the VMs it serves.
+// Peers' VM lists stay empty — the From restriction means only the local
+// host ever sheds, and announced loads alone rank the targets.
+func (d *daemon) hostLoads(api, selfID string) func() []sched.HostLoad {
+	return func() []sched.HostLoad {
+		ms, err := d.registry.Live(api)
+		if err != nil {
+			return nil
+		}
+		d.mu.Lock()
+		local := make([]uint32, 0, len(d.vms))
+		for vm := range d.vms {
+			local = append(local, vm)
+		}
+		d.mu.Unlock()
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		out := make([]sched.HostLoad, 0, len(ms))
+		for _, m := range ms {
+			hl := sched.HostLoad{Member: m}
+			if m.ID == selfID {
+				hl.VMs = local
+			}
+			out = append(out, hl)
+		}
+		return out
+	}
+}
+
+// evictVM is the self-evict migration hook: refuse the VM's reconnects
+// for rejectTTL, sever its serving connection so the guardian recovers
+// cross-host (wire replay onto whichever lighter peer its dialer picks —
+// target is advisory; the guest-side ranking makes the final call), and
+// push the lightened load immediately so admission-time placement stops
+// steering new VMs here.
+func (d *daemon) evictVM(vm uint32, target string) error {
+	d.mu.Lock()
+	ep, ok := d.vms[vm]
+	if ok {
+		d.rejected[vm] = time.Now().Add(rejectTTL)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("vm %d not connected", vm)
+	}
+	log.Printf("avad: evicting VM %d (advisory target %q)", vm, target)
+	transport.Sever(ep)
+	return nil
+}
+
+// rejectedVM reports whether a VM is inside its post-eviction refusal
+// window, pruning expired entries.
+func (d *daemon) rejectedVM(vm uint32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	until, ok := d.rejected[vm]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(d.rejected, vm)
+		return false
+	}
+	return true
+}
+
+// bindVM records the serving connection for a VM; the bool reports
+// whether the binding was installed (false = VM currently rejected).
+func (d *daemon) bindVM(vm uint32, ep transport.Endpoint) bool {
+	if d.rejectedVM(vm) {
+		return false
+	}
+	d.mu.Lock()
+	d.vms[vm] = ep
+	d.mu.Unlock()
+	return true
+}
+
+func (d *daemon) unbindVM(vm uint32, ep transport.Endpoint) {
+	d.mu.Lock()
+	if d.vms[vm] == ep {
+		delete(d.vms, vm)
+	}
+	d.mu.Unlock()
+}
+
+// announceNow pushes the current load signal immediately — called when a
+// VM disconnects (migrated away, crashed, drained) so placement decisions
+// never steer against the stale pre-departure load.
+func (d *daemon) announceNow() {
+	if d.announcer != nil {
+		d.announcer.AnnounceNow()
 	}
 }
 
@@ -266,6 +428,9 @@ func (d *daemon) Shutdown(l *transport.Listener) {
 	d.shutOnce.Do(func() {
 		if l != nil {
 			l.Close()
+		}
+		if d.rebalancer != nil {
+			d.rebalancer.Close()
 		}
 		if d.announcer != nil {
 			d.announcer.Close()
@@ -329,6 +494,14 @@ func (d *daemon) serveConn(ep transport.Endpoint) {
 	if name == "" {
 		name = fmt.Sprintf("tcp-vm%d", h.VM)
 	}
+	if !d.bindVM(h.VM, ep) {
+		// Freshly evicted: refuse so the guardian's dialer spends this
+		// host's budget and moves to a peer instead of bouncing back.
+		log.Printf("avad: VM %d refused (evicted %v ago at most)", h.VM, rejectTTL)
+		return
+	}
+	defer d.unbindVM(h.VM, ep)
+	defer d.announceNow()
 	ctx := d.srv.Context(h.VM, name)
 	log.Printf("avad: VM %d (%s) connected, epoch %d", h.VM, name, h.Epoch)
 	// The stats summary is emitted however the connection ends — orderly

@@ -34,10 +34,11 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7400", "address to listen on")
-		ttl    = flag.Duration("ttl", 0, "member liveness TTL (default: fleet.DefaultTTL)")
-		sweep  = flag.Duration("sweep", time.Minute, "how often to reclaim expired members")
-		ctl    = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
+		listen   = flag.String("listen", "127.0.0.1:7400", "address to listen on")
+		ttl      = flag.Duration("ttl", 0, "member liveness TTL (default: fleet.DefaultTTL)")
+		sweep    = flag.Duration("sweep", time.Minute, "how often to reclaim expired members")
+		ctl      = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
+		ctlToken = flag.String("ctl-token", "", "shared token required on ctl POSTs (empty = open)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 				l.Close()
 				return nil
 			},
+			Token: *ctlToken,
 		})
 		ctlAddr, err := cs.Start(*ctl)
 		if err != nil {

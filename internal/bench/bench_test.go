@@ -68,6 +68,40 @@ func TestMigrationTable(t *testing.T) {
 	}
 }
 
+func TestRebalanceImprovesTailLatency(t *testing.T) {
+	const vms, calls = 9, 150
+	static, err := rebalanceRun(false, vms, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebal, err := rebalanceRun(true, vms, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance (E15): rebalancing reduces the hot host's steady-state
+	// p99. The workload is sleep-dominated (200us of modeled device time
+	// per call behind a per-host mutex), so queueing delay — and the
+	// improvement — survives loaded CI machines; measured headroom is ~3x
+	// against the 0.8x bound here.
+	if rebal.p99 >= static.p99*8/10 {
+		t.Fatalf("rebalanced p99 = %v, want < 0.8x static p99 %v", rebal.p99, static.p99)
+	}
+	if rebal.migrations == 0 {
+		t.Fatal("no migrations despite sustained skew")
+	}
+	if rebal.maxHostVMs >= vms {
+		t.Fatalf("hottest host still serves all %d VMs", rebal.maxHostVMs)
+	}
+	// Zero lost/duplicated/corrupted calls: every VM's reply checksum is
+	// byte-identical to the undisturbed static run's.
+	for i := range static.checksums {
+		if static.checksums[i] != rebal.checksums[i] {
+			t.Fatalf("vm %d checksum diverged across migration: %08x != %08x",
+				i+1, rebal.checksums[i], static.checksums[i])
+		}
+	}
+}
+
 func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("nonsense", Options{}); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -123,6 +123,7 @@ func All(opts Options) ([]*Table, error) {
 		{"failover", Failover},
 		{"crosshost", CrossHost},
 		{"copycost", CopyCost},
+		{"rebalance", Rebalance},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -164,7 +165,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return CrossHost(opts)
 	case "copycost", "zerocopy":
 		return CopyCost(opts)
+	case "rebalance", "sched":
+		return Rebalance(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost, copycost)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost, copycost, rebalance)", name)
 	}
 }

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ava"
+	"ava/internal/fleet"
+	"ava/internal/server"
+	"ava/internal/transport"
+)
+
+// E15 uses its own tiny API instead of a Rodinia workload: the point is
+// the scheduler, so the handler models a fixed device-service time and a
+// deterministic reply, and every host serializes calls on one "device" —
+// queueing delay, and therefore tail latency, is purely a function of
+// how many VMs the scheduler parked on the host.
+const rebalanceSpec = `
+api "simload";
+const OK = 0;
+type st = int32_t { success(OK); };
+st work(uint32_t x, uint32_t *y) { parameter(y) { out; element; } }
+`
+
+// rebalanceService is the modeled per-call device time. Long enough to
+// dominate transport jitter, short enough that the experiment stays fast.
+const rebalanceService = 200 * time.Microsecond
+
+func rebalanceReply(x uint32) uint32 { return x*2654435761 + 0x9e37 }
+
+// rebalStateless serves the guardian's wire snapshot/restore control
+// calls for the stateless simload API: nothing lives in the handle
+// table, so snapshots are empty and restores are no-ops — migration
+// cost is the replay log alone.
+type rebalStateless struct{}
+
+func (rebalStateless) RestoreObject(obj any, state []byte) error    { return nil }
+func (rebalStateless) SnapshotObject(obj any) ([]byte, bool, error) { return nil, false, nil }
+
+// rebalHost is one API-server "machine" in the E15 mini-fleet, the same
+// in-process avad stand-in as E13's crossHostServer, plus the two things
+// a scheduled host needs: a single-device service queue and a live
+// announcer whose load signal is the number of VMs it currently serves.
+type rebalHost struct {
+	id  string
+	srv *server.Server
+	l   *transport.Listener
+	ann *fleet.Announcer
+
+	mu     sync.Mutex
+	dev    sync.Mutex // the "device": one call executes at a time
+	eps    []transport.Endpoint
+	served map[uint32]int // VM -> live connection count
+	dead   bool
+}
+
+func newRebalHost(id string) (*rebalHost, error) {
+	d, err := ava.CompileSpec(rebalanceSpec)
+	if err != nil {
+		return nil, err
+	}
+	reg := server.NewRegistry(d)
+	reg.Restorer = rebalStateless{}
+	h := &rebalHost{id: id, served: make(map[uint32]int)}
+	reg.MustRegister("work", func(inv *server.Invocation) error {
+		h.dev.Lock()
+		time.Sleep(rebalanceService)
+		h.dev.Unlock()
+		inv.SetOutUint(1, uint64(rebalanceReply(uint32(inv.Uint(0)))))
+		inv.SetStatus(0)
+		return nil
+	})
+	h.srv = server.New(reg)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h.l = l
+	go h.accept()
+	return h, nil
+}
+
+// announce starts the host's live heartbeat: truthful load (VMs served)
+// sampled on every push. Before this is called the registry holds only
+// whatever stale figure the experiment seeded — that is the skew.
+func (h *rebalHost) announce(loc *fleet.Registry, every time.Duration) {
+	h.ann = fleet.StartAnnouncer(loc, fleet.Member{ID: h.id, Addr: h.l.Addr(), API: "simload"}, every, nil)
+	h.ann.SetSampler(func(m *fleet.Member) {
+		h.mu.Lock()
+		m.Load = len(h.served)
+		h.mu.Unlock()
+	})
+}
+
+func (h *rebalHost) accept() {
+	for {
+		ep, err := h.l.Accept()
+		if err != nil {
+			return
+		}
+		h.mu.Lock()
+		if h.dead {
+			h.mu.Unlock()
+			ep.Close()
+			continue
+		}
+		h.eps = append(h.eps, ep)
+		h.mu.Unlock()
+		go h.serve(ep)
+	}
+}
+
+func (h *rebalHost) serve(ep transport.Endpoint) {
+	defer ep.Close()
+	frame, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	hello, err := transport.DecodeHello(frame)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.served[hello.VM]++
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		if h.served[hello.VM]--; h.served[hello.VM] <= 0 {
+			delete(h.served, hello.VM)
+		}
+		h.mu.Unlock()
+	}()
+	h.srv.DropContext(hello.VM)
+	h.srv.ServeVM(h.srv.Context(hello.VM, hello.Name), ep)
+}
+
+func (h *rebalHost) vmCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.served)
+}
+
+func (h *rebalHost) close() {
+	if h.ann != nil {
+		h.ann.Close()
+	}
+	h.mu.Lock()
+	h.dead = true
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	h.l.Close()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// rebalanceResult is one full run: every VM's reply checksum, the tail
+// latency of the steady-state window, and what the scheduler did.
+type rebalanceResult struct {
+	dur        time.Duration
+	p99        time.Duration // steady-state window (second half of each VM's calls)
+	p50        time.Duration
+	checksums  []uint32 // per VM, order = VM id
+	migrations uint64
+	maxHostVMs int // fleet's hottest host after the run
+}
+
+// rebalanceRun drives one E15 phase: vms guests piled onto host-a by a
+// stale announcement, then live announcers catch up and — when rebalance
+// is on — the stack's background rebalancer spreads them mid-workload.
+func rebalanceRun(rebalance bool, vms, calls int) (*rebalanceResult, error) {
+	loc := fleet.NewRegistry(0, nil)
+	hostIDs := []string{"host-a", "host-b", "host-c"}
+	hosts := make([]*rebalHost, 0, len(hostIDs))
+	for _, id := range hostIDs {
+		h, err := newRebalHost(id)
+		if err != nil {
+			return nil, err
+		}
+		defer h.close()
+		hosts = append(hosts, h)
+	}
+	// The stale picture every real scheduler eventually faces: host-a
+	// announced before its peers took load, so admission parks every VM
+	// there. The live announcers (started below) correct it too late.
+	loc.Announce(fleet.Member{ID: "host-a", Addr: hosts[0].l.Addr(), API: "simload", Load: 0})
+	loc.Announce(fleet.Member{ID: "host-b", Addr: hosts[1].l.Addr(), API: "simload", Load: 99})
+	loc.Announce(fleet.Member{ID: "host-c", Addr: hosts[2].l.Addr(), API: "simload", Load: 99})
+
+	desc, err := ava.CompileSpec(rebalanceSpec)
+	if err != nil {
+		return nil, err
+	}
+	opts := []ava.Option{
+		ava.WithRecording(),
+		ava.WithPlacement(ava.PlacementConfig{Locator: loc, API: "simload"}),
+	}
+	if rebalance {
+		opts = append(opts, ava.WithRebalance(ava.RebalanceConfig{
+			Interval:        20 * time.Millisecond,
+			Alpha:           0.5,
+			SkewRatio:       1.3,
+			HysteresisTicks: 2,
+			CooldownTicks:   1,
+			WindowTicks:     10,
+			MaxPerWindow:    4,
+			BatchMax:        2,
+			VMCooldownTicks: 5,
+		}))
+	}
+	stack := observe(ava.NewStack(desc, server.NewRegistry(desc), opts...))
+	defer stack.Close()
+
+	libs := make([]*ava.GuestLib, vms)
+	for i := 0; i < vms; i++ {
+		lib, err := stack.AttachVM(ava.VMConfig{ID: uint32(i + 1), Name: vmName(uint32(i + 1))})
+		if err != nil {
+			return nil, err
+		}
+		libs[i] = lib
+	}
+	for _, h := range hosts {
+		h.announce(loc, 15*time.Millisecond)
+	}
+
+	res := &rebalanceResult{checksums: make([]uint32, vms)}
+	lats := make([][]time.Duration, vms)
+	errs := make([]error, vms)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range libs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lib := libs[i]
+			sum := uint32(2166136261)
+			for c := 0; c < calls; c++ {
+				x := uint32(i)<<16 | uint32(c)
+				var y uint32
+				t0 := time.Now()
+				if _, err := lib.Call("work", x, &y); err != nil {
+					errs[i] = fmt.Errorf("vm %d call %d: %w", i+1, c, err)
+					return
+				}
+				lats[i] = append(lats[i], time.Since(t0))
+				if y != rebalanceReply(x) {
+					errs[i] = fmt.Errorf("vm %d call %d: corrupted reply %d", i+1, c, y)
+					return
+				}
+				sum = (sum ^ y) * 16777619
+			}
+			res.checksums[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	res.dur = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Tail latency over the steady-state window: the second half of each
+	// VM's calls, after the rebalancer (when on) has had time to act.
+	var tail []time.Duration
+	for _, ls := range lats {
+		tail = append(tail, ls[len(ls)/2:]...)
+	}
+	res.p50, res.p99 = percentile(tail, 0.50), percentile(tail, 0.99)
+	if r := stack.Rebalancer(); r != nil {
+		res.migrations = r.Stats().Migrations
+	}
+	for _, h := range hosts {
+		if n := h.vmCount(); n > res.maxHostVMs {
+			res.maxHostVMs = n
+		}
+	}
+	return res, nil
+}
+
+// Rebalance is E15: every VM lands on one host through a stale load
+// announcement, and the background rebalancer live-migrates the fleet
+// toward balance mid-workload through the guardian checkpoint/relocate
+// path. Acceptance: the rebalanced run's steady-state p99 beats the
+// static run's, every reply is correct, and the per-VM reply checksums
+// are byte-identical between the two runs — migration lost and
+// duplicated nothing.
+func Rebalance(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "E15/Rebalance",
+		Title:  "Cluster rebalancing: skewed admissions live-migrated off the hot host mid-workload",
+		Header: []string{"mode", "total", "p50 (tail)", "p99 (tail)", "migrations", "hottest host", "identical"},
+	}
+	const vms = 9
+	calls := 200 * opts.scale()
+
+	static, err := rebalanceRun(false, vms, calls)
+	if err != nil {
+		return nil, fmt.Errorf("static run: %w", err)
+	}
+	rebal, err := rebalanceRun(true, vms, calls)
+	if err != nil {
+		return nil, fmt.Errorf("rebalanced run: %w", err)
+	}
+	identical := len(static.checksums) == len(rebal.checksums)
+	for i := range static.checksums {
+		identical = identical && static.checksums[i] == rebal.checksums[i]
+	}
+	t.Add("static (skewed)", ms(static.dur), ms(static.p50), ms(static.p99),
+		fmt.Sprintf("%d", static.migrations), fmt.Sprintf("%d VMs", static.maxHostVMs), "-")
+	t.Add("rebalanced", ms(rebal.dur), ms(rebal.p50), ms(rebal.p99),
+		fmt.Sprintf("%d", rebal.migrations), fmt.Sprintf("%d VMs", rebal.maxHostVMs),
+		fmt.Sprintf("%v", identical))
+	t.AddMetric("static_p99", "ms", float64(static.p99)/1e6)
+	t.AddMetric("rebalanced_p99", "ms", float64(rebal.p99)/1e6)
+	t.AddMetric("migrations", "count", float64(rebal.migrations))
+	t.Note("identical = per-VM FNV checksums over every reply match the static run bit for bit (no call lost, duplicated or corrupted by migration)")
+	t.Note("each host serializes calls on one modeled device (%v/call): tail latency is queueing delay, i.e. pure scheduler quality", rebalanceService)
+	return t, nil
+}

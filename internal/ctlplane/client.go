@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ava/internal/averr"
+	"ava/internal/sched"
 )
 
 // RemoteError is a control-endpoint error reconstructed on the client
@@ -42,8 +43,9 @@ func (e *RemoteError) Is(target error) bool {
 
 // Client speaks to a ctlplane endpoint.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	token string
+	http  *http.Client
 }
 
 // NewClient builds a client for host, which may be "host:port" or a full
@@ -59,6 +61,10 @@ func NewClient(host string) *Client {
 	}
 }
 
+// SetToken installs the shared control token sent with every request
+// (the far side only checks it on POSTs).
+func (c *Client) SetToken(token string) { c.token = token }
+
 // Host returns the endpoint's host:port.
 func (c *Client) Host() string {
 	if u, err := url.Parse(c.base); err == nil && u.Host != "" {
@@ -73,6 +79,9 @@ func (c *Client) do(method, path string, out any) error {
 	req, err := http.NewRequest(method, c.base+path, nil)
 	if err != nil {
 		return fmt.Errorf("ctl: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set("X-Ava-Token", c.token)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -142,4 +151,46 @@ func (c *Client) Migrate(vm uint32, target string) error {
 		path += "&target=" + url.QueryEscape(target)
 	}
 	return c.do(http.MethodPost, path, nil)
+}
+
+// Sched fetches the scheduling decision log.
+func (c *Client) Sched() ([]sched.Decision, error) {
+	var ds []sched.Decision
+	if err := c.do(http.MethodGet, "/sched", &ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Rebalance triggers one rebalance evaluation and reports how many
+// migrations it started.
+func (c *Client) Rebalance() (int, error) {
+	var resp struct {
+		Migrations int `json:"migrations"`
+	}
+	if err := c.do(http.MethodPost, "/rebalance", &resp); err != nil {
+		return 0, err
+	}
+	return resp.Migrations, nil
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("ctl: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("ctl: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("ctl: GET /metrics: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("ctl: GET /metrics: http %d", resp.StatusCode)
+	}
+	return string(body), nil
 }

@@ -10,9 +10,17 @@
 //	GET  /healthz               liveness probe ({"ok":true})
 //	GET  /stats                 full Snapshot (all configured sections)
 //	GET  /vms                   compact per-VM rows (router ⋈ server)
+//	GET  /metrics               Prometheus text exposition of the Snapshot
+//	GET  /sched                 scheduling decision log (placements, failovers, rebalances)
 //	POST /drain                 begin a graceful drain
 //	POST /checkpoint?vm=N       checkpoint VM N now
 //	POST /migrate?vm=N[&target=host]  move VM N (empty target = lightest peer)
+//	POST /rebalance             trigger one rebalance evaluation now
+//
+// When Config.Token is set, every POST requires it — as a bearer token
+// (Authorization: Bearer <token>) or in the X-Ava-Token header; a wrong
+// or missing token is a CatDenied 403. GETs stay open: the metrics
+// surface is meant to be scraped.
 //
 // Errors come back as JSON carrying the stack's categorized taxonomy
 // (internal/averr): {"error", "category", "code", "status"}, where
@@ -26,16 +34,19 @@ package ctlplane
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"ava/internal/averr"
 	"ava/internal/marshal"
+	"ava/internal/sched"
 )
 
 // errorBody is the JSON error envelope.
@@ -66,10 +77,32 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /vms", s.handleVMs)
-	s.mux.HandleFunc("POST /drain", s.handleDrain)
-	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("POST /migrate", s.handleMigrate)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /sched", s.handleSched)
+	s.mux.HandleFunc("POST /drain", s.auth(s.handleDrain))
+	s.mux.HandleFunc("POST /checkpoint", s.auth(s.handleCheckpoint))
+	s.mux.HandleFunc("POST /migrate", s.auth(s.handleMigrate))
+	s.mux.HandleFunc("POST /rebalance", s.auth(s.handleRebalance))
 	return s
+}
+
+// auth gates a mutating handler behind the shared token when one is
+// configured. Constant-time comparison: the token is a capability, not a
+// hint.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if tok := s.cfg.Token; tok != "" {
+			got := r.Header.Get("X-Ava-Token")
+			if got == "" {
+				got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			}
+			if subtle.ConstantTimeCompare([]byte(got), []byte(tok)) != 1 {
+				writeErr(w, fmt.Errorf("%w: missing or wrong control token", averr.ErrDenied))
+				return
+			}
+		}
+		h(w, r)
+	}
 }
 
 // Handler exposes the route table (tests drive it through httptest).
@@ -209,6 +242,31 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "checkpointed", "vm": vm})
+}
+
+func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Sched == nil {
+		writeErr(w, fmt.Errorf("%w: this process records no scheduling decisions", averr.ErrDenied))
+		return
+	}
+	ds := s.cfg.Sched()
+	if ds == nil {
+		ds = []sched.Decision{}
+	}
+	writeJSON(w, http.StatusOK, ds)
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Rebalance == nil {
+		writeErr(w, fmt.Errorf("%w: this process has no rebalance hook", averr.ErrDenied))
+		return
+	}
+	n, err := s.cfg.Rebalance()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "rebalanced", "migrations": n})
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {

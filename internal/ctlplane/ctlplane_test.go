@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"ava/internal/fleet"
 	"ava/internal/guest"
 	"ava/internal/hv"
+	"ava/internal/sched"
 	"ava/internal/server"
 )
 
@@ -308,5 +310,131 @@ func TestConcurrentScrapeUnderOverload(t *testing.T) {
 	}
 	if last <= first {
 		t.Fatalf("counters did not advance under scrape: first=%d last=%d", first, last)
+	}
+}
+
+// TestTokenAuthGuardsPosts: with a token configured, POSTs without it
+// are 403 denials, POSTs with it (either header form) succeed, and GETs
+// stay open for scrapers.
+func TestTokenAuthGuardsPosts(t *testing.T) {
+	stack, _ := testStack(t, 1)
+	cfg := stackConfig(stack)
+	cfg.Token = "s3cret"
+	drained := 0
+	cfg.Drain = func() error { drained++; return nil }
+	c := startCtl(t, cfg)
+
+	// No token: denied with the taxonomy intact.
+	err := c.Drain()
+	if !errors.Is(err, averr.ErrDenied) {
+		t.Fatalf("tokenless drain: %v, want ErrDenied", err)
+	}
+	var re *ctlplane.RemoteError
+	if !errors.As(err, &re) || re.HTTPStatus != http.StatusForbidden {
+		t.Fatalf("tokenless drain: %+v", err)
+	}
+	// Wrong token: same denial.
+	c.SetToken("wrong")
+	if err := c.Drain(); !errors.Is(err, averr.ErrDenied) {
+		t.Fatalf("wrong-token drain: %v", err)
+	}
+	if drained != 0 {
+		t.Fatalf("drain hook ran %d times without a valid token", drained)
+	}
+	// Right token via X-Ava-Token.
+	c.SetToken("s3cret")
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Right token via Authorization: Bearer.
+	req, _ := http.NewRequest(http.MethodPost, "http://"+c.Host()+"/drain", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bearer drain: http %d", resp.StatusCode)
+	}
+	if drained != 2 {
+		t.Fatalf("drain hook ran %d times, want 2", drained)
+	}
+	// GETs stay open: a tokenless scrape works.
+	tokenless := ctlplane.NewClient(c.Host())
+	if _, err := tokenless.Stats(); err != nil {
+		t.Fatalf("tokenless GET /stats: %v", err)
+	}
+	if _, err := tokenless.Metrics(); err != nil {
+		t.Fatalf("tokenless GET /metrics: %v", err)
+	}
+}
+
+// TestMetricsExposition: the Prometheus text rendering carries the core
+// families with headers, and counters reflect traffic.
+func TestMetricsExposition(t *testing.T) {
+	stack, libs := testStack(t, 2)
+	for i := 0; i < 5; i++ {
+		if _, err := libs[0].Call("ping", uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := stackConfig(stack)
+	cfg.Fleet = func() []fleet.Status {
+		return []fleet.Status{{Member: fleet.Member{ID: "host-a", API: "ctl", Load: 2}, Live: true}}
+	}
+	c := startCtl(t, cfg)
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE ava_up gauge",
+		`ava_up{service="test"} 1`,
+		"# TYPE ava_router_forwarded_calls_total counter",
+		`ava_router_forwarded_calls_total{vm="1",name="vm1"} 5`,
+		`ava_server_calls_total{vm="1",name="vm1"} 5`,
+		`ava_fleet_member_live{member="host-a",api="ctl"} 1`,
+		`ava_fleet_member_load{member="host-a",api="ctl"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSchedAndRebalanceEndpoints: GET /sched round-trips the decision
+// log and POST /rebalance reports migrations started.
+func TestSchedAndRebalanceEndpoints(t *testing.T) {
+	stack, _ := testStack(t, 1)
+	log := sched.NewLog()
+	log.Add(sched.Decision{Kind: "place", VM: 7, To: "host-b", Policy: "least-load"})
+	cfg := stackConfig(stack)
+	cfg.Sched = log.Decisions
+	cfg.Rebalance = func() (int, error) { return 3, nil }
+	c := startCtl(t, cfg)
+
+	ds, err := c.Sched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Kind != "place" || ds[0].VM != 7 || ds[0].To != "host-b" {
+		t.Fatalf("sched log round trip: %+v", ds)
+	}
+	n, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("rebalance migrations = %d, want 3", n)
+	}
+
+	// Without hooks, both are denials.
+	bare := startCtl(t, stackConfig(stack))
+	if _, err := bare.Sched(); !errors.Is(err, averr.ErrDenied) {
+		t.Fatalf("sched without hook: %v", err)
+	}
+	if _, err := bare.Rebalance(); !errors.Is(err, averr.ErrDenied) {
+		t.Fatalf("rebalance without hook: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"ava/internal/fleet"
 	"ava/internal/guest"
 	"ava/internal/hv"
+	"ava/internal/sched"
 	"ava/internal/server"
 )
 
@@ -167,6 +168,20 @@ type Config struct {
 	// (POST /migrate). An empty target lets the fleet dialer pick the
 	// lightest live peer.
 	Migrate func(vm uint32, target string) error
+	// Sched sources the scheduling decision log (GET /sched) — typically
+	// sched.Log.Decisions of the stack's placement log.
+	Sched func() []sched.Decision
+	// Rebalance triggers one rebalance evaluation now (POST /rebalance)
+	// and reports how many migrations it started — typically
+	// sched.Rebalancer.Kick.
+	Rebalance func() (int, error)
+	// RebalanceStats sources the rebalancer's lifetime counters for the
+	// metrics exposition; nil omits them.
+	RebalanceStats func() sched.Stats
+
+	// Token, when non-empty, is the shared secret every POST must present
+	// (Authorization: Bearer <token> or X-Ava-Token). GETs stay open.
+	Token string
 }
 
 // snapshot assembles the full Snapshot from the configured sources.

@@ -30,6 +30,14 @@ type FleetDialConfig struct {
 	// default: TCP-dial m.Addr, send the hello preamble, and return a
 	// WireReplay link.
 	Resolve func(m fleet.Member, epoch uint32) (ServerLink, error)
+	// Rank, when set, reorders the live candidates best-first before the
+	// dialer walks them — the hook a placement policy (internal/sched)
+	// plugs into. Nil keeps the registry's health ranking.
+	Rank func(vm uint32, ms []fleet.Member) []fleet.Member
+	// OnDial, when set, observes every successful dial: the host landed
+	// on and the previous host ("" for the first dial). The stack uses it
+	// to feed the scheduling decision log and spread-policy counts.
+	OnDial func(vm uint32, host, prev string)
 }
 
 // FleetDialer is a registry-backed implementation of the guardian's dial
@@ -46,6 +54,8 @@ type FleetDialer struct {
 	attempts    int    // consecutive dial failures against host
 	failed      map[string]bool
 	hostChanges int
+	relocating  bool   // next dial must leave the current host
+	relocateTo  string // preferred relocation target ("" = best peer)
 }
 
 // NewFleetDialer builds a dialer over loc.
@@ -80,11 +90,30 @@ func (d *FleetDialer) SetEpochSource(f func() uint32) {
 	d.mu.Unlock()
 }
 
+// Relocate directs the next dial away from the current host even though
+// it is alive: the per-host retry budget is skipped and the current host
+// is excluded from that one candidate query (without being marked failed
+// — it is hot, not dead). target, when non-empty and live, is tried
+// first; "" lets the ranking pick the best peer. The directive clears on
+// the next successful dial, and if no peer is reachable the dialer falls
+// back to the current host rather than stranding the VM.
+//
+// This is the migration half of the rebalance contract: the caller
+// checkpoints through the guardian, calls Relocate, then severs the
+// serving link so the guardian's recovery dials — and lands — elsewhere.
+func (d *FleetDialer) Relocate(target string) {
+	d.mu.Lock()
+	d.relocating = true
+	d.relocateTo = target
+	d.mu.Unlock()
+}
+
 // Dial implements the guardian's dial closure. Each call is one attempt;
 // the guardian's backoff series paces retries between calls.
 func (d *FleetDialer) Dial() (ServerLink, error) {
 	d.mu.Lock()
 	cur, tried := d.host, d.attempts
+	reloc, prefer := d.relocating, d.relocateTo
 	epochFn := d.cfg.Epoch
 	d.mu.Unlock()
 	var epoch uint32
@@ -92,9 +121,10 @@ func (d *FleetDialer) Dial() (ServerLink, error) {
 		epoch = epochFn()
 	}
 
-	if cur != "" && tried < d.cfg.PerHostAttempts {
+	if !reloc && cur != "" && tried < d.cfg.PerHostAttempts {
 		// Spend the current host's attempt budget before moving: the state
-		// already lives there if the failure was a blip.
+		// already lives there if the failure was a blip. A relocation skips
+		// this branch entirely — the point is to leave a live host.
 		d.mu.Lock()
 		d.attempts++
 		d.mu.Unlock()
@@ -108,15 +138,21 @@ func (d *FleetDialer) Dial() (ServerLink, error) {
 			cur, tried+1, d.cfg.PerHostAttempts)
 	}
 
-	// The current host's budget is spent (or there is no host yet): pick
-	// the best live peer, excluding everything that already failed.
+	// The current host's budget is spent (or there is no host yet, or a
+	// relocation is pending): pick the best live peer, excluding
+	// everything that already failed. A relocation excludes the current
+	// host from this one query without marking it failed — it is hot,
+	// not dead, and stays a legitimate failover target afterwards.
 	d.mu.Lock()
-	if cur != "" {
+	if cur != "" && !reloc {
 		d.failed[cur] = true
 	}
-	exclude := make([]string, 0, len(d.failed))
+	exclude := make([]string, 0, len(d.failed)+1)
 	for id := range d.failed {
 		exclude = append(exclude, id)
+	}
+	if reloc && cur != "" && !d.failed[cur] {
+		exclude = append(exclude, cur)
 	}
 	d.mu.Unlock()
 
@@ -127,16 +163,33 @@ func (d *FleetDialer) Dial() (ServerLink, error) {
 	if len(ms) == 0 && len(exclude) > 0 {
 		// Every known host has failed at least once. Hosts other than the
 		// one that just died may have recovered since — clear their marks
-		// and try again rather than abandoning the VM.
+		// and try again rather than abandoning the VM. A relocation with
+		// no live peer gives up on relocating for the same reason: the
+		// current host beats no host.
 		d.mu.Lock()
 		d.failed = make(map[string]bool)
-		if cur != "" {
+		if cur != "" && !reloc {
 			d.failed[cur] = true
 		}
+		d.relocating = false
+		d.relocateTo = ""
+		reloc, prefer = false, ""
 		d.mu.Unlock()
-		ms, err = d.loc.Live(d.cfg.API, cur)
+		ms, err = d.loc.Live(d.cfg.API)
 		if err != nil {
 			return ServerLink{}, fmt.Errorf("failover: fleet query: %w", err)
+		}
+	}
+	if d.cfg.Rank != nil {
+		ms = d.cfg.Rank(d.cfg.VM, ms)
+	}
+	if reloc && prefer != "" {
+		// A pinned relocation target jumps the ranking when it is live.
+		for i, m := range ms {
+			if m.ID == prefer {
+				ms[0], ms[i] = ms[i], ms[0]
+				break
+			}
 		}
 	}
 	var lastErr error
@@ -188,11 +241,19 @@ func (d *FleetDialer) resolve(m fleet.Member, epoch uint32) (ServerLink, error) 
 
 func (d *FleetDialer) noteSuccess(id string) {
 	d.mu.Lock()
+	prev := d.host
 	if d.host != "" && d.host != id {
 		d.hostChanges++
 	}
 	d.host = id
 	d.attempts = 0
+	d.relocating = false
+	d.relocateTo = ""
 	delete(d.failed, id)
+	onDial := d.cfg.OnDial
+	vm := d.cfg.VM
 	d.mu.Unlock()
+	if onDial != nil {
+		onDial(vm, id, prev)
+	}
 }

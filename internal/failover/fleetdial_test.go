@@ -144,6 +144,115 @@ func TestFleetDialerRevivesExcludedHosts(t *testing.T) {
 	}
 }
 
+// Relocate must move the VM off a live host in one dial — no retry budget
+// — without marking the old host failed, and honor a pinned target.
+func TestFleetDialerRelocateLeavesLiveHost(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{
+		{ID: "a", API: "opencl"},
+		{ID: "b", API: "opencl", Load: 1},
+		{ID: "c", API: "opencl", Load: 2},
+	}}
+	res := &scriptedResolver{}
+	d := newTestDialer(loc, res, 2)
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "a" {
+		t.Fatalf("host = %q, want a", d.Host())
+	}
+
+	// Relocate with a pinned target: lands on c even though b ranks better.
+	d.Relocate("c")
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "c" {
+		t.Fatalf("host after pinned relocation = %q, want c", d.Host())
+	}
+	if d.HostChanges() != 1 {
+		t.Fatalf("hostChanges = %d, want 1", d.HostChanges())
+	}
+
+	// The old host was not marked failed: a later relocation with no pin
+	// may land back on it (it ranks best).
+	d.Relocate("")
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "a" {
+		t.Fatalf("host after unpinned relocation = %q, want a (not marked failed)", d.Host())
+	}
+
+	// The directive cleared on success: the next dial stays put.
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "a" || d.HostChanges() != 2 {
+		t.Fatalf("relocation directive leaked: host=%q changes=%d", d.Host(), d.HostChanges())
+	}
+}
+
+// A relocation with no reachable peer must fall back to the current host
+// rather than strand the VM.
+func TestFleetDialerRelocateFallsBackWhenAlone(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{{ID: "a", API: "opencl"}}}
+	res := &scriptedResolver{}
+	d := newTestDialer(loc, res, 2)
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	d.Relocate("")
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "a" {
+		t.Fatalf("host = %q, want fallback to a", d.Host())
+	}
+}
+
+// Rank must reorder candidates ahead of the dial walk, and OnDial must
+// observe every landing with the previous host.
+func TestFleetDialerRankAndOnDialHooks(t *testing.T) {
+	loc := &fakeLocator{members: []fleet.Member{
+		{ID: "a", API: "opencl"},
+		{ID: "b", API: "opencl", Load: 9},
+	}}
+	res := &scriptedResolver{}
+	type landing struct{ host, prev string }
+	var seen []landing
+	d := NewFleetDialer(loc, FleetDialConfig{
+		API: "opencl", VM: 3, Name: "test-vm", PerHostAttempts: 1,
+		Resolve: res.resolve,
+		Rank: func(vm uint32, ms []fleet.Member) []fleet.Member {
+			// Invert the registry order: heavy host first.
+			for i, j := 0, len(ms)-1; i < j; i, j = i+1, j-1 {
+				ms[i], ms[j] = ms[j], ms[i]
+			}
+			return ms
+		},
+		OnDial: func(vm uint32, host, prev string) {
+			if vm != 3 {
+				t.Errorf("OnDial vm = %d, want 3", vm)
+			}
+			seen = append(seen, landing{host, prev})
+		},
+	})
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Host() != "b" {
+		t.Fatalf("host = %q, want rank-inverted b", d.Host())
+	}
+	d.Relocate("")
+	if _, err := d.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	want := []landing{{"b", ""}, {"a", "b"}}
+	if len(seen) != 2 || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("OnDial landings = %v, want %v", seen, want)
+	}
+}
+
 // The hello preamble must carry the guardian's current epoch.
 func TestFleetDialerStampsEpoch(t *testing.T) {
 	loc := &fakeLocator{members: []fleet.Member{{ID: "a", API: "opencl"}}}

@@ -16,10 +16,11 @@ type Announcer struct {
 	clk   clock.Clock
 	every time.Duration
 
-	mu   sync.Mutex
-	m    Member
-	done chan struct{}
-	once sync.Once
+	mu      sync.Mutex
+	m       Member
+	sampler func(*Member)
+	done    chan struct{}
+	once    sync.Once
 }
 
 // StartAnnouncer registers m with loc and starts the heartbeat goroutine.
@@ -50,11 +51,19 @@ func (a *Announcer) loop() {
 			return
 		default:
 		}
-		a.mu.Lock()
-		m := a.m
-		a.mu.Unlock()
-		a.loc.Announce(m)
+		a.loc.Announce(a.sample())
 	}
+}
+
+// sample snapshots the member record, letting the sampler refresh the
+// drifting load signals (queue depth, bytes moved) first.
+func (a *Announcer) sample() Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sampler != nil {
+		a.sampler(&a.m)
+	}
+	return a.m
 }
 
 // SetLoad updates the load the next heartbeat reports.
@@ -62,6 +71,40 @@ func (a *Announcer) SetLoad(n int) {
 	a.mu.Lock()
 	a.m.Load = n
 	a.mu.Unlock()
+}
+
+// SetDetail updates the full load signal the next heartbeat reports:
+// active VMs, summed dispatch backlog, and bytes moved over the last
+// interval.
+func (a *Announcer) SetDetail(load, queueDepth int, bytesInFlight uint64) {
+	a.mu.Lock()
+	a.m.Load = load
+	a.m.QueueDepth = queueDepth
+	a.m.BytesInFlight = bytesInFlight
+	a.mu.Unlock()
+}
+
+// SetSampler installs a hook the announcer calls under its lock just
+// before each announcement (heartbeat or AnnounceNow) to refresh the
+// member's load fields in place. It must not block: it runs on the
+// heartbeat path.
+func (a *Announcer) SetSampler(fn func(*Member)) {
+	a.mu.Lock()
+	a.sampler = fn
+	a.mu.Unlock()
+}
+
+// AnnounceNow pushes the current member record immediately instead of
+// waiting for the next heartbeat tick — the load just changed abruptly
+// (a VM migrated away, a drain completed) and placement decisions made
+// against the stale figure would pile onto the wrong host.
+func (a *Announcer) AnnounceNow() {
+	select {
+	case <-a.done:
+		return
+	default:
+	}
+	a.loc.Announce(a.sample())
 }
 
 // Member returns the announced member record.

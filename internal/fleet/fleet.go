@@ -38,6 +38,41 @@ type Member struct {
 	// Load is the instance's self-reported load (active VM connections);
 	// Live ranks lighter hosts first.
 	Load int `json:"load"`
+	// QueueDepth is the instance's summed server dispatch backlog across
+	// its VMs at the last announcement — calls admitted but not yet
+	// executing. It breaks Load ties in ranking: two hosts with the same
+	// VM count are not equally loaded if one has a queue.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// BytesInFlight is the data-plane payload volume the instance moved
+	// over its last heartbeat interval — a coarse throughput-pressure
+	// signal that breaks QueueDepth ties.
+	BytesInFlight uint64 `json:"bytes_in_flight,omitempty"`
+}
+
+// Score folds the load signals into one scalar for skew math: each active
+// VM counts 1, queue backlog adds fractionally (64 queued calls weigh like
+// one VM), and recent bytes add up to one VM per GiB moved. Ranking itself
+// compares the signals lexicographically (Load, QueueDepth, BytesInFlight,
+// ID) so equal-load ordering stays exactly deterministic; Score is for the
+// rebalancer's EWMA, where a scalar is needed.
+func (m Member) Score() float64 {
+	return float64(m.Load) + float64(m.QueueDepth)/64 + float64(m.BytesInFlight)/(1<<30)
+}
+
+// less is the fleet's health ranking: lexicographic on the load signals,
+// with the member ID as the final tie-break so the order is deterministic
+// — a placement policy re-running the same query must pick the same host.
+func less(a, b Member) bool {
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	if a.QueueDepth != b.QueueDepth {
+		return a.QueueDepth < b.QueueDepth
+	}
+	if a.BytesInFlight != b.BytesInFlight {
+		return a.BytesInFlight < b.BytesInFlight
+	}
+	return a.ID < b.ID
 }
 
 // Status is a member plus its registry-side liveness bookkeeping.
@@ -57,8 +92,8 @@ type Locator interface {
 	// Deregister removes a member immediately (graceful shutdown).
 	Deregister(id string) error
 	// Live returns the live members serving api, health-ranked (lightest
-	// load first, freshest heartbeat breaking ties), excluding the given
-	// member IDs.
+	// load first, queue depth then bytes-in-flight then member ID breaking
+	// ties — fully deterministic), excluding the given member IDs.
 	Live(api string, exclude ...string) ([]Member, error)
 }
 
@@ -113,8 +148,11 @@ func (r *Registry) Deregister(id string) error {
 	return nil
 }
 
-// Live implements Locator: live members serving api, ranked lightest load
-// first with the freshest heartbeat breaking ties, excluding the given IDs.
+// Live implements Locator: live members serving api, health-ranked by the
+// deterministic less ordering, excluding the given IDs. The ranking never
+// consults heartbeat freshness — two equally loaded hosts must sort the
+// same way on every query, or admission-time placement would scatter
+// depending on announce arrival order.
 func (r *Registry) Live(api string, exclude ...string) ([]Member, error) {
 	skip := make(map[string]bool, len(exclude))
 	for _, id := range exclude {
@@ -122,31 +160,15 @@ func (r *Registry) Live(api string, exclude ...string) ([]Member, error) {
 	}
 	now := r.clk.Now()
 	r.mu.Lock()
-	type ranked struct {
-		m    Member
-		beat time.Time
-	}
-	out := make([]ranked, 0, len(r.members))
+	ms := make([]Member, 0, len(r.members))
 	for id, e := range r.members {
 		if skip[id] || e.m.API != api || now.Sub(e.beat) > r.ttl {
 			continue
 		}
-		out = append(out, ranked{m: e.m, beat: e.beat})
+		ms = append(ms, e.m)
 	}
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].m.Load != out[j].m.Load {
-			return out[i].m.Load < out[j].m.Load
-		}
-		if !out[i].beat.Equal(out[j].beat) {
-			return out[i].beat.After(out[j].beat)
-		}
-		return out[i].m.ID < out[j].m.ID
-	})
-	ms := make([]Member, len(out))
-	for i := range out {
-		ms[i] = out[i].m
-	}
+	sort.Slice(ms, func(i, j int) bool { return less(ms[i], ms[j]) })
 	return ms, nil
 }
 

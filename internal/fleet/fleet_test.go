@@ -152,3 +152,140 @@ func TestAnnouncerHeartbeatAndClose(t *testing.T) {
 		t.Fatalf("Close did not deregister: %+v", ms)
 	}
 }
+
+// TestLiveTTLBoundaryMidQuery pins the expiry boundary: a member is live
+// through the exact TTL instant and excluded one tick past it, and a
+// heartbeat between queries revives it — the edge the dialer's retry
+// branch hits when a host's announcement races its own query.
+func TestLiveTTLBoundaryMidQuery(t *testing.T) {
+	clk := clock.NewVirtual()
+	r := NewRegistry(time.Second, clk)
+	r.Announce(Member{ID: "a", Addr: "1:1", API: "opencl"})
+
+	clk.Advance(time.Second) // exactly TTL: still live (expiry is strict)
+	if ms, _ := r.Live("opencl"); len(ms) != 1 {
+		t.Fatalf("member expired at exactly TTL: %+v", ms)
+	}
+	clk.Advance(time.Nanosecond) // one tick past: gone
+	if ms, _ := r.Live("opencl"); len(ms) != 0 {
+		t.Fatalf("member outlived its TTL: %+v", ms)
+	}
+	// A heartbeat mid-sequence revives it without a re-register.
+	r.Announce(Member{ID: "a", Addr: "1:1", API: "opencl"})
+	if ms, _ := r.Live("opencl"); len(ms) != 1 || ms[0].ID != "a" {
+		t.Fatalf("heartbeat did not revive the member: %+v", ms)
+	}
+	// And the revived beat restarts the full TTL, not the remainder.
+	clk.Advance(time.Second)
+	if ms, _ := r.Live("opencl"); len(ms) != 1 {
+		t.Fatalf("revived member expired early: %+v", ms)
+	}
+}
+
+// TestLiveEqualLoadTieBreakDeterministic: members tying on every load
+// signal rank by ID, whatever order they announced in — placement must
+// be reproducible from the decision log, so the ranking cannot depend on
+// map iteration or announce arrival.
+func TestLiveEqualLoadTieBreakDeterministic(t *testing.T) {
+	orders := [][]string{
+		{"c", "a", "b"},
+		{"b", "c", "a"},
+		{"a", "b", "c"},
+	}
+	for _, order := range orders {
+		r := NewRegistry(time.Minute, clock.NewVirtual())
+		for _, id := range order {
+			r.Announce(Member{ID: id, Addr: id, API: "opencl", Load: 3})
+		}
+		for i := 0; i < 20; i++ {
+			ms, _ := r.Live("opencl")
+			if len(ms) != 3 || ms[0].ID != "a" || ms[1].ID != "b" || ms[2].ID != "c" {
+				t.Fatalf("announce order %v, query %d: rank %+v, want a,b,c", order, i, ms)
+			}
+		}
+	}
+
+	// The tie-break is lexicographic across the full signal: queue depth
+	// splits equal loads, bytes-in-flight splits equal queue depths.
+	r := NewRegistry(time.Minute, clock.NewVirtual())
+	r.Announce(Member{ID: "a", Addr: "a", API: "opencl", Load: 1, QueueDepth: 9})
+	r.Announce(Member{ID: "b", Addr: "b", API: "opencl", Load: 1, QueueDepth: 2, BytesInFlight: 500})
+	r.Announce(Member{ID: "c", Addr: "c", API: "opencl", Load: 1, QueueDepth: 2, BytesInFlight: 100})
+	ms, _ := r.Live("opencl")
+	if len(ms) != 3 || ms[0].ID != "c" || ms[1].ID != "b" || ms[2].ID != "a" {
+		t.Fatalf("lexicographic signal ranking wrong: %+v", ms)
+	}
+}
+
+// TestAnnouncerSurvivesRegistryRestart: an announcer heartbeating over
+// the TCP client re-registers its member after the registry process is
+// replaced by an empty one on the same address — no operator involved.
+func TestAnnouncerSurvivesRegistryRestart(t *testing.T) {
+	reg := NewRegistry(time.Minute, nil)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	go Serve(l, reg)
+
+	c := DialRegistry(addr)
+	defer c.Close()
+	a := StartAnnouncer(c, Member{ID: "h1", Addr: "1.2.3.4:7272", API: "opencl"}, 20*time.Millisecond, nil)
+	defer a.Close()
+	if ms, _ := reg.Live("opencl"); len(ms) != 1 {
+		t.Fatalf("initial announce missing: %+v", ms)
+	}
+
+	// Kill the registry and bring up a fresh, empty one on the same port.
+	// Closing the listener alone leaves the established connection to the
+	// old process alive (a real crash would sever it); drop the client's
+	// cached connection to model that.
+	l.Close()
+	c.Close()
+	reg2 := NewRegistry(time.Minute, nil)
+	l2, err := transport.Listen(addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go Serve(l2, reg2)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ms, _ := reg2.Live("opencl")
+		if len(ms) == 1 && ms[0].ID == "h1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("announcer never re-registered with the restarted registry: %+v", ms)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAnnouncerSamplerAndAnnounceNow: the sampler refreshes the load
+// signal on every push, and AnnounceNow lands immediately — the path the
+// daemon uses when a VM migrates away and the stale load must not
+// attract placements.
+func TestAnnouncerSamplerAndAnnounceNow(t *testing.T) {
+	reg := NewRegistry(time.Minute, nil)
+	load := 5
+	a := StartAnnouncer(reg, Member{ID: "h1", Addr: "1:1", API: "opencl"}, time.Hour, nil)
+	defer a.Close()
+	a.SetSampler(func(m *Member) { m.Load = load; m.QueueDepth = load * 2 })
+
+	load = 1
+	a.AnnounceNow()
+	ms, _ := reg.Live("opencl")
+	if len(ms) != 1 || ms[0].Load != 1 || ms[0].QueueDepth != 2 {
+		t.Fatalf("AnnounceNow did not carry sampled load: %+v", ms)
+	}
+	a.SetDetail(9, 4, 1<<20)
+	a.SetSampler(nil)
+	a.AnnounceNow()
+	ms, _ = reg.Live("opencl")
+	if len(ms) != 1 || ms[0].Load != 9 || ms[0].QueueDepth != 4 || ms[0].BytesInFlight != 1<<20 {
+		t.Fatalf("AnnounceNow did not carry SetDetail values: %+v", ms)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ava/internal/fleet"
+)
+
+func ids(ms []fleet.Member) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+func TestLeastLoadRanksDeterministically(t *testing.T) {
+	ms := []fleet.Member{
+		{ID: "c", Load: 1},
+		{ID: "a", Load: 0, QueueDepth: 5},
+		{ID: "b", Load: 0},
+		{ID: "d", Load: 0},
+	}
+	got := ids(LeastLoad{}.Rank(7, ms))
+	// b and d tie exactly: the ID breaks the tie, every time.
+	want := []string{"b", "d", "a", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rank = %v, want %v", got, want)
+	}
+	for i := 0; i < 50; i++ {
+		again := ids(LeastLoad{}.Rank(7, []fleet.Member{
+			{ID: "d", Load: 0}, {ID: "b", Load: 0},
+			{ID: "a", Load: 0, QueueDepth: 5}, {ID: "c", Load: 1},
+		}))
+		if !reflect.DeepEqual(again, want) {
+			t.Fatalf("iteration %d: rank = %v, want %v (nondeterministic)", i, again, want)
+		}
+	}
+}
+
+func TestSpreadByVMCountBalancesBurst(t *testing.T) {
+	p := NewSpreadByVMCount()
+	members := []fleet.Member{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	counts := map[string]int{}
+	// A burst of 30 attachments with no announced-load movement at all:
+	// the spread policy must still distribute 10/10/10.
+	for vm := uint32(1); vm <= 30; vm++ {
+		ranked := p.Rank(vm, append([]fleet.Member(nil), members...))
+		p.Observe(vm, ranked[0].ID)
+		counts[ranked[0].ID]++
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if counts[id] != 10 {
+			t.Fatalf("spread counts = %v, want 10 per host", counts)
+		}
+	}
+}
+
+func TestSpreadByVMCountFollowsObservedMoves(t *testing.T) {
+	p := NewSpreadByVMCount()
+	p.Observe(1, "a")
+	p.Observe(2, "a")
+	p.Observe(3, "b")
+	// VM 1 fails over to b (not the policy's doing): counts must follow.
+	p.Observe(1, "b")
+	ranked := p.Rank(4, []fleet.Member{{ID: "a"}, {ID: "b"}})
+	if ranked[0].ID != "a" {
+		t.Fatalf("after observed move, rank = %v, want a first", ids(ranked))
+	}
+	// Re-ranking a VM that already lives somewhere must not double-count
+	// its own placement against that host.
+	ranked = p.Rank(3, []fleet.Member{{ID: "a"}, {ID: "b"}})
+	if ranked[0].ID != "a" && ranked[0].ID != "b" {
+		t.Fatalf("unexpected rank %v", ids(ranked))
+	}
+	p.Forget(1)
+	p.Forget(2)
+	p.Forget(3)
+	ranked = p.Rank(5, []fleet.Member{{ID: "a", Load: 1}, {ID: "b"}})
+	if ranked[0].ID != "b" {
+		t.Fatalf("after forget, load ranking should decide: got %v", ids(ranked))
+	}
+}
+
+func TestLogRingBounded(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < logCap+50; i++ {
+		l.Add(Decision{Kind: "place", VM: uint32(i), To: fmt.Sprintf("h%d", i)})
+	}
+	ds := l.Decisions()
+	if len(ds) != logCap {
+		t.Fatalf("log retained %d, want %d", len(ds), logCap)
+	}
+	if ds[0].Seq != 51 || ds[len(ds)-1].Seq != logCap+50 {
+		t.Fatalf("ring order wrong: first seq %d last %d", ds[0].Seq, ds[len(ds)-1].Seq)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Seq != ds[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, ds[i-1].Seq, ds[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# sched_smoke.sh — end-to-end smoke of the cluster-scheduling front door:
+# boot a real avaregd and two announced avads, run the avaplace probe, and
+# require exactly one placement decision landing on the lighter host. Run
+# from the repo root (`make sched-smoke` does). Everything binds to
+# port 0, so parallel CI runs do not collide.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+cleanup() {
+    rm -rf "$workdir"
+    [ -n "${regd_pid:-}" ] && kill "$regd_pid" 2>/dev/null || true
+    [ -n "${avad_a_pid:-}" ] && kill "$avad_a_pid" 2>/dev/null || true
+    [ -n "${avad_b_pid:-}" ] && kill "$avad_b_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "sched-smoke: building avaregd + avad + avaplace"
+$GO build -o "$workdir/avaregd" ./cmd/avaregd
+$GO build -o "$workdir/avad" ./cmd/avad
+$GO build -o "$workdir/avaplace" ./cmd/avaplace
+
+"$workdir/avaregd" -listen 127.0.0.1:0 >"$workdir/avaregd.log" 2>&1 &
+regd_pid=$!
+
+# The registry logs its bound address; poll for it.
+reg_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    reg_addr=$(sed -n 's/.*serving fleet registry on //p' "$workdir/avaregd.log" | head -1)
+    [ -n "$reg_addr" ] && break
+    kill -0 "$regd_pid" 2>/dev/null || { echo "sched-smoke: avaregd died:"; cat "$workdir/avaregd.log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$reg_addr" ] || { echo "sched-smoke: avaregd never announced its address"; cat "$workdir/avaregd.log"; exit 1; }
+echo "sched-smoke: registry up at $reg_addr"
+
+"$workdir/avad" -listen 127.0.0.1:0 -announce "$reg_addr" -id gpu-host-a >"$workdir/avad-a.log" 2>&1 &
+avad_a_pid=$!
+"$workdir/avad" -listen 127.0.0.1:0 -announce "$reg_addr" -id gpu-host-b >"$workdir/avad-b.log" 2>&1 &
+avad_b_pid=$!
+
+# Both hosts must be announced before the probe ranks them.
+for h in a b; do
+    i=0
+    while [ $i -lt 100 ]; do
+        grep -q "announcing .* to fleet registry" "$workdir/avad-$h.log" 2>/dev/null && break
+        kill -0 "$(eval echo \$avad_${h}_pid)" 2>/dev/null || { echo "sched-smoke: avad-$h died:"; cat "$workdir/avad-$h.log"; exit 1; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+done
+echo "sched-smoke: two avads announced"
+
+out=$("$workdir/avaplace" -registry "$reg_addr" -vm 1)
+echo "$out"
+
+# Exactly one placement decision, and it names a real fleet member.
+decisions=$(echo "$out" | grep -c '^decision .* place ' || true)
+[ "$decisions" = "1" ] || { echo "sched-smoke: want exactly 1 place decision, got $decisions"; exit 1; }
+echo "$out" | grep -q '^placed vm 1 on gpu-host-' || { echo "sched-smoke: probe did not land on a fleet host"; exit 1; }
+
+echo "sched-smoke: OK"
