@@ -247,7 +247,7 @@ type daemon struct {
 	mu        sync.Mutex
 	conns     map[transport.Endpoint]struct{}
 	vms       map[uint32]transport.Endpoint // latest serving connection per VM
-	rejected  map[uint32]time.Time          // evicted VMs refused until this instant
+	rejected  map[uint32]time.Time          // VM -> eviction instant; refused for rejectTTL after it
 	prevBytes uint64                        // data-plane bytes at the last load sample
 	closed    bool
 
@@ -328,7 +328,7 @@ func (d *daemon) evictVM(vm uint32, target string) error {
 	d.mu.Lock()
 	ep, ok := d.vms[vm]
 	if ok {
-		d.rejected[vm] = time.Now().Add(rejectTTL)
+		d.rejected[vm] = time.Now()
 	}
 	d.mu.Unlock()
 	if !ok {
@@ -336,29 +336,34 @@ func (d *daemon) evictVM(vm uint32, target string) error {
 	}
 	log.Printf("avad: evicting VM %d (advisory target %q)", vm, target)
 	transport.Sever(ep)
+	// Push the lightened load now rather than when the severed serveConn
+	// unwinds: placement must stop steering new VMs here the moment the
+	// eviction is decided, even if the old connection is slow to die.
+	d.announceNow()
 	return nil
 }
 
 // rejectedVM reports whether a VM is inside its post-eviction refusal
-// window, pruning expired entries.
-func (d *daemon) rejectedVM(vm uint32) bool {
+// window and how long ago it was evicted, pruning expired entries.
+func (d *daemon) rejectedVM(vm uint32) (time.Duration, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	until, ok := d.rejected[vm]
+	at, ok := d.rejected[vm]
 	if !ok {
-		return false
+		return 0, false
 	}
-	if time.Now().After(until) {
+	age := time.Since(at)
+	if age > rejectTTL {
 		delete(d.rejected, vm)
-		return false
+		return 0, false
 	}
-	return true
+	return age, true
 }
 
 // bindVM records the serving connection for a VM; the bool reports
 // whether the binding was installed (false = VM currently rejected).
 func (d *daemon) bindVM(vm uint32, ep transport.Endpoint) bool {
-	if d.rejectedVM(vm) {
+	if _, rejected := d.rejectedVM(vm); rejected {
 		return false
 	}
 	d.mu.Lock()
@@ -495,13 +500,20 @@ func (d *daemon) serveConn(ep transport.Endpoint) {
 		name = fmt.Sprintf("tcp-vm%d", h.VM)
 	}
 	if !d.bindVM(h.VM, ep) {
-		// Freshly evicted: refuse so the guardian's dialer spends this
-		// host's budget and moves to a peer instead of bouncing back.
-		log.Printf("avad: VM %d refused (evicted %v ago at most)", h.VM, rejectTTL)
+		// Freshly evicted: refuse — with an explicit reject ack for
+		// dialers that asked for one, so the rejection is a dial *failure*
+		// that spends the guardian's per-host budget and moves it to a
+		// peer, instead of a silent connect-then-sever it retries forever.
+		age, _ := d.rejectedVM(h.VM)
+		log.Printf("avad: VM %d refused (evicted %v ago)", h.VM, age.Round(time.Millisecond))
+		transport.AckHello(ep, h, false, fmt.Sprintf("vm %d evicted %v ago, rebalancing", h.VM, age.Round(time.Millisecond)))
 		return
 	}
 	defer d.unbindVM(h.VM, ep)
 	defer d.announceNow()
+	if err := transport.AckHello(ep, h, true, ""); err != nil {
+		return
+	}
 	ctx := d.srv.Context(h.VM, name)
 	log.Printf("avad: VM %d (%s) connected, epoch %d", h.VM, name, h.Epoch)
 	// The stats summary is emitted however the connection ends — orderly

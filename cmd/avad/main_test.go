@@ -121,6 +121,86 @@ func TestServeConnShortHello(t *testing.T) {
 	client.Close()
 }
 
+// An eviction must be visible at dial time: the serving connection is
+// severed, and a reconnect inside the refusal window gets an explicit
+// reject ack — a dial *failure* the guardian charges against its per-host
+// budget — never a silent accept-then-sever the dialer would mistake for
+// a successful landing.
+func TestEvictVMSeversAndRefusesWithRejectAck(t *testing.T) {
+	d := newTestDaemon(t, time.Second)
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go d.Serve(l)
+
+	dialAck := func() (transport.Endpoint, transport.HelloAck) {
+		t.Helper()
+		client, err := transport.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hello := transport.EncodeHello(transport.Hello{VM: 4, Name: "evictee", WantAck: true})
+		if err := client.Send(hello); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, err := transport.DecodeHelloAck(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return client, ack
+	}
+
+	client, ack := dialAck()
+	defer client.Close()
+	if !ack.OK {
+		t.Fatalf("first dial refused: %+v", ack)
+	}
+
+	// Evicting an unknown VM is an error; the bound VM evicts cleanly.
+	if err := d.evictVM(99, ""); err == nil {
+		t.Fatal("evicting an unconnected VM succeeded")
+	}
+	if err := d.evictVM(4, "peer-host"); err != nil {
+		t.Fatal(err)
+	}
+	// The serving link dies severed — a crash signal the guardian's
+	// failure detector acts on, not an orderly end-of-stream.
+	if _, err := client.Recv(); !errors.Is(err, transport.ErrSevered) {
+		t.Fatalf("recv after eviction = %v, want ErrSevered", err)
+	}
+
+	// A bounce-back inside the refusal window is rejected at the hello.
+	c2, ack := dialAck()
+	defer c2.Close()
+	if ack.OK {
+		t.Fatal("redial inside the refusal window was admitted")
+	}
+	if ack.Reason == "" {
+		t.Fatal("reject ack carries no reason")
+	}
+	// The rejected connection was never bound as the VM's serving link
+	// (the evicted one unbinds as its serve loop unwinds).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		d.mu.Lock()
+		_, bound := d.vms[4]
+		d.mu.Unlock()
+		if !bound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("VM still bound after eviction and rejected redial")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // A graceful shutdown drains in-flight connections and ends them with an
 // orderly close: the guest must observe ErrClosed (end-of-stream), never
 // ErrSevered — the failover layer treats a sever as a server crash and

@@ -74,6 +74,9 @@ func (h *crossHostServer) serve(ep transport.Endpoint) {
 	if err != nil {
 		return
 	}
+	if err := transport.AckHello(ep, hello, true, ""); err != nil {
+		return
+	}
 	// Each accepted connection is one server incarnation for the VM: the
 	// guardian replays state into a clean context before traffic resumes.
 	h.srv.DropContext(hello.VM)

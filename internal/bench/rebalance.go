@@ -121,6 +121,9 @@ func (h *rebalHost) serve(ep transport.Endpoint) {
 	if err != nil {
 		return
 	}
+	if err := transport.AckHello(ep, hello, true, ""); err != nil {
+		return
+	}
 	h.mu.Lock()
 	h.served[hello.VM]++
 	h.mu.Unlock()

@@ -34,6 +34,7 @@ package ctlplane
 
 import (
 	"context"
+	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
@@ -87,8 +88,11 @@ func New(cfg Config) *Server {
 }
 
 // auth gates a mutating handler behind the shared token when one is
-// configured. Constant-time comparison: the token is a capability, not a
-// hint.
+// configured. The comparison runs over fixed-length SHA-256 digests of
+// the two tokens: ConstantTimeCompare alone short-circuits on unequal
+// lengths, which would leak the configured token's length to a prober —
+// hashing first makes both timing and length uniform. The token is a
+// capability, not a hint.
 func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if tok := s.cfg.Token; tok != "" {
@@ -96,7 +100,8 @@ func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
 			if got == "" {
 				got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 			}
-			if subtle.ConstantTimeCompare([]byte(got), []byte(tok)) != 1 {
+			gd, td := sha256.Sum256([]byte(got)), sha256.Sum256([]byte(tok))
+			if subtle.ConstantTimeCompare(gd[:], td[:]) != 1 {
 				writeErr(w, fmt.Errorf("%w: missing or wrong control token", averr.ErrDenied))
 				return
 			}

@@ -27,8 +27,12 @@ type FleetDialConfig struct {
 	// observe reconnects across failovers.
 	Epoch func() uint32
 	// Resolve turns a fleet member into a live ServerLink. Nil uses the
-	// default: TCP-dial m.Addr, send the hello preamble, and return a
-	// WireReplay link.
+	// default: TCP-dial m.Addr, send the hello preamble with an ack
+	// request, wait for the server's admission verdict, and return a
+	// WireReplay link. Waiting for the verdict is what makes host-side
+	// rejection (an evicted VM bounced off its old host) a dial failure
+	// that spends the per-host attempt budget, instead of a silent
+	// connect-then-sever loop that resets it.
 	Resolve func(m fleet.Member, epoch uint32) (ServerLink, error)
 	// Rank, when set, reorders the live candidates best-first before the
 	// dialer walks them — the hook a placement policy (internal/sched)
@@ -128,14 +132,17 @@ func (d *FleetDialer) Dial() (ServerLink, error) {
 		d.mu.Lock()
 		d.attempts++
 		d.mu.Unlock()
+		cause := fmt.Errorf("not in fleet view")
 		if m, ok := d.lookup(cur); ok {
-			if link, err := d.resolve(m, epoch); err == nil {
+			link, err := d.resolve(m, epoch)
+			if err == nil {
 				d.noteSuccess(m.ID)
 				return link, nil
 			}
+			cause = err
 		}
-		return ServerLink{}, fmt.Errorf("failover: host %s unreachable (attempt %d/%d)",
-			cur, tried+1, d.cfg.PerHostAttempts)
+		return ServerLink{}, fmt.Errorf("failover: host %s unreachable (attempt %d/%d): %w",
+			cur, tried+1, d.cfg.PerHostAttempts, cause)
 	}
 
 	// The current host's budget is spent (or there is no host yet, or a
@@ -231,10 +238,28 @@ func (d *FleetDialer) resolve(m fleet.Member, epoch uint32) (ServerLink, error) 
 	if err != nil {
 		return ServerLink{}, err
 	}
-	hello := transport.EncodeHello(transport.Hello{VM: d.cfg.VM, Epoch: epoch, Name: d.cfg.Name})
+	hello := transport.EncodeHello(transport.Hello{VM: d.cfg.VM, Epoch: epoch, Name: d.cfg.Name, WantAck: true})
 	if err := ep.Send(hello); err != nil {
 		ep.Close()
 		return ServerLink{}, err
+	}
+	// Success means admitted, not merely connected: the server's verdict
+	// frame arrives before any data-plane traffic, so a rejection (the VM
+	// was just evicted from this host) fails the dial here and the caller
+	// charges it against the per-host budget like any other failure.
+	frame, err := ep.Recv()
+	if err != nil {
+		ep.Close()
+		return ServerLink{}, fmt.Errorf("hello ack from %s: %w", m.ID, err)
+	}
+	ack, err := transport.DecodeHelloAck(frame)
+	if err != nil {
+		ep.Close()
+		return ServerLink{}, fmt.Errorf("hello ack from %s: %w", m.ID, err)
+	}
+	if !ack.OK {
+		ep.Close()
+		return ServerLink{}, fmt.Errorf("host %s refused VM %d: %s", m.ID, d.cfg.VM, ack.Reason)
 	}
 	return ServerLink{EP: ep, WireReplay: true}, nil
 }

@@ -3,9 +3,11 @@ package failover
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"ava/internal/fleet"
+	"ava/internal/transport"
 )
 
 // fakeLocator serves a fixed ranked member list and honors exclusions.
@@ -250,6 +252,137 @@ func TestFleetDialerRankAndOnDialHooks(t *testing.T) {
 	want := []landing{{"b", ""}, {"a", "b"}}
 	if len(seen) != 2 || seen[0] != want[0] || seen[1] != want[1] {
 		t.Fatalf("OnDial landings = %v, want %v", seen, want)
+	}
+}
+
+// ackServer is a minimal avad stand-in for the default (TCP + hello)
+// resolve path: it answers every ack-requesting hello with the current
+// verdict and, on acceptance, holds the connection open.
+type ackServer struct {
+	l *transport.Listener
+
+	mu     sync.Mutex
+	reject bool
+	eps    []transport.Endpoint
+	hellos int
+}
+
+func newAckServer(t *testing.T) *ackServer {
+	t.Helper()
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &ackServer{l: l}
+	go func() {
+		for {
+			ep, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				frame, err := ep.Recv()
+				if err != nil {
+					ep.Close()
+					return
+				}
+				h, err := transport.DecodeHello(frame)
+				if err != nil {
+					ep.Close()
+					return
+				}
+				s.mu.Lock()
+				s.hellos++
+				rej := s.reject
+				if !rej {
+					s.eps = append(s.eps, ep)
+				}
+				s.mu.Unlock()
+				if rej {
+					transport.AckHello(ep, h, false, "evicted, rebalancing")
+					ep.Close()
+					return
+				}
+				transport.AckHello(ep, h, true, "")
+			}()
+		}
+	}()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *ackServer) setReject(v bool) {
+	s.mu.Lock()
+	s.reject = v
+	s.mu.Unlock()
+}
+
+func (s *ackServer) helloCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hellos
+}
+
+func (s *ackServer) close() {
+	s.l.Close()
+	s.mu.Lock()
+	eps := append([]transport.Endpoint(nil), s.eps...)
+	s.eps = nil
+	s.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// The eviction-convergence regression: a host that admits the TCP connect
+// but refuses the VM at the hello must register as a *failed* dial — the
+// old behavior counted it a success (hello sent, no verdict awaited),
+// reset the per-host budget on every bounce, and pinned the evicted VM to
+// its rejecting host for the whole refusal window.
+func TestFleetDialerRejectedHelloSpendsBudget(t *testing.T) {
+	a, b := newAckServer(t), newAckServer(t)
+	loc := &fakeLocator{members: []fleet.Member{
+		{ID: "a", API: "opencl", Addr: a.l.Addr()},
+		{ID: "b", API: "opencl", Addr: b.l.Addr(), Load: 1},
+	}}
+	d := NewFleetDialer(loc, FleetDialConfig{
+		API: "opencl", VM: 7, Name: "evictee", PerHostAttempts: 2,
+	})
+	link, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.EP.Close()
+	if d.Host() != "a" {
+		t.Fatalf("host = %q, want a", d.Host())
+	}
+
+	// Host a evicts the VM: it keeps accepting TCP but rejects the hello.
+	a.setReject(true)
+	for i := 0; i < 2; i++ {
+		if _, err := d.Dial(); err == nil {
+			t.Fatalf("dial %d against the rejecting host succeeded", i)
+		} else if !strings.Contains(err.Error(), "refused") {
+			t.Fatalf("dial %d error is not a refusal: %v", i, err)
+		}
+		if d.Host() != "a" {
+			t.Fatalf("dialer left host a before the budget was spent")
+		}
+	}
+	// Budget spent: the next dial must land on the peer, not bounce back.
+	link, err = d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.EP.Close()
+	if d.Host() != "b" {
+		t.Fatalf("host after eviction = %q, want b", d.Host())
+	}
+	if n := a.helloCount(); n != 3 { // first admit + exactly PerHostAttempts rejections
+		t.Fatalf("rejecting host saw %d hellos, want 3", n)
+	}
+	if d.HostChanges() != 1 {
+		t.Fatalf("hostChanges = %d, want 1", d.HostChanges())
 	}
 }
 

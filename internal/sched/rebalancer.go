@@ -86,14 +86,22 @@ type Rebalancer struct {
 	loads   func() []HostLoad
 	migrate func(vm uint32, target string) error
 
-	mu         sync.Mutex
+	// evalMu serializes whole evaluations (Tick, Kick, the Start loop):
+	// the EWMA/hysteresis state machine and the window budget are only
+	// correct when evaluations never interleave, and the migrate hook —
+	// which can block for a full checkpoint-and-relocate round trip — runs
+	// under it alone. mu guards only the stats snapshot, so Stats() (the
+	// /metrics scrape path) never waits behind an in-flight migration.
+	evalMu     sync.Mutex
 	tick       uint64
 	ewma       map[string]float64
 	hotStreak  map[string]int
 	vmCooldown map[uint32]uint64 // vm -> tick of its last migration
 	recent     []uint64          // ticks of recent migrations (window budget)
 	lastBatch  uint64            // tick of the last migration batch
-	stats      Stats
+
+	mu    sync.Mutex
+	stats Stats
 
 	done chan struct{}
 	once sync.Once
@@ -156,7 +164,18 @@ func (r *Rebalancer) Start() {
 	go func() {
 		defer r.wg.Done()
 		for {
-			r.cfg.Clock.Sleep(r.cfg.Interval)
+			// An interruptible interval wait: Close must not sit out the
+			// rest of a sleep (or, on a manual test clock, wait for an
+			// Advance that never comes), so the timer races the done
+			// channel instead of blocking in Clock.Sleep.
+			wake := make(chan struct{})
+			stop := r.cfg.Clock.AfterFunc(r.cfg.Interval, func() { close(wake) })
+			select {
+			case <-r.done:
+				stop()
+				return
+			case <-wake:
+			}
 			select {
 			case <-r.done:
 				return
@@ -189,11 +208,18 @@ func (r *Rebalancer) Tick() int { return r.evaluate(false) }
 // guard still hold, so even a scripted Kick loop cannot flap the fleet.
 func (r *Rebalancer) Kick() int { return r.evaluate(true) }
 
-func (r *Rebalancer) evaluate(force bool) int {
+// bump applies one mutation to the stats snapshot under its own lock.
+func (r *Rebalancer) bump(f func(*Stats)) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+func (r *Rebalancer) evaluate(force bool) int {
+	r.evalMu.Lock()
+	defer r.evalMu.Unlock()
 	r.tick++
-	r.stats.Ticks++
+	r.bump(func(s *Stats) { s.Ticks++ })
 
 	hosts := r.loads()
 	if len(hosts) < 2 {
@@ -246,20 +272,20 @@ func (r *Rebalancer) evaluate(force bool) int {
 	if hot == nil {
 		return 0
 	}
-	r.stats.SkewTicks++
+	r.bump(func(s *Stats) { s.SkewTicks++ })
 
 	if !force && r.hotStreak[hot.Member.ID] < r.cfg.HysteresisTicks {
-		r.stats.Suppressed++
+		r.bump(func(s *Stats) { s.Suppressed++ })
 		return 0
 	}
 	// Cooldown between batches, and the sliding-window budget.
 	if r.lastBatch != 0 && r.tick-r.lastBatch < uint64(r.cfg.CooldownTicks) {
-		r.stats.Suppressed++
+		r.bump(func(s *Stats) { s.Suppressed++ })
 		return 0
 	}
 	budget := r.cfg.MaxPerWindow - r.migrationsInWindow()
 	if budget <= 0 {
-		r.stats.Suppressed++
+		r.bump(func(s *Stats) { s.Suppressed++ })
 		return 0
 	}
 	if budget > r.cfg.BatchMax {
@@ -321,10 +347,10 @@ func (r *Rebalancer) evaluate(force bool) int {
 			break // the move would invert the skew: stop, do not flap
 		}
 		if err := r.migrate(vm, tgt.ID); err != nil {
-			r.stats.Failed++
+			r.bump(func(s *Stats) { s.Failed++ })
 			continue // VM mid-recovery or similar; try the next one
 		}
-		r.stats.Migrations++
+		r.bump(func(s *Stats) { s.Migrations++ })
 		r.vmCooldown[vm] = r.tick
 		r.recent = append(r.recent, r.tick)
 		r.lastBatch = r.tick
@@ -344,13 +370,13 @@ func (r *Rebalancer) evaluate(force bool) int {
 		}
 	}
 	if started == 0 {
-		r.stats.Suppressed++
+		r.bump(func(s *Stats) { s.Suppressed++ })
 	}
 	return started
 }
 
 // migrationsInWindow counts migrations inside the sliding window ending
-// now, pruning entries that aged out. Caller holds r.mu.
+// now, pruning entries that aged out. Caller holds r.evalMu.
 func (r *Rebalancer) migrationsInWindow() int {
 	cut := uint64(0)
 	if r.tick > uint64(r.cfg.WindowTicks) {

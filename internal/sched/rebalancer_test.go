@@ -3,7 +3,9 @@ package sched
 import (
 	"errors"
 	"testing"
+	"time"
 
+	"ava/internal/clock"
 	"ava/internal/fleet"
 )
 
@@ -181,6 +183,62 @@ func TestRebalancerFromRestrictsSource(t *testing.T) {
 	}
 	if len(f.hosts["host-a"]) != 9 {
 		t.Fatalf("host-a lost VMs: %v", f.hosts)
+	}
+}
+
+// Stats must never wait behind an in-flight migration: the migrate hook
+// blocks for a full checkpoint-and-relocate round trip, and the /metrics
+// scrape reads Stats while that happens.
+func TestRebalancerStatsNonBlockingDuringMigration(t *testing.T) {
+	f := newSimFleet(map[string]int{"host-a": 6, "host-b": 0, "host-c": 0})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	r := New(Config{
+		Alpha: 1, HysteresisTicks: 1, CooldownTicks: 1, VMCooldownTicks: 1,
+	}, f.loads, func(vm uint32, target string) error {
+		close(entered)
+		<-release
+		return f.migrate(vm, target)
+	})
+	tickDone := make(chan struct{})
+	go func() {
+		r.Tick()
+		close(tickDone)
+	}()
+	<-entered
+	got := make(chan Stats, 1)
+	go func() { got <- r.Stats() }()
+	select {
+	case st := <-got:
+		if st.Ticks != 1 {
+			t.Fatalf("mid-migration stats = %+v, want Ticks=1", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stats blocked behind an in-flight migration")
+	}
+	close(release)
+	<-tickDone
+	if st := r.Stats(); st.Migrations != 1 {
+		t.Fatalf("post-migration stats = %+v, want Migrations=1", st)
+	}
+}
+
+// Close must interrupt the interval wait rather than ride it out: on a
+// manual test clock nobody advances (or a long Interval on the wall
+// clock), a Sleep-based loop would block Close indefinitely.
+func TestRebalancerCloseInterruptsIntervalWait(t *testing.T) {
+	f := newSimFleet(map[string]int{"host-a": 2, "host-b": 2, "host-c": 2})
+	r := New(Config{Interval: time.Hour, Clock: clock.NewVirtual()}, f.loads, f.migrate)
+	r.Start()
+	closed := make(chan struct{})
+	go func() {
+		r.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on the interval wait")
 	}
 }
 

@@ -151,6 +151,9 @@ func newChaosHost(t *testing.T, loc *fleet.Registry, id string, load int) *chaos
 				if err != nil {
 					return
 				}
+				if err := transport.AckHello(ep, hello, true, ""); err != nil {
+					return
+				}
 				h.srv.DropContext(hello.VM)
 				h.srv.ServeVM(h.srv.Context(hello.VM, hello.Name), ep)
 			}()

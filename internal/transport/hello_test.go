@@ -38,3 +38,70 @@ func TestHelloEmptyNameAndShortFrame(t *testing.T) {
 		t.Fatal("short frame accepted")
 	}
 }
+
+func TestHelloWantAckRoundTrip(t *testing.T) {
+	in := Hello{VM: 11, Epoch: 4, Name: "vm-11", WantAck: true}
+	out, err := DecodeHello(EncodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+	// The plain extended form must not report an ack request.
+	out, err = DecodeHello(EncodeHello(Hello{VM: 11, Epoch: 4, Name: "vm-11"}))
+	if err != nil || out.WantAck {
+		t.Fatalf("AVA1 hello decoded WantAck=%v, err %v", out.WantAck, err)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	for _, in := range []HelloAck{
+		{OK: true},
+		{OK: false, Reason: "vm 7 evicted 12ms ago, rebalancing"},
+	} {
+		out, err := DecodeHelloAck(EncodeHelloAck(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip: got %+v want %+v", out, in)
+		}
+	}
+	if _, err := DecodeHelloAck([]byte("AVA")); err == nil {
+		t.Fatal("short ack frame accepted")
+	}
+	if _, err := DecodeHelloAck(EncodeHello(Hello{VM: 1})); err == nil {
+		t.Fatal("hello frame accepted as an ack")
+	}
+}
+
+// AckHello must answer only dialers that asked: a legacy or AVA1 hello
+// gets no unexpected frame ahead of its first reply.
+func TestAckHelloOnlyWhenAsked(t *testing.T) {
+	client, sv := NewInProc()
+	defer client.Close()
+	if err := AckHello(sv, Hello{VM: 1}, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing was sent: the next frame the client sees is the sentinel.
+	if err := sv.Send([]byte("sentinel")); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := client.Recv()
+	if err != nil || string(frame) != "sentinel" {
+		t.Fatalf("unasked ack produced a frame: %q, %v", frame, err)
+	}
+
+	if err := AckHello(sv, Hello{VM: 1, WantAck: true}, false, "full"); err != nil {
+		t.Fatal(err)
+	}
+	frame, err = client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := DecodeHelloAck(frame)
+	if err != nil || ack.OK || ack.Reason != "full" {
+		t.Fatalf("reject ack = %+v, %v", ack, err)
+	}
+}
