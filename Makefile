@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-smoke bench-json chaos ctl-smoke sched-smoke
+.PHONY: check fmt vet build test bench bench-smoke bench-json chaos ctl-smoke sched-smoke ha-smoke
 
-check: fmt vet build test bench-smoke ctl-smoke sched-smoke
+check: fmt vet build test bench-smoke ctl-smoke sched-smoke ha-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -29,9 +29,9 @@ bench:
 # One iteration of every benchmark, no unit tests: catches benchmarks that
 # stopped compiling or panic without paying for a full measurement run.
 # Also exercises the overload-control (E11), failover (E12), cross-host
-# failover (E13), zero-copy/copy-cost (E14) and cluster-rebalancing (E15)
-# experiments end to end, since their assertions live in the table
-# generation, not in a Benchmark func.
+# failover (E13), zero-copy/copy-cost (E14), cluster-rebalancing (E15) and
+# replicated-control-plane (E16) experiments end to end, since their
+# assertions live in the table generation, not in a Benchmark func.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 	$(GO) run ./cmd/avabench -exp overload -reps 1
@@ -39,6 +39,7 @@ bench-smoke:
 	$(GO) run ./cmd/avabench -exp crosshost -reps 1
 	$(GO) run ./cmd/avabench -exp copycost -reps 1
 	$(GO) run ./cmd/avabench -exp rebalance -reps 1
+	$(GO) run ./cmd/avabench -exp ha -reps 1
 
 # Operability smoke: boot a real avad with -ctl, scrape it with avactl,
 # drain it over HTTP, and require a clean exit (scripts/ctl_smoke.sh).
@@ -51,6 +52,12 @@ ctl-smoke:
 sched-smoke:
 	GO="$(GO)" sh scripts/sched_smoke.sh
 
+# HA smoke: two gossiping avaregd replicas, multi-registry announce, a
+# mirror host scraped via avactl, and placement surviving a registry
+# SIGKILL through the surviving replica (scripts/ha_smoke.sh).
+ha-smoke:
+	GO="$(GO)" sh scripts/ha_smoke.sh
+
 # Full experiment sweep with machine-readable output: one BENCH_<exp>.json
 # per experiment lands in bench-out/ alongside the printed tables.
 bench-json:
@@ -62,7 +69,10 @@ bench-json:
 # reproduces the same failure schedules run to run. CrossHost covers the
 # whole-machine kill with fleet-registry failover to a peer host;
 # Rebalance covers skewed-load live migration (fixed skew, deterministic
-# decisions) through the same guardian machinery.
+# decisions) through the same guardian machinery; Mirror/Gossip/MultiClient
+# /WireClient cover the replicated control plane — remote mirror hosts
+# killed mid-stream, registry replicas killed under quorum reads, gossip
+# repair after partitioned announces.
 chaos:
-	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control|CrossHost|Rehydration|Rebalance' \
-		./internal/transport/ ./internal/failover/ ./internal/stacktest/ ./internal/sched/ ./internal/bench/ .
+	$(GO) test -race -count=1 -run 'Failover|Flaky|Severed|Liveness|Backoff|Control|CrossHost|Rehydration|Rebalance|Mirror|Gossip|MultiClient|WireClient' \
+		./internal/transport/ ./internal/failover/ ./internal/stacktest/ ./internal/sched/ ./internal/fleet/ ./internal/bench/ .

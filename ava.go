@@ -245,6 +245,33 @@ func WithPlacement(pc PlacementConfig) Option {
 	return func(c *Config) { c.Placement = &pc }
 }
 
+// WithMirror streams every attached VM's shadow log to sink (enabling
+// failover with default tuning when WithFailover was not given). Delta
+// capability is auto-detected from the sink. Apply after WithFailover —
+// WithFailover replaces the whole failover config.
+func WithMirror(sink failover.LogSink) Option {
+	return func(c *Config) {
+		if c.Failover == nil {
+			c.Failover = &FailoverConfig{}
+		}
+		c.Failover.Replication.Sink = failover.UseSink(sink)
+	}
+}
+
+// WithRemoteMirror replicates every attached VM's shadow log to the AVAM
+// mirror listener at addr — a peer avad started with -mirror — so a
+// replacement guardian on a different machine can rehydrate from it
+// (failover.FetchMirrorState). Enables failover with default tuning when
+// WithFailover was not given; apply after WithFailover.
+func WithRemoteMirror(addr string) Option {
+	return func(c *Config) {
+		if c.Failover == nil {
+			c.Failover = &FailoverConfig{}
+		}
+		c.Failover.Replication.RemoteAddr = addr
+	}
+}
+
 // WithRebalance starts the background rebalancer; requires WithPlacement.
 // An Interval of 0 builds the rebalancer in manual mode — no background
 // loop; Stack.Rebalancer().Tick()/Kick() drive it — which is what
@@ -333,17 +360,52 @@ type LivenessConfig struct {
 }
 
 // ReplicationConfig groups shadow-log mirroring and rehydration, the
-// guardian-crash half of cross-host recovery.
+// guardian-crash half of cross-host recovery. Exactly one of Sink, Mirror
+// or RemoteAddr names the mirror destination (Sink wins, then Mirror, then
+// RemoteAddr); WithMirror and WithRemoteMirror set them without spelling
+// the nesting out.
 type ReplicationConfig struct {
 	// Mirror, if set, receives a synchronous stream of the guardian's
 	// shadow-log mutations (failover.LogSink) so replay state survives a
 	// guardian crash, not just an API-server crash.
+	//
+	// Deprecated: set Sink (failover.UseSink(s)) or use WithMirror. The
+	// field keeps working — it is folded into Sink when Sink is unset.
 	Mirror failover.LogSink
+	// Sink names the replication sink once, with delta capability
+	// auto-detected when Sink.Delta is nil; see failover.SinkConfig.
+	Sink failover.SinkConfig
+	// RemoteAddr, when non-empty (and no in-process sink is set),
+	// replicates each attached VM's shadow log to the AVAM mirror listener
+	// at this address (a peer avad started with -mirror). Each VM gets its
+	// own failover.RemoteMirror, closed on detach; a replacement stack on
+	// any machine rehydrates with failover.FetchMirrorState(addr, vm) into
+	// Restore.
+	RemoteAddr string
 	// Restore, if set, rehydrates the guardian from a mirrored shadow log
 	// instead of starting empty: on attach the guardian replays the
 	// restored log onto a freshly dialed server and tells the guest to
 	// resubmit everything past the restored watermark.
 	Restore *failover.MirrorState
+}
+
+// sinkFor resolves the replication wiring for one VM, building the per-VM
+// RemoteMirror when the config names a remote address. The bool reports
+// whether the returned sink is a RemoteMirror the attachment must close.
+func (rc ReplicationConfig) sinkFor(vm uint32, name string, bo failover.BackoffConfig) (failover.SinkConfig, *failover.RemoteMirror) {
+	if rc.Sink.Log != nil {
+		return rc.Sink, nil
+	}
+	if rc.Mirror != nil {
+		return failover.UseSink(rc.Mirror), nil
+	}
+	if rc.RemoteAddr != "" {
+		rm := failover.NewRemoteMirror(rc.RemoteAddr, failover.RemoteMirrorConfig{
+			VM: vm, Name: name, Backoff: bo,
+		})
+		return failover.UseSink(rm), rm
+	}
+	return failover.SinkConfig{}, nil
 }
 
 // Stack is an assembled AvA deployment for one API: one router, one API
@@ -370,7 +432,8 @@ type attachment struct {
 	eps      []transport.Endpoint
 	done     chan struct{}
 	guardian *failover.Guardian
-	dialer   *failover.FleetDialer // placement-built dialer, else nil
+	dialer   *failover.FleetDialer  // placement-built dialer, else nil
+	remote   *failover.RemoteMirror // stack-built remote mirror, else nil
 }
 
 // NewStack builds the hypervisor and server halves over a silo registry.
@@ -472,6 +535,7 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 		routerServer transport.Endpoint
 		g            *failover.Guardian
 		placed       *failover.FleetDialer
+		remote       *failover.RemoteMirror
 		foOpts       []guest.Option
 	)
 	fc := s.cfg.Failover
@@ -531,6 +595,8 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 				return failover.ServerLink{EP: south, Server: s.Server, Ctx: ctx, Adapter: fc.Adapter}, nil
 			}
 		}
+		sink, ownedMirror := fc.Replication.sinkFor(id, name, fc.Backoff)
+		remote = ownedMirror
 		g = failover.New(s.Desc, north, dial, failover.Config{
 			CheckpointEvery:    fc.Checkpoint.Every,
 			AdaptiveCheckpoint: fc.Checkpoint.Adaptive,
@@ -538,7 +604,7 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 			LivenessTimeout:    fc.Liveness.Timeout,
 			Backoff:            fc.Backoff,
 			Retain:             fc.Retain,
-			Mirror:             fc.Replication.Mirror,
+			Sink:               sink,
 			Restore:            fc.Replication.Restore,
 			Clock:              s.cfg.Clock,
 			OnEpoch:            func(e uint32) { s.Router.SetEpoch(id, e) },
@@ -550,6 +616,9 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 		}
 		if err := g.Start(); err != nil {
 			s.Router.UnregisterVM(cfg.ID)
+			if remote != nil {
+				remote.Close()
+			}
 			for _, ep := range []transport.Endpoint{guestEP, routerGuest, routerServer, north} {
 				ep.Close()
 			}
@@ -591,6 +660,7 @@ func (s *Stack) AttachVM(cfg VMConfig, opts ...guest.Option) (*guest.Lib, error)
 		done:     done,
 		guardian: g,
 		dialer:   placed,
+		remote:   remote,
 	}
 	s.mu.Unlock()
 	return lib, nil
@@ -805,6 +875,12 @@ func (s *Stack) DetachVM(id uint32) {
 	}
 	if at.guardian != nil {
 		at.guardian.Close()
+	}
+	if at.remote != nil {
+		// Let queued replication land before the connection drops; a
+		// graceful detach should leave the mirror host current.
+		at.remote.Flush(time.Second)
+		at.remote.Close()
 	}
 	<-at.done
 	s.Router.UnregisterVM(id)

@@ -85,6 +85,8 @@ func main() {
 		}
 	case "sched":
 		err = cmdSched(c, *asJSON)
+	case "mirror":
+		err = cmdMirror(c, *asJSON)
 	case "rebalance":
 		var n int
 		if n, err = c.Rebalance(); err == nil {
@@ -115,6 +117,7 @@ commands:
   checkpoint <vm>        force a checkpoint of one VM now
   migrate <vm> [target]  move one VM (no target = lightest live peer)
   sched                  scheduling decision log (placements, migrations)
+  mirror                 per-VM replication standing of a mirror host
   rebalance              force one rebalance evaluation pass now
   metrics                Prometheus exposition dump (GET /metrics)
   health                 liveness probe
@@ -229,6 +232,23 @@ func cmdSched(c *ctlplane.Client, asJSON bool) error {
 	for _, d := range ds {
 		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
 			d.Seq, d.Time.Format(time.RFC3339), d.Kind, d.VM, d.From, d.To, d.Policy, d.Reason)
+	}
+	return w.Flush()
+}
+
+func cmdMirror(c *ctlplane.Client, asJSON bool) error {
+	ms, err := c.Mirror()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(ms)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "VM\tNAME\tENTRIES\tWATERMARK\tEPOCH\tOBJECTS")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%d\n",
+			m.VM, m.Name, m.Entries, m.W, m.Epoch, m.Objects)
 	}
 	return w.Flush()
 }

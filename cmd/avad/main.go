@@ -18,7 +18,10 @@
 // With -announce, avad registers itself with a fleet registry (cmd/avaregd
 // or an in-process fleet.Registry served over TCP) and heartbeats until
 // shutdown, making it a failover target for guardians using a registry-
-// backed dialer. On SIGTERM or SIGINT avad shuts down gracefully: it stops
+// backed dialer. Several registries may be named comma-separated
+// (-announce reg-a:7400,reg-b:7400): announces fan out to every replica
+// and reads quorum-merge (fleet.MultiClient), so losing any single
+// registry is invisible. On SIGTERM or SIGINT avad shuts down gracefully: it stops
 // accepting, deregisters from the fleet, drains in-flight connections
 // under the -drain budget, and closes stragglers in order — guests observe
 // an orderly end-of-stream, never a sever.
@@ -31,6 +34,12 @@
 // dies severed (guest crash, network partition) keeps its byte counters
 // visible; they are not lost the way a log-at-disconnect-only scheme
 // would lose them on SIGKILL.
+//
+// With -mirror, avad additionally serves a replication mirror host
+// (failover.MirrorServer) on the given address: remote guardians stream
+// their shadow logs here (ava.WithRemoteMirror), and a replacement
+// guardian on any machine rehydrates with failover.FetchMirrorState. The
+// per-VM replication standing appears on the ctl endpoint as GET /mirror.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -48,6 +58,7 @@ import (
 	"ava/internal/cl"
 	"ava/internal/ctlplane"
 	"ava/internal/devsim"
+	"ava/internal/failover"
 	"ava/internal/fleet"
 	"ava/internal/mvnc"
 	"ava/internal/qat"
@@ -71,13 +82,14 @@ func main() {
 		sticks   = flag.Int("sticks", 1, "device count (mvnc sticks / qat engines)")
 		withSwap = flag.Bool("swap", true, "enable buffer-granularity memory swapping (opencl)")
 
-		announce  = flag.String("announce", "", "fleet registry address to announce to (empty = standalone)")
+		announce  = flag.String("announce", "", "comma-separated fleet registry addresses to announce to (empty = standalone)")
 		id        = flag.String("id", "", "fleet member identity (default: the advertised address)")
 		advertise = flag.String("advertise", "", "address peers dial for this host (default: the bound listen address)")
 		every     = flag.Duration("announce-every", 0, "heartbeat interval (default: fleet TTL/4)")
 		drain     = flag.Duration("drain", 5*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
 		ctl       = flag.String("ctl", "", "HTTP control/metrics endpoint address, e.g. :7273 (empty = disabled)")
 		ctlToken  = flag.String("ctl-token", "", "shared token required on ctl POSTs (empty = open)")
+		mirror    = flag.String("mirror", "", "serve a replication mirror host on this address (empty = disabled)")
 
 		rebalance = flag.Bool("rebalance", false, "shed sustained load skew by evicting VMs toward lighter fleet peers (requires -announce)")
 		rebEvery  = flag.Duration("rebalance-interval", 2*time.Second, "rebalance evaluation interval")
@@ -108,12 +120,30 @@ func main() {
 		if member.ID == "" {
 			member.ID = addr
 		}
-		client := fleet.DialRegistry(*announce)
-		d.announcer = fleet.StartAnnouncer(client, member, *every, nil)
+		addrs := splitAddrs(*announce)
+		var loc fleet.Locator
+		if len(addrs) == 1 {
+			loc = fleet.DialRegistry(addrs[0])
+		} else {
+			loc = fleet.DialRegistries(addrs...)
+		}
+		d.announcer = fleet.StartAnnouncer(loc, member, *every, nil)
 		d.announcer.SetSampler(d.sampleLoad)
-		d.registry = client
+		d.registry = loc
 		memberID = member.ID
-		log.Printf("avad: announcing %s (%s) to fleet registry %s", member.ID, member.Addr, *announce)
+		log.Printf("avad: announcing %s (%s) to %d fleet registr%s (%s)",
+			member.ID, member.Addr, len(addrs), plural(len(addrs), "y", "ies"), *announce)
+	}
+
+	if *mirror != "" {
+		ml, err := transport.Listen(*mirror)
+		if err != nil {
+			log.Fatalf("avad: mirror listen: %v", err)
+		}
+		d.mirror = failover.NewMirrorServer()
+		d.mirrorL = ml
+		go d.mirror.Serve(ml)
+		log.Printf("avad: mirror host serving on %s", ml.Addr())
 	}
 
 	if *rebalance {
@@ -197,7 +227,28 @@ func (d *daemon) ctlConfig(api, memberID string, l *transport.Listener) ctlplane
 		cfg.Rebalance = func() (int, error) { return d.rebalancer.Kick(), nil }
 		cfg.RebalanceStats = d.rebalancer.Stats
 	}
+	if d.mirror != nil {
+		cfg.Mirror = d.mirror.Snapshot
+	}
 	return cfg
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // buildRegistry assembles the silo and handler registry for one API. The
@@ -240,9 +291,11 @@ type daemon struct {
 	srv        *server.Server
 	drain      time.Duration
 	announcer  *fleet.Announcer
-	registry   *fleet.Client
+	registry   fleet.Locator
 	rebalancer *sched.Rebalancer
 	schedLog   *sched.Log
+	mirror     *failover.MirrorServer
+	mirrorL    *transport.Listener
 
 	mu        sync.Mutex
 	conns     map[transport.Endpoint]struct{}
@@ -440,8 +493,11 @@ func (d *daemon) Shutdown(l *transport.Listener) {
 		if d.announcer != nil {
 			d.announcer.Close()
 		}
-		if d.registry != nil {
-			d.registry.Close()
+		if c, ok := d.registry.(interface{ Close() }); ok {
+			c.Close()
+		}
+		if d.mirrorL != nil {
+			d.mirrorL.Close()
 		}
 		d.mu.Lock()
 		d.closed = true

@@ -10,6 +10,7 @@
 //
 //	avaplace -registry 127.0.0.1:7400
 //	avaplace -registry 127.0.0.1:7400 -vm 7 -policy spread
+//	avaplace -registry reg-a:7400,reg-b:7400   # quorum-read across replicas
 //
 // Placement is a guest-side act: the probe ranks the registry's live
 // opencl hosts (least-load by default), dials the winner, and verifies
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"ava"
 	"ava/internal/cl"
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		registry = flag.String("registry", "127.0.0.1:7400", "fleet registry address (avaregd)")
+		registry = flag.String("registry", "127.0.0.1:7400", "comma-separated fleet registry addresses (avaregd)")
 		vm       = flag.Uint("vm", 1, "VM identity to place")
 		name     = flag.String("name", "", "VM name (default: vm<id>)")
 		policy   = flag.String("policy", "least-load", "placement policy: least-load or spread")
@@ -52,8 +54,14 @@ func main() {
 		log.Fatalf("avaplace: unknown policy %q (least-load, spread)", *policy)
 	}
 
-	loc := fleet.DialRegistry(*registry)
-	defer loc.Close()
+	// Any Locator flavor works here; several replicas quorum-merge.
+	var loc fleet.Locator
+	if addrs := strings.Split(*registry, ","); len(addrs) > 1 {
+		loc = fleet.DialRegistries(addrs...)
+	} else {
+		loc = fleet.DialRegistry(*registry)
+	}
+	defer loc.(interface{ Close() }).Close()
 
 	desc := cl.Descriptor()
 	stack := ava.NewStack(desc, server.NewRegistry(desc),

@@ -12,6 +12,14 @@
 // so a restarted avaregd repopulates within one announce interval and
 // announcers redial transparently (fleet.Client). Nothing is persisted.
 //
+// For an HA control plane, run several registries and point each at the
+// others with -peers (avaregd -listen :7400 -peers reg-b:7400,reg-c:7400):
+// each pushes its full member table to its peers on a timer, merged
+// last-write-wins by announce time with TTL'd tombstones, so an announce
+// that reached any one replica reaches all of them within a gossip
+// interval. Announcers name every replica (avad -announce a:7400,b:7400)
+// and dialers quorum-read through fleet.MultiClient.
+//
 // With -ctl, avaregd serves the HTTP control endpoint (internal/ctlplane):
 // GET /stats returns the registry's full admin table — every member with
 // liveness, not just the live set a dialer queries — so
@@ -24,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +48,8 @@ func main() {
 		sweep    = flag.Duration("sweep", time.Minute, "how often to reclaim expired members")
 		ctl      = flag.String("ctl", "", "HTTP control/metrics endpoint address (empty = disabled)")
 		ctlToken = flag.String("ctl-token", "", "shared token required on ctl POSTs (empty = open)")
+		peers    = flag.String("peers", "", "comma-separated peer registry addresses to gossip the member table to")
+		gossipEv = flag.Duration("gossip-every", 0, "gossip push interval (default: fleet TTL/4)")
 	)
 	flag.Parse()
 
@@ -46,6 +57,22 @@ func main() {
 	l, err := transport.Listen(*listen)
 	if err != nil {
 		log.Fatalf("avaregd: %v", err)
+	}
+
+	var gossiper *fleet.Gossiper
+	if *peers != "" {
+		var gps []fleet.GossipPeer
+		var named []string
+		for _, a := range strings.Split(*peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				gps = append(gps, fleet.DialRegistry(a))
+				named = append(named, a)
+			}
+		}
+		if len(gps) > 0 {
+			gossiper = fleet.StartGossip(reg, gps, *gossipEv, nil)
+			log.Printf("avaregd: gossiping member table to %d peer(s): %s", len(gps), strings.Join(named, ", "))
+		}
 	}
 
 	var cs *ctlplane.Server
@@ -88,6 +115,9 @@ func main() {
 
 	log.Printf("avaregd: serving fleet registry on %s", l.Addr())
 	fleet.Serve(l, reg)
+	if gossiper != nil {
+		gossiper.Close()
+	}
 	if cs != nil {
 		cs.Close()
 	}

@@ -1,0 +1,13 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Base != time.Millisecond || cfg.Cap != 100*time.Millisecond || cfg.Budget != 2*time.Second {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -29,7 +29,7 @@ type crossHostServer struct {
 	dead bool
 }
 
-func newCrossHostServer(id string, loc *fleet.Registry, load int) (*crossHostServer, error) {
+func newCrossHostServer(id string, loc fleet.Locator, load int) (*crossHostServer, error) {
 	silo := gpuSilo(0)
 	reg := server.NewRegistry(cl.Descriptor())
 	cl.BindServer(reg, silo)
@@ -83,11 +83,14 @@ func (h *crossHostServer) serve(ep transport.Endpoint) {
 	h.srv.ServeVM(h.srv.Context(hello.VM, hello.Name), ep)
 }
 
-// kill is the SIGKILL of a whole machine: the host leaves the fleet, stops
-// accepting, and every live connection is severed mid-stream (not closed —
-// a crash must look like a crash to the guardian's failure detector).
-func (h *crossHostServer) kill(loc *fleet.Registry) {
-	loc.Deregister(h.id)
+// kill is the SIGKILL of a whole machine: the host stops accepting, every
+// live connection is severed mid-stream (not closed — a crash must look
+// like a crash to the guardian's failure detector), and only then does the
+// fleet learn of the death. The deregister stands in for TTL expiry, and
+// ordering it after the sever matters: against an HA registry set with a
+// dead replica, the deregister fan-out can block on the replica's retry
+// budget, and a SIGKILL does not wait for the control plane.
+func (h *crossHostServer) kill(loc fleet.Locator) {
 	h.mu.Lock()
 	h.dead = true
 	eps := append([]transport.Endpoint(nil), h.eps...)
@@ -96,6 +99,7 @@ func (h *crossHostServer) kill(loc *fleet.Registry) {
 	for _, ep := range eps {
 		transport.Sever(ep)
 	}
+	loc.Deregister(h.id)
 }
 
 func (h *crossHostServer) close() {

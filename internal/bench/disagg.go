@@ -124,6 +124,7 @@ func All(opts Options) ([]*Table, error) {
 		{"crosshost", CrossHost},
 		{"copycost", CopyCost},
 		{"rebalance", Rebalance},
+		{"ha", HA},
 	} {
 		tbl, err := e.run(opts)
 		if err != nil {
@@ -167,7 +168,9 @@ func ByName(name string, opts Options) (*Table, error) {
 		return CopyCost(opts)
 	case "rebalance", "sched":
 		return Rebalance(opts)
+	case "ha", "replicated":
+		return HA(opts)
 	default:
-		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost, copycost, rebalance)", name)
+		return nil, fmt.Errorf("bench: unknown experiment %q (fig5, async, fullvirt, sharing, swap, migrate, effort, transport, breakdown, pipeline, overload, failover, crosshost, copycost, rebalance, ha)", name)
 	}
 }

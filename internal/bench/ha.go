@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ava"
+	"ava/internal/backoff"
+	"ava/internal/cl"
+	"ava/internal/failover"
+	"ava/internal/fleet"
+	"ava/internal/rodinia"
+	"ava/internal/server"
+	"ava/internal/transport"
+)
+
+// haRegistry is one wire-served avaregd "machine" in the E16 mini-fleet.
+// kill severs the accept socket and every established client stream —
+// the failure a crashed registry host actually presents to announcers and
+// quorum readers.
+type haRegistry struct {
+	reg *fleet.Registry
+	l   *transport.Listener
+
+	mu  sync.Mutex
+	eps []transport.Endpoint
+}
+
+func newHARegistry() (*haRegistry, error) {
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &haRegistry{reg: fleet.NewRegistry(0, nil), l: l}
+	go func() {
+		for {
+			ep, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h.mu.Lock()
+			h.eps = append(h.eps, ep)
+			h.mu.Unlock()
+			go fleet.ServeConn(ep, h.reg)
+		}
+	}()
+	return h, nil
+}
+
+func (h *haRegistry) addr() string { return h.l.Addr() }
+
+func (h *haRegistry) kill() {
+	h.l.Close()
+	h.mu.Lock()
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.eps = nil
+	h.mu.Unlock()
+	for _, ep := range eps {
+		transport.Sever(ep)
+	}
+}
+
+// haMirror is the mirror "machine": an avad -mirror process accumulating
+// the guardian's replicated shadow log.
+type haMirror struct {
+	srv *failover.MirrorServer
+	l   *transport.Listener
+
+	mu  sync.Mutex
+	eps []transport.Endpoint
+}
+
+func newHAMirror() (*haMirror, error) {
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h := &haMirror{srv: failover.NewMirrorServer(), l: l}
+	go func() {
+		for {
+			ep, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h.mu.Lock()
+			h.eps = append(h.eps, ep)
+			h.mu.Unlock()
+			go h.srv.ServeConn(ep)
+		}
+	}()
+	return h, nil
+}
+
+func (h *haMirror) addr() string { return h.l.Addr() }
+
+func (h *haMirror) kill() {
+	h.l.Close()
+	h.mu.Lock()
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.eps = nil
+	h.mu.Unlock()
+	for _, ep := range eps {
+		transport.Sever(ep)
+	}
+}
+
+// haRetry keeps probes of a dead replica from dragging the run out while
+// staying a real jittered-backoff series.
+func haRetry() backoff.Config {
+	return backoff.Config{Base: time.Millisecond, Cap: 5 * time.Millisecond, Budget: 100 * time.Millisecond, Seed: 17}
+}
+
+// HA is E16: the full replicated control plane — two registry replicas
+// behind a quorum-reading MultiClient, two serving hosts, and a remote
+// mirror host accumulating the guardian's shadow log — with any single
+// machine SIGKILLed at one third of the runtime. Three scenarios per
+// transport stack:
+//
+//   - host: the serving machine dies; the guardian replays onto the fleet
+//     peer chosen through the (still replicated) registry — E13 plus a
+//     remote mirror that must converge afterwards.
+//   - mirror: the mirror machine dies; replication is a durability
+//     upgrade, never a liveness dependency, so the run must not notice.
+//   - registry: one registry replica dies, and to prove the survivor
+//     actually carries the control plane, the serving host dies later in
+//     the same run — failover must route through the surviving replica.
+//
+// Every scenario must complete byte-identical to the undisturbed run.
+func HA(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "E16/HA",
+		Title:  "Replicated control plane: serving host, mirror host, or registry replica killed mid-gaussian",
+		Header: []string{"transport", "killed", "undisturbed", "with kill", "recovery pause", "identical", "served-by"},
+	}
+	w, ok := rodinia.ByName("gaussian")
+	if !ok {
+		return nil, fmt.Errorf("bench: gaussian workload missing")
+	}
+	scale := opts.scale()
+
+	type result struct {
+		dur      time.Duration
+		sum      float64
+		gs       failover.Stats
+		retry    uint64
+		changes  int
+		host     string
+		mirrorOK bool
+	}
+	run := func(kind ava.TransportKind, scenario string, killAt time.Duration) (result, error) {
+		var r result
+		regA, err := newHARegistry()
+		if err != nil {
+			return r, err
+		}
+		defer regA.kill()
+		regB, err := newHARegistry()
+		if err != nil {
+			return r, err
+		}
+		defer regB.kill()
+		cA, cB := fleet.DialRegistry(regA.addr()), fleet.DialRegistry(regB.addr())
+		cA.SetRetry(haRetry())
+		cB.SetRetry(haRetry())
+		mc := fleet.NewMultiClient(cA, cB)
+		defer mc.Close()
+
+		hostA, err := newCrossHostServer("host-a", mc, 0)
+		if err != nil {
+			return r, err
+		}
+		defer hostA.close()
+		hostB, err := newCrossHostServer("host-b", mc, 1)
+		if err != nil {
+			return r, err
+		}
+		defer hostB.close()
+		mir, err := newHAMirror()
+		if err != nil {
+			return r, err
+		}
+		defer mir.kill()
+		rm := failover.NewRemoteMirror(mir.addr(), failover.RemoteMirrorConfig{
+			VM: 1, Name: "e16-vm", Backoff: haRetry(),
+		})
+		defer rm.Close()
+
+		dialer := failover.NewFleetDialer(mc, failover.FleetDialConfig{
+			API: "opencl", VM: 1, Name: "e16-vm",
+		})
+		desc := cl.Descriptor()
+		stack := ava.NewStack(desc, server.NewRegistry(desc),
+			ava.WithTransport(kind),
+			ava.WithFailover(ava.FailoverConfig{
+				Checkpoint: ava.CheckpointConfig{Every: 64},
+				Backoff:    failover.BackoffConfig{Seed: 16},
+				Dial: func(id uint32, name string) (failover.ServerLink, error) {
+					return dialer.Dial()
+				},
+				Host: func(uint32) string { return dialer.Host() },
+			}),
+			ava.WithMirror(rm)) // after WithFailover: it replaces the whole failover config
+		defer stack.Close()
+		lib, err := stack.AttachVM(ava.VMConfig{ID: 1, Name: "e16-vm"})
+		if err != nil {
+			return r, err
+		}
+		dialer.SetEpochSource(stack.Guardian(1).Epoch)
+		c := cl.NewRemote(lib)
+
+		switch scenario {
+		case "host":
+			go func() {
+				time.Sleep(killAt)
+				hostA.kill(mc)
+			}()
+		case "mirror":
+			go func() {
+				time.Sleep(killAt)
+				mir.kill()
+			}()
+		case "registry":
+			go func() {
+				time.Sleep(killAt)
+				regA.kill()
+			}()
+			go func() {
+				time.Sleep(2 * killAt)
+				hostA.kill(mc)
+			}()
+		}
+
+		start := time.Now()
+		r.sum, err = w.Run(c, scale)
+		r.dur = time.Since(start)
+		if err != nil {
+			return r, err
+		}
+		r.gs = stack.Guardian(1).Stats()
+		r.retry = lib.Stats().RetryableFailed
+		r.changes = dialer.HostChanges()
+		r.host = dialer.Host()
+
+		if scenario == "mirror" {
+			// The mirror machine is gone; the staging copy is the proof that
+			// a dead mirror host costs durability, not correctness.
+			r.mirrorOK = rm.State().W > 0
+		} else if r.mirrorOK = rm.Flush(5 * time.Second); r.mirrorOK {
+			remote, staging := mir.srv.State(1), rm.State()
+			r.mirrorOK = remote.W == staging.W && len(remote.Entries) == len(staging.Entries)
+		}
+		return r, nil
+	}
+
+	for _, tr := range []struct {
+		name string
+		kind ava.TransportKind
+	}{
+		{"inproc+tcp", ava.TransportInProc},
+		{"shm-ring+tcp", ava.TransportRing},
+	} {
+		base, err := run(tr.kind, "", 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s undisturbed: %w", tr.name, err)
+		}
+		if !base.mirrorOK {
+			return nil, fmt.Errorf("%s undisturbed: mirror did not converge", tr.name)
+		}
+		killAt := base.dur / 3
+		if killAt < time.Millisecond {
+			killAt = time.Millisecond
+		}
+		for _, scenario := range []string{"host", "mirror", "registry"} {
+			killed, err := run(tr.kind, scenario, killAt)
+			if err != nil {
+				return nil, fmt.Errorf("%s kill-%s run: %w", tr.name, scenario, err)
+			}
+			identical := math.Float64bits(killed.sum) == math.Float64bits(base.sum) &&
+				killed.retry == 0 && killed.mirrorOK
+			switch scenario {
+			case "host", "registry":
+				identical = identical && killed.gs.Recoveries >= 1 && killed.changes >= 1
+			case "mirror":
+				identical = identical && killed.gs.Recoveries == 0
+			}
+			t.Add(tr.name, scenario, ms(base.dur), ms(killed.dur), ms(killed.gs.LastRecoveryPause),
+				fmt.Sprintf("%v", identical), killed.host)
+		}
+	}
+	t.Note("identical = bitwise-equal checksum vs the undisturbed run, zero dropped calls, and the mirror converged to staging wherever the mirror host survived (E16 acceptance)")
+	t.Note("registry rows also kill the serving host later in the run: failover must route through the surviving registry replica")
+	t.Note("mirror rows require zero recoveries: a dead mirror host is a durability downgrade, never a data-path event")
+	return t, nil
+}

@@ -13,7 +13,7 @@ func Experiments() []string {
 	return []string{
 		"fig5", "async", "fullvirt", "sharing", "swap", "migrate", "effort",
 		"transport", "breakdown", "pipeline", "overload", "failover",
-		"crosshost", "copycost", "rebalance",
+		"crosshost", "copycost", "rebalance", "ha",
 	}
 }
 

@@ -84,7 +84,7 @@ func newRebalHost(id string) (*rebalHost, error) {
 // announce starts the host's live heartbeat: truthful load (VMs served)
 // sampled on every push. Before this is called the registry holds only
 // whatever stale figure the experiment seeded — that is the skew.
-func (h *rebalHost) announce(loc *fleet.Registry, every time.Duration) {
+func (h *rebalHost) announce(loc fleet.Locator, every time.Duration) {
 	h.ann = fleet.StartAnnouncer(loc, fleet.Member{ID: h.id, Addr: h.l.Addr(), API: "simload"}, every, nil)
 	h.ann.SetSampler(func(m *fleet.Member) {
 		h.mu.Lock()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ava/internal/averr"
+	"ava/internal/failover"
 	"ava/internal/sched"
 )
 
@@ -160,6 +161,15 @@ func (c *Client) Sched() ([]sched.Decision, error) {
 		return nil, err
 	}
 	return ds, nil
+}
+
+// Mirror fetches the per-VM replication standing of a mirror host.
+func (c *Client) Mirror() ([]failover.MirroredVM, error) {
+	var ms []failover.MirroredVM
+	if err := c.do(http.MethodGet, "/mirror", &ms); err != nil {
+		return nil, err
+	}
+	return ms, nil
 }
 
 // Rebalance triggers one rebalance evaluation and reports how many

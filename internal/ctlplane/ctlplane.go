@@ -12,6 +12,7 @@
 //	GET  /vms                   compact per-VM rows (router ⋈ server)
 //	GET  /metrics               Prometheus text exposition of the Snapshot
 //	GET  /sched                 scheduling decision log (placements, failovers, rebalances)
+//	GET  /mirror                per-VM replication standing of a mirror host
 //	POST /drain                 begin a graceful drain
 //	POST /checkpoint?vm=N       checkpoint VM N now
 //	POST /migrate?vm=N[&target=host]  move VM N (empty target = lightest peer)
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"ava/internal/averr"
+	"ava/internal/failover"
 	"ava/internal/marshal"
 	"ava/internal/sched"
 )
@@ -80,6 +82,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /vms", s.handleVMs)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /sched", s.handleSched)
+	s.mux.HandleFunc("GET /mirror", s.handleMirror)
 	s.mux.HandleFunc("POST /drain", s.auth(s.handleDrain))
 	s.mux.HandleFunc("POST /checkpoint", s.auth(s.handleCheckpoint))
 	s.mux.HandleFunc("POST /migrate", s.auth(s.handleMigrate))
@@ -259,6 +262,18 @@ func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
 		ds = []sched.Decision{}
 	}
 	writeJSON(w, http.StatusOK, ds)
+}
+
+func (s *Server) handleMirror(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Mirror == nil {
+		writeErr(w, fmt.Errorf("%w: this process hosts no mirror", averr.ErrDenied))
+		return
+	}
+	ms := s.cfg.Mirror()
+	if ms == nil {
+		ms = []failover.MirroredVM{}
+	}
+	writeJSON(w, http.StatusOK, ms)
 }
 
 func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {

@@ -65,12 +65,13 @@ type GuardianSnapshot struct {
 // per-section; absent sections are omitted (an avaregd has no router, a
 // standalone avad no guardians).
 type Snapshot struct {
-	Ident     Ident               `json:"ident"`
-	Router    *RouterInfo         `json:"router,omitempty"`
-	Server    []server.VMSnapshot `json:"server,omitempty"`
-	Guests    []GuestSnapshot     `json:"guests,omitempty"`
-	Guardians []GuardianSnapshot  `json:"guardians,omitempty"`
-	Fleet     []fleet.Status      `json:"fleet,omitempty"`
+	Ident     Ident                 `json:"ident"`
+	Router    *RouterInfo           `json:"router,omitempty"`
+	Server    []server.VMSnapshot   `json:"server,omitempty"`
+	Guests    []GuestSnapshot       `json:"guests,omitempty"`
+	Guardians []GuardianSnapshot    `json:"guardians,omitempty"`
+	Fleet     []fleet.Status        `json:"fleet,omitempty"`
+	Mirror    []failover.MirroredVM `json:"mirror,omitempty"`
 }
 
 // VMRow is the compact GET /vms join: one row per VM, merging router- and
@@ -158,6 +159,9 @@ type Config struct {
 	// Fleet sources the membership view: a registry's admin table, or the
 	// live peer set an announcer sees.
 	Fleet func() []fleet.Status
+	// Mirror sources the per-VM replication standing of a mirror host
+	// (failover.MirrorServer.Snapshot); nil omits the section.
+	Mirror func() []failover.MirroredVM
 
 	// Drain initiates a graceful drain (POST /drain). It should start the
 	// drain and return promptly; the process exits on its own schedule.
@@ -201,6 +205,9 @@ func (c *Config) snapshot() *Snapshot {
 	}
 	if c.Fleet != nil {
 		s.Fleet = c.Fleet()
+	}
+	if c.Mirror != nil {
+		s.Mirror = c.Mirror()
 	}
 	return s
 }

@@ -1,93 +1,27 @@
 package failover
 
-import (
-	"math/rand"
-	"sync"
-	"time"
-)
+import "ava/internal/backoff"
+
+// The backoff implementation moved to internal/backoff so layers below
+// failover in the import graph (internal/fleet, whose Client failover
+// itself consumes) can pace their retries with the same jittered shape.
+// These aliases keep every existing call site — guardian, guest, bench,
+// tests — compiling unchanged; new code should import ava/internal/backoff
+// directly.
 
 // BackoffConfig shapes the jittered exponential backoff every retry in the
 // fault-tolerance layer draws from: guardian respawn attempts, guest
 // resubmission retries and guest overload retries all share this shape, so
 // a storm of retrying callers decorrelates instead of thundering in lock
 // step.
-type BackoffConfig struct {
-	// Base is the first retry delay; 0 means 1ms.
-	Base time.Duration
-	// Cap bounds a single delay; 0 means 100ms.
-	Cap time.Duration
-	// Budget bounds the total slept time of one retry series; once a
-	// series has spent it, Next reports exhaustion and the caller must
-	// surface the failure. 0 means 2s.
-	Budget time.Duration
-	// Seed seeds the jitter source for reproducible schedules in tests;
-	// the zero seed is used as-is.
-	Seed int64
-}
-
-func (c BackoffConfig) withDefaults() BackoffConfig {
-	if c.Base <= 0 {
-		c.Base = time.Millisecond
-	}
-	if c.Cap <= 0 {
-		c.Cap = 100 * time.Millisecond
-	}
-	if c.Budget <= 0 {
-		c.Budget = 2 * time.Second
-	}
-	return c
-}
+type BackoffConfig = backoff.Config
 
 // Backoff is a shared jitter source; Series hands out independent retry
 // series that draw jitter from it.
-type Backoff struct {
-	cfg BackoffConfig
-
-	mu  sync.Mutex
-	rng *rand.Rand
-}
-
-// NewBackoff builds a backoff source from cfg.
-func NewBackoff(cfg BackoffConfig) *Backoff {
-	cfg = cfg.withDefaults()
-	return &Backoff{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-}
-
-// Series starts one retry series (one call's retries, or one recovery's
-// respawn attempts).
-func (b *Backoff) Series() *Series {
-	return &Series{b: b, next: b.cfg.Base}
-}
+type Backoff = backoff.Backoff
 
 // Series tracks the state of one retry series against the shared budget.
-type Series struct {
-	b     *Backoff
-	next  time.Duration // current exponential step (pre-jitter)
-	spent time.Duration
-}
+type Series = backoff.Series
 
-// Next returns the delay to sleep before the next retry, or ok=false when
-// the series' budget is exhausted. Delays are "equal jitter": half the
-// exponential step plus a uniformly random half, doubling up to the cap.
-func (s *Series) Next() (time.Duration, bool) {
-	if s.spent >= s.b.cfg.Budget {
-		return 0, false
-	}
-	step := s.next
-	s.next *= 2
-	if s.next > s.b.cfg.Cap {
-		s.next = s.b.cfg.Cap
-	}
-	half := step / 2
-	s.b.mu.Lock()
-	d := half + time.Duration(s.b.rng.Int63n(int64(half)+1))
-	s.b.mu.Unlock()
-	if remaining := s.b.cfg.Budget - s.spent; d > remaining {
-		d = remaining
-	}
-	s.spent += d
-	return d, true
-}
-
-// Spent returns the total delay consumed by the series so far.
-func (s *Series) Spent() time.Duration { return s.spent }
+// NewBackoff builds a backoff source from cfg.
+func NewBackoff(cfg BackoffConfig) *Backoff { return backoff.New(cfg) }

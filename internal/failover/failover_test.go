@@ -65,13 +65,6 @@ func TestBackoffBudgetExhaustion(t *testing.T) {
 	}
 }
 
-func TestBackoffDefaults(t *testing.T) {
-	cfg := BackoffConfig{}.withDefaults()
-	if cfg.Base != time.Millisecond || cfg.Cap != 100*time.Millisecond || cfg.Budget != 2*time.Second {
-		t.Fatalf("unexpected defaults: %+v", cfg)
-	}
-}
-
 func TestControlRoundTrip(t *testing.T) {
 	for _, tc := range []struct {
 		kind  byte

@@ -100,7 +100,15 @@ type Config struct {
 	Retain int
 	// Mirror, if set, receives a synchronous stream of shadow-log
 	// mutations so replay state survives a guardian crash. See LogSink.
+	//
+	// Deprecated: set Sink.Log instead (or just Sink = UseSink(s)). Mirror
+	// keeps working — New folds it into Sink when Sink.Log is nil — but
+	// new wiring should name the sink once through SinkConfig, which also
+	// auto-detects delta capability.
 	Mirror LogSink
+	// Sink names the replication sink the guardian streams to; see
+	// SinkConfig. The zero value (with Mirror nil too) disables mirroring.
+	Sink SinkConfig
 	// FullCheckpoints disables incremental checkpoints: every checkpoint
 	// ships complete object state even when the silo adapter (or the
 	// remote server) supports dirty-range deltas.
@@ -219,6 +227,12 @@ func New(desc *cava.Descriptor, north transport.Endpoint, dial func() (ServerLin
 	if cfg.LivenessTimeout <= 0 {
 		cfg.LivenessTimeout = 2 * time.Second
 	}
+	// Normalize the two replication spellings: the deprecated Mirror field
+	// folds into Sink, and a nil Sink.Delta auto-detects the sink's delta
+	// capability. Internally the guardian reads cfg.Mirror (= Sink.Log)
+	// and cfg.Sink.Delta.
+	cfg.Sink = cfg.Sink.resolved(cfg.Mirror)
+	cfg.Mirror = cfg.Sink.Log
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.NewReal()
@@ -1244,7 +1258,7 @@ func (g *Guardian) checkpoint() error {
 			// so mirror traffic scales with touched bytes too; a sink that
 			// cannot compose (missing base) reports false and gets the
 			// composed full set instead.
-			if ds, ok := g.cfg.Mirror.(DeltaSink); ok {
+			if ds := g.cfg.Sink.Delta; ds != nil {
 				sent = ds.MirrorCheckpointDelta(epoch, w, deltas)
 			}
 		}

@@ -47,6 +47,40 @@ type DeltaSink interface {
 	MirrorCheckpointDelta(epoch uint32, w uint64, deltas []marshal.ObjectDelta) bool
 }
 
+// SinkConfig is the one place replication wiring names its sink. Log
+// receives the shadow-log stream; Delta, when non-nil, receives
+// incremental checkpoints instead of full object sets. Leaving Delta nil
+// auto-detects: a Log that also implements DeltaSink gets deltas. UseSink
+// builds the common case.
+type SinkConfig struct {
+	Log   LogSink
+	Delta DeltaSink
+}
+
+// UseSink wraps a sink, auto-detecting its delta capability — the
+// functional-option-friendly constructor for Config.Sink.
+func UseSink(s LogSink) SinkConfig {
+	sc := SinkConfig{Log: s}
+	if ds, ok := s.(DeltaSink); ok {
+		sc.Delta = ds
+	}
+	return sc
+}
+
+// resolved folds the deprecated Config.Mirror value in (it wins only when
+// Sink.Log is unset) and fills a nil Delta by capability detection.
+func (sc SinkConfig) resolved(legacy LogSink) SinkConfig {
+	if sc.Log == nil {
+		sc.Log = legacy
+	}
+	if sc.Delta == nil && sc.Log != nil {
+		if ds, ok := sc.Log.(DeltaSink); ok {
+			sc.Delta = ds
+		}
+	}
+	return sc
+}
+
 // MirrorState is a point-in-time snapshot of a mirrored shadow log — the
 // payload a replacement guardian rehydrates from (Config.Restore).
 type MirrorState struct {
@@ -206,6 +240,26 @@ func (m *MemoryMirror) MirrorEpoch(epoch uint32, w uint64) {
 	m.epoch = epoch
 	m.w = w
 	m.mu.Unlock()
+}
+
+// reset clears the mirror back to empty — the receiving end of a remote
+// mirror resync, which always pushes full state right after.
+func (m *MemoryMirror) reset() {
+	m.mu.Lock()
+	m.entries = nil
+	m.bySeq = make(map[uint64]*server.RecordedCall)
+	m.replySeen = make(map[uint64]bool)
+	m.w = 0
+	m.objects = nil
+	m.epoch = 0
+	m.mu.Unlock()
+}
+
+// Len reports how many shadow-log entries the mirror holds.
+func (m *MemoryMirror) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
 }
 
 // State snapshots the mirror for rehydration. The returned state shares

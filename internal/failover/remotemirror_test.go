@@ -1,0 +1,296 @@
+package failover
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ava/internal/backoff"
+	"ava/internal/marshal"
+	"ava/internal/transport"
+)
+
+// mirrorTestHost is a MirrorServer "machine" a test can SIGKILL: kill
+// closes the accept socket and severs every established replication
+// stream, exactly what a dead host presents to its guardians.
+type mirrorTestHost struct {
+	srv *MirrorServer
+	l   *transport.Listener
+
+	mu  sync.Mutex
+	eps []transport.Endpoint
+}
+
+func startMirrorHost(t *testing.T, addr string) *mirrorTestHost {
+	t.Helper()
+	l, err := transport.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveMirrorOn(t, l)
+}
+
+func serveMirrorOn(t *testing.T, l *transport.Listener) *mirrorTestHost {
+	t.Helper()
+	h := &mirrorTestHost{srv: NewMirrorServer(), l: l}
+	go func() {
+		for {
+			ep, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h.mu.Lock()
+			h.eps = append(h.eps, ep)
+			h.mu.Unlock()
+			go h.srv.ServeConn(ep)
+		}
+	}()
+	t.Cleanup(h.kill)
+	return h
+}
+
+func (h *mirrorTestHost) addr() string { return h.l.Addr() }
+
+func (h *mirrorTestHost) kill() {
+	h.l.Close()
+	h.mu.Lock()
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func quickBackoff() backoff.Config {
+	return backoff.Config{Base: time.Millisecond, Cap: 5 * time.Millisecond, Budget: 200 * time.Millisecond, Seed: 3}
+}
+
+// sameMirrorState compares the fields rehydration depends on.
+func sameMirrorState(a, b *MirrorState) bool {
+	if a.W != b.W || a.Epoch != b.Epoch || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if !reflect.DeepEqual(a.Entries[i], b.Entries[i]) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.ReplySeen, b.ReplySeen) && reflect.DeepEqual(a.Objects, b.Objects)
+}
+
+// The full replication path: LogSink mutations stream over the AVAM wire,
+// and FetchMirrorState retrieves a byte-equal copy of the staging state —
+// what a replacement guardian on another machine would rehydrate from.
+func TestRemoteMirrorReplicatesAndFetches(t *testing.T) {
+	h := startMirrorHost(t, "127.0.0.1:0")
+	srv := h.srv
+	rm := NewRemoteMirror(h.addr(), RemoteMirrorConfig{VM: 7, Name: "vm-seven", Backoff: quickBackoff()})
+	defer rm.Close()
+
+	rm.MirrorAppend(rec(1, 10, marshal.BytesVal([]byte{1, 2})))
+	done := rec(1, 10)
+	done.Ret = marshal.Int(0)
+	done.Outs = []marshal.Value{marshal.BytesVal([]byte{3})}
+	rm.MirrorReply(done)
+	rm.MirrorAppend(rec(2, 0, marshal.HandleVal(10)))
+	rm.MirrorCheckpoint(1, 1, map[marshal.Handle][]byte{10: {7, 7, 7}})
+	rm.MirrorAppend(rec(3, 11))
+	rm.MirrorDrop(3)
+
+	if !rm.Flush(2 * time.Second) {
+		t.Fatal("mirror did not drain")
+	}
+	if rm.Acked() == 0 {
+		t.Fatal("no batch was ever acked")
+	}
+
+	want := rm.State()
+	if got := srv.State(7); !sameMirrorState(want, got) {
+		t.Fatalf("remote state diverged:\n remote %+v\n local  %+v", got, want)
+	}
+	fetched, err := FetchMirrorState(h.addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMirrorState(want, fetched) {
+		t.Fatalf("fetched state diverged:\n fetched %+v\n local   %+v", fetched, want)
+	}
+
+	// The admin snapshot names the VM from the hello.
+	snap := srv.Snapshot()
+	if len(snap) != 1 || snap[0].VM != 7 || snap[0].Name != "vm-seven" || snap[0].Entries != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// Delta checkpoints replicate incrementally and converge; a full resync
+// after the host restarts (empty state, same address) restores the
+// invariant without guardian involvement.
+func TestRemoteMirrorDeltaAndResyncAfterHostRestart(t *testing.T) {
+	h := startMirrorHost(t, "127.0.0.1:0")
+	srv := h.srv
+	addr := h.addr()
+	rm := NewRemoteMirror(addr, RemoteMirrorConfig{VM: 1, Backoff: quickBackoff()})
+	defer rm.Close()
+
+	rm.MirrorAppend(rec(1, 10))
+	rm.MirrorCheckpoint(1, 1, map[marshal.Handle][]byte{10: {0, 0, 0, 0}})
+	if !rm.Flush(2 * time.Second) {
+		t.Fatal("initial state did not replicate")
+	}
+
+	// An incremental checkpoint riding the established stream: one dirty
+	// byte at offset 1 of a 4-byte object.
+	delta := []marshal.ObjectDelta{{
+		Handle: 10, BaseLen: 4,
+		Ranges: []marshal.DeltaRange{{Off: 1, Bytes: []byte{9}}},
+	}}
+	if !rm.MirrorCheckpointDelta(2, 2, delta) {
+		t.Fatal("delta refused against a matching base")
+	}
+	if !rm.Flush(2 * time.Second) {
+		t.Fatal("delta did not replicate")
+	}
+	if got := srv.State(1); got.W != 2 || got.Objects[10][1] != 9 {
+		t.Fatalf("delta not composed remotely: %+v", got)
+	}
+
+	// SIGKILL the mirror host; a replacement process binds the same address
+	// with empty state.
+	h.kill()
+	var l2 *transport.Listener
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		var err error
+		if l2, err = transport.Listen(addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Skipf("cannot rebind %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h2 := serveMirrorOn(t, l2)
+
+	// The next mutation reconnects and resyncs the full staging state.
+	rm.MirrorAppend(rec(5, 12))
+	if !rm.Flush(5 * time.Second) {
+		t.Fatal("resync after host restart did not drain")
+	}
+	if !sameMirrorState(rm.State(), h2.srv.State(1)) {
+		t.Fatalf("replacement host did not converge:\n remote %+v\n local  %+v", h2.srv.State(1), rm.State())
+	}
+}
+
+// A dead mirror host must never stall the guardian: every LogSink call
+// returns promptly and the staging state stays authoritative.
+func TestRemoteMirrorDeadHostNeverBlocks(t *testing.T) {
+	rm := NewRemoteMirror("127.0.0.1:1", RemoteMirrorConfig{VM: 1, Backoff: quickBackoff()})
+	defer rm.Close()
+
+	start := time.Now()
+	for i := uint64(1); i <= 100; i++ {
+		rm.MirrorAppend(rec(i, marshal.Handle(i)))
+	}
+	rm.MirrorCheckpoint(1, 50, map[marshal.Handle][]byte{1: {1}})
+	if spent := time.Since(start); spent > time.Second {
+		t.Fatalf("mutations against a dead mirror host took %v", spent)
+	}
+	if rm.State().W != 50 {
+		t.Fatal("staging state lost a mutation")
+	}
+	if rm.Flush(20 * time.Millisecond) {
+		t.Fatal("Flush claimed durability on a dead host")
+	}
+}
+
+// The -race hammer: LogSink traffic from several goroutines (serialized
+// by a stand-in for the guardian's state lock, which is the sink
+// contract) races against lock-free State/Acked/Snapshot readers and the
+// RemoteMirror's own pump goroutine.
+func TestMirrorConcurrentHammer(t *testing.T) {
+	h := startMirrorHost(t, "127.0.0.1:0")
+	srv := h.srv
+	rm := NewRemoteMirror(h.addr(), RemoteMirrorConfig{VM: 3, Backoff: quickBackoff()})
+	defer rm.Close()
+	mm := NewMemoryMirror()
+
+	sinks := []LogSink{mm, rm}
+	var writers, readers sync.WaitGroup
+	var guardianMu sync.Mutex // LogSink calls are serialized under the guardian's lock
+	stop := make(chan struct{})
+
+	// Writers: appends, replies, drops, checkpoints over disjoint seq
+	// ranges per goroutine so the traffic stays valid while interleaving.
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			base := uint64(g) * 1000
+			for i := uint64(1); i <= 50; i++ {
+				seq := base + i
+				rc := rec(seq, marshal.Handle(seq), marshal.BytesVal([]byte{byte(g), byte(i)}))
+				guardianMu.Lock()
+				for _, s := range sinks {
+					s.MirrorAppend(rc)
+				}
+				switch rng.Intn(3) {
+				case 0:
+					done := rec(seq, marshal.Handle(seq))
+					done.Ret = marshal.Int(0)
+					for _, s := range sinks {
+						s.MirrorReply(done)
+					}
+				case 1:
+					for _, s := range sinks {
+						s.MirrorDrop(seq)
+					}
+				case 2:
+					for _, s := range sinks {
+						s.MirrorCheckpoint(uint32(g), seq, map[marshal.Handle][]byte{marshal.Handle(seq): {byte(i)}})
+					}
+				}
+				guardianMu.Unlock()
+			}
+		}(g)
+	}
+
+	// Readers: state snapshots from every side while writers run.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = mm.State()
+				_ = rm.State()
+				_ = rm.Acked()
+				_ = srv.Snapshot()
+				_ = srv.State(3)
+			}
+		}()
+	}
+
+	// Wait for the writers, stop the readers, then require convergence.
+	wgWait := make(chan struct{})
+	go func() { writers.Wait(); close(wgWait) }()
+	select {
+	case <-wgWait:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hammer wedged")
+	}
+	close(stop)
+	readers.Wait()
+	if !rm.Flush(5 * time.Second) {
+		t.Fatal("remote mirror did not drain after the hammer")
+	}
+	if !sameMirrorState(rm.State(), srv.State(3)) {
+		t.Fatal("remote mirror did not converge to staging after the hammer")
+	}
+}

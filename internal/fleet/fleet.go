@@ -100,6 +100,12 @@ type Locator interface {
 type entry struct {
 	m    Member
 	beat time.Time
+	// gone marks a tombstone: the member deregistered at beat. The record
+	// is kept (instead of deleted) so gossip peers that have not yet seen
+	// the deregister cannot resurrect the member with an older announce —
+	// last-write-wins needs the write to exist. Tombstones expire like
+	// ordinary entries.
+	gone bool
 }
 
 // Registry is the in-process fleet table.
@@ -123,7 +129,8 @@ func NewRegistry(ttl time.Duration, clk clock.Clock) *Registry {
 	return &Registry{clk: clk, ttl: ttl, members: make(map[string]*entry)}
 }
 
-// Announce implements Locator.
+// Announce implements Locator. An announce revives a tombstoned member:
+// the new beat is a newer write than the deregister.
 func (r *Registry) Announce(m Member) error {
 	if m.ID == "" {
 		m.ID = m.Addr
@@ -133,6 +140,7 @@ func (r *Registry) Announce(m Member) error {
 	if e, ok := r.members[m.ID]; ok {
 		e.m = m
 		e.beat = now
+		e.gone = false
 	} else {
 		r.members[m.ID] = &entry{m: m, beat: now}
 	}
@@ -140,10 +148,16 @@ func (r *Registry) Announce(m Member) error {
 	return nil
 }
 
-// Deregister implements Locator.
+// Deregister implements Locator. The member disappears from queries
+// immediately but leaves a TTL'd tombstone behind so gossip peers cannot
+// resurrect it with a pre-deregister announce.
 func (r *Registry) Deregister(id string) error {
+	now := r.clk.Now()
 	r.mu.Lock()
-	delete(r.members, id)
+	if e, ok := r.members[id]; ok {
+		e.gone = true
+		e.beat = now
+	}
 	r.mu.Unlock()
 	return nil
 }
@@ -162,7 +176,7 @@ func (r *Registry) Live(api string, exclude ...string) ([]Member, error) {
 	r.mu.Lock()
 	ms := make([]Member, 0, len(r.members))
 	for id, e := range r.members {
-		if skip[id] || e.m.API != api || now.Sub(e.beat) > r.ttl {
+		if skip[id] || e.gone || e.m.API != api || now.Sub(e.beat) > r.ttl {
 			continue
 		}
 		ms = append(ms, e.m)
@@ -179,6 +193,9 @@ func (r *Registry) Members() []Status {
 	r.mu.Lock()
 	out := make([]Status, 0, len(r.members))
 	for _, e := range r.members {
+		if e.gone {
+			continue
+		}
 		out = append(out, Status{Member: e.m, LastBeat: e.beat, Live: now.Sub(e.beat) <= r.ttl})
 	}
 	r.mu.Unlock()
@@ -189,6 +206,8 @@ func (r *Registry) Members() []Status {
 // Expire drops every member whose TTL has lapsed and returns how many were
 // dropped. Queries already ignore expired members; Expire just reclaims
 // the table space (long-running registries call it opportunistically).
+// Lapsed tombstones are reclaimed too but not counted — they stopped being
+// members at deregister time.
 func (r *Registry) Expire() int {
 	now := r.clk.Now()
 	n := 0
@@ -196,7 +215,9 @@ func (r *Registry) Expire() int {
 	for id, e := range r.members {
 		if now.Sub(e.beat) > r.ttl {
 			delete(r.members, id)
-			n++
+			if !e.gone {
+				n++
+			}
 		}
 	}
 	r.mu.Unlock()

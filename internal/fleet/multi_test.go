@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ava/internal/backoff"
+	"ava/internal/transport"
+)
+
+// regHost is one wire-served registry "machine" a test can SIGKILL:
+// killing it closes the accept socket and severs every established
+// connection, the failure a dead host actually presents.
+type regHost struct {
+	reg *Registry
+	l   *transport.Listener
+
+	mu  sync.Mutex
+	eps []transport.Endpoint
+}
+
+func serveRegistry(t *testing.T) *regHost {
+	t.Helper()
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &regHost{reg: NewRegistry(0, nil), l: l}
+	go func() {
+		for {
+			ep, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h.mu.Lock()
+			h.eps = append(h.eps, ep)
+			h.mu.Unlock()
+			go ServeConn(ep, h.reg)
+		}
+	}()
+	t.Cleanup(h.kill)
+	return h
+}
+
+func (h *regHost) addr() string { return h.l.Addr() }
+
+func (h *regHost) kill() {
+	h.l.Close()
+	h.mu.Lock()
+	eps := append([]transport.Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// shortRetry keeps dead-replica probes from dragging tests out.
+func shortRetry(c *Client) *Client {
+	c.SetRetry(backoff.Config{Base: time.Millisecond, Cap: 2 * time.Millisecond, Budget: 20 * time.Millisecond, Seed: 7})
+	return c
+}
+
+// A MultiClient write lands on every live replica, and the merged read is
+// ranked exactly as a single registry would rank it.
+func TestMultiClientFanoutAndMergedRead(t *testing.T) {
+	hA, hB := serveRegistry(t), serveRegistry(t)
+
+	mc := NewMultiClient(shortRetry(DialRegistry(hA.addr())), shortRetry(DialRegistry(hB.addr())))
+	defer mc.Close()
+
+	if err := mc.Announce(Member{ID: "host-1", Addr: "h1:1", API: "opencl", Load: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Announce(Member{ID: "host-2", Addr: "h2:1", API: "opencl", Load: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for name, reg := range map[string]*Registry{"A": hA.reg, "B": hB.reg} {
+		if ms, _ := reg.Live("opencl"); len(ms) != 2 {
+			t.Fatalf("replica %s saw %d members, want 2", name, len(ms))
+		}
+	}
+	ms, err := mc.Live("opencl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].ID != "host-2" || ms[1].ID != "host-1" {
+		t.Fatalf("merged Live = %v, want host-2 (lighter) then host-1", ms)
+	}
+
+	if err := mc.Deregister("host-2"); err != nil {
+		t.Fatal(err)
+	}
+	if ms, _ := mc.Live("opencl"); len(ms) != 1 || ms[0].ID != "host-1" {
+		t.Fatalf("post-deregister Live = %v, want only host-1", ms)
+	}
+}
+
+// Killing one registry replica is invisible at quorum 1: the surviving
+// replica answers reads, and writes still succeed by the any-replica rule.
+func TestMultiClientSurvivesOneDeadRegistry(t *testing.T) {
+	hA, hB := serveRegistry(t), serveRegistry(t)
+
+	mc := NewMultiClient(shortRetry(DialRegistry(hA.addr())), shortRetry(DialRegistry(hB.addr())))
+	defer mc.Close()
+	if err := mc.Announce(Member{ID: "host-1", Addr: "h1:1", API: "opencl"}); err != nil {
+		t.Fatal(err)
+	}
+
+	hA.kill() // SIGKILL the first registry machine
+
+	ms, err := mc.Live("opencl")
+	if err != nil {
+		t.Fatalf("Live with one dead replica: %v", err)
+	}
+	if len(ms) != 1 || ms[0].ID != "host-1" {
+		t.Fatalf("Live = %v, want host-1 from the survivor", ms)
+	}
+	if err := mc.Announce(Member{ID: "host-2", Addr: "h2:1", API: "opencl"}); err != nil {
+		t.Fatalf("Announce with one dead replica: %v", err)
+	}
+
+	// A quorum of 2 is no longer reachable: the merged view must refuse
+	// rather than silently degrade below the caller's floor.
+	mc.SetQuorum(2)
+	if _, err := mc.Live("opencl"); err == nil {
+		t.Fatal("quorum 2 with one dead replica should fail")
+	} else if !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("quorum failure not named in error: %v", err)
+	}
+}
+
+// With every replica dead, reads and writes report the failure instead of
+// pretending an empty fleet.
+func TestMultiClientAllDead(t *testing.T) {
+	hA := serveRegistry(t)
+	hA.kill()
+	mc := NewMultiClient(shortRetry(DialRegistry(hA.addr())))
+	defer mc.Close()
+	if _, err := mc.Live("opencl"); err == nil {
+		t.Fatal("Live against an all-dead registry set should fail")
+	}
+	if err := mc.Announce(Member{ID: "x", Addr: "x:1", API: "opencl"}); err == nil {
+		t.Fatal("Announce against an all-dead registry set should fail")
+	}
+}
+
+// The wire client's bounded retry: while the registry is down, a call
+// spends the jittered backoff budget and reports unreachable; once the
+// registry is back (same address), the next call transparently recovers.
+func TestWireClientBoundedRetryWhileRegistryDown(t *testing.T) {
+	h := serveRegistry(t)
+	addr := h.addr()
+
+	c := shortRetry(DialRegistry(addr))
+	defer c.Close()
+	if err := c.Announce(Member{ID: "host-1", Addr: "h1:1", API: "opencl"}); err != nil {
+		t.Fatal(err)
+	}
+
+	h.kill() // registry machine dies
+	start := time.Now()
+	if _, err := c.Live("opencl"); err == nil {
+		t.Fatal("Live against a dead registry should fail after the retry budget")
+	} else if !strings.Contains(err.Error(), "unreachable after") {
+		t.Fatalf("retry exhaustion not named in error: %v", err)
+	}
+	if spent := time.Since(start); spent < 5*time.Millisecond {
+		t.Fatalf("failed after %v — too fast to have retried under backoff", spent)
+	}
+
+	// Restart on the same address: the registry lost its soft state, the
+	// client must redial and serve the (now re-announced) table.
+	l2, err := transport.Listen(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go Serve(l2, NewRegistry(0, nil))
+	if err := c.Announce(Member{ID: "host-1", Addr: "h1:1", API: "opencl"}); err != nil {
+		t.Fatalf("Announce after registry restart: %v", err)
+	}
+	ms, err := c.Live("opencl")
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("Live after restart = %v, %v; want the re-announced member", ms, err)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
+	"ava/internal/backoff"
 	"ava/internal/transport"
 )
 
@@ -14,11 +16,12 @@ import (
 // so readability wins over marshalling speed here.
 
 type wireReq struct {
-	Op      string   `json:"op"` // "announce", "deregister", "live"
-	Member  Member   `json:"member,omitempty"`
-	ID      string   `json:"id,omitempty"`
-	API     string   `json:"api,omitempty"`
-	Exclude []string `json:"exclude,omitempty"`
+	Op      string        `json:"op"` // "announce", "deregister", "live", "gossip"
+	Member  Member        `json:"member,omitempty"`
+	ID      string        `json:"id,omitempty"`
+	API     string        `json:"api,omitempty"`
+	Exclude []string      `json:"exclude,omitempty"`
+	Entries []GossipEntry `json:"entries,omitempty"`
 }
 
 type wireResp struct {
@@ -36,11 +39,15 @@ func Serve(l *transport.Listener, reg *Registry) {
 		if err != nil {
 			return
 		}
-		go serveConn(ep, reg)
+		go ServeConn(ep, reg)
 	}
 }
 
-func serveConn(ep transport.Endpoint, reg *Registry) {
+// ServeConn answers registry requests on one established connection until
+// it drops — the per-connection half of Serve, exported so harnesses that
+// track accepted endpoints (to sever them like a machine crash) can drive
+// the same protocol loop.
+func ServeConn(ep transport.Endpoint, reg *Registry) {
 	defer ep.Close()
 	for {
 		frame, err := ep.Recv()
@@ -59,6 +66,8 @@ func serveConn(ep transport.Endpoint, reg *Registry) {
 				reg.Deregister(req.ID)
 			case "live":
 				resp.Members, _ = reg.Live(req.API, req.Exclude...)
+			case "gossip":
+				reg.Merge(req.Entries)
 			default:
 				resp = wireResp{Err: fmt.Sprintf("unknown op %q", req.Op)}
 			}
@@ -74,19 +83,31 @@ func serveConn(ep transport.Endpoint, reg *Registry) {
 }
 
 // Client is a Locator over a TCP connection to a served registry. It
-// redials transparently after a connection failure, so a registry restart
-// does not kill every announcer in the fleet.
+// redials transparently after a connection failure, pacing reconnect
+// attempts with a jittered backoff series, so a registry restart does not
+// kill every announcer in the fleet: the client rides out the restart
+// window instead of failing on the first dropped frame.
 type Client struct {
 	addr string
 
-	mu sync.Mutex
-	ep transport.Endpoint
+	mu    sync.Mutex
+	ep    transport.Endpoint
+	retry *backoff.Backoff
 }
 
 // DialRegistry connects to a registry served at addr. The connection is
 // established lazily on the first request.
 func DialRegistry(addr string) *Client {
-	return &Client{addr: addr}
+	return &Client{addr: addr, retry: backoff.New(backoff.Config{})}
+}
+
+// SetRetry replaces the client's reconnect pacing — the same jittered
+// shape the failover layer uses. Call before the first request; a fixed
+// Seed makes the retry schedule reproducible in tests.
+func (c *Client) SetRetry(cfg backoff.Config) {
+	c.mu.Lock()
+	c.retry = backoff.New(cfg)
+	c.mu.Unlock()
 }
 
 // Close releases the client's connection.
@@ -99,8 +120,13 @@ func (c *Client) Close() {
 	}
 }
 
-// roundTrip sends one request and awaits its response, redialing once if
-// the cached connection has gone stale.
+// roundTrip sends one request and awaits its response, redialing under a
+// bounded jittered-backoff series if the cached connection has gone stale.
+// All registry operations are idempotent (announce and deregister are
+// last-write-wins, live is a read), so retrying a whole request after a
+// mid-flight connection loss is safe. Protocol-level failures — a
+// malformed response or an error verdict from the registry — are not
+// retried: the registry answered, it just said no.
 func (c *Client) roundTrip(req wireReq) (wireResp, error) {
 	frame, err := json.Marshal(req)
 	if err != nil {
@@ -108,31 +134,58 @@ func (c *Client) roundTrip(req wireReq) (wireResp, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for attempt := 0; ; attempt++ {
-		if c.ep == nil {
-			ep, err := transport.Dial(c.addr)
-			if err != nil {
-				return wireResp{}, fmt.Errorf("fleet: dial registry %s: %w", c.addr, err)
-			}
-			c.ep = ep
+	var series *backoff.Series
+	for {
+		resp, retryable, err := c.attemptLocked(frame)
+		if err == nil || !retryable {
+			return resp, err
 		}
-		if err := c.ep.Send(frame); err == nil {
-			if reply, err := c.ep.Recv(); err == nil {
-				var resp wireResp
-				if err := json.Unmarshal(reply, &resp); err != nil {
-					return wireResp{}, fmt.Errorf("fleet: malformed registry response: %w", err)
-				}
-				if resp.Err != "" {
-					return wireResp{}, fmt.Errorf("fleet: registry: %s", resp.Err)
-				}
-				return resp, nil
-			}
+		if series == nil {
+			series = c.retry.Series()
 		}
+		d, ok := series.Next()
+		if !ok {
+			return wireResp{}, fmt.Errorf("fleet: registry %s unreachable after %v of retries: %w",
+				c.addr, series.Spent(), err)
+		}
+		time.Sleep(d)
+	}
+}
+
+// attemptLocked makes one dial-send-recv attempt; retryable reports whether
+// the failure was a transport loss worth another attempt.
+func (c *Client) attemptLocked(frame []byte) (wireResp, bool, error) {
+	if c.ep == nil {
+		ep, err := transport.Dial(c.addr)
+		if err != nil {
+			return wireResp{}, true, fmt.Errorf("fleet: dial registry %s: %w", c.addr, err)
+		}
+		c.ep = ep
+	}
+	if err := c.ep.Send(frame); err != nil {
+		c.dropLocked()
+		return wireResp{}, true, fmt.Errorf("fleet: registry %s: %w", c.addr, err)
+	}
+	reply, err := c.ep.Recv()
+	if err != nil {
+		c.dropLocked()
+		return wireResp{}, true, fmt.Errorf("fleet: registry %s: %w", c.addr, err)
+	}
+	var resp wireResp
+	if err := json.Unmarshal(reply, &resp); err != nil {
+		c.dropLocked()
+		return wireResp{}, false, fmt.Errorf("fleet: malformed registry response: %w", err)
+	}
+	if resp.Err != "" {
+		return wireResp{}, false, fmt.Errorf("fleet: registry: %s", resp.Err)
+	}
+	return resp, false, nil
+}
+
+func (c *Client) dropLocked() {
+	if c.ep != nil {
 		c.ep.Close()
 		c.ep = nil
-		if attempt > 0 {
-			return wireResp{}, fmt.Errorf("fleet: registry %s unreachable", c.addr)
-		}
 	}
 }
 
@@ -155,4 +208,11 @@ func (c *Client) Live(api string, exclude ...string) ([]Member, error) {
 		return nil, err
 	}
 	return resp.Members, nil
+}
+
+// Gossip implements GossipPeer: it pushes a registry table export to the
+// remote registry, which merges it last-write-wins.
+func (c *Client) Gossip(entries []GossipEntry) error {
+	_, err := c.roundTrip(wireReq{Op: "gossip", Entries: entries})
+	return err
 }

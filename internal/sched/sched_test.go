@@ -40,6 +40,48 @@ func TestLeastLoadRanksDeterministically(t *testing.T) {
 	}
 }
 
+// A policy over a quorum-merged fleet view ranks exactly as it would over
+// a single registry holding the union: placement is agnostic to the
+// Locator flavor behind it, which is what lets the HA MultiClient drop in
+// under WithPlacement without touching this package.
+func TestPolicyRanksQuorumMergedView(t *testing.T) {
+	regA, regB := fleet.NewRegistry(0, nil), fleet.NewRegistry(0, nil)
+	// A partitioned announce: each replica heard about a different subset
+	// (with one host on both), the way a real fleet looks mid-gossip.
+	regA.Announce(fleet.Member{ID: "host-a", Addr: "a:1", API: "opencl", Load: 2})
+	regA.Announce(fleet.Member{ID: "host-c", Addr: "c:1", API: "opencl", Load: 0})
+	regB.Announce(fleet.Member{ID: "host-b", Addr: "b:1", API: "opencl", Load: 1})
+	regB.Announce(fleet.Member{ID: "host-c", Addr: "c:1", API: "opencl", Load: 0})
+
+	single := fleet.NewRegistry(0, nil)
+	for _, m := range []fleet.Member{
+		{ID: "host-a", Addr: "a:1", API: "opencl", Load: 2},
+		{ID: "host-b", Addr: "b:1", API: "opencl", Load: 1},
+		{ID: "host-c", Addr: "c:1", API: "opencl", Load: 0},
+	} {
+		single.Announce(m)
+	}
+
+	var merged, union fleet.Locator = fleet.NewMultiClient(regA, regB), single
+	for vm := uint32(1); vm <= 3; vm++ {
+		a, err := merged.Live("opencl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := union.Live("opencl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := ids(LeastLoad{}.Rank(vm, a)), ids(LeastLoad{}.Rank(vm, b))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("vm %d: quorum-merged rank %v != single-registry rank %v", vm, got, want)
+		}
+		if got[0] != "host-c" {
+			t.Fatalf("vm %d: lightest host not ranked first: %v", vm, got)
+		}
+	}
+}
+
 func TestSpreadByVMCountBalancesBurst(t *testing.T) {
 	p := NewSpreadByVMCount()
 	members := []fleet.Member{{ID: "a"}, {ID: "b"}, {ID: "c"}}

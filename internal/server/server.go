@@ -368,6 +368,9 @@ func (c *Context) record(fd *cava.FuncDesc, seq uint64, args []marshal.Value, re
 // CloneValues deep-copies a value vector (buffer contents included) so a
 // retained copy cannot alias a transport frame about to be recycled.
 func CloneValues(vs []marshal.Value) []marshal.Value {
+	if vs == nil {
+		return nil // keep nil-ness: cloned state must round-trip the wire codecs byte-stable
+	}
 	out := make([]marshal.Value, len(vs))
 	for i, v := range vs {
 		if v.Kind == marshal.KindBytes {

@@ -86,6 +86,77 @@ func TestMirrorRehydrationAfterGuardianLoss(t *testing.T) {
 	_ = ctx
 }
 
+// TestRemoteMirrorRehydrationAcrossMachines is the cross-machine version
+// of the test above: the mirror lives on a separate machine (the AVAM
+// listener an avad -mirror process serves), replication rides the fleet
+// wire, and the replacement guardian rehydrates from FetchMirrorState.
+// Nothing survives the first stack's death except the mirror host — the
+// exact situation a whole-machine loss leaves a replacement guardian in.
+func TestRemoteMirrorRehydrationAcrossMachines(t *testing.T) {
+	ml, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ml.Close()
+	go failover.NewMirrorServer().Serve(ml)
+
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i*5 + 1)
+	}
+
+	// First life on machine one: replicate over the wire, checkpoint, die.
+	silo1 := foSilo()
+	cfg1 := foConfig(silo1)
+	cfg1.Replication.RemoteAddr = ml.Addr()
+	stack1 := foStack(silo1, ava.WithFailover(cfg1))
+	lib1, err := stack1.AttachVM(ava.VMConfig{ID: 1, Name: "remote-mirror-vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := cl.NewRemote(lib1)
+	_, q, buf := clSetup(t, c1)
+	if err := c1.EnqueueWrite(q, buf, true, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Finish(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack1.Guardian(1).CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	stack1.Close() // detach drains the remote mirror; then machine one is gone
+
+	// The replacement machine has only the mirror host's address and the
+	// VM id. Everything else comes over the wire.
+	st, err := failover.FetchMirrorState(ml.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.W == 0 || len(st.Objects) == 0 {
+		t.Fatalf("mirror host missed the replication: w=%d objects=%d", st.W, len(st.Objects))
+	}
+
+	// Second life: fresh silo, rehydrated from the fetched state.
+	silo2 := foSilo()
+	cfg2 := foConfig(silo2)
+	cfg2.Replication.Restore = st
+	stack2 := foStack(silo2, ava.WithFailover(cfg2))
+	defer stack2.Close()
+	lib2, err := stack2.AttachVM(ava.VMConfig{ID: 1, Name: "remote-mirror-vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cl.NewRemote(lib2)
+	got := make([]byte, len(payload))
+	if err := c2.EnqueueRead(q, buf, true, 0, got); err != nil {
+		t.Fatalf("read through rehydrated stack: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rehydrated buffer differs from the state fetched off the mirror host")
+	}
+}
+
 // clSetup builds the minimal context/queue/buffer triple used by the
 // rehydration test and returns the guest-visible refs.
 func clSetup(t *testing.T, c *cl.RemoteClient) (ctx, q, buf cl.Ref) {
@@ -121,7 +192,7 @@ type chaosHost struct {
 	eps []transport.Endpoint
 }
 
-func newChaosHost(t *testing.T, loc *fleet.Registry, id string, load int) *chaosHost {
+func newChaosHost(t *testing.T, loc fleet.Locator, id string, load int) *chaosHost {
 	t.Helper()
 	silo := foSilo()
 	reg := server.NewRegistry(cl.Descriptor())
@@ -164,7 +235,7 @@ func newChaosHost(t *testing.T, loc *fleet.Registry, id string, load int) *chaos
 	return h
 }
 
-func (h *chaosHost) kill(loc *fleet.Registry) {
+func (h *chaosHost) kill(loc fleet.Locator) {
 	loc.Deregister(h.id)
 	h.l.Close()
 	h.mu.Lock()

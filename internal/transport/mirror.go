@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mirror frames carry a guardian's shadow-log replication stream to a
+// mirror host — the control-plane analogue of the call/reply data plane.
+// Like the hello preamble, the framing lives in the transport layer so
+// both ends agree on the envelope without importing the failover package;
+// the payload semantics (which op means what) belong to the sender.
+//
+// Layout: [magic "AVAM"][op u8][vm u32][opseq u64][payload...]. opseq is a
+// per-connection sequence number the receiver echoes in acks, giving the
+// sender a replication watermark: every op at or below the highest acked
+// opseq is durable on the mirror host.
+
+const mirrorMagic = "AVAM"
+
+// MirrorHeaderLen is the fixed size of a mirror frame header.
+const MirrorHeaderLen = 4 + 1 + 4 + 8
+
+// EncodeMirrorFrame builds a mirror frame.
+func EncodeMirrorFrame(op byte, vm uint32, opseq uint64, payload []byte) []byte {
+	b := make([]byte, MirrorHeaderLen, MirrorHeaderLen+len(payload))
+	copy(b, mirrorMagic)
+	b[4] = op
+	binary.LittleEndian.PutUint32(b[5:], vm)
+	binary.LittleEndian.PutUint64(b[9:], opseq)
+	return append(b, payload...)
+}
+
+// IsMirrorFrame reports whether frame starts with the mirror magic.
+func IsMirrorFrame(frame []byte) bool {
+	return len(frame) >= 4 && string(frame[:4]) == mirrorMagic
+}
+
+// DecodeMirrorFrame unpacks a mirror frame. The returned payload aliases
+// frame.
+func DecodeMirrorFrame(frame []byte) (op byte, vm uint32, opseq uint64, payload []byte, err error) {
+	if !IsMirrorFrame(frame) {
+		return 0, 0, 0, nil, fmt.Errorf("transport: not a mirror frame")
+	}
+	if len(frame) < MirrorHeaderLen {
+		return 0, 0, 0, nil, fmt.Errorf("transport: mirror frame truncated: %d bytes", len(frame))
+	}
+	op = frame[4]
+	vm = binary.LittleEndian.Uint32(frame[5:])
+	opseq = binary.LittleEndian.Uint64(frame[9:])
+	return op, vm, opseq, frame[MirrorHeaderLen:], nil
+}

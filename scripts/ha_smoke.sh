@@ -1,0 +1,124 @@
+#!/bin/sh
+# ha_smoke.sh — end-to-end smoke of the replicated control plane: two real
+# avaregd replicas gossiping their member tables, one avad announcing to
+# both plus one announcing to a single replica (so only gossip can spread
+# it), a mirror host scraped over the ctl endpoint, and a hard kill of one
+# registry that placement must survive through the surviving replica. Run
+# from the repo root (`make ha-smoke` does). Everything binds to port 0,
+# so parallel CI runs do not collide.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+cleanup() {
+    rm -rf "$workdir"
+    [ -n "${regd_a_pid:-}" ] && kill "$regd_a_pid" 2>/dev/null || true
+    [ -n "${regd_b_pid:-}" ] && kill "$regd_b_pid" 2>/dev/null || true
+    [ -n "${avad_a_pid:-}" ] && kill "$avad_a_pid" 2>/dev/null || true
+    [ -n "${avad_b_pid:-}" ] && kill "$avad_b_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "ha-smoke: building avaregd + avad + avaplace + avactl"
+$GO build -o "$workdir/avaregd" ./cmd/avaregd
+$GO build -o "$workdir/avad" ./cmd/avad
+$GO build -o "$workdir/avaplace" ./cmd/avaplace
+$GO build -o "$workdir/avactl" ./cmd/avactl
+
+# reg_addr <logfile> <pid>: poll a registry log for its bound address.
+reg_addr() {
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/.*serving fleet registry on //p' "$1" | head -1)
+        [ -n "$addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "ha-smoke: avaregd died:" >&2; cat "$1" >&2; exit 1; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "ha-smoke: avaregd never announced its address" >&2; cat "$1" >&2; exit 1; }
+    echo "$addr"
+}
+
+"$workdir/avaregd" -listen 127.0.0.1:0 -ctl 127.0.0.1:0 >"$workdir/regd-a.log" 2>&1 &
+regd_a_pid=$!
+reg_a=$(reg_addr "$workdir/regd-a.log" "$regd_a_pid")
+
+# Replica B gossips its member table to A on a tight cadence, so a member
+# announced only to B becomes visible through A without ever dialing A.
+"$workdir/avaregd" -listen 127.0.0.1:0 -peers "$reg_a" -gossip-every 100ms >"$workdir/regd-b.log" 2>&1 &
+regd_b_pid=$!
+reg_b=$(reg_addr "$workdir/regd-b.log" "$regd_b_pid")
+echo "ha-smoke: registry replicas up at $reg_a and $reg_b"
+
+# host-a announces to BOTH replicas (the HA announce fan-out) and serves a
+# replication mirror host plus the ctl endpoint.
+"$workdir/avad" -listen 127.0.0.1:0 -announce "$reg_a,$reg_b" -id gpu-host-a \
+    -mirror 127.0.0.1:0 -ctl 127.0.0.1:0 >"$workdir/avad-a.log" 2>&1 &
+avad_a_pid=$!
+# host-b announces to replica B only: replica A must learn it by gossip.
+"$workdir/avad" -listen 127.0.0.1:0 -announce "$reg_b" -id gpu-host-b >"$workdir/avad-b.log" 2>&1 &
+avad_b_pid=$!
+
+for h in a b; do
+    i=0
+    while [ $i -lt 100 ]; do
+        grep -q "announcing .* fleet registr" "$workdir/avad-$h.log" 2>/dev/null && break
+        kill -0 "$(eval echo \$avad_${h}_pid)" 2>/dev/null || { echo "ha-smoke: avad-$h died:"; cat "$workdir/avad-$h.log"; exit 1; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+done
+echo "ha-smoke: two avads announced (host-b to one replica only)"
+
+# Gossip must deliver host-b to replica A: its admin table eventually
+# lists both hosts even though host-b never dialed it.
+ctl_reg_a=""
+i=0
+while [ $i -lt 100 ]; do
+    ctl_reg_a=$(sed -n 's/.*avaregd: ctl listening on //p' "$workdir/regd-a.log" | head -1)
+    [ -n "$ctl_reg_a" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ctl_reg_a" ] || { echo "ha-smoke: regd-a never announced its ctl address"; cat "$workdir/regd-a.log"; exit 1; }
+n=0
+i=0
+while [ $i -lt 100 ]; do
+    n=$("$workdir/avactl" -host "$ctl_reg_a" stats 2>/dev/null | grep -c '^fleet gpu-host-' || true)
+    [ "$n" = "2" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ "$n" = "2" ] || { echo "ha-smoke: gossip never delivered host-b to replica A (saw $n members)"; cat "$workdir/regd-a.log"; exit 1; }
+echo "ha-smoke: gossip converged — replica A sees both hosts"
+
+# Quorum-read placement over both replicas.
+out=$("$workdir/avaplace" -registry "$reg_a,$reg_b" -vm 2)
+echo "$out" | grep -q '^placed vm 2 on gpu-host-' || { echo "ha-smoke: quorum placement failed:"; echo "$out"; exit 1; }
+echo "ha-smoke: quorum-read placement OK"
+
+# The ctl endpoint reports the mirror host's replication standing.
+ctl_a=""
+i=0
+while [ $i -lt 100 ]; do
+    ctl_a=$(sed -n 's/.*avad: ctl listening on //p' "$workdir/avad-a.log" | head -1)
+    [ -n "$ctl_a" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ctl_a" ] || { echo "ha-smoke: avad-a never announced its ctl address"; cat "$workdir/avad-a.log"; exit 1; }
+grep -q "avad: mirror host serving on " "$workdir/avad-a.log" || { echo "ha-smoke: avad-a never started its mirror host"; cat "$workdir/avad-a.log"; exit 1; }
+"$workdir/avactl" -host "$ctl_a" mirror >/dev/null || { echo "ha-smoke: avactl mirror scrape failed"; exit 1; }
+"$workdir/avactl" -host "$ctl_a" stats >/dev/null
+echo "ha-smoke: mirror host up and scrapeable via avactl"
+
+# SIGKILL registry replica A. Placement and announces must keep working
+# through the survivor — the avads' heartbeats ride out the death.
+kill -9 "$regd_a_pid" 2>/dev/null || true
+regd_a_pid=""
+out=$("$workdir/avaplace" -registry "$reg_a,$reg_b" -vm 3)
+echo "$out" | grep -q '^placed vm 3 on gpu-host-' || { echo "ha-smoke: placement did not survive the registry kill:"; echo "$out"; exit 1; }
+echo "ha-smoke: placement survived a registry replica SIGKILL"
+
+echo "ha-smoke: OK"
